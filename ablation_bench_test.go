@@ -1,0 +1,88 @@
+package hilp_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: solver
+// portfolio stages, adaptive time-step resolution, DVFS alias clusters, and
+// the parallel-CPU option. Run with `go test -bench=Ablation`.
+
+import (
+	"testing"
+
+	"hilp/internal/experiments"
+)
+
+func BenchmarkAblationSolverPortfolio(b *testing.B) {
+	var rows []experiments.AblationSolverRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSolverPortfolio(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	// Gap left by the heuristics-only stage on the first SoC vs the full
+	// pipeline, as metrics.
+	for _, r := range rows {
+		if r.SoC == "(c4,g16,d2^16)" && r.Strategy == "heuristics" {
+			b.ReportMetric(r.Gap, "heuristic_gap")
+		}
+		if r.SoC == "(c4,g16,d2^16)" && r.Strategy == "anneal+justify" {
+			b.ReportMetric(r.Gap, "pipeline_gap")
+		}
+	}
+	printResult("Ablation (solver portfolio)", experiments.RenderAblationSolver(rows))
+}
+
+func BenchmarkAblationResolution(b *testing.B) {
+	var rows []experiments.AblationResolutionRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationResolution(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].Speedup, "speedup_coarse")
+	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_adaptive")
+	printResult("Ablation (resolution)", experiments.RenderAblationResolution(rows))
+}
+
+func BenchmarkAblationDVFS(b *testing.B) {
+	var rows []experiments.AblationDVFSRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDVFS(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].Speedup, "speedup_1pt")
+	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_full")
+	printResult("Ablation (DVFS)", experiments.RenderAblationDVFS(rows))
+}
+
+func BenchmarkAblationCPUWidth(b *testing.B) {
+	var rows []experiments.AblationCPUWidthRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationCPUWidth(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[0].Speedup, "speedup_with")
+	b.ReportMetric(rows[1].Speedup, "speedup_without")
+	printResult("Ablation (parallel CPU)", experiments.RenderAblationCPUWidth(rows))
+}
+
+func BenchmarkSyntheticSensitivity(b *testing.B) {
+	var rows []experiments.SyntheticRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SyntheticSensitivity(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(float64(len(rows)), "rows")
+	printResult("Sensitivity (workload shape)", experiments.RenderSynthetic(rows))
+}

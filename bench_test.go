@@ -1,0 +1,208 @@
+package hilp_test
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates the corresponding rows and, on its first run, prints them so
+// `go test -bench=. -benchmem` reproduces the full evaluation. Key scalar
+// outcomes are attached as custom benchmark metrics.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hilp/internal/dse"
+	"hilp/internal/experiments"
+	"hilp/internal/rodinia"
+)
+
+var benchOpts = experiments.Options{Seed: 1, Effort: 0.25}
+
+var printOnce sync.Map
+
+// printResult emits an experiment's rendered table exactly once per process.
+func printResult(key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", key, text)
+	}
+}
+
+func BenchmarkFig2Example(b *testing.B) {
+	var last *experiments.ExampleResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2and3Example(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.HILPMakespan), "makespan_s")
+	b.ReportMetric(last.HILPWLP, "wlp")
+	printResult("Figure 2 (example)", last.Render())
+}
+
+func BenchmarkFig3PowerCap(b *testing.B) {
+	var last *experiments.ExampleResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2and3Example(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.PowerCapSpan), "capped_makespan_s")
+	b.ReportMetric(last.PowerCapPeak, "peak_W")
+}
+
+func BenchmarkTable2Fits(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2Fits()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(float64(len(rows)), "benchmarks")
+	printResult("Table II", experiments.RenderTable2(rows))
+}
+
+func BenchmarkTable3PowerScaling(b *testing.B) {
+	var rows []experiments.Table3Row
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3PowerScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(float64(len(rows)), "operating_points")
+	printResult("Table III", experiments.RenderTable3(rows))
+}
+
+func BenchmarkFig5aAmdahl(b *testing.B) {
+	var series []experiments.Fig5aSeries
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig5aAmdahl(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		series = s
+	}
+	// Saturated speedup of the 64-SM series.
+	last := series[len(series)-1]
+	b.ReportMetric(last.Rows[len(last.Rows)-1].Speedup, "speedup_64sm_8cpu")
+	printResult("Figure 5a (Amdahl)", experiments.RenderFig5a(series))
+}
+
+func BenchmarkFig5bMemoryWall(b *testing.B) {
+	var rows []experiments.ConstraintRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5bMemoryWall(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_64sm_400GBs")
+	printResult("Figure 5b (memory wall)",
+		experiments.RenderConstraintRows("Figure 5b - memory wall (Optimized, 4 CPUs)", "GB/s", rows))
+}
+
+func BenchmarkFig5cDarkSilicon(b *testing.B) {
+	var rows []experiments.ConstraintRow
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5cDarkSilicon(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[len(rows)-1].Speedup, "speedup_64sm_400W")
+	printResult("Figure 5c (dark silicon)",
+		experiments.RenderConstraintRows("Figure 5c - dark silicon (Optimized, 4 CPUs)", "W", rows))
+}
+
+func BenchmarkFig6aWLPRodinia(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6WLP(rodinia.RodiniaWorkload(), benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[len(rows)-1].WLP, "gables_wlp_8cpu")
+	printResult("Figure 6a (WLP, Rodinia)", experiments.RenderFig6("Figure 6a - Rodinia, 64-SM GPU", rows))
+}
+
+func BenchmarkFig6bWLPOptimized(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6WLP(rodinia.OptimizedWorkload(), benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = r
+	}
+	b.ReportMetric(rows[len(rows)-1].WLP, "gables_wlp_8cpu")
+	printResult("Figure 6b (WLP, Optimized)", experiments.RenderFig6("Figure 6b - Optimized, 64-SM GPU", rows))
+}
+
+func BenchmarkFig7DesignSpace(b *testing.B) {
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7DesignSpace(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if best, ok := dse.Best(res.HILP); ok {
+		b.ReportMetric(best.Speedup, "hilp_best_speedup")
+		b.ReportMetric(best.AreaMM2, "hilp_best_area_mm2")
+	}
+	printResult("Figure 7 (design space)", experiments.RenderFig7(res))
+}
+
+func BenchmarkFig8aPowerConstrained(b *testing.B) {
+	var res *experiments.Fig8aResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8aPowerConstrained(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if best, ok := dse.Best(res.Points[20]); ok {
+		b.ReportMetric(best.Speedup, "best_speedup_20W")
+	}
+	printResult("Figure 8a (power-constrained)", experiments.RenderFig8a(res))
+}
+
+func BenchmarkFig8bDSAAdvantage(b *testing.B) {
+	var res *experiments.Fig8bResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8bDSAAdvantage(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	if best, ok := dse.Best(res.Points[8]); ok {
+		b.ReportMetric(best.Speedup, "best_speedup_8x")
+	}
+	printResult("Figure 8b (DSA advantage)", experiments.RenderFig8b(res))
+}
+
+func BenchmarkFig10Streaming(b *testing.B) {
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10Streaming(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Variants[0].MakespanSec, "baseline_makespan_s")
+	printResult("Figure 10 (streaming dataflow)", res.Render())
+}

@@ -1,0 +1,140 @@
+// Command hilp-dse sweeps an SoC design space with HILP (optionally also
+// with the MultiAmdahl and Gables baselines) and reports the evaluated
+// points and their area/performance Pareto front, reproducing the paper's
+// §VI methodology from the command line.
+//
+//	hilp-dse -workload Default -power 600                # the 372-SoC space
+//	hilp-dse -cpus 1,2 -gpus 0,16 -max-dsas 2 -pareto    # a reduced space
+//	hilp-dse -csv > points.csv                           # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"hilp"
+	"hilp/internal/dse"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "Default", "workload: Rodinia, Default, or Optimized")
+		cpus         = flag.String("cpus", "1,2,4", "CPU-core counts to sweep")
+		gpus         = flag.String("gpus", "0,4,16,64", "GPU SM counts to sweep (0 = none)")
+		maxDSAs      = flag.Int("max-dsas", 10, "maximum number of DSAs (0 = none)")
+		pes          = flag.String("pes", "1,4,16", "DSA PE counts to sweep")
+		powerW       = flag.Float64("power", 600, "power budget in watts")
+		advantage    = flag.Float64("dsa-advantage", 4, "DSA efficiency advantage")
+		dvfs         = flag.String("dvfs", "210,300,420,600,765", "GPU DVFS points in MHz")
+		workers      = flag.Int("workers", runtime.NumCPU(), "parallel evaluations")
+		seed         = flag.Int64("seed", 1, "solver random seed")
+		effort       = flag.Float64("effort", 0.25, "solver effort multiplier")
+		paretoOnly   = flag.Bool("pareto", false, "print only the Pareto front")
+		withBase     = flag.Bool("baselines", false, "also sweep MultiAmdahl and Gables")
+		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	w, err := workloadByName(*workloadName)
+	exitOn(err)
+
+	dsaLimit := *maxDSAs
+	if dsaLimit == 0 {
+		dsaLimit = -1 // CLI 0 means "no DSAs"; the library's 0 means default
+	}
+	space := hilp.SpaceConfig{
+		CPUCores:  mustInts(*cpus),
+		GPUSMs:    mustInts(*gpus),
+		MaxDSAs:   dsaLimit,
+		DSAPEs:    mustInts(*pes),
+		PowerW:    *powerW,
+		Advantage: *advantage,
+	}
+	specs := hilp.DesignSpace(w, space)
+	freqs := mustFloats(*dvfs)
+	for i := range specs {
+		specs[i].GPUFrequenciesMHz = freqs
+	}
+	fmt.Fprintf(os.Stderr, "hilp-dse: evaluating %d SoCs on %s with %d workers\n", len(specs), w.Name, *workers)
+
+	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1}
+	points := hilp.SweepHILP(w, specs, *workers, hilp.DSEProfile, cfg)
+
+	var maPoints, gabPoints []hilp.Point
+	if *withBase {
+		maPoints = dse.Sweep(specs, *workers, dse.MAEvaluator(w))
+		gabPoints = dse.Sweep(specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
+	}
+
+	report := func(model string, pts []hilp.Point) {
+		out := pts
+		if *paretoOnly {
+			out = hilp.ParetoFront(pts)
+		}
+		if *csv {
+			exitOn(dse.WriteCSV(os.Stdout, model, out))
+			return
+		}
+		fmt.Printf("\n%s (%d points%s):\n", model, len(out), map[bool]string{true: ", Pareto only", false: ""}[*paretoOnly])
+		fmt.Printf("%-18s %10s %9s %6s %6s  %s\n", "SoC", "area mm^2", "speedup", "WLP", "gap", "mix")
+		for _, p := range out {
+			if p.Err != nil {
+				fmt.Printf("%-18s   infeasible: %v\n", p.Label, p.Err)
+				continue
+			}
+			fmt.Printf("%-18s %10.1f %9.1f %6.2f %5.1f%%  %s\n", p.Label, p.AreaMM2, p.Speedup, p.WLP, 100*p.Gap, p.Mix)
+		}
+		if best, ok := hilp.BestPoint(pts); ok {
+			fmt.Printf("best: %s (%.1fx @ %.1f mm^2)\n", best.Label, best.Speedup, best.AreaMM2)
+		}
+	}
+
+	report("HILP", points)
+	if *withBase {
+		report("MultiAmdahl", maPoints)
+		report("Gables", gabPoints)
+	}
+}
+
+func workloadByName(name string) (hilp.Workload, error) {
+	switch strings.ToLower(name) {
+	case "rodinia":
+		return hilp.RodiniaWorkload(), nil
+	case "default":
+		return hilp.DefaultWorkload(), nil
+	case "optimized":
+		return hilp.OptimizedWorkload(), nil
+	}
+	return hilp.Workload{}, fmt.Errorf("unknown workload %q", name)
+}
+
+func mustInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		exitOn(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func mustFloats(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		exitOn(err)
+		out = append(out, v)
+	}
+	return out
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hilp-dse:", err)
+		os.Exit(1)
+	}
+}

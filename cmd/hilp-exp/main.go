@@ -1,0 +1,210 @@
+// Command hilp-exp regenerates every table and figure of the paper's
+// evaluation and writes the full report to stdout (or a file). It is the
+// batch driver behind EXPERIMENTS.md.
+//
+//	hilp-exp                       # everything (the Fig. 7/8 sweeps take minutes)
+//	hilp-exp -only fig2,table2     # a subset
+//	hilp-exp -effort 1 -out report.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hilp/internal/experiments"
+	"hilp/internal/rodinia"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(experiments.Options) (string, error)
+}
+
+var all = []experiment{
+	{"fig2", "running example (Figures 2 and 3)", func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig2and3Example(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"table2", "benchmark profiles and power-law fits (Table II)", func(o experiments.Options) (string, error) {
+		rows, err := experiments.Table2Fits()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable2(rows), nil
+	}},
+	{"table3", "GPU power scaling (Table III)", func(o experiments.Options) (string, error) {
+		rows, err := experiments.Table3PowerScaling()
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTable3(rows), nil
+	}},
+	{"fig5a", "Amdahl's law validation (Figure 5a)", func(o experiments.Options) (string, error) {
+		s, err := experiments.Fig5aAmdahl(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig5a(s), nil
+	}},
+	{"fig5b", "memory wall validation (Figure 5b)", func(o experiments.Options) (string, error) {
+		rows, err := experiments.Fig5bMemoryWall(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderConstraintRows("Figure 5b - memory wall (Optimized, 4 CPUs)", "GB/s", rows), nil
+	}},
+	{"fig5c", "dark silicon validation (Figure 5c)", func(o experiments.Options) (string, error) {
+		rows, err := experiments.Fig5cDarkSilicon(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderConstraintRows("Figure 5c - dark silicon (Optimized, 4 CPUs)", "W", rows), nil
+	}},
+	{"fig6a", "WLP and speedup, Rodinia (Figure 6a)", func(o experiments.Options) (string, error) {
+		rows, err := experiments.Fig6WLP(rodinia.RodiniaWorkload(), o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig6("Figure 6a - Rodinia, 64-SM GPU", rows), nil
+	}},
+	{"fig6b", "WLP and speedup, Optimized (Figure 6b)", func(o experiments.Options) (string, error) {
+		rows, err := experiments.Fig6WLP(rodinia.OptimizedWorkload(), o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig6("Figure 6b - Optimized, 64-SM GPU", rows), nil
+	}},
+	{"fig7", "372-SoC design space (Figure 7)", func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig7DesignSpace(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig7(r), nil
+	}},
+	{"fig8a", "power-constrained Pareto fronts (Figure 8a)", func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig8aPowerConstrained(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig8a(r), nil
+	}},
+	{"fig8b", "DSA efficiency advantage (Figure 8b)", func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig8bDSAAdvantage(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderFig8b(r), nil
+	}},
+	{"fig10", "streaming dataflow case study (Figure 10)", func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig10Streaming(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"ablate-solver", "ablation: solver portfolio stages", func(o experiments.Options) (string, error) {
+		rows, err := experiments.AblationSolverPortfolio(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblationSolver(rows), nil
+	}},
+	{"ablate-resolution", "ablation: time-step resolution", func(o experiments.Options) (string, error) {
+		rows, err := experiments.AblationResolution(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblationResolution(rows), nil
+	}},
+	{"ablate-dvfs", "ablation: DVFS operating points", func(o experiments.Options) (string, error) {
+		rows, err := experiments.AblationDVFS(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblationDVFS(rows), nil
+	}},
+	{"ablate-cpuwidth", "ablation: parallel-CPU option", func(o experiments.Options) (string, error) {
+		rows, err := experiments.AblationCPUWidth(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblationCPUWidth(rows), nil
+	}},
+	{"synthetic", "sensitivity: workload shape vs accelerator strategy", func(o experiments.Options) (string, error) {
+		rows, err := experiments.SyntheticSensitivity(o)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderSynthetic(rows), nil
+	}},
+}
+
+func main() {
+	var (
+		only     = flag.String("only", "", "comma-separated experiment names (default: all); see -list")
+		effort   = flag.Float64("effort", 0.25, "solver effort multiplier")
+		seed     = flag.Int64("seed", 1, "solver random seed")
+		outArg   = flag.String("out", "", "write the report to this file instead of stdout")
+		markdown = flag.Bool("md", false, "emit Markdown sections (headings + code fences)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(n))] = true
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outArg != "" {
+		f, err := os.Create(*outArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hilp-exp:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	opts := experiments.Options{Seed: *seed, Effort: *effort}
+	failures := 0
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "hilp-exp: running %s (%s)...\n", e.name, e.desc)
+		start := time.Now()
+		text, err := e.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hilp-exp: %s failed: %v\n", e.name, err)
+			failures++
+			continue
+		}
+		if *markdown {
+			fmt.Fprintf(out, "## %s — %s\n\n_Regenerated in %s._\n\n```\n%s```\n\n",
+				e.name, e.desc, time.Since(start).Round(time.Millisecond), text)
+		} else {
+			fmt.Fprintf(out, "===== %s: %s (took %s) =====\n%s\n", e.name, e.desc, time.Since(start).Round(time.Millisecond), text)
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

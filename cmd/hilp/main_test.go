@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hilp"
+)
+
+func TestDSAFlagsParsing(t *testing.T) {
+	var d dsaFlags
+	if err := d.Set("LUD:16"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("HS:4"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.list) != 2 || d.list[0].Target != "LUD" || d.list[0].PEs != 16 || d.list[1].PEs != 4 {
+		t.Errorf("parsed %v", d.list)
+	}
+	if got := d.String(); got != "LUD:16,HS:4" {
+		t.Errorf("String = %q", got)
+	}
+	for _, bad := range []string{"", "LUD", "LUD:", ":4", "LUD:x", "LUD:0", "LUD:-3"} {
+		var e dsaFlags
+		if err := e.Set(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, name := range []string{"Rodinia", "default", "OPTIMIZED"} {
+		w, err := workloadByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(w.Apps) != 10 {
+			t.Errorf("%s: %d apps", name, len(w.Apps))
+		}
+	}
+	if _, err := workloadByName("bogus"); err == nil {
+		t.Error("accepted unknown workload")
+	}
+}
+
+// TestCustomModelJSONRoundTrip guards the -model input format: a model
+// marshalled to JSON must unmarshal to an equivalent, solvable model.
+func TestCustomModelJSONRoundTrip(t *testing.T) {
+	m := hilp.CustomModel{
+		Name:         "roundtrip",
+		Clusters:     []hilp.CustomCluster{{Name: "cpu0"}, {Name: "gpu0", Group: "gpu"}},
+		PowerBudgetW: 5,
+		Tasks: []hilp.CustomTask{
+			{Name: "a", App: 0, Options: []hilp.CustomOption{{Cluster: "cpu0", Sec: 2, PowerW: 1}}},
+			{Name: "b", App: 0, Deps: []hilp.CustomDep{{Task: "a"}},
+				Options: []hilp.CustomOption{{Cluster: "gpu0", Sec: 1, PowerW: 3}}},
+		},
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back hilp.CustomModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	inst, res, err := hilp.SolveModel(back, 1, 20, hilp.SolverConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan != 3 {
+		t.Errorf("makespan = %d, want 3", res.Schedule.Makespan)
+	}
+	if err := res.Schedule.Validate(inst.Problem); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package hilp_test
+
+import (
+	"fmt"
+
+	"hilp"
+)
+
+// ExampleSolveModel reproduces the paper's Figure 2 running example: two
+// applications, each with setup/compute/teardown phases, scheduled on an
+// SoC with one CPU, one GPU, and one DSA.
+func ExampleSolveModel() {
+	cpu := func(sec float64) hilp.CustomOption { return hilp.CustomOption{Cluster: "cpu0", Sec: sec} }
+	gpu := func(sec float64) hilp.CustomOption { return hilp.CustomOption{Cluster: "gpu0", Sec: sec} }
+	dsa := func(sec float64) hilp.CustomOption { return hilp.CustomOption{Cluster: "dsa0", Sec: sec} }
+
+	model := hilp.CustomModel{
+		Name:     "fig2",
+		Clusters: []hilp.CustomCluster{{Name: "cpu0"}, {Name: "gpu0"}, {Name: "dsa0"}},
+		Tasks: []hilp.CustomTask{
+			{Name: "m0", App: 0, Options: []hilp.CustomOption{cpu(1)}},
+			{Name: "m1", App: 0, Deps: []hilp.CustomDep{{Task: "m0"}}, Options: []hilp.CustomOption{cpu(8), gpu(6), dsa(5)}},
+			{Name: "m2", App: 0, Deps: []hilp.CustomDep{{Task: "m1"}}, Options: []hilp.CustomOption{cpu(1)}},
+			{Name: "n0", App: 1, Options: []hilp.CustomOption{cpu(1)}},
+			{Name: "n1", App: 1, Deps: []hilp.CustomDep{{Task: "n0"}}, Options: []hilp.CustomOption{cpu(5), gpu(3), dsa(2)}},
+			{Name: "n2", App: 1, Deps: []hilp.CustomDep{{Task: "n1"}}, Options: []hilp.CustomOption{cpu(1)}},
+		},
+	}
+
+	inst, res, err := hilp.SolveModel(model, 1, 40, hilp.SolverConfig{Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("makespan %d s (naive: 17 s)\n", res.Schedule.Makespan)
+	fmt.Printf("average WLP %.2f\n", res.Schedule.WLP(inst.Problem))
+	// Output:
+	// makespan 7 s (naive: 17 s)
+	// average WLP 1.71
+}
+
+// ExampleNewGraph builds the fork-join dependency graph of the paper's §VII
+// extension and reports its critical path.
+func ExampleNewGraph() {
+	g := hilp.NewGraph("fork-join").
+		Node("src", 0, hilp.CustomOption{Cluster: "dsa", Sec: 2}).
+		Node("left", 0, hilp.CustomOption{Cluster: "cpu", Sec: 4}).
+		Node("right", 0, hilp.CustomOption{Cluster: "gpu", Sec: 3}).
+		Node("join", 0, hilp.CustomOption{Cluster: "cpu", Sec: 1}).
+		Edge("src", "left").
+		Edge("src", "right").
+		Edge("left", "join").
+		Edge("right", "join")
+
+	cp, err := g.CriticalPathSec()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("critical path: %.0f s\n", cp)
+	// Output:
+	// critical path: 7 s
+}
+
+// ExampleSoC shows the paper's area model on its recommended SoC.
+func ExampleSoC() {
+	spec := hilp.SoC{
+		CPUCores: 4,
+		GPUSMs:   16,
+		DSAs:     []hilp.DSA{{PEs: 16, Target: "LUD"}, {PEs: 16, Target: "HS"}},
+	}
+	fmt.Printf("%s: %.1f mm^2\n", spec.Label(), spec.AreaMM2())
+	// Output:
+	// (c4,g16,d2^16): 378.4 mm^2
+}
+
+// ExampleMultiAmdahl evaluates the MultiAmdahl baseline, which assumes a
+// fixed sequential phase order and therefore always reports WLP = 1.
+func ExampleMultiAmdahl() {
+	res, err := hilp.MultiAmdahl(hilp.DefaultWorkload(), hilp.SoC{CPUCores: 1, GPUSMs: 64})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("WLP %.0f, speedup %.1fx (paper reports 18.2x)\n", res.WLP, res.Speedup)
+	// Output:
+	// WLP 1, speedup 18.7x (paper reports 18.2x)
+}

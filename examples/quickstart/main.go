@@ -1,0 +1,55 @@
+// Quickstart: evaluate the paper's recommended SoC - 4 CPU cores, a 16-SM
+// GPU, and 16-PE DSAs for the two most accelerator-hungry applications (HS
+// and LUD) - on the Default workload, and print the near-optimal schedule
+// HILP finds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hilp"
+)
+
+func main() {
+	workload := hilp.DefaultWorkload()
+
+	// The paper's highest-performing Pareto-optimal SoC: (c4,g16,d2^16).
+	spec := hilp.SoC{
+		CPUCores: 4,
+		GPUSMs:   16,
+		DSAs: []hilp.DSA{
+			{PEs: 16, Target: "LUD"},
+			{PEs: 16, Target: "HS"},
+		},
+	}
+
+	res, err := hilp.Evaluate(workload, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SoC %s - area %.1f mm^2\n", spec.Label(), spec.AreaMM2())
+	fmt.Printf("workload %q (%d applications)\n\n", workload.Name, len(workload.Apps))
+	fmt.Printf("makespan:         %.1f s\n", res.MakespanSec)
+	fmt.Printf("speedup:          %.1fx over a single CPU core (paper reports 45.6x)\n", res.Speedup)
+	fmt.Printf("average WLP:      %.2f concurrent phases\n", res.WLP)
+	fmt.Printf("optimality gap:   %.1f%% (near-optimal means <= 10%%)\n", 100*res.Gap)
+	fmt.Printf("final resolution: %.3g s/step after %d adaptive refinements\n\n", res.StepSec, res.Refinements)
+
+	fmt.Println("Schedule (one row per device; GPU DVFS points share a row):")
+	fmt.Print(res.Instance.Gantt(res.Sched.Schedule, 100))
+
+	fmt.Println("\nPer-application view (segments labeled by the unit each phase ran on):")
+	fmt.Print(res.Instance.GanttByApp(res.Sched.Schedule, 100))
+
+	fmt.Println()
+	fmt.Print(res.Instance.WLPHistogram(res.Sched.Schedule))
+
+	stats := res.Instance.ComputeStats(res.Sched.Schedule)
+	fmt.Printf("\nenergy %.0f J, peak power %.1f W (budget %.0f W), peak bandwidth %.0f GB/s (budget %.0f GB/s)\n",
+		stats.EnergyJoules, stats.PeakPowerW, res.Instance.Spec.PowerBudgetWatts,
+		stats.PeakBandwidthGBs, res.Instance.Spec.MemBandwidthGBs)
+	fmt.Printf("device utilization: gpu %.0f%%, dsa-HS %.0f%%, dsa-LUD %.0f%%\n",
+		100*stats.GroupUtilization["gpu"], 100*stats.GroupUtilization["dsa-HS"], 100*stats.GroupUtilization["dsa-LUD"])
+}

@@ -1,0 +1,3 @@
+module hilp
+
+go 1.22

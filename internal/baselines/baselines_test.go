@@ -1,0 +1,181 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+func TestMultiAmdahlHeadlineNumber(t *testing.T) {
+	// Paper §VI: MA reports a speedup of 18.2 for the (c1,g64,d0^0) SoC on
+	// the Default workload. Our reproduction should land close.
+	w := rodinia.DefaultWorkload()
+	res, err := MultiAmdahl(w, soc.Spec{CPUCores: 1, GPUSMs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 16 || res.Speedup > 21 {
+		t.Errorf("MA speedup = %.1f, paper reports 18.2", res.Speedup)
+	}
+	if res.WLP != 1 {
+		t.Errorf("MA WLP = %g, must be 1 by construction", res.WLP)
+	}
+}
+
+func TestMultiAmdahlSpeedupConstantInCPUCount(t *testing.T) {
+	// Paper Fig. 6: MA's speedup does not change with CPU count when the
+	// GPU configuration is fixed... except that more cores let the compute
+	// phase itself run wider. With a 64-SM GPU the GPU always wins the
+	// compute phase, so speedups stay flat.
+	w := rodinia.RodiniaWorkload()
+	var prev float64
+	for i, cores := range []int{1, 2, 4, 8} {
+		res, err := MultiAmdahl(w, soc.Spec{CPUCores: cores, GPUSMs: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && math.Abs(res.Speedup-prev) > 1e-9 {
+			t.Errorf("MA speedup changed from %g to %g with %d cores", prev, res.Speedup, cores)
+		}
+		prev = res.Speedup
+	}
+	// Paper Fig. 6a: MA reports 4.9 for Rodinia on the 64-SM SoC.
+	if prev < 4 || prev > 6 {
+		t.Errorf("MA Rodinia speedup = %.1f, paper reports 4.9", prev)
+	}
+}
+
+func TestMultiAmdahlOptimizedSpeedup(t *testing.T) {
+	// Paper Fig. 6b: MA's Optimized speedup (19.8 in the paper) is much
+	// higher than its Rodinia speedup (4.9) because the sequential phases
+	// shrink 20x. Under our §VI-calibrated model MA lands higher in absolute
+	// terms (see EXPERIMENTS.md); the shape - a large jump versus Rodinia,
+	// still far below Gables - is what we assert.
+	opt, err := MultiAmdahl(rodinia.OptimizedWorkload(), soc.Spec{CPUCores: 4, GPUSMs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rod, err := MultiAmdahl(rodinia.RodiniaWorkload(), soc.Spec{CPUCores: 4, GPUSMs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Speedup < 3*rod.Speedup {
+		t.Errorf("Optimized speedup %.1f not well above Rodinia %.1f", opt.Speedup, rod.Speedup)
+	}
+}
+
+func TestMultiAmdahlRespectsPowerBudget(t *testing.T) {
+	w := rodinia.DefaultWorkload()
+	// With a tight budget the big GPU operating points are excluded, so the
+	// makespan grows.
+	free, err := MultiAmdahl(w, soc.Spec{CPUCores: 1, GPUSMs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := MultiAmdahl(w, soc.Spec{CPUCores: 1, GPUSMs: 64, PowerBudgetWatts: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.MakespanSec < free.MakespanSec-1e-9 {
+		t.Errorf("power-capped MA faster (%g) than unconstrained (%g)", capped.MakespanSec, free.MakespanSec)
+	}
+	// Budget below a single CPU core: infeasible.
+	if _, err := MultiAmdahl(w, soc.Spec{CPUCores: 1, PowerBudgetWatts: 3}); err == nil {
+		t.Error("MA accepted an impossible power budget")
+	}
+}
+
+func TestMultiAmdahlChoicesCoverAllPhases(t *testing.T) {
+	w := rodinia.DefaultWorkload()
+	res, err := MultiAmdahl(w, soc.Spec{CPUCores: 4, GPUSMs: 16, DSAs: []soc.DSA{{PEs: 16, Target: "LUD"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Choices) != 30 {
+		t.Fatalf("%d choices, want 30 (3 per app)", len(res.Choices))
+	}
+	// LUD's compute must use its DSA: it is the fastest unit for it.
+	for _, c := range res.Choices {
+		if c.Task == "LUD.compute" && c.Label != "dsa-LUD" {
+			t.Errorf("LUD.compute ran on %s, want dsa-LUD", c.Label)
+		}
+	}
+	// Makespan is the sum of all choices.
+	sum := 0.0
+	for _, c := range res.Choices {
+		sum += c.Sec
+	}
+	if math.Abs(sum-res.MakespanSec) > 1e-9 {
+		t.Errorf("choices sum %g != makespan %g", sum, res.MakespanSec)
+	}
+}
+
+func TestGablesOptimisticVsHILP(t *testing.T) {
+	// Gables discards dependencies, so it can never be slower than HILP on
+	// the same SoC, and its WLP should not be lower.
+	w := rodinia.Workload{Name: "mini", Apps: rodinia.DefaultWorkload().Apps[:4]}
+	spec := soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
+	profile := core.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 20, MaxRefinements: 2}
+	cfg := scheduler.Config{Seed: 1, Effort: 0.4}
+
+	hilp, err := core.Solve(w, spec, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gab, err := Gables(w, spec, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gab.Speedup < hilp.Speedup*0.95 {
+		t.Errorf("Gables speedup %.1f below HILP %.1f; Gables must be optimistic", gab.Speedup, hilp.Speedup)
+	}
+	if gab.WLP+0.3 < hilp.WLP {
+		t.Errorf("Gables WLP %.2f well below HILP %.2f", gab.WLP, hilp.WLP)
+	}
+}
+
+func TestGablesIgnoresPowerBudget(t *testing.T) {
+	// Gables has no power constraint: a tiny budget must not change it.
+	w := rodinia.Workload{Name: "mini", Apps: rodinia.DefaultWorkload().Apps[:3]}
+	profile := core.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 20, MaxRefinements: 2}
+	cfg := scheduler.Config{Seed: 1, Effort: 0.3}
+	a, err := Gables(w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Gables(w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}, PowerBudgetWatts: 5}, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MakespanSec-b.MakespanSec) > 1e-9 {
+		t.Errorf("power budget changed Gables: %g vs %g", a.MakespanSec, b.MakespanSec)
+	}
+}
+
+func TestOrderingMAPessimisticGablesOptimistic(t *testing.T) {
+	// The paper's central claim, in miniature: MA <= HILP <= Gables.
+	w := rodinia.Workload{Name: "mini", Apps: rodinia.DefaultWorkload().Apps[:4]}
+	spec := soc.Spec{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
+	profile := core.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 20, MaxRefinements: 2}
+	cfg := scheduler.Config{Seed: 1, Effort: 0.4}
+
+	ma, err := MultiAmdahl(w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hilp, err := core.Solve(w, spec, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gab, err := Gables(w, spec, profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ma.Speedup <= hilp.Speedup*1.05 && hilp.Speedup <= gab.Speedup*1.05) {
+		t.Errorf("ordering violated: MA %.1f, HILP %.1f, Gables %.1f", ma.Speedup, hilp.Speedup, gab.Speedup)
+	}
+}

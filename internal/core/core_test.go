@@ -1,0 +1,368 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// smallWorkload returns a 3-application slice of the Default workload to
+// keep unit tests fast.
+func smallWorkload(t *testing.T) rodinia.Workload {
+	t.Helper()
+	w := rodinia.DefaultWorkload()
+	return rodinia.Workload{Name: "small", Apps: w.Apps[:3]}
+}
+
+// fastSpec limits DVFS points so instances stay small in unit tests.
+func fastSpec(cores, sms int, dsas ...soc.DSA) soc.Spec {
+	return soc.Spec{
+		CPUCores:          cores,
+		GPUSMs:            sms,
+		DSAs:              dsas,
+		GPUFrequenciesMHz: []float64{300, 765},
+	}
+}
+
+func TestStepsAt(t *testing.T) {
+	cases := []struct {
+		sec, step float64
+		want      int
+	}{
+		{0, 2, 0},
+		{-1, 2, 0},
+		{0.1, 2, 1},  // tiny positive times round up to one step
+		{2.0, 2, 1},  // exact multiples don't inflate
+		{2.01, 2, 2}, // anything over rounds up
+		{10, 2, 5},
+		{9.999999999, 2, 5}, // float fuzz doesn't inflate
+	}
+	for _, c := range cases {
+		if got := StepsAt(c.sec, c.step); got != c.want {
+			t.Errorf("StepsAt(%g, %g) = %d, want %d", c.sec, c.step, got, c.want)
+		}
+	}
+}
+
+func TestBuildInstanceStructure(t *testing.T) {
+	w := smallWorkload(t)
+	spec := fastSpec(2, 16, soc.DSA{PEs: 4, Target: w.Apps[0].Bench.Abbrev})
+	inst, err := BuildInstance(w, spec, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clusters: 2 CPU + 2 GPU DVFS + 1 DSA.
+	if len(inst.Clusters) != 5 {
+		t.Fatalf("%d clusters, want 5", len(inst.Clusters))
+	}
+	// GPU aliases share a group; everything else is its own group.
+	if inst.Clusters[2].Group != inst.Clusters[3].Group {
+		t.Error("GPU DVFS aliases must share a device group")
+	}
+	if inst.Clusters[0].Group == inst.Clusters[1].Group {
+		t.Error("CPU cores must be independent clusters")
+	}
+	// Tasks: 3 per application.
+	if len(inst.Problem.Tasks) != 9 {
+		t.Fatalf("%d tasks, want 9", len(inst.Problem.Tasks))
+	}
+	// The first app's compute phase has: 2 seq CPU + 1 parallel CPU + 2 GPU
+	// + 1 DSA options.
+	compute := inst.Problem.Tasks[1]
+	if !strings.HasSuffix(compute.Name, ".compute") {
+		t.Fatalf("task 1 = %s, want a compute phase", compute.Name)
+	}
+	if len(compute.Options) != 6 {
+		t.Errorf("compute options = %d, want 6", len(compute.Options))
+	}
+	// Setup runs only on CPUs.
+	setup := inst.Problem.Tasks[0]
+	if len(setup.Options) != 2 {
+		t.Errorf("setup options = %d, want 2 (one per CPU core)", len(setup.Options))
+	}
+	// Resources: power, bandwidth, cpu-cores (defaults constrain all).
+	if inst.PowerRes < 0 || inst.BWRes < 0 || inst.CPURes < 0 {
+		t.Errorf("resource indices = %d/%d/%d, want all active", inst.PowerRes, inst.BWRes, inst.CPURes)
+	}
+}
+
+func TestBuildInstanceUnconstrained(t *testing.T) {
+	w := smallWorkload(t)
+	spec := fastSpec(1, 16)
+	spec.PowerBudgetWatts = math.Inf(1)
+	spec.MemBandwidthGBs = math.Inf(1)
+	inst, err := BuildInstance(w, spec, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.PowerRes != -1 || inst.BWRes != -1 {
+		t.Errorf("infinite budgets must disable constraints, got power=%d bw=%d", inst.PowerRes, inst.BWRes)
+	}
+	if inst.CPURes < 0 {
+		t.Error("cpu-core resource must always exist")
+	}
+}
+
+func TestBuildInstanceErrors(t *testing.T) {
+	w := smallWorkload(t)
+	if _, err := BuildInstance(w, fastSpec(1, 0), 0, 100); err == nil {
+		t.Error("accepted zero step size")
+	}
+	if _, err := BuildInstance(rodinia.Workload{Name: "empty"}, fastSpec(1, 0), 1, 100); err == nil {
+		t.Error("accepted empty workload")
+	}
+	if _, err := BuildInstance(w, soc.Spec{CPUCores: 0}, 1, 100); err == nil {
+		t.Error("accepted invalid spec")
+	}
+}
+
+func TestInstancePowerDemandIncludesMemory(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(1, 16), 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a GPU option of a compute task; its power demand must exceed the
+	// bare GPU power by the HBM share.
+	for _, task := range inst.Problem.Tasks {
+		for _, o := range task.Options {
+			if inst.Clusters[o.Cluster].Kind != GPUCluster {
+				continue
+			}
+			bw := o.Demand[inst.BWRes]
+			gpuW := soc.GPUPowerWatts(16, inst.Clusters[o.Cluster].FreqMHz)
+			wantW := gpuW + soc.MemoryPowerWatts(bw)
+			if math.Abs(o.Demand[inst.PowerRes]-wantW) > 1e-9 {
+				t.Fatalf("%s on %s: power %g, want %g (gpu %g + mem)", task.Name, o.Label, o.Demand[inst.PowerRes], wantW, gpuW)
+			}
+			return
+		}
+	}
+	t.Fatal("no GPU option found")
+}
+
+func TestSequentialSteps(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(1, 0), 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, app := range w.Apps {
+		want += StepsAt(app.SetupSec(), 2) + StepsAt(soc.CPUTimeSec(app.Bench, 1), 2) + StepsAt(app.TeardownSec(), 2)
+	}
+	if got := inst.SequentialSteps(); got != want {
+		t.Errorf("SequentialSteps = %d, want %d", got, want)
+	}
+}
+
+func TestSolveAcceleratedBeatsCPUOnly(t *testing.T) {
+	w := smallWorkload(t)
+	cfg := scheduler.Config{Seed: 1, Effort: 0.3}
+	profile := Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 10, MaxRefinements: 2}
+
+	cpuOnly, err := Solve(w, fastSpec(1, 0), profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel, err := Solve(w, fastSpec(4, 64), profile, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accel.Speedup <= cpuOnly.Speedup {
+		t.Errorf("accelerated SoC speedup %g <= CPU-only %g", accel.Speedup, cpuOnly.Speedup)
+	}
+	if accel.WLP < 1 {
+		t.Errorf("WLP = %g, want >= 1", accel.WLP)
+	}
+	if err := accel.Sched.Schedule.Validate(accel.Instance.Problem); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAdaptiveRefinement(t *testing.T) {
+	// A fast SoC finishes the small workload in well under RefineWhileBelow
+	// steps at 10 s resolution, so the solver must refine.
+	w := smallWorkload(t)
+	res, err := Solve(w, fastSpec(4, 64), DSEProfile, scheduler.Config{Seed: 1, Effort: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refinements == 0 {
+		t.Error("expected at least one resolution refinement")
+	}
+	if res.StepSec >= DSEProfile.InitialStepSec {
+		t.Errorf("final step %g, want finer than %g", res.StepSec, DSEProfile.InitialStepSec)
+	}
+	if res.Sched.Schedule.Makespan > DSEProfile.Horizon {
+		t.Errorf("returned makespan %d exceeds the horizon", res.Sched.Schedule.Makespan)
+	}
+}
+
+func TestSolveSpeedupNearOneOnSingleCore(t *testing.T) {
+	w := smallWorkload(t)
+	res, err := Solve(w, fastSpec(1, 0), Profile{InitialStepSec: 2, Horizon: 1000, RefineWhileBelow: 50, MaxRefinements: 1}, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single CPU core cannot beat the sequential baseline (modulo
+	// discretization slack).
+	if res.Speedup > 1.05 {
+		t.Errorf("single-core speedup = %g, want ~1", res.Speedup)
+	}
+	if res.Speedup < 0.8 {
+		t.Errorf("single-core speedup = %g, suspiciously low", res.Speedup)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Gantt(res.Schedule, 80)
+	if !strings.Contains(g, "cpu0") || !strings.Contains(g, "gpu") {
+		t.Errorf("Gantt missing cluster rows:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	// Header + one row per device group (2 CPUs + 1 GPU device).
+	if len(lines) != 1+3 {
+		t.Errorf("Gantt has %d lines, want 4:\n%s", len(lines), g)
+	}
+	desc := inst.DescribeSchedule(res.Schedule)
+	for _, task := range inst.Problem.Tasks {
+		if !strings.Contains(desc, task.Name) {
+			t.Errorf("DescribeSchedule missing %s", task.Name)
+		}
+	}
+}
+
+func TestCustomModelFortJoin(t *testing.T) {
+	// A miniature fork-join graph: src -> {a, b} -> join.
+	m := CustomModel{
+		Name: "forkjoin",
+		Clusters: []CustomCluster{
+			{Name: "cpu0"}, {Name: "gpu0"},
+		},
+		Tasks: []CustomTask{
+			{Name: "src", App: 0, Options: []CustomOption{{Cluster: "cpu0", Sec: 1}}},
+			{Name: "a", App: 0, Deps: []CustomDep{{Task: "src"}}, Options: []CustomOption{{Cluster: "cpu0", Sec: 2}, {Cluster: "gpu0", Sec: 1}}},
+			{Name: "b", App: 0, Deps: []CustomDep{{Task: "src"}}, Options: []CustomOption{{Cluster: "cpu0", Sec: 2}, {Cluster: "gpu0", Sec: 1}}},
+			{Name: "join", App: 0, Deps: []CustomDep{{Task: "a"}, {Task: "b"}}, Options: []CustomOption{{Cluster: "cpu0", Sec: 1}}},
+		},
+	}
+	inst, err := m.Build(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src(1) + max(a, b overlapped: gpu 1 and cpu 2) + join(1) = 4.
+	if res.Schedule.Makespan != 4 {
+		t.Errorf("makespan = %d, want 4", res.Schedule.Makespan)
+	}
+}
+
+func TestCustomModelValidation(t *testing.T) {
+	base := CustomModel{
+		Name:     "m",
+		Clusters: []CustomCluster{{Name: "c"}},
+		Tasks:    []CustomTask{{Name: "t", Options: []CustomOption{{Cluster: "c", Sec: 1}}}},
+	}
+	if _, err := base.Build(1, 10); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+
+	m := base
+	m.Tasks = []CustomTask{{Name: "t", Options: []CustomOption{{Cluster: "nope", Sec: 1}}}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted unknown cluster reference")
+	}
+
+	m = base
+	m.Tasks = []CustomTask{{Name: "t", Deps: []CustomDep{{Task: "ghost"}}, Options: []CustomOption{{Cluster: "c", Sec: 1}}}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted unknown dependency")
+	}
+
+	m = base
+	m.Clusters = []CustomCluster{{Name: "c"}, {Name: "c"}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted duplicate cluster names")
+	}
+
+	m = base
+	m.Tasks = append([]CustomTask{}, base.Tasks[0], base.Tasks[0])
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted duplicate task names")
+	}
+}
+
+func TestCustomModelGroupAliases(t *testing.T) {
+	m := CustomModel{
+		Name: "alias",
+		Clusters: []CustomCluster{
+			{Name: "gpu-fast", Group: "gpu"},
+			{Name: "gpu-slow", Group: "gpu"},
+			{Name: "cpu0"},
+		},
+		Tasks: []CustomTask{
+			{Name: "x", Options: []CustomOption{{Cluster: "gpu-fast", Sec: 1}}},
+			{Name: "y", Options: []CustomOption{{Cluster: "gpu-slow", Sec: 1}}},
+		},
+	}
+	inst, err := m.Build(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x and y target aliases of the same device: they must serialize.
+	if res.Schedule.Makespan != 2 {
+		t.Errorf("makespan = %d, want 2 (aliases serialize)", res.Schedule.Makespan)
+	}
+}
+
+func TestSolveCoarsensWhenHorizonOvershoots(t *testing.T) {
+	// An absurdly fine initial resolution makes the first solve exceed the
+	// horizon; the adaptive loop must coarsen instead of failing.
+	w := smallWorkload(t)
+	profile := Profile{InitialStepSec: 0.05, Horizon: 100, RefineWhileBelow: 0, MaxRefinements: 4}
+	res, err := Solve(w, fastSpec(4, 64), profile, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepSec <= 0.05 {
+		t.Errorf("final step %g, want coarser than the initial 0.05", res.StepSec)
+	}
+	if res.Sched.Schedule.Makespan > profile.Horizon {
+		t.Errorf("returned makespan %d exceeds horizon %d", res.Sched.Schedule.Makespan, profile.Horizon)
+	}
+}
+
+func TestSolveRefineThenOvershootKeepsLastGood(t *testing.T) {
+	// Force a refinement that overshoots the horizon: the loop must return
+	// the last in-horizon result rather than the overshooting one.
+	w := smallWorkload(t)
+	profile := Profile{InitialStepSec: 10, Horizon: 60, RefineWhileBelow: 60, MaxRefinements: 4}
+	res, err := Solve(w, fastSpec(4, 64), profile, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sched.Schedule.Makespan > profile.Horizon {
+		t.Errorf("returned makespan %d exceeds horizon %d", res.Sched.Schedule.Makespan, profile.Horizon)
+	}
+}

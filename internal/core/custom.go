@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hilp/internal/scheduler"
+)
+
+// CustomModel describes an arbitrary workload and SoC directly, without
+// going through the Rodinia/SoC-template machinery. It exists for the
+// paper's extensibility case study (§VII: streaming dataflow with fork-join
+// dependency graphs) and for the JSON interface of cmd/hilp. Dependencies
+// may form any DAG (Eq. 9) and may carry initiation-interval lags.
+type CustomModel struct {
+	Name string
+	// Clusters define the compute units; clusters sharing a Group name are
+	// mutually exclusive DVFS-style aliases of one physical device.
+	Clusters []CustomCluster
+	// Tasks are the application phases.
+	Tasks []CustomTask
+	// PowerBudgetW caps total power; 0 or +Inf disables the constraint.
+	PowerBudgetW float64
+	// BandwidthGBs caps memory bandwidth; 0 or +Inf disables the constraint.
+	BandwidthGBs float64
+	// Extra adds further cumulative resources (the paper's §VII "other
+	// extensions": e.g. one bandwidth constraint per cache level). Options
+	// declare their consumption via CustomOption.ExtraDemand, keyed by
+	// resource name; missing keys mean zero demand.
+	Extra []CustomResource
+}
+
+// CustomResource is an additional cumulative resource constraint.
+type CustomResource struct {
+	Name     string
+	Capacity float64
+}
+
+// CustomCluster is one compute unit (or one operating point of one).
+type CustomCluster struct {
+	Name  string
+	Group string // defaults to Name: its own device
+}
+
+// CustomTask is one schedulable phase.
+type CustomTask struct {
+	Name    string
+	App     int // application the phase belongs to (for WLP accounting)
+	Phase   int
+	Deps    []CustomDep
+	Options []CustomOption
+}
+
+// CustomDep references a predecessor task by name.
+type CustomDep struct {
+	Task   string
+	Kind   scheduler.DepKind
+	LagSec float64
+}
+
+// CustomOption is one placement choice: the execution time and resource
+// demands of the phase on a named cluster.
+type CustomOption struct {
+	Cluster      string
+	Sec          float64
+	PowerW       float64
+	BandwidthGBs float64
+	// ExtraDemand declares consumption of the model's Extra resources by
+	// name; absent names mean zero.
+	ExtraDemand map[string]float64
+	Label       string
+}
+
+// Build compiles the model into a solvable instance at the given resolution.
+func (m CustomModel) Build(stepSec float64, horizon int) (*Instance, error) {
+	if stepSec <= 0 {
+		return nil, fmt.Errorf("core: step size %g, want > 0", stepSec)
+	}
+	if len(m.Clusters) == 0 {
+		return nil, fmt.Errorf("core: model %q has no clusters", m.Name)
+	}
+	if len(m.Tasks) == 0 {
+		return nil, fmt.Errorf("core: model %q has no tasks", m.Name)
+	}
+
+	in := &Instance{StepSec: stepSec, PowerRes: -1, BWRes: -1, CPURes: -1}
+
+	clusterIdx := map[string]int{}
+	groupIdx := map[string]int{}
+	groups := make([]int, 0, len(m.Clusters))
+	for _, c := range m.Clusters {
+		if c.Name == "" {
+			return nil, fmt.Errorf("core: model %q has an unnamed cluster", m.Name)
+		}
+		if _, dup := clusterIdx[c.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate cluster name %q", c.Name)
+		}
+		g := c.Group
+		if g == "" {
+			g = c.Name
+		}
+		if _, ok := groupIdx[g]; !ok {
+			groupIdx[g] = len(groupIdx)
+		}
+		clusterIdx[c.Name] = len(in.Clusters)
+		groups = append(groups, groupIdx[g])
+		in.Clusters = append(in.Clusters, ClusterInfo{Name: c.Name, Kind: kindFromName(c.Name), Group: groupIdx[g]})
+	}
+
+	var resources []scheduler.Resource
+	if m.PowerBudgetW > 0 && !math.IsInf(m.PowerBudgetW, 1) {
+		in.PowerRes = len(resources)
+		resources = append(resources, scheduler.Resource{Name: "power", Capacity: m.PowerBudgetW})
+	}
+	if m.BandwidthGBs > 0 && !math.IsInf(m.BandwidthGBs, 1) {
+		in.BWRes = len(resources)
+		resources = append(resources, scheduler.Resource{Name: "bandwidth", Capacity: m.BandwidthGBs})
+	}
+	extraIdx := map[string]int{}
+	for _, r := range m.Extra {
+		if r.Name == "" {
+			return nil, fmt.Errorf("core: model %q has an unnamed extra resource", m.Name)
+		}
+		if r.Name == "power" || r.Name == "bandwidth" {
+			return nil, fmt.Errorf("core: extra resource %q collides with a built-in resource", r.Name)
+		}
+		if _, dup := extraIdx[r.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate extra resource %q", r.Name)
+		}
+		extraIdx[r.Name] = len(resources)
+		resources = append(resources, scheduler.Resource{Name: r.Name, Capacity: r.Capacity})
+	}
+
+	taskIdx := map[string]int{}
+	for i, t := range m.Tasks {
+		if t.Name == "" {
+			return nil, fmt.Errorf("core: model %q task %d has no name", m.Name, i)
+		}
+		if _, dup := taskIdx[t.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate task name %q", t.Name)
+		}
+		taskIdx[t.Name] = i
+	}
+
+	tasks := make([]scheduler.Task, len(m.Tasks))
+	for i, t := range m.Tasks {
+		st := scheduler.Task{Name: t.Name, App: t.App, Phase: t.Phase}
+		for _, d := range t.Deps {
+			pred, ok := taskIdx[d.Task]
+			if !ok {
+				return nil, fmt.Errorf("core: task %q depends on unknown task %q", t.Name, d.Task)
+			}
+			st.Deps = append(st.Deps, scheduler.Dep{Task: pred, Kind: d.Kind, Lag: StepsAt(d.LagSec, stepSec)})
+		}
+		if len(t.Options) == 0 {
+			return nil, fmt.Errorf("core: task %q has no options", t.Name)
+		}
+		for _, o := range t.Options {
+			ci, ok := clusterIdx[o.Cluster]
+			if !ok {
+				return nil, fmt.Errorf("core: task %q references unknown cluster %q", t.Name, o.Cluster)
+			}
+			d := make([]float64, len(resources))
+			if in.PowerRes >= 0 {
+				d[in.PowerRes] = o.PowerW
+			}
+			if in.BWRes >= 0 {
+				d[in.BWRes] = o.BandwidthGBs
+			}
+			for name, v := range o.ExtraDemand {
+				ri, ok := extraIdx[name]
+				if !ok {
+					return nil, fmt.Errorf("core: task %q demands unknown resource %q", t.Name, name)
+				}
+				d[ri] = v
+			}
+			label := o.Label
+			if label == "" {
+				label = o.Cluster
+			}
+			st.Options = append(st.Options, scheduler.Option{
+				Cluster:  ci,
+				Duration: StepsAt(o.Sec, stepSec),
+				Demand:   d,
+				Label:    label,
+			})
+		}
+		tasks[i] = st
+	}
+
+	in.Problem = &scheduler.Problem{
+		Tasks:        tasks,
+		NumClusters:  len(in.Clusters),
+		ClusterGroup: groups,
+		Resources:    resources,
+		Horizon:      horizon,
+	}
+	if err := in.Problem.Validate(); err != nil {
+		return nil, fmt.Errorf("core: model %q: %w", m.Name, err)
+	}
+	return in, nil
+}
+
+// kindFromName guesses a display kind from conventional cluster names.
+func kindFromName(name string) ClusterKind {
+	switch {
+	case len(name) >= 3 && name[:3] == "gpu":
+		return GPUCluster
+	case len(name) >= 3 && name[:3] == "dsa":
+		return DSACluster
+	default:
+		return CPUCluster
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzStepsAt checks the discretization invariants for arbitrary inputs:
+// conversion never loses time (steps x stepSec >= sec), never inflates by
+// more than one step, and any positive time yields at least one step (the
+// paper requires all phase times to be an integer number of steps).
+func FuzzStepsAt(f *testing.F) {
+	f.Add(10.0, 2.0)
+	f.Add(0.0001, 2.0)
+	f.Add(95.3, 0.4)
+	f.Add(0.0, 1.0)
+	f.Add(1e9, 10.0)
+	f.Fuzz(func(t *testing.T, sec, step float64) {
+		if !(step > 1e-9) || math.IsInf(step, 1) || math.IsNaN(sec) || math.IsInf(sec, 0) {
+			t.Skip()
+		}
+		if math.Abs(sec) > 1e12 || step > 1e12 {
+			t.Skip()
+		}
+		n := StepsAt(sec, step)
+		if sec <= 0 {
+			if n != 0 {
+				t.Fatalf("StepsAt(%g, %g) = %d, want 0 for non-positive time", sec, step, n)
+			}
+			return
+		}
+		if n < 1 {
+			t.Fatalf("StepsAt(%g, %g) = %d, want >= 1 for positive time", sec, step, n)
+		}
+		if got := float64(n) * step; got < sec-1e-6*sec-1e-9 {
+			t.Fatalf("StepsAt(%g, %g) = %d loses time: %g < %g", sec, step, n, got, sec)
+		}
+		if n > 1 {
+			// n-1 steps must NOT cover sec (no gratuitous inflation),
+			// modulo the float fuzz tolerance used by the implementation.
+			if got := float64(n-1) * step; got >= sec+1e-6*sec+1e-9 {
+				t.Fatalf("StepsAt(%g, %g) = %d inflated: %d-1 steps already cover it", sec, step, n, n)
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hilp/internal/scheduler"
+)
+
+// Gantt renders an ASCII Gantt chart of the schedule, one row per cluster
+// (GPU DVFS aliases collapse onto one device row), the way the paper plots
+// its schedules in Figures 2, 3, and 10. The chart is scaled to at most
+// width columns; width <= 0 selects 100.
+func (in *Instance) Gantt(s scheduler.Schedule, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	makespan := 0
+	for i := range in.Problem.Tasks {
+		if f := s.Finish(in.Problem, i); f > makespan {
+			makespan = f
+		}
+	}
+	if makespan == 0 {
+		return "(empty schedule)\n"
+	}
+	stepsPerCol := (makespan + width - 1) / width
+	cols := (makespan + stepsPerCol - 1) / stepsPerCol
+
+	// One row per device group, labeled by the first cluster of the group.
+	numGroups := in.Problem.NumGroups()
+	rowName := make([]string, numGroups)
+	for _, c := range in.Clusters {
+		if rowName[c.Group] == "" {
+			name := c.Name
+			if c.Kind == GPUCluster {
+				name = "gpu"
+			}
+			rowName[c.Group] = name
+		}
+	}
+	nameWidth := 0
+	for _, n := range rowName {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+
+	rows := make([][]byte, numGroups)
+	for g := range rows {
+		rows[g] = []byte(strings.Repeat(".", cols))
+	}
+	for i := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[i]
+		o := t.Options[s.Option[i]]
+		if o.Duration == 0 {
+			continue
+		}
+		g := in.Problem.ClusterGroup[o.Cluster]
+		c0 := s.Start[i] / stepsPerCol
+		c1 := (s.Start[i] + o.Duration - 1) / stepsPerCol
+		label := t.Name
+		for c := c0; c <= c1 && c < cols; c++ {
+			k := c - c0
+			if k < len(label) {
+				rows[g][c] = label[k]
+			} else {
+				rows[g][c] = '='
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  t=0%s%d steps (%.4g s/step)\n", nameWidth, "", strings.Repeat(" ", max(1, cols-len(fmt.Sprint(makespan))-3)), makespan, in.StepSec)
+	for g := 0; g < numGroups; g++ {
+		fmt.Fprintf(&b, "%-*s  %s\n", nameWidth, rowName[g], rows[g])
+	}
+	return b.String()
+}
+
+// GanttByApp renders the schedule with one row per application, labeling
+// segments by the cluster each phase ran on - the per-application view the
+// paper uses in Figure 2. Width semantics match Gantt.
+func (in *Instance) GanttByApp(s scheduler.Schedule, width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	makespan := 0
+	numApps := 0
+	for i := range in.Problem.Tasks {
+		if f := s.Finish(in.Problem, i); f > makespan {
+			makespan = f
+		}
+		if a := in.Problem.Tasks[i].App; a+1 > numApps {
+			numApps = a + 1
+		}
+	}
+	if makespan == 0 || numApps == 0 {
+		return "(empty schedule)\n"
+	}
+	stepsPerCol := (makespan + width - 1) / width
+	cols := (makespan + stepsPerCol - 1) / stepsPerCol
+
+	rowName := make([]string, numApps)
+	for i := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[i]
+		if rowName[t.App] == "" {
+			name := t.Name
+			if dot := strings.IndexByte(name, '.'); dot > 0 {
+				name = name[:dot]
+			}
+			rowName[t.App] = name
+		}
+	}
+	nameWidth := 3
+	for _, n := range rowName {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+
+	rows := make([][]byte, numApps)
+	for a := range rows {
+		rows[a] = []byte(strings.Repeat(".", cols))
+	}
+	for i := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[i]
+		o := t.Options[s.Option[i]]
+		if o.Duration == 0 {
+			continue
+		}
+		label := o.Label
+		if label == "" {
+			label = in.Clusters[o.Cluster].Name
+		}
+		c0 := s.Start[i] / stepsPerCol
+		c1 := (s.Start[i] + o.Duration - 1) / stepsPerCol
+		for c := c0; c <= c1 && c < cols; c++ {
+			k := c - c0
+			if k < len(label) {
+				rows[t.App][c] = label[k]
+			} else {
+				rows[t.App][c] = '='
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  t=0 .. %d steps (%.4g s/step)\n", nameWidth, "", makespan, in.StepSec)
+	for a := 0; a < numApps; a++ {
+		fmt.Fprintf(&b, "%-*s  %s\n", nameWidth, rowName[a], rows[a])
+	}
+	return b.String()
+}
+
+// WLPHistogram renders the distribution of per-step WLP values as a small
+// text histogram, quantifying how much workload-level parallelism the
+// schedule actually exploits.
+func (in *Instance) WLPHistogram(s scheduler.Schedule) string {
+	profile := s.WLPProfile(in.Problem)
+	if len(profile) == 0 {
+		return "(empty schedule)\n"
+	}
+	peak := 0
+	for _, a := range profile {
+		if a > peak {
+			peak = a
+		}
+	}
+	counts := make([]int, peak+1)
+	for _, a := range profile {
+		counts[a]++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "WLP distribution over %d steps (avg %.2f):\n", len(profile), s.WLP(in.Problem))
+	for wlp := 0; wlp <= peak; wlp++ {
+		if counts[wlp] == 0 {
+			continue
+		}
+		frac := float64(counts[wlp]) / float64(len(profile))
+		bar := strings.Repeat("#", int(frac*40+0.5))
+		fmt.Fprintf(&b, "  %2d: %5.1f%% %s\n", wlp, 100*frac, bar)
+	}
+	return b.String()
+}
+
+// DescribeSchedule lists every task's placement in start order, with
+// human-readable times.
+func (in *Instance) DescribeSchedule(s scheduler.Schedule) string {
+	type row struct {
+		start int
+		text  string
+	}
+	rows := make([]row, 0, len(in.Problem.Tasks))
+	for i := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[i]
+		o := t.Options[s.Option[i]]
+		rows = append(rows, row{
+			start: s.Start[i],
+			text: fmt.Sprintf("%-14s %-12s start %7.4gs  dur %7.4gs",
+				t.Name, o.Label, float64(s.Start[i])*in.StepSec, float64(o.Duration)*in.StepSec),
+		})
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].start < rows[j-1].start; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

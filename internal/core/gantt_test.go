@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hilp/internal/scheduler"
+)
+
+func ganttModel(t *testing.T, secs ...float64) (*Instance, scheduler.Schedule) {
+	t.Helper()
+	m := CustomModel{
+		Name:     "g",
+		Clusters: []CustomCluster{{Name: "cpu0"}, {Name: "acc0"}},
+	}
+	prev := ""
+	for i, sec := range secs {
+		task := CustomTask{
+			Name:    string(rune('a' + i)),
+			App:     i,
+			Options: []CustomOption{{Cluster: "cpu0", Sec: sec}},
+		}
+		if prev != "" {
+			task.Deps = []CustomDep{{Task: prev}}
+		}
+		prev = task.Name
+		m.Tasks = append(m.Tasks, task)
+	}
+	inst, err := m.Build(1, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, res.Schedule
+}
+
+func TestGanttScalesToWidth(t *testing.T) {
+	// A 1000-step schedule rendered at width 50 must not exceed ~60 columns
+	// per row (name + scaled bar).
+	inst, sched := ganttModel(t, 400, 300, 300)
+	out := inst.Gantt(sched, 50)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if len(line) > 75 {
+			t.Errorf("line too long (%d chars): %q", len(line), line)
+		}
+	}
+	if !strings.Contains(out, "1000 steps") {
+		t.Errorf("header missing makespan:\n%s", out)
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	inst, sched := ganttModel(t, 3, 2)
+	out := inst.Gantt(sched, 0) // 0 selects the default
+	if !strings.Contains(out, "cpu0") {
+		t.Error("missing row")
+	}
+}
+
+func TestGanttEmptySchedule(t *testing.T) {
+	m := CustomModel{
+		Name:     "empty-ish",
+		Clusters: []CustomCluster{{Name: "c"}},
+		Tasks:    []CustomTask{{Name: "zero", Options: []CustomOption{{Cluster: "c", Sec: 0}}}},
+	}
+	inst, err := m.Build(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := scheduler.Schedule{Start: []int{0}, Option: []int{0}}
+	sched.ComputeMakespan(inst.Problem)
+	out := inst.Gantt(sched, 40)
+	if !strings.Contains(out, "empty") {
+		t.Errorf("zero-makespan schedule should render as empty, got:\n%s", out)
+	}
+}
+
+func TestGanttIdleColumnsAreDots(t *testing.T) {
+	// One task on cpu0 only: the acc0 row must be entirely idle.
+	inst, sched := ganttModel(t, 5)
+	out := inst.Gantt(sched, 40)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "acc0") {
+			bar := strings.TrimSpace(strings.TrimPrefix(line, "acc0"))
+			if strings.Trim(bar, ".") != "" {
+				t.Errorf("acc0 row not idle: %q", line)
+			}
+		}
+	}
+}
+
+func TestGanttByApp(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := inst.GanttByApp(res.Schedule, 80)
+	// One row per application, labeled by the benchmark abbreviation.
+	for _, app := range w.Apps {
+		if !strings.Contains(out, app.Bench.Abbrev) {
+			t.Errorf("GanttByApp missing app row %s:\n%s", app.Bench.Abbrev, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+len(w.Apps) {
+		t.Errorf("%d lines, want header + %d app rows", len(lines), len(w.Apps))
+	}
+}
+
+func TestWLPHistogram(t *testing.T) {
+	inst, sched := ganttModel(t, 3, 2)
+	out := inst.WLPHistogram(sched)
+	if !strings.Contains(out, "WLP distribution") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// Sequential chain on one CPU: 100% of steps at WLP 1.
+	if !strings.Contains(out, " 1: 100.0%") {
+		t.Errorf("sequential schedule should be all WLP 1:\n%s", out)
+	}
+}
+
+func TestPeakWLP(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(4, 64), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := res.Schedule.PeakWLP(inst.Problem)
+	avg := res.Schedule.WLP(inst.Problem)
+	if float64(peak) < avg {
+		t.Errorf("peak WLP %d below average %g", peak, avg)
+	}
+	if peak > len(w.Apps) {
+		t.Errorf("peak WLP %d exceeds the number of applications %d", peak, len(w.Apps))
+	}
+}

@@ -1,0 +1,276 @@
+// Package core implements HILP itself: it turns a workload and an SoC
+// specification into the scheduling instance of the paper's §III (the
+// T/B/P/E/U matrices realized as tasks, options, clusters, and cumulative
+// resources), solves it to near-optimality with adaptive time-step
+// resolution (§III-D), and reports makespan, speedup, WLP, and the schedule.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// ClusterKind tells what hardware a cluster models.
+type ClusterKind int
+
+// Cluster kinds.
+const (
+	CPUCluster ClusterKind = iota
+	GPUCluster
+	DSACluster
+)
+
+// String names the kind.
+func (k ClusterKind) String() string {
+	switch k {
+	case CPUCluster:
+		return "cpu"
+	case GPUCluster:
+		return "gpu"
+	case DSACluster:
+		return "dsa"
+	}
+	return fmt.Sprintf("ClusterKind(%d)", int(k))
+}
+
+// ClusterInfo describes one scheduler cluster of a built instance.
+type ClusterInfo struct {
+	Name      string
+	Kind      ClusterKind
+	Group     int     // device group (GPU DVFS aliases share one)
+	FreqMHz   float64 // GPU operating point, 0 otherwise
+	DSATarget string  // benchmark the DSA accelerates, "" otherwise
+}
+
+// Instance is a ready-to-solve scheduling instance plus the metadata needed
+// to interpret and render its schedules.
+type Instance struct {
+	Problem  *scheduler.Problem
+	Clusters []ClusterInfo
+	StepSec  float64
+	Workload rodinia.Workload
+	Spec     soc.Spec
+
+	// Resource indices into Problem.Resources; -1 when the constraint is
+	// not active.
+	PowerRes, BWRes, CPURes int
+}
+
+// Steps converts seconds to integer time steps at the instance resolution
+// (ceiling, minimum one step for any positive time - the paper requires all
+// phase times to be an integer number of steps).
+func (in *Instance) Steps(sec float64) int { return StepsAt(sec, in.StepSec) }
+
+// StepsAt converts seconds to steps at an explicit resolution.
+func StepsAt(sec, stepSec float64) int {
+	if sec <= 0 {
+		return 0
+	}
+	s := int(math.Ceil(sec/stepSec - 1e-9))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// BuildOptions tweaks instance construction for ablation studies.
+type BuildOptions struct {
+	// DisableParallelCPU removes the option of running a compute phase
+	// across all CPU cores (the paper's Eq. 8 machinery), leaving only
+	// sequential single-core execution.
+	DisableParallelCPU bool
+}
+
+// BuildInstance expands (workload, SoC) into a scheduling instance at the
+// given time-step resolution. Each application contributes setup, compute,
+// and teardown tasks in a dependency chain (Eq. 2). Setup and teardown run
+// on any single CPU core; compute runs on a CPU core (sequential), across
+// all CPU cores (parallel, consuming u_max cores - Eq. 8), on any GPU DVFS
+// operating point, or on the application's DSA if the SoC has one.
+func BuildInstance(w rodinia.Workload, spec soc.Spec, stepSec float64, horizon int) (*Instance, error) {
+	return BuildInstanceOpts(w, spec, stepSec, horizon, BuildOptions{})
+}
+
+// BuildInstanceOpts is BuildInstance with construction tweaks.
+func BuildInstanceOpts(w rodinia.Workload, spec soc.Spec, stepSec float64, horizon int, bopts BuildOptions) (*Instance, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if stepSec <= 0 {
+		return nil, fmt.Errorf("core: step size %g, want > 0", stepSec)
+	}
+	if len(w.Apps) == 0 {
+		return nil, fmt.Errorf("core: workload %q has no applications", w.Name)
+	}
+	inWorkload := map[string]bool{}
+	for _, app := range w.Apps {
+		inWorkload[app.Bench.Abbrev] = true
+	}
+	for _, d := range spec.DSAs {
+		if !inWorkload[d.Target] {
+			return nil, fmt.Errorf("core: DSA targets %q, which is not in workload %q", d.Target, w.Name)
+		}
+	}
+
+	in := &Instance{StepSec: stepSec, Workload: w, Spec: spec, PowerRes: -1, BWRes: -1, CPURes: -1}
+
+	// Clusters: one per CPU core, one per GPU DVFS point (shared group), one
+	// per DSA.
+	group := 0
+	for c := 0; c < spec.CPUCores; c++ {
+		in.Clusters = append(in.Clusters, ClusterInfo{Name: fmt.Sprintf("cpu%d", c), Kind: CPUCluster, Group: group})
+		group++
+	}
+	gpuFirst := -1
+	if spec.GPUSMs > 0 {
+		gpuFirst = len(in.Clusters)
+		for _, f := range spec.GPUFrequenciesMHz {
+			in.Clusters = append(in.Clusters, ClusterInfo{Name: fmt.Sprintf("gpu@%gMHz", f), Kind: GPUCluster, Group: group, FreqMHz: f})
+		}
+		group++
+	}
+	dsaCluster := map[string]int{}
+	for _, d := range spec.DSAs {
+		dsaCluster[d.Target] = len(in.Clusters)
+		in.Clusters = append(in.Clusters, ClusterInfo{Name: fmt.Sprintf("dsa-%s", d.Target), Kind: DSACluster, Group: group, DSATarget: d.Target})
+		group++
+	}
+
+	// Resources.
+	var resources []scheduler.Resource
+	if spec.PowerBudgetWatts > 0 && !math.IsInf(spec.PowerBudgetWatts, 1) {
+		in.PowerRes = len(resources)
+		resources = append(resources, scheduler.Resource{Name: "power", Capacity: spec.PowerBudgetWatts})
+	}
+	if spec.MemBandwidthGBs > 0 && !math.IsInf(spec.MemBandwidthGBs, 1) {
+		in.BWRes = len(resources)
+		resources = append(resources, scheduler.Resource{Name: "bandwidth", Capacity: spec.MemBandwidthGBs})
+	}
+	in.CPURes = len(resources)
+	resources = append(resources, scheduler.Resource{Name: "cpu-cores", Capacity: float64(spec.CPUCores)})
+
+	demand := func(powerW, bwGBs, cores float64) []float64 {
+		d := make([]float64, len(resources))
+		if in.PowerRes >= 0 {
+			d[in.PowerRes] = powerW + soc.MemoryPowerWatts(bwGBs)
+		}
+		if in.BWRes >= 0 {
+			d[in.BWRes] = bwGBs
+		}
+		d[in.CPURes] = cores
+		return d
+	}
+
+	var tasks []scheduler.Task
+	for appIdx, app := range w.Apps {
+		b := app.Bench
+		// Setup: any single CPU core.
+		setup := scheduler.Task{Name: b.Abbrev + ".setup", App: appIdx, Phase: 0}
+		setupSteps := in.Steps(app.SetupSec())
+		for c := 0; c < spec.CPUCores; c++ {
+			setup.Options = append(setup.Options, scheduler.Option{
+				Cluster: c, Duration: setupSteps,
+				Demand: demand(soc.CPUCoreWatts, 0, 1),
+				Label:  fmt.Sprintf("cpu%d", c),
+			})
+		}
+		setupID := len(tasks)
+		tasks = append(tasks, setup)
+
+		// Compute: sequential CPU on any core, parallel CPU across all
+		// cores, GPU at any operating point, or the dedicated DSA.
+		compute := scheduler.Task{
+			Name: b.Abbrev + ".compute", App: appIdx, Phase: 1,
+			Deps: []scheduler.Dep{{Task: setupID}},
+		}
+		seqSteps := in.Steps(soc.CPUTimeSec(b, 1))
+		seqBW := soc.CPUBandwidthGBs(b, 1)
+		for c := 0; c < spec.CPUCores; c++ {
+			compute.Options = append(compute.Options, scheduler.Option{
+				Cluster: c, Duration: seqSteps,
+				Demand: demand(soc.CPUCoreWatts, seqBW, 1),
+				Label:  fmt.Sprintf("cpu%d", c),
+			})
+		}
+		if spec.CPUCores > 1 && !bopts.DisableParallelCPU {
+			parSteps := in.Steps(soc.CPUTimeSec(b, spec.CPUCores))
+			parBW := soc.CPUBandwidthGBs(b, spec.CPUCores)
+			compute.Options = append(compute.Options, scheduler.Option{
+				Cluster: 0, Duration: parSteps,
+				Demand: demand(soc.CPUCoreWatts*float64(spec.CPUCores), parBW, float64(spec.CPUCores)),
+				Label:  fmt.Sprintf("cpu-x%d", spec.CPUCores),
+			})
+		}
+		if gpuFirst >= 0 {
+			for fi, f := range spec.GPUFrequenciesMHz {
+				gpuSteps := in.Steps(soc.GPUTimeSec(b, spec.GPUSMs, f))
+				bw := soc.GPUBandwidthGBs(b, spec.GPUSMs, f)
+				compute.Options = append(compute.Options, scheduler.Option{
+					Cluster: gpuFirst + fi, Duration: gpuSteps,
+					Demand: demand(soc.GPUPowerWatts(spec.GPUSMs, f), bw, 0),
+					Label:  fmt.Sprintf("gpu@%gMHz", f),
+				})
+			}
+		}
+		if d, ok := spec.DSAFor(b.Abbrev); ok {
+			dsaSteps := in.Steps(soc.DSATimeSec(b, d.PEs, spec.DSAAdvantage))
+			bw := soc.DSABandwidthGBs(b, d.PEs, spec.DSAAdvantage)
+			compute.Options = append(compute.Options, scheduler.Option{
+				Cluster: dsaCluster[b.Abbrev], Duration: dsaSteps,
+				Demand: demand(soc.DSAPowerWatts(d.PEs, spec.DSAAdvantage), bw, 0),
+				Label:  fmt.Sprintf("dsa-%s", b.Abbrev),
+			})
+		}
+		computeID := len(tasks)
+		tasks = append(tasks, compute)
+
+		// Teardown: any single CPU core.
+		teardown := scheduler.Task{
+			Name: b.Abbrev + ".teardown", App: appIdx, Phase: 2,
+			Deps: []scheduler.Dep{{Task: computeID}},
+		}
+		tdSteps := in.Steps(app.TeardownSec())
+		for c := 0; c < spec.CPUCores; c++ {
+			teardown.Options = append(teardown.Options, scheduler.Option{
+				Cluster: c, Duration: tdSteps,
+				Demand: demand(soc.CPUCoreWatts, 0, 1),
+				Label:  fmt.Sprintf("cpu%d", c),
+			})
+		}
+		tasks = append(tasks, teardown)
+	}
+
+	groups := make([]int, len(in.Clusters))
+	for i, c := range in.Clusters {
+		groups[i] = c.Group
+	}
+	in.Problem = &scheduler.Problem{
+		Tasks:        tasks,
+		NumClusters:  len(in.Clusters),
+		ClusterGroup: groups,
+		Resources:    resources,
+		Horizon:      horizon,
+	}
+	if err := in.Problem.Validate(); err != nil {
+		return nil, fmt.Errorf("core: built an invalid instance: %w", err)
+	}
+	return in, nil
+}
+
+// SequentialSteps returns the makespan, in steps, of the naive fully
+// sequential single-CPU-core schedule at the instance's resolution. It is
+// the discretized version of the paper's speedup baseline.
+func (in *Instance) SequentialSteps() int {
+	total := 0
+	for _, app := range in.Workload.Apps {
+		total += in.Steps(app.SetupSec())
+		total += in.Steps(soc.CPUTimeSec(app.Bench, 1))
+		total += in.Steps(app.TeardownSec())
+	}
+	return total
+}

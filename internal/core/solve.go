@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// Profile controls the adaptive time-step resolution loop of §III-D.
+type Profile struct {
+	// InitialStepSec is the starting time-step size in seconds.
+	InitialStepSec float64
+	// Horizon is the number of time steps the exact methods may use.
+	Horizon int
+	// RefineWhileBelow triggers a 5x resolution refinement while the solved
+	// makespan is below this many steps.
+	RefineWhileBelow int
+	// MaxRefinements bounds the number of refinements.
+	MaxRefinements int
+}
+
+// ValidationProfile matches the paper's validation experiments: 2 s steps,
+// 1,000-step horizon, refine 5x while the workload finishes in under 200
+// steps.
+var ValidationProfile = Profile{InitialStepSec: 2, Horizon: 1000, RefineWhileBelow: 200, MaxRefinements: 6}
+
+// DSEProfile matches the paper's design-space exploration: 10 s steps,
+// 200-step horizon, refine 5x while the workload finishes in under 40 steps.
+var DSEProfile = Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 40, MaxRefinements: 6}
+
+// Result is a complete HILP evaluation of one (workload, SoC) pair.
+type Result struct {
+	Instance *Instance
+	Sched    scheduler.Result
+
+	StepSec     float64 // final resolution
+	MakespanSec float64
+	// Speedup is relative to fully sequential execution on a single CPU
+	// core (the paper's baseline), computed in seconds.
+	Speedup float64
+	// WLP is the schedule's average workload-level parallelism.
+	WLP float64
+	// Gap is the certified relative optimality gap at the final resolution.
+	Gap float64
+	// Refinements counts how many times the resolution was adapted.
+	Refinements int
+}
+
+// Solve evaluates the workload on the SoC with HILP: it builds the instance,
+// solves it, and adapts the time-step resolution until the makespan is well
+// resolved (or the refinement budget runs out).
+func Solve(w rodinia.Workload, spec soc.Spec, profile Profile, cfg scheduler.Config) (*Result, error) {
+	spec = spec.Normalize()
+	res, err := SolveAdaptive(func(stepSec float64, horizon int) (*Instance, error) {
+		return BuildInstance(w, spec, stepSec, horizon)
+	}, profile, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving %s on %s: %w", w.Name, spec.Label(), err)
+	}
+	if res.MakespanSec > 0 {
+		res.Speedup = w.SequentialSingleCoreSec() / res.MakespanSec
+	}
+	return res, nil
+}
+
+// SolveAdaptive runs the §III-D adaptive-resolution loop over any instance
+// builder: solve, refine the time step 5x while the makespan is
+// under-resolved, coarsen if the initial resolution overshoots the horizon.
+// The baselines package reuses it with dependency-stripped instances.
+// Speedup is left at zero; callers define their own baseline.
+func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), profile Profile, cfg scheduler.Config) (*Result, error) {
+	step := profile.InitialStepSec
+	var last *Result
+
+	for refinement := 0; ; refinement++ {
+		inst, err := build(step, profile.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		res, err := scheduler.Solve(inst.Problem, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: solving at %gs steps: %w", step, err)
+		}
+		cur := &Result{
+			Instance:    inst,
+			Sched:       res,
+			StepSec:     step,
+			MakespanSec: float64(res.Schedule.Makespan) * step,
+			WLP:         res.Schedule.WLP(inst.Problem),
+			Gap:         res.Gap(),
+			Refinements: refinement,
+		}
+
+		switch {
+		case res.Schedule.Makespan > profile.Horizon && last != nil:
+			// Refinement overshot the horizon; keep the previous result.
+			return last, nil
+		case res.Schedule.Makespan > profile.Horizon && refinement < profile.MaxRefinements:
+			// The initial resolution was too fine for this workload; coarsen.
+			step *= 5
+			last = nil
+			continue
+		case res.Schedule.Makespan < profile.RefineWhileBelow && refinement < profile.MaxRefinements:
+			// Under-resolved: refine 5x and re-solve (paper §III-D).
+			last = cur
+			step /= 5
+			continue
+		default:
+			return cur, nil
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+
+	"hilp/internal/scheduler"
+)
+
+// Stats summarizes a schedule in physical units: makespan, energy, WLP,
+// peaks against the budgets, and per-device utilization. It backs the
+// reporting in cmd/hilp and the ablation studies.
+type Stats struct {
+	MakespanSec float64
+	AvgWLP      float64
+	// EnergyJoules integrates power over the schedule (0 when the instance
+	// was built without a power constraint, since per-option power demands
+	// only exist then).
+	EnergyJoules float64
+	// PeakPowerW and PeakBandwidthGBs are the highest per-step sums (0 when
+	// the corresponding constraint is inactive).
+	PeakPowerW       float64
+	PeakBandwidthGBs float64
+	// GroupUtilization maps each device row (as shown in the Gantt chart)
+	// to its busy fraction of the makespan.
+	GroupUtilization map[string]float64
+}
+
+// ComputeStats derives schedule statistics for a solved instance.
+func (in *Instance) ComputeStats(s scheduler.Schedule) Stats {
+	p := in.Problem
+	st := Stats{
+		MakespanSec:      float64(s.Makespan) * in.StepSec,
+		AvgWLP:           s.WLP(p),
+		GroupUtilization: map[string]float64{},
+	}
+	if in.PowerRes >= 0 {
+		st.PeakPowerW = s.PeakResource(p, in.PowerRes)
+		for i := range p.Tasks {
+			o := p.Tasks[i].Options[s.Option[i]]
+			st.EnergyJoules += o.Demand[in.PowerRes] * float64(o.Duration) * in.StepSec
+		}
+	}
+	if in.BWRes >= 0 {
+		st.PeakBandwidthGBs = s.PeakResource(p, in.BWRes)
+	}
+
+	// Busy steps per device group, labeled like the Gantt rows.
+	numGroups := p.NumGroups()
+	rowName := make([]string, numGroups)
+	for _, c := range in.Clusters {
+		if rowName[c.Group] == "" {
+			name := c.Name
+			if c.Kind == GPUCluster {
+				name = "gpu"
+			}
+			rowName[c.Group] = name
+		}
+	}
+	busy := make([]int, numGroups)
+	for i := range p.Tasks {
+		o := p.Tasks[i].Options[s.Option[i]]
+		busy[p.ClusterGroup[o.Cluster]] += o.Duration
+	}
+	for g := 0; g < numGroups; g++ {
+		if s.Makespan > 0 {
+			st.GroupUtilization[rowName[g]] = float64(busy[g]) / float64(s.Makespan)
+		} else {
+			st.GroupUtilization[rowName[g]] = 0
+		}
+	}
+	return st
+}
+
+// TaskPlacement is one scheduled phase in physical units, for machine
+// consumption (JSON export, plotting).
+type TaskPlacement struct {
+	Task        string  `json:"task"`
+	App         int     `json:"app"`
+	Phase       int     `json:"phase"`
+	Cluster     string  `json:"cluster"`
+	Option      string  `json:"option"`
+	StartSec    float64 `json:"startSec"`
+	DurationSec float64 `json:"durationSec"`
+	PowerW      float64 `json:"powerW,omitempty"`
+	BWGBs       float64 `json:"bandwidthGBs,omitempty"`
+}
+
+// ExportSchedule renders the schedule as JSON, one entry per task in start
+// order. The format is stable and consumed by external plotting scripts.
+func (in *Instance) ExportSchedule(s scheduler.Schedule) ([]byte, error) {
+	p := in.Problem
+	placements := make([]TaskPlacement, 0, len(p.Tasks))
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		o := t.Options[s.Option[i]]
+		tp := TaskPlacement{
+			Task:        t.Name,
+			App:         t.App,
+			Phase:       t.Phase,
+			Cluster:     in.Clusters[o.Cluster].Name,
+			Option:      o.Label,
+			StartSec:    float64(s.Start[i]) * in.StepSec,
+			DurationSec: float64(o.Duration) * in.StepSec,
+		}
+		if in.PowerRes >= 0 {
+			tp.PowerW = o.Demand[in.PowerRes]
+		}
+		if in.BWRes >= 0 {
+			tp.BWGBs = o.Demand[in.BWRes]
+		}
+		placements = append(placements, tp)
+	}
+	sort.Slice(placements, func(a, b int) bool {
+		if placements[a].StartSec != placements[b].StartSec {
+			return placements[a].StartSec < placements[b].StartSec
+		}
+		return placements[a].Task < placements[b].Task
+	})
+	return json.MarshalIndent(struct {
+		StepSec     float64         `json:"stepSec"`
+		MakespanSec float64         `json:"makespanSec"`
+		Placements  []TaskPlacement `json:"placements"`
+	}{in.StepSec, float64(s.Makespan) * in.StepSec, placements}, "", "  ")
+}

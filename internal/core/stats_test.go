@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// statsExample builds a tiny two-cluster model with known power numbers.
+func statsExample(t *testing.T) (*Instance, scheduler.Schedule) {
+	t.Helper()
+	m := CustomModel{
+		Name: "stats",
+		Clusters: []CustomCluster{
+			{Name: "cpu0"}, {Name: "acc0"},
+		},
+		PowerBudgetW: 10,
+		BandwidthGBs: 100,
+		Tasks: []CustomTask{
+			{Name: "a", App: 0, Options: []CustomOption{{Cluster: "cpu0", Sec: 4, PowerW: 2, BandwidthGBs: 10}}},
+			{Name: "b", App: 1, Options: []CustomOption{{Cluster: "acc0", Sec: 2, PowerW: 5, BandwidthGBs: 50}}},
+		},
+	}
+	inst, err := m.Build(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, res.Schedule
+}
+
+func TestComputeStats(t *testing.T) {
+	inst, sched := statsExample(t)
+	st := inst.ComputeStats(sched)
+
+	// a(4s) and b(2s) run on separate clusters concurrently: makespan 4.
+	if st.MakespanSec != 4 {
+		t.Errorf("makespan = %g, want 4", st.MakespanSec)
+	}
+	// Energy: 2W*4s + 5W*2s = 18 J.
+	if math.Abs(st.EnergyJoules-18) > 1e-9 {
+		t.Errorf("energy = %g, want 18", st.EnergyJoules)
+	}
+	// Peak power: both active in [0,2): 7 W.
+	if math.Abs(st.PeakPowerW-7) > 1e-9 {
+		t.Errorf("peak power = %g, want 7", st.PeakPowerW)
+	}
+	if math.Abs(st.PeakBandwidthGBs-60) > 1e-9 {
+		t.Errorf("peak bandwidth = %g, want 60", st.PeakBandwidthGBs)
+	}
+	// Utilization: cpu0 4/4 = 1.0; acc0 2/4 = 0.5.
+	if math.Abs(st.GroupUtilization["cpu0"]-1.0) > 1e-9 {
+		t.Errorf("cpu0 utilization = %g, want 1", st.GroupUtilization["cpu0"])
+	}
+	if math.Abs(st.GroupUtilization["acc0"]-0.5) > 1e-9 {
+		t.Errorf("acc0 utilization = %g, want 0.5", st.GroupUtilization["acc0"])
+	}
+	// WLP: 2 tasks in [0,2), 1 in [2,4) -> (2+2+1+1)/4 = 1.5.
+	if math.Abs(st.AvgWLP-1.5) > 1e-9 {
+		t.Errorf("WLP = %g, want 1.5", st.AvgWLP)
+	}
+}
+
+func TestExportSchedule(t *testing.T) {
+	inst, sched := statsExample(t)
+	data, err := inst.ExportSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		StepSec     float64         `json:"stepSec"`
+		MakespanSec float64         `json:"makespanSec"`
+		Placements  []TaskPlacement `json:"placements"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if out.StepSec != 1 || out.MakespanSec != 4 {
+		t.Errorf("header = %+v", out)
+	}
+	if len(out.Placements) != 2 {
+		t.Fatalf("%d placements, want 2", len(out.Placements))
+	}
+	// Start-ordered; both start at 0, so alphabetical.
+	if out.Placements[0].Task != "a" || out.Placements[1].Task != "b" {
+		t.Errorf("placement order: %v, %v", out.Placements[0].Task, out.Placements[1].Task)
+	}
+	if out.Placements[1].PowerW != 5 || out.Placements[1].BWGBs != 50 {
+		t.Errorf("placement b demands: %+v", out.Placements[1])
+	}
+}
+
+func TestStatsWithoutConstraints(t *testing.T) {
+	m := CustomModel{
+		Name:     "bare",
+		Clusters: []CustomCluster{{Name: "c"}},
+		Tasks:    []CustomTask{{Name: "t", Options: []CustomOption{{Cluster: "c", Sec: 3, PowerW: 99}}}},
+	}
+	inst, err := m.Build(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inst.ComputeStats(res.Schedule)
+	if st.EnergyJoules != 0 || st.PeakPowerW != 0 {
+		t.Errorf("unconstrained instance should report zero power stats, got %+v", st)
+	}
+	if st.GroupUtilization["c"] != 1 {
+		t.Errorf("utilization = %g, want 1", st.GroupUtilization["c"])
+	}
+}
+
+func TestCustomModelExtraResources(t *testing.T) {
+	// Two tasks each demanding 2 units of a 3-unit L2 resource: they must
+	// serialize even though they target different clusters (the §VII
+	// multi-level bandwidth extension).
+	m := CustomModel{
+		Name:     "l2",
+		Clusters: []CustomCluster{{Name: "c0"}, {Name: "c1"}},
+		Extra:    []CustomResource{{Name: "l2-bandwidth", Capacity: 3}},
+		Tasks: []CustomTask{
+			{Name: "x", App: 0, Options: []CustomOption{{Cluster: "c0", Sec: 2, ExtraDemand: map[string]float64{"l2-bandwidth": 2}}}},
+			{Name: "y", App: 1, Options: []CustomOption{{Cluster: "c1", Sec: 2, ExtraDemand: map[string]float64{"l2-bandwidth": 2}}}},
+		},
+	}
+	inst, err := m.Build(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan != 4 {
+		t.Errorf("makespan = %d, want 4 (L2 constraint serializes)", res.Schedule.Makespan)
+	}
+}
+
+func TestCustomModelExtraResourceErrors(t *testing.T) {
+	base := CustomModel{
+		Name:     "m",
+		Clusters: []CustomCluster{{Name: "c"}},
+		Tasks:    []CustomTask{{Name: "t", Options: []CustomOption{{Cluster: "c", Sec: 1}}}},
+	}
+
+	m := base
+	m.Extra = []CustomResource{{Name: "", Capacity: 1}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted unnamed extra resource")
+	}
+
+	m = base
+	m.Extra = []CustomResource{{Name: "power", Capacity: 1}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted extra resource colliding with built-in")
+	}
+
+	m = base
+	m.Extra = []CustomResource{{Name: "x", Capacity: 1}, {Name: "x", Capacity: 2}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted duplicate extra resources")
+	}
+
+	m = base
+	m.Tasks = []CustomTask{{Name: "t", Options: []CustomOption{{Cluster: "c", Sec: 1, ExtraDemand: map[string]float64{"ghost": 1}}}}}
+	if _, err := m.Build(1, 10); err == nil {
+		t.Error("accepted demand on unknown resource")
+	}
+}
+
+func TestBuildInstanceRejectsUnknownDSATarget(t *testing.T) {
+	w := smallWorkload(t)
+	spec := fastSpec(1, 0, soc.DSA{PEs: 4, Target: "NOPE"})
+	if _, err := BuildInstance(w, spec, 2, 100); err == nil {
+		t.Error("accepted a DSA targeting an application outside the workload")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// What-if analysis via the compatibility matrix (paper §III-B): "E_cap can
+// also be leveraged to perform what-if analysis. For example, it could be
+// used to explore the impact of pinning a phase to a specific DSA compared
+// to no restrictions." Pinning is expressed by zeroing out all other
+// options of the phase.
+
+// PinPhase restricts the named task to options on the named cluster,
+// emulating setting E_cap to 1 for that cluster and 0 elsewhere. It returns
+// an error when the task or cluster is unknown, or when the task has no
+// option on that cluster (the pin would make the instance infeasible).
+func (in *Instance) PinPhase(taskName, clusterName string) error {
+	ci := -1
+	for i, c := range in.Clusters {
+		if c.Name == clusterName {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	for ti := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[ti]
+		if t.Name != taskName {
+			continue
+		}
+		kept := t.Options[:0]
+		for _, o := range t.Options {
+			if o.Cluster == ci {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("core: task %q has no option on cluster %q; pinning would be infeasible", taskName, clusterName)
+		}
+		t.Options = kept
+		return nil
+	}
+	return fmt.Errorf("core: unknown task %q", taskName)
+}
+
+// PinPhaseToGroup restricts the named task to options on any cluster of the
+// device group containing the named cluster - useful to pin a phase to "the
+// GPU" regardless of which DVFS operating point the solver picks.
+func (in *Instance) PinPhaseToGroup(taskName, clusterName string) error {
+	group := -1
+	for _, c := range in.Clusters {
+		if c.Name == clusterName {
+			group = c.Group
+			break
+		}
+	}
+	if group < 0 {
+		return fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	for ti := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[ti]
+		if t.Name != taskName {
+			continue
+		}
+		kept := t.Options[:0]
+		for _, o := range t.Options {
+			if in.Problem.ClusterGroup[o.Cluster] == group {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("core: task %q has no option on %q's device group", taskName, clusterName)
+		}
+		t.Options = kept
+		return nil
+	}
+	return fmt.Errorf("core: unknown task %q", taskName)
+}
+
+// ForbidCluster removes the named cluster's options from the named task
+// (the complementary what-if: E_cap forced to 0). It returns an error when
+// the removal leaves the task without options.
+func (in *Instance) ForbidCluster(taskName, clusterName string) error {
+	ci := -1
+	for i, c := range in.Clusters {
+		if c.Name == clusterName {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return fmt.Errorf("core: unknown cluster %q", clusterName)
+	}
+	for ti := range in.Problem.Tasks {
+		t := &in.Problem.Tasks[ti]
+		if t.Name != taskName {
+			continue
+		}
+		kept := t.Options[:0]
+		for _, o := range t.Options {
+			if o.Cluster != ci {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("core: forbidding %q on %q leaves no options", clusterName, taskName)
+		}
+		t.Options = kept
+		return nil
+	}
+	return fmt.Errorf("core: unknown task %q", taskName)
+}
+
+// TaskNames lists the instance's task names, in workload order, for
+// discovering pinnable phases.
+func (in *Instance) TaskNames() []string {
+	names := make([]string, len(in.Problem.Tasks))
+	for i := range in.Problem.Tasks {
+		names[i] = in.Problem.Tasks[i].Name
+	}
+	return names
+}
+
+// ClusterNames lists the instance's cluster names.
+func (in *Instance) ClusterNames() []string {
+	names := make([]string, len(in.Clusters))
+	for i, c := range in.Clusters {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// FindTask returns the index of the named task, or -1.
+func (in *Instance) FindTask(name string) int {
+	for i := range in.Problem.Tasks {
+		if in.Problem.Tasks[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders a short instance summary.
+func (in *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance: %d tasks on %d clusters (%d device groups), %.3g s/step",
+		len(in.Problem.Tasks), len(in.Clusters), in.Problem.NumGroups(), in.StepSec)
+	return b.String()
+}

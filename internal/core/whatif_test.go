@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hilp/internal/scheduler"
+)
+
+func TestPinPhase(t *testing.T) {
+	w := smallWorkload(t)
+	target := w.Apps[0].Bench.Abbrev
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := target + ".compute"
+	if err := inst.PinPhase(task, "cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	ti := inst.FindTask(task)
+	if ti < 0 {
+		t.Fatal("task vanished")
+	}
+	for _, o := range inst.Problem.Tasks[ti].Options {
+		if inst.Clusters[o.Cluster].Name != "cpu0" {
+			t.Errorf("pinned task retains option on %s", inst.Clusters[o.Cluster].Name)
+		}
+	}
+	// The pinned instance still solves and honors the pin.
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen := inst.Problem.Tasks[ti].Options[res.Schedule.Option[ti]]
+	if inst.Clusters[chosen.Cluster].Name != "cpu0" {
+		t.Errorf("solver ignored the pin: ran on %s", inst.Clusters[chosen.Cluster].Name)
+	}
+}
+
+func TestPinPhaseErrors(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(1, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.PinPhase("ghost.compute", "cpu0"); err == nil {
+		t.Error("accepted unknown task")
+	}
+	if err := inst.PinPhase(w.Apps[0].Bench.Abbrev+".compute", "nope"); err == nil {
+		t.Error("accepted unknown cluster")
+	}
+	// Setup phases have no GPU option: pinning there must fail cleanly.
+	if err := inst.PinPhase(w.Apps[0].Bench.Abbrev+".setup", "gpu@765MHz"); err == nil {
+		t.Error("accepted an infeasible pin")
+	}
+}
+
+func TestPinPhaseToGroup(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := w.Apps[0].Bench.Abbrev + ".compute"
+	// Pin to the GPU device: both DVFS aliases stay available.
+	if err := inst.PinPhaseToGroup(task, "gpu@765MHz"); err != nil {
+		t.Fatal(err)
+	}
+	ti := inst.FindTask(task)
+	if got := len(inst.Problem.Tasks[ti].Options); got != 2 {
+		t.Errorf("%d options after group pin, want 2 (both DVFS points)", got)
+	}
+	for _, o := range inst.Problem.Tasks[ti].Options {
+		if inst.Clusters[o.Cluster].Kind != GPUCluster {
+			t.Error("non-GPU option survived the group pin")
+		}
+	}
+}
+
+func TestForbidCluster(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := w.Apps[0].Bench.Abbrev + ".compute"
+	before := len(inst.Problem.Tasks[inst.FindTask(task)].Options)
+	// cpu1 hosts exactly one option (the sequential one); cpu0 also hosts
+	// the parallel-width option, so forbidding it would remove two.
+	if err := inst.ForbidCluster(task, "cpu1"); err != nil {
+		t.Fatal(err)
+	}
+	after := len(inst.Problem.Tasks[inst.FindTask(task)].Options)
+	if after != before-1 {
+		t.Errorf("options %d -> %d, want one fewer", before, after)
+	}
+	// Forbidding the only cluster of a setup phase on a 1-CPU SoC fails.
+	inst1, err := BuildInstance(w, fastSpec(1, 0), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst1.ForbidCluster(w.Apps[0].Bench.Abbrev+".setup", "cpu0"); err == nil {
+		t.Error("accepted forbidding the last option")
+	}
+}
+
+func TestPinningChangesTheSchedule(t *testing.T) {
+	// The §III-B what-if: pinning LUD's compute to the CPU versus leaving
+	// it free must cost performance on an accelerated SoC.
+	w := smallWorkload(t)
+	spec := fastSpec(2, 64)
+	cfg := scheduler.Config{Seed: 1, Effort: 0.3}
+
+	free, err := BuildInstance(w, spec, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeRes, err := scheduler.Solve(free.Problem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, err := BuildInstance(w, spec, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the largest compute phase to a single CPU core.
+	if err := pinned.PinPhase(w.Apps[0].Bench.Abbrev+".compute", "cpu0"); err != nil {
+		t.Fatal(err)
+	}
+	pinRes, err := scheduler.Solve(pinned.Problem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinRes.Schedule.Makespan < freeRes.Schedule.Makespan {
+		t.Errorf("pinning to the CPU improved the makespan: %d < %d", pinRes.Schedule.Makespan, freeRes.Schedule.Makespan)
+	}
+}
+
+func TestInstanceIntrospection(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.TaskNames()); got != 9 {
+		t.Errorf("%d task names, want 9", got)
+	}
+	if got := len(inst.ClusterNames()); got != 4 {
+		t.Errorf("%d cluster names, want 4 (2 CPU + 2 DVFS)", got)
+	}
+	if inst.FindTask("ghost") != -1 {
+		t.Error("found a ghost task")
+	}
+	if s := inst.String(); !strings.Contains(s, "9 tasks") {
+		t.Errorf("String = %q", s)
+	}
+}

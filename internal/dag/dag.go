@@ -1,0 +1,195 @@
+// Package dag provides a builder for arbitrary phase-dependency graphs, the
+// paper's §VII extension (Eq. 9): instead of the linear
+// setup-compute-teardown chain, applications may have fork-join structure,
+// start-start initiation intervals, and any acyclic dependency shape. Graphs
+// compile into core.CustomModel tasks.
+package dag
+
+import (
+	"fmt"
+	"math"
+
+	"hilp/internal/core"
+	"hilp/internal/scheduler"
+)
+
+// Graph is a named DAG of phases under construction. The zero value is not
+// usable; call New.
+type Graph struct {
+	name  string
+	nodes []node
+	index map[string]int
+	err   error // first construction error, reported by Tasks
+}
+
+type node struct {
+	name    string
+	app     int
+	phase   int
+	options []core.CustomOption
+	deps    []core.CustomDep
+}
+
+// New returns an empty graph.
+func New(name string) *Graph {
+	return &Graph{name: name, index: map[string]int{}}
+}
+
+// Node adds a phase with its placement options. App tags the phase with the
+// application it belongs to (for WLP accounting). Returns the graph for
+// chaining.
+func (g *Graph) Node(name string, app int, options ...core.CustomOption) *Graph {
+	if g.err != nil {
+		return g
+	}
+	if name == "" {
+		g.err = fmt.Errorf("dag: empty node name")
+		return g
+	}
+	if _, dup := g.index[name]; dup {
+		g.err = fmt.Errorf("dag: duplicate node %q", name)
+		return g
+	}
+	if len(options) == 0 {
+		g.err = fmt.Errorf("dag: node %q has no options", name)
+		return g
+	}
+	g.index[name] = len(g.nodes)
+	g.nodes = append(g.nodes, node{name: name, app: app, phase: len(g.nodes), options: options})
+	return g
+}
+
+// Edge adds a finish-start dependency from -> to. Returns the graph for
+// chaining.
+func (g *Graph) Edge(from, to string) *Graph {
+	return g.EdgeLag(from, to, scheduler.FinishStart, 0)
+}
+
+// EdgeLag adds a dependency from -> to with explicit timing semantics: to
+// may start only kind(from) + lagSec (the paper's initiation-interval
+// extension uses StartStart lags).
+func (g *Graph) EdgeLag(from, to string, kind scheduler.DepKind, lagSec float64) *Graph {
+	if g.err != nil {
+		return g
+	}
+	ti, ok := g.index[to]
+	if !ok {
+		g.err = fmt.Errorf("dag: edge to unknown node %q", to)
+		return g
+	}
+	if _, ok := g.index[from]; !ok {
+		g.err = fmt.Errorf("dag: edge from unknown node %q", from)
+		return g
+	}
+	if lagSec < 0 {
+		g.err = fmt.Errorf("dag: negative lag %g on edge %s->%s", lagSec, from, to)
+		return g
+	}
+	g.nodes[ti].deps = append(g.nodes[ti].deps, core.CustomDep{Task: from, Kind: kind, LagSec: lagSec})
+	return g
+}
+
+// Err returns the first construction error, if any.
+func (g *Graph) Err() error { return g.err }
+
+// Tasks compiles the graph into CustomModel tasks. Cycle detection happens
+// when the model is built (scheduler validation).
+func (g *Graph) Tasks() ([]core.CustomTask, error) {
+	if g.err != nil {
+		return nil, g.err
+	}
+	tasks := make([]core.CustomTask, len(g.nodes))
+	for i, n := range g.nodes {
+		tasks[i] = core.CustomTask{
+			Name:    n.name,
+			App:     n.app,
+			Phase:   n.phase,
+			Deps:    n.deps,
+			Options: n.options,
+		}
+	}
+	return tasks, nil
+}
+
+// CriticalPathSec returns the longest dependency chain in seconds when every
+// node takes its fastest option, honoring edge lags. It returns an error for
+// cyclic graphs.
+func (g *Graph) CriticalPathSec() (float64, error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	n := len(g.nodes)
+	minSec := make([]float64, n)
+	for i, nd := range g.nodes {
+		minSec[i] = math.Inf(1)
+		for _, o := range nd.options {
+			if o.Sec < minSec[i] {
+				minSec[i] = o.Sec
+			}
+		}
+	}
+	// Longest path by memoized DFS with cycle detection.
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, n)
+	finish := make([]float64, n)
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case inStack:
+			return fmt.Errorf("dag: cycle through %q", g.nodes[i].name)
+		case done:
+			return nil
+		}
+		state[i] = inStack
+		start := 0.0
+		for _, d := range g.nodes[i].deps {
+			pi := g.index[d.Task]
+			if err := visit(pi); err != nil {
+				return err
+			}
+			var e float64
+			switch d.Kind {
+			case scheduler.FinishStart:
+				e = finish[pi] + d.LagSec
+			case scheduler.StartStart:
+				e = finish[pi] - minSec[pi] + d.LagSec
+			}
+			if e > start {
+				start = e
+			}
+		}
+		finish[i] = start + minSec[i]
+		state[i] = done
+		return nil
+	}
+	best := 0.0
+	for i := range g.nodes {
+		if err := visit(i); err != nil {
+			return 0, err
+		}
+		if finish[i] > best {
+			best = finish[i]
+		}
+	}
+	return best, nil
+}
+
+// Model wraps the graph into a CustomModel on the given clusters and
+// constraints.
+func (g *Graph) Model(clusters []core.CustomCluster, powerW, bandwidthGBs float64) (core.CustomModel, error) {
+	tasks, err := g.Tasks()
+	if err != nil {
+		return core.CustomModel{}, err
+	}
+	return core.CustomModel{
+		Name:         g.name,
+		Clusters:     clusters,
+		Tasks:        tasks,
+		PowerBudgetW: powerW,
+		BandwidthGBs: bandwidthGBs,
+	}, nil
+}

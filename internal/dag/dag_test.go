@@ -1,0 +1,188 @@
+package dag
+
+import (
+	"math"
+	"testing"
+
+	"hilp/internal/core"
+	"hilp/internal/scheduler"
+)
+
+func chainGraph() *Graph {
+	return New("chain").
+		Node("a", 0, core.CustomOption{Cluster: "cpu0", Sec: 2}).
+		Node("b", 0, core.CustomOption{Cluster: "cpu0", Sec: 3}).
+		Node("c", 0, core.CustomOption{Cluster: "cpu0", Sec: 1}).
+		Edge("a", "b").
+		Edge("b", "c")
+}
+
+func TestGraphBuild(t *testing.T) {
+	g := chainGraph()
+	tasks, err := g.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("%d tasks, want 3", len(tasks))
+	}
+	if len(tasks[1].Deps) != 1 || tasks[1].Deps[0].Task != "a" {
+		t.Errorf("b deps = %+v, want [a]", tasks[1].Deps)
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	if err := New("g").Node("", 0, core.CustomOption{Cluster: "c", Sec: 1}).Err(); err == nil {
+		t.Error("accepted empty node name")
+	}
+	if err := New("g").Node("a", 0, core.CustomOption{Cluster: "c", Sec: 1}).Node("a", 0, core.CustomOption{Cluster: "c", Sec: 1}).Err(); err == nil {
+		t.Error("accepted duplicate node")
+	}
+	if err := New("g").Node("a", 0).Err(); err == nil {
+		t.Error("accepted node without options")
+	}
+	if err := New("g").Node("a", 0, core.CustomOption{Cluster: "c", Sec: 1}).Edge("a", "ghost").Err(); err == nil {
+		t.Error("accepted edge to unknown node")
+	}
+	if err := New("g").Node("a", 0, core.CustomOption{Cluster: "c", Sec: 1}).Node("b", 0, core.CustomOption{Cluster: "c", Sec: 1}).EdgeLag("a", "b", scheduler.FinishStart, -1).Err(); err == nil {
+		t.Error("accepted negative lag")
+	}
+	// Errors are sticky and surface from Tasks.
+	g := New("g").Node("a", 0)
+	if _, err := g.Tasks(); err == nil {
+		t.Error("Tasks ignored construction error")
+	}
+}
+
+func TestCriticalPathSec(t *testing.T) {
+	got, err := chainGraph().CriticalPathSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-6) > 1e-12 {
+		t.Errorf("critical path = %g, want 6", got)
+	}
+
+	// Fork-join: a -> {b(4), c(2)} -> d(1): longest chain a(2)+b(4)+d(1)=7.
+	fj := New("fj").
+		Node("a", 0, core.CustomOption{Cluster: "x", Sec: 2}).
+		Node("b", 0, core.CustomOption{Cluster: "x", Sec: 4}).
+		Node("c", 0, core.CustomOption{Cluster: "x", Sec: 2}).
+		Node("d", 0, core.CustomOption{Cluster: "x", Sec: 1}).
+		Edge("a", "b").Edge("a", "c").Edge("b", "d").Edge("c", "d")
+	if got, err := fj.CriticalPathSec(); err != nil || math.Abs(got-7) > 1e-12 {
+		t.Errorf("fork-join critical path = %g (%v), want 7", got, err)
+	}
+}
+
+func TestCriticalPathDetectsCycle(t *testing.T) {
+	g := New("cyc").
+		Node("a", 0, core.CustomOption{Cluster: "x", Sec: 1}).
+		Node("b", 0, core.CustomOption{Cluster: "x", Sec: 1}).
+		Edge("a", "b").Edge("b", "a")
+	if _, err := g.CriticalPathSec(); err == nil {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestCriticalPathWithStartStartLag(t *testing.T) {
+	g := New("ss").
+		Node("a", 0, core.CustomOption{Cluster: "x", Sec: 10}).
+		Node("b", 0, core.CustomOption{Cluster: "y", Sec: 2}).
+		EdgeLag("a", "b", scheduler.StartStart, 3)
+	got, err := g.CriticalPathSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a runs 0-10; b may start at 3, finishing at 5; critical path = 10.
+	if math.Abs(got-10) > 1e-12 {
+		t.Errorf("critical path = %g, want 10", got)
+	}
+}
+
+func TestSDABaselineSchedule(t *testing.T) {
+	m, err := SDA(SDAConfig{Instances: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Build(0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DS(2) + DF(1) + {C phases: GPU serializes 3x1.5=4.5 vs CPU 3 each; the
+	// optimum overlaps CPU and GPU} + PP. With one CPU and one GPU the
+	// C-phase span is min 3 (C on cpu || 2 C's on gpu), then PP >= 1.
+	makespanSec := float64(res.Schedule.Makespan) * 0.5
+	if makespanSec < 6.5 || makespanSec > 9 {
+		t.Errorf("baseline SDA makespan = %g s, want in [6.5, 9]", makespanSec)
+	}
+	if err := res.Schedule.Validate(inst.Problem); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSDAWhatIfsImprove(t *testing.T) {
+	solve := func(cfg SDAConfig) float64 {
+		m, err := SDA(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := m.Build(0.25, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.Schedule.Makespan) * 0.25
+	}
+	base := solve(SDAConfig{Instances: 2})
+	fastCPU := solve(SDAConfig{Instances: 2, CPUSpeedup: 2})
+	bigGPU := solve(SDAConfig{Instances: 2, GPUSMs: 16})
+	if fastCPU >= base {
+		t.Errorf("2x CPU did not help: %g vs %g", fastCPU, base)
+	}
+	if bigGPU >= base {
+		t.Errorf("2x GPU did not help: %g vs %g", bigGPU, base)
+	}
+}
+
+func TestSDAInitiationInterval(t *testing.T) {
+	m, err := SDA(SDAConfig{Instances: 2, SampleIntervalSec: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := m.Build(0.5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample 1's data sources may start no earlier than 4 s after sample 0's.
+	for i, task := range inst.Problem.Tasks {
+		if task.Name == "s1.DS1" {
+			if start := float64(res.Schedule.Start[i]) * 0.5; start < 4 {
+				t.Errorf("s1.DS1 starts at %g s, want >= 4", start)
+			}
+		}
+	}
+}
+
+func TestSDAValidation(t *testing.T) {
+	if _, err := SDA(SDAConfig{Instances: 0}); err == nil {
+		t.Error("accepted zero instances")
+	}
+	if _, err := SDA(SDAConfig{Instances: 1, CPUSpeedup: -1}); err == nil {
+		t.Error("accepted negative CPU speedup")
+	}
+	if _, err := SDA(SDAConfig{Instances: 1, GPUSMs: -4}); err == nil {
+		t.Error("accepted negative GPU size")
+	}
+}

@@ -1,0 +1,111 @@
+package dag
+
+import (
+	"fmt"
+
+	"hilp/internal/core"
+	"hilp/internal/scheduler"
+)
+
+// SDAConfig parameterizes the paper's §VII Streaming-Dataflow Application
+// case study. Each instance (sample) runs the Fig. 9 graph: three data
+// sources DS1-DS3 pinned to dedicated DSAs feed a Data Fusion phase on the
+// CPU, which fans out to three compute phases C1-C3 (CPU or GPU) that join
+// in a Post Processing phase (CPU or GPU).
+type SDAConfig struct {
+	// Instances is the number of samples in flight (>= 1).
+	Instances int
+	// CPUSpeedup scales CPU performance (1 = baseline, 2 = the paper's
+	// "2x faster CPU" what-if). 0 selects 1.
+	CPUSpeedup float64
+	// GPUSMs sizes the GPU (8 = baseline, 16 = the paper's "double the SMs"
+	// what-if). 0 selects 8.
+	GPUSMs int
+	// SampleIntervalSec, when positive, imposes a start-start initiation
+	// interval between consecutive samples' data sources (§VII "other
+	// extensions").
+	SampleIntervalSec float64
+}
+
+// Baseline phase execution times in seconds on the (c1,g8,d3^1) baseline
+// SoC. The paper shows these only graphically in Fig. 9, so the values here
+// are estimates chosen to reproduce the figure's story: the baseline SoC
+// cannot overlap samples, while either a 2x CPU or a 2x GPU can (see
+// DESIGN.md, substitutions).
+const (
+	sdaDSSec    = 2.0 // DS1-DS3 on their dedicated DSA
+	sdaDFSec    = 1.0 // data fusion, CPU only
+	sdaCSecCPU  = 3.0 // C1-C3 on the baseline CPU
+	sdaCSecGPU  = 1.5 // C1-C3 on the baseline 8-SM GPU
+	sdaPPSecCPU = 2.0 // post-processing on the baseline CPU
+	sdaPPSecGPU = 1.0 // post-processing on the baseline 8-SM GPU
+)
+
+// SDAPowerPerPhaseW is the nominal active power per busy unit used when an
+// SDA model is power-constrained.
+const SDAPowerPerPhaseW = 2.0
+
+// SDA builds the streaming-dataflow workload as a custom model. Phase
+// pinning is expressed through option presence, exactly as the paper encodes
+// E_cap: DS phases list only their DSA, DF only the CPU, C and PP phases
+// both CPU and GPU.
+func SDA(cfg SDAConfig) (core.CustomModel, error) {
+	if cfg.Instances <= 0 {
+		return core.CustomModel{}, fmt.Errorf("dag: SDA needs >= 1 instance, got %d", cfg.Instances)
+	}
+	if cfg.CPUSpeedup == 0 {
+		cfg.CPUSpeedup = 1
+	}
+	if cfg.CPUSpeedup < 0 {
+		return core.CustomModel{}, fmt.Errorf("dag: negative CPU speedup %g", cfg.CPUSpeedup)
+	}
+	if cfg.GPUSMs == 0 {
+		cfg.GPUSMs = 8
+	}
+	if cfg.GPUSMs < 0 {
+		return core.CustomModel{}, fmt.Errorf("dag: negative GPU SM count %d", cfg.GPUSMs)
+	}
+
+	cpu := func(sec float64) float64 { return sec / cfg.CPUSpeedup }
+	gpu := func(sec float64) float64 { return sec * 8 / float64(cfg.GPUSMs) }
+
+	g := New(fmt.Sprintf("sda-x%d", cfg.Instances))
+	for k := 0; k < cfg.Instances; k++ {
+		id := func(phase string) string { return fmt.Sprintf("s%d.%s", k, phase) }
+		for i := 1; i <= 3; i++ {
+			g.Node(id(fmt.Sprintf("DS%d", i)), k, core.CustomOption{
+				Cluster: fmt.Sprintf("dsa%d", i), Sec: sdaDSSec, PowerW: SDAPowerPerPhaseW,
+			})
+		}
+		g.Node(id("DF"), k, core.CustomOption{Cluster: "cpu0", Sec: cpu(sdaDFSec), PowerW: SDAPowerPerPhaseW})
+		for i := 1; i <= 3; i++ {
+			g.Node(id(fmt.Sprintf("C%d", i)), k,
+				core.CustomOption{Cluster: "cpu0", Sec: cpu(sdaCSecCPU), PowerW: SDAPowerPerPhaseW},
+				core.CustomOption{Cluster: "gpu0", Sec: gpu(sdaCSecGPU), PowerW: SDAPowerPerPhaseW},
+			)
+		}
+		g.Node(id("PP"), k,
+			core.CustomOption{Cluster: "cpu0", Sec: cpu(sdaPPSecCPU), PowerW: SDAPowerPerPhaseW},
+			core.CustomOption{Cluster: "gpu0", Sec: gpu(sdaPPSecGPU), PowerW: SDAPowerPerPhaseW},
+		)
+
+		for i := 1; i <= 3; i++ {
+			g.Edge(id(fmt.Sprintf("DS%d", i)), id("DF"))
+			g.Edge(id("DF"), id(fmt.Sprintf("C%d", i)))
+			g.Edge(id(fmt.Sprintf("C%d", i)), id("PP"))
+		}
+		if k > 0 && cfg.SampleIntervalSec > 0 {
+			prev := func(phase string) string { return fmt.Sprintf("s%d.%s", k-1, phase) }
+			for i := 1; i <= 3; i++ {
+				g.EdgeLag(prev(fmt.Sprintf("DS%d", i)), id(fmt.Sprintf("DS%d", i)), scheduler.StartStart, cfg.SampleIntervalSec)
+			}
+		}
+	}
+
+	clusters := []core.CustomCluster{
+		{Name: "cpu0"},
+		{Name: "gpu0"},
+		{Name: "dsa1"}, {Name: "dsa2"}, {Name: "dsa3"},
+	}
+	return g.Model(clusters, 0, 0)
+}

@@ -1,0 +1,207 @@
+// Package dse runs design-space sweeps over SoC configurations with HILP,
+// MultiAmdahl, or Gables as the evaluation model, extracts area/performance
+// Pareto fronts, and classifies accelerator mixes the way the paper
+// color-codes its Figure 7 (GPU-dominated, DSA-dominated, mixed).
+package dse
+
+import (
+	"sort"
+	"sync"
+
+	"hilp/internal/baselines"
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// Mix classifies the accelerator area mix of an SoC (paper Fig. 7: a point
+// is GPU-dominated when the GPU takes > 75% of accelerator area,
+// DSA-dominated when DSAs do, mixed otherwise).
+type Mix int
+
+// Accelerator mixes.
+const (
+	NoAccel Mix = iota
+	GPUDominated
+	DSADominated
+	MixedAccel
+)
+
+// String names the mix.
+func (m Mix) String() string {
+	switch m {
+	case NoAccel:
+		return "cpu-only"
+	case GPUDominated:
+		return "gpu-dominated"
+	case DSADominated:
+		return "dsa-dominated"
+	case MixedAccel:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// Classify computes the accelerator mix of a spec.
+func Classify(s soc.Spec) Mix {
+	gpuArea := float64(s.GPUSMs) * soc.GPUSMAreaMM2
+	dsaArea := 0.0
+	for _, d := range s.DSAs {
+		dsaArea += float64(d.PEs) * soc.DSAPEAreaMM2
+	}
+	total := gpuArea + dsaArea
+	switch {
+	case total == 0:
+		return NoAccel
+	case gpuArea > 0.75*total:
+		return GPUDominated
+	case dsaArea > 0.75*total:
+		return DSADominated
+	default:
+		return MixedAccel
+	}
+}
+
+// Point is one evaluated SoC configuration.
+type Point struct {
+	Spec        soc.Spec
+	Label       string
+	AreaMM2     float64
+	Speedup     float64
+	WLP         float64
+	Gap         float64
+	MakespanSec float64
+	Mix         Mix
+	Err         error
+}
+
+// Evaluator scores one SoC configuration.
+type Evaluator func(soc.Spec) Point
+
+// Sweep evaluates every spec, fanning out across workers goroutines, and
+// returns points in input order. Failed evaluations carry their error in
+// Point.Err and are skipped by ParetoFront.
+func Sweep(specs []soc.Spec, workers int, eval Evaluator) []Point {
+	if workers < 1 {
+		workers = 1
+	}
+	points := make([]Point, len(specs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				points[i] = eval(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return points
+}
+
+// ParetoFront returns the subset of points that are Pareto-optimal for
+// (minimize area, maximize speedup), sorted by ascending area. Errored
+// points are excluded.
+func ParetoFront(points []Point) []Point {
+	var ok []Point
+	for _, p := range points {
+		if p.Err == nil {
+			ok = append(ok, p)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool {
+		if ok[i].AreaMM2 != ok[j].AreaMM2 {
+			return ok[i].AreaMM2 < ok[j].AreaMM2
+		}
+		return ok[i].Speedup > ok[j].Speedup
+	})
+	var front []Point
+	best := -1.0
+	for _, p := range ok {
+		if p.Speedup > best+1e-12 {
+			front = append(front, p)
+			best = p.Speedup
+		}
+	}
+	return front
+}
+
+// Best returns the highest-speedup point, breaking ties toward smaller area.
+// The boolean is false when no point evaluated successfully.
+func Best(points []Point) (Point, bool) {
+	found := false
+	var best Point
+	for _, p := range points {
+		if p.Err != nil {
+			continue
+		}
+		if !found || p.Speedup > best.Speedup+1e-12 ||
+			(p.Speedup > best.Speedup-1e-12 && p.AreaMM2 < best.AreaMM2) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// HILPEvaluator builds an Evaluator that scores SoCs with HILP.
+func HILPEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Config) Evaluator {
+	return func(s soc.Spec) Point {
+		p := newPoint(s)
+		res, err := core.Solve(w, s, profile, cfg)
+		if err != nil {
+			p.Err = err
+			return p
+		}
+		p.Speedup = res.Speedup
+		p.WLP = res.WLP
+		p.Gap = res.Gap
+		p.MakespanSec = res.MakespanSec
+		return p
+	}
+}
+
+// GablesEvaluator builds an Evaluator that scores SoCs with parallel-mode
+// Gables.
+func GablesEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Config) Evaluator {
+	return func(s soc.Spec) Point {
+		p := newPoint(s)
+		res, err := baselines.Gables(w, s, profile, cfg)
+		if err != nil {
+			p.Err = err
+			return p
+		}
+		p.Speedup = res.Speedup
+		p.WLP = res.WLP
+		p.Gap = res.Gap
+		p.MakespanSec = res.MakespanSec
+		return p
+	}
+}
+
+// MAEvaluator builds an Evaluator that scores SoCs with MultiAmdahl.
+func MAEvaluator(w rodinia.Workload) Evaluator {
+	return func(s soc.Spec) Point {
+		p := newPoint(s)
+		res, err := baselines.MultiAmdahl(w, s)
+		if err != nil {
+			p.Err = err
+			return p
+		}
+		p.Speedup = res.Speedup
+		p.WLP = res.WLP
+		p.MakespanSec = res.MakespanSec
+		return p
+	}
+}
+
+func newPoint(s soc.Spec) Point {
+	return Point{Spec: s, Label: s.Label(), AreaMM2: s.AreaMM2(), Mix: Classify(s)}
+}

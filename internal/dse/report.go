@@ -1,0 +1,96 @@
+package dse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV serializes points as CSV with a header row, skipping errored
+// evaluations (their labels are emitted with an error column instead).
+func WriteCSV(w io.Writer, model string, points []Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "model,soc,area_mm2,speedup,wlp,gap,makespan_sec,mix,error"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if p.Err != nil {
+			fmt.Fprintf(bw, "%s,%s,%.2f,,,,,%s,%q\n", model, p.Label, p.AreaMM2, p.Mix, p.Err.Error())
+			continue
+		}
+		fmt.Fprintf(bw, "%s,%s,%.2f,%.4f,%.4f,%.4f,%.4f,%s,\n",
+			model, p.Label, p.AreaMM2, p.Speedup, p.WLP, p.Gap, p.MakespanSec, p.Mix)
+	}
+	return bw.Flush()
+}
+
+// Hypervolume returns the area dominated by the Pareto front of the points
+// in (area, speedup) space relative to a reference point (refArea,
+// refSpeedup): the union of rectangles [point.Area, refArea] x [refSpeedup,
+// point.Speedup]. It is the standard scalar quality measure for comparing
+// fronts (larger is better); ablations use it to compare sweeps without
+// eyeballing plots. Points outside the reference box contribute their
+// clipped rectangle.
+func Hypervolume(points []Point, refArea, refSpeedup float64) float64 {
+	front := ParetoFront(points)
+	if len(front) == 0 {
+		return 0
+	}
+	// front is sorted by ascending area with strictly increasing speedup.
+	hv := 0.0
+	// Walk from the largest-area (fastest) point down; each point owns the
+	// horizontal strip between its speedup and the next-better point's.
+	prevSpeedup := refSpeedup
+	for _, p := range front {
+		if p.AreaMM2 >= refArea || p.Speedup <= refSpeedup {
+			continue
+		}
+		width := refArea - p.AreaMM2
+		top := p.Speedup
+		if top <= prevSpeedup {
+			continue
+		}
+		hv += width * (top - prevSpeedup)
+		prevSpeedup = top
+	}
+	return hv
+}
+
+// DominatedCount returns, per point, how many other points dominate it
+// (smaller-or-equal area and greater-or-equal speedup, strict in one).
+// Pareto-optimal points have count zero.
+func DominatedCount(points []Point) []int {
+	counts := make([]int, len(points))
+	for i := range points {
+		if points[i].Err != nil {
+			counts[i] = -1
+			continue
+		}
+		for j := range points {
+			if i == j || points[j].Err != nil {
+				continue
+			}
+			a, b := points[i], points[j]
+			if b.AreaMM2 <= a.AreaMM2 && b.Speedup >= a.Speedup &&
+				(b.AreaMM2 < a.AreaMM2 || b.Speedup > a.Speedup) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// SortByArea returns a copy of points ordered by ascending area (ties by
+// descending speedup), the natural plotting order.
+func SortByArea(points []Point) []Point {
+	out := make([]Point, len(points))
+	copy(out, points)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AreaMM2 != out[j].AreaMM2 {
+			return out[i].AreaMM2 < out[j].AreaMM2
+		}
+		return out[i].Speedup > out[j].Speedup
+	})
+	return out
+}

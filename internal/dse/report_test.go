@@ -1,0 +1,146 @@
+package dse
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteCSV(t *testing.T) {
+	pts := []Point{
+		{Label: "(c1,g0,d0^0)", AreaMM2: 16.6, Speedup: 1, WLP: 1, MakespanSec: 100, Mix: NoAccel},
+		{Label: "(c4,g16,d0^0)", AreaMM2: 170.4, Speedup: 33.4, WLP: 2.5, MakespanSec: 48.8, Mix: GPUDominated},
+		{Label: "(broken)", AreaMM2: 10, Mix: NoAccel, Err: errors.New("boom")},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, "HILP", pts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want header + 3 rows:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "model,soc,") {
+		t.Errorf("bad header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "33.4000") || !strings.Contains(lines[2], "gpu-dominated") {
+		t.Errorf("bad row %q", lines[2])
+	}
+	if !strings.Contains(lines[3], `"boom"`) {
+		t.Errorf("error row missing message: %q", lines[3])
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	pts := []Point{
+		{Label: "a", AreaMM2: 10, Speedup: 2},
+		{Label: "b", AreaMM2: 20, Speedup: 5},
+	}
+	// Reference (30, 0): a contributes (30-10)x(2-0)=40; b adds
+	// (30-20)x(5-2)=30. Total 70.
+	if hv := Hypervolume(pts, 30, 0); math.Abs(hv-70) > 1e-9 {
+		t.Errorf("hypervolume = %g, want 70", hv)
+	}
+	// Dominated points cannot change the value.
+	withDominated := append([]Point{{Label: "dom", AreaMM2: 25, Speedup: 1}}, pts...)
+	if hv := Hypervolume(withDominated, 30, 0); math.Abs(hv-70) > 1e-9 {
+		t.Errorf("hypervolume with dominated point = %g, want 70", hv)
+	}
+	// Points outside the reference box contribute nothing.
+	outside := []Point{{Label: "huge", AreaMM2: 50, Speedup: 9}}
+	if hv := Hypervolume(outside, 30, 0); hv != 0 {
+		t.Errorf("hypervolume = %g, want 0 for out-of-box points", hv)
+	}
+	if hv := Hypervolume(nil, 30, 0); hv != 0 {
+		t.Errorf("hypervolume of nothing = %g", hv)
+	}
+}
+
+func TestHypervolumeMonotoneInFrontQuality(t *testing.T) {
+	base := []Point{
+		{Label: "a", AreaMM2: 10, Speedup: 2},
+		{Label: "b", AreaMM2: 20, Speedup: 5},
+	}
+	better := append([]Point{{Label: "c", AreaMM2: 15, Speedup: 4}}, base...)
+	if Hypervolume(better, 30, 0) < Hypervolume(base, 30, 0) {
+		t.Error("adding a non-dominated point reduced the hypervolume")
+	}
+}
+
+func TestDominatedCount(t *testing.T) {
+	pts := []Point{
+		{Label: "best", AreaMM2: 10, Speedup: 5},
+		{Label: "worse", AreaMM2: 20, Speedup: 3},   // dominated by best
+		{Label: "tradeoff", AreaMM2: 5, Speedup: 1}, // Pareto (smaller area)
+		{Label: "err", Err: errors.New("x")},
+	}
+	counts := DominatedCount(pts)
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Errorf("Pareto points dominated: %v", counts)
+	}
+	if counts[1] != 1 {
+		t.Errorf("worse dominated by %d, want 1", counts[1])
+	}
+	if counts[3] != -1 {
+		t.Errorf("errored point count = %d, want -1", counts[3])
+	}
+}
+
+func TestSortByArea(t *testing.T) {
+	pts := []Point{
+		{Label: "big", AreaMM2: 30},
+		{Label: "small-fast", AreaMM2: 10, Speedup: 9},
+		{Label: "small-slow", AreaMM2: 10, Speedup: 1},
+	}
+	out := SortByArea(pts)
+	if out[0].Label != "small-fast" || out[1].Label != "small-slow" || out[2].Label != "big" {
+		t.Errorf("order: %v %v %v", out[0].Label, out[1].Label, out[2].Label)
+	}
+	// Input untouched.
+	if pts[0].Label != "big" {
+		t.Error("SortByArea mutated its input")
+	}
+}
+
+// TestParetoFrontMutuallyNonDominated is the defining property of a front,
+// checked on random point sets.
+func TestParetoFrontMutuallyNonDominated(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := int(seed) + 1
+		next := func() float64 {
+			rng = (rng*1103515245 + 12345) & 0x7fffffff
+			return float64(rng%1000) / 10
+		}
+		pts := make([]Point, 12)
+		for i := range pts {
+			pts[i] = Point{Label: "p", AreaMM2: 1 + next(), Speedup: next()}
+		}
+		front := ParetoFront(pts)
+		counts := DominatedCount(front)
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		// Every input point must be dominated by or equal to some front point.
+		for _, p := range pts {
+			covered := false
+			for _, q := range front {
+				if q.AreaMM2 <= p.AreaMM2 && q.Speedup >= p.Speedup {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// The ablation studies quantify the design choices DESIGN.md calls out:
+// the layered solver portfolio, the adaptive time-step resolution, DVFS
+// alias clusters, and the parallel-CPU option (Eq. 8).
+
+// AblationSolverRow compares search strategies on one instance.
+type AblationSolverRow struct {
+	SoC      string
+	Strategy string
+	Makespan int
+	Gap      float64
+	Elapsed  time.Duration
+}
+
+// ablationSpecs are the SoCs used by the solver and resolution ablations.
+func ablationSpecs() []soc.Spec {
+	return []soc.Spec{
+		{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765},
+			DSAs: []soc.DSA{{PEs: 16, Target: "LUD"}, {PEs: 16, Target: "HS"}}},
+		{CPUCores: 4, GPUSMs: 64, GPUFrequenciesMHz: []float64{300, 765}, PowerBudgetWatts: 100},
+	}
+}
+
+// AblationSolverPortfolio runs each search stage in isolation on the
+// ablation SoCs (Default workload, fixed 2 s resolution) and reports
+// makespan and time: heuristics only, simulated annealing, annealing plus
+// double justification (the production pipeline), and tabu search.
+func AblationSolverPortfolio(opts Options) ([]AblationSolverRow, error) {
+	opts = opts.withDefaults()
+	w := rodinia.DefaultWorkload()
+	var rows []AblationSolverRow
+	for _, spec := range ablationSpecs() {
+		inst, err := core.BuildInstance(w, spec, 2, 1000)
+		if err != nil {
+			return nil, err
+		}
+		p := inst.Problem
+		lb := scheduler.LowerBound(p)
+		gap := func(makespan int) float64 {
+			if makespan == 0 {
+				return 0
+			}
+			return float64(makespan-lb) / float64(makespan)
+		}
+		run := func(name string, f func() (scheduler.Schedule, bool)) error {
+			start := time.Now()
+			s, ok := f()
+			elapsed := time.Since(start)
+			if !ok {
+				return fmt.Errorf("experiments: %s found no schedule on %s", name, spec.Label())
+			}
+			if err := s.Validate(p); err != nil {
+				return fmt.Errorf("experiments: %s produced an invalid schedule: %w", name, err)
+			}
+			rows = append(rows, AblationSolverRow{
+				SoC: spec.Label(), Strategy: name, Makespan: s.Makespan, Gap: gap(s.Makespan), Elapsed: elapsed,
+			})
+			return nil
+		}
+		iters := int(opts.Effort * float64(2000+400*len(p.Tasks)))
+		if err := run("heuristics", func() (scheduler.Schedule, bool) { return scheduler.HeuristicSchedule(p) }); err != nil {
+			return nil, err
+		}
+		if err := run("anneal", func() (scheduler.Schedule, bool) {
+			return scheduler.Anneal(p, scheduler.AnnealConfig{Seed: opts.Seed, Iterations: iters})
+		}); err != nil {
+			return nil, err
+		}
+		if err := run("anneal+justify", func() (scheduler.Schedule, bool) {
+			s, ok := scheduler.Anneal(p, scheduler.AnnealConfig{Seed: opts.Seed, Iterations: iters})
+			if !ok {
+				return s, false
+			}
+			return scheduler.Justify(p, s), true
+		}); err != nil {
+			return nil, err
+		}
+		if err := run("tabu", func() (scheduler.Schedule, bool) {
+			return scheduler.TabuSearch(p, scheduler.TabuConfig{Seed: opts.Seed, Iterations: iters / 2})
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblationSolver formats the solver-portfolio ablation.
+func RenderAblationSolver(rows []AblationSolverRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.SoC, r.Strategy, fmt.Sprint(r.Makespan), f2(r.Gap), r.Elapsed.Round(time.Millisecond).String()})
+	}
+	var b strings.Builder
+	b.WriteString("Ablation - solver portfolio (Default, 2 s steps)\n")
+	b.WriteString(renderTable([]string{"SoC", "strategy", "makespan (steps)", "gap", "time"}, out))
+	return b.String()
+}
+
+// AblationResolutionRow compares time-step resolutions.
+type AblationResolutionRow struct {
+	StepSec  float64 // 0 marks the adaptive run
+	Adaptive bool
+	Speedup  float64
+	Elapsed  time.Duration
+}
+
+// AblationResolution evaluates the paper's recommended SoC at fixed
+// resolutions versus the adaptive §III-D loop, quantifying discretization
+// error: coarse steps inflate phase times (ceiling) and depress speedup.
+func AblationResolution(opts Options) ([]AblationResolutionRow, error) {
+	opts = opts.withDefaults()
+	w := rodinia.DefaultWorkload()
+	spec := soc.Spec{
+		CPUCores: 4, GPUSMs: 16,
+		DSAs:              []soc.DSA{{PEs: 16, Target: "LUD"}, {PEs: 16, Target: "HS"}},
+		GPUFrequenciesMHz: []float64{765},
+	}
+	cfg := opts.schedConfig()
+
+	var rows []AblationResolutionRow
+	for _, step := range []float64{10, 2, 0.4} {
+		start := time.Now()
+		profile := core.Profile{InitialStepSec: step, Horizon: 2000, RefineWhileBelow: 0, MaxRefinements: 0}
+		res, err := core.Solve(w, spec, profile, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationResolutionRow{StepSec: step, Speedup: res.Speedup, Elapsed: time.Since(start)})
+	}
+	start := time.Now()
+	res, err := core.Solve(w, spec, dseProfile(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationResolutionRow{StepSec: res.StepSec, Adaptive: true, Speedup: res.Speedup, Elapsed: time.Since(start)})
+	return rows, nil
+}
+
+// RenderAblationResolution formats the resolution ablation.
+func RenderAblationResolution(rows []AblationResolutionRow) string {
+	var out [][]string
+	for _, r := range rows {
+		mode := "fixed"
+		if r.Adaptive {
+			mode = "adaptive"
+		}
+		out = append(out, []string{fmt.Sprintf("%.3g", r.StepSec), mode, f1(r.Speedup), r.Elapsed.Round(time.Millisecond).String()})
+	}
+	var b strings.Builder
+	b.WriteString("Ablation - time-step resolution ((c4,g16,d2^16), Default)\n")
+	b.WriteString(renderTable([]string{"step (s)", "mode", "speedup", "time"}, out))
+	return b.String()
+}
+
+// AblationDVFSRow compares DVFS modeling depth under a power cap.
+type AblationDVFSRow struct {
+	Points  int
+	Speedup float64
+}
+
+// AblationDVFS evaluates the power-capped 64-SM SoC of Fig. 5c with a
+// single operating point versus the full Table III range: without DVFS
+// aliases the big GPU cannot run under the cap at all, which is exactly the
+// dark-silicon effect the paper models.
+func AblationDVFS(opts Options) ([]AblationDVFSRow, error) {
+	opts = opts.withDefaults()
+	w := rodinia.OptimizedWorkload()
+	var rows []AblationDVFSRow
+	for _, freqs := range [][]float64{
+		{765},
+		{210, 765},
+		nil, // full table
+	} {
+		spec := soc.Spec{
+			CPUCores:          4,
+			GPUSMs:            64,
+			PowerBudgetWatts:  50,
+			MemBandwidthGBs:   math.Inf(1),
+			GPUFrequenciesMHz: freqs,
+		}
+		res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+		if err != nil {
+			return nil, err
+		}
+		n := len(freqs)
+		if freqs == nil {
+			n = len(rodinia.PowerTable())
+		}
+		rows = append(rows, AblationDVFSRow{Points: n, Speedup: res.Speedup})
+	}
+	return rows, nil
+}
+
+// RenderAblationDVFS formats the DVFS ablation.
+func RenderAblationDVFS(rows []AblationDVFSRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.Points), f1(r.Speedup)})
+	}
+	var b strings.Builder
+	b.WriteString("Ablation - DVFS operating points (64-SM GPU, 50 W cap, Optimized)\n")
+	b.WriteString(renderTable([]string{"operating points", "speedup"}, out))
+	return b.String()
+}
+
+// AblationCPUWidthRow compares instance construction with and without the
+// parallel-CPU compute option.
+type AblationCPUWidthRow struct {
+	ParallelCPU bool
+	Speedup     float64
+}
+
+// AblationCPUWidth evaluates a GPU-less 4-CPU SoC on Rodinia with and
+// without the Eq. 8 parallel-CPU option: without it a compute phase can use
+// only one core and the SoC loses most of its multicore benefit.
+func AblationCPUWidth(opts Options) ([]AblationCPUWidthRow, error) {
+	opts = opts.withDefaults()
+	w := rodinia.RodiniaWorkload()
+	spec := soc.Spec{CPUCores: 4, GPUFrequenciesMHz: []float64{765}}
+	var rows []AblationCPUWidthRow
+	for _, disable := range []bool{false, true} {
+		res, err := core.SolveAdaptive(func(stepSec float64, horizon int) (*core.Instance, error) {
+			return core.BuildInstanceOpts(w, spec, stepSec, horizon, core.BuildOptions{DisableParallelCPU: disable})
+		}, validationProfile(), opts.schedConfig())
+		if err != nil {
+			return nil, err
+		}
+		speedup := 0.0
+		if res.MakespanSec > 0 {
+			speedup = w.SequentialSingleCoreSec() / res.MakespanSec
+		}
+		rows = append(rows, AblationCPUWidthRow{ParallelCPU: !disable, Speedup: speedup})
+	}
+	return rows, nil
+}
+
+// RenderAblationCPUWidth formats the CPU-width ablation.
+func RenderAblationCPUWidth(rows []AblationCPUWidthRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.ParallelCPU), f1(r.Speedup)})
+	}
+	var b strings.Builder
+	b.WriteString("Ablation - parallel-CPU compute option (4 CPUs, no GPU, Rodinia)\n")
+	b.WriteString(renderTable([]string{"parallel CPU (Eq. 8)", "speedup"}, out))
+	return b.String()
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables II-III, Figures 2-3, 5-8, 10). Each experiment is a
+// function returning typed rows plus a text renderer, so the same code backs
+// the root-level benchmarks, the hilp-exp command, and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hilp/internal/core"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// Options tunes experiment execution cost. The zero value selects defaults
+// sized for a laptop-scale run.
+type Options struct {
+	// Seed drives all randomized search deterministically.
+	Seed int64
+	// Effort scales the scheduler's annealing budget (1 = default).
+	Effort float64
+	// Workers bounds sweep parallelism. 0 selects 1.
+	Workers int
+	// DVFSPoints restricts the GPU operating points used in design-space
+	// sweeps. Empty selects a 5-point subset of Table III; validation
+	// experiments that study DVFS always use the full table.
+	DVFSPoints []float64
+	// Space overrides the design-space enumeration of the Fig. 7/8 sweeps
+	// (nil selects the paper's full 372-SoC space). Tests use it to run
+	// reduced sweeps.
+	Space *soc.SpaceConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Effort == 0 {
+		o.Effort = 0.3
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	if len(o.DVFSPoints) == 0 {
+		o.DVFSPoints = []float64{210, 300, 420, 600, 765}
+	}
+	return o
+}
+
+func (o Options) schedConfig() scheduler.Config {
+	return scheduler.Config{Seed: o.Seed, Effort: o.Effort, Restarts: 1}
+}
+
+// validationProfile is the paper's validation setting with the refinement
+// budget trimmed for laptop-scale runs.
+func validationProfile() core.Profile {
+	return core.Profile{InitialStepSec: 2, Horizon: 1000, RefineWhileBelow: 200, MaxRefinements: 3}
+}
+
+// dseProfile is the paper's design-space-exploration setting.
+func dseProfile() core.Profile {
+	return core.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 40, MaxRefinements: 3}
+}
+
+// renderTable formats rows as an aligned text table.
+func renderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

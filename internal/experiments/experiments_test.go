@@ -1,0 +1,462 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hilp/internal/dse"
+	"hilp/internal/rodinia"
+	"hilp/internal/soc"
+)
+
+func TestFig2and3Example(t *testing.T) {
+	r, err := Fig2and3Example(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NaiveMakespan != 17 {
+		t.Errorf("naive makespan = %d, want 17", r.NaiveMakespan)
+	}
+	if r.HILPMakespan != 7 {
+		t.Errorf("HILP makespan = %d, want 7", r.HILPMakespan)
+	}
+	if math.Abs(r.Speedup-17.0/7.0) > 1e-9 {
+		t.Errorf("speedup = %g, want 2.43", r.Speedup)
+	}
+	if math.Abs(r.HILPWLP-12.0/7.0) > 1e-9 {
+		t.Errorf("HILP WLP = %g, want 1.71", r.HILPWLP)
+	}
+	if math.Abs(r.GablesWLP-2.4) > 1e-9 {
+		t.Errorf("Gables WLP = %g, want 2.4", r.GablesWLP)
+	}
+	if r.PowerCapSpan != 9 {
+		t.Errorf("power-capped makespan = %d, want 9", r.PowerCapSpan)
+	}
+	if r.PowerCapPeak > 3+1e-9 {
+		t.Errorf("power-capped peak = %g, want <= 3", r.PowerCapPeak)
+	}
+	if r.UncappedPeak <= 3 {
+		t.Errorf("unconstrained peak = %g, want > 3 (the cap must bind)", r.UncappedPeak)
+	}
+	if r.PowerCapCluster != "dsa0" {
+		t.Errorf("capped compute ran on %s, paper says the DSA", r.PowerCapCluster)
+	}
+	if !strings.Contains(r.Render(), "Figure 2") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestTable2Fits(t *testing.T) {
+	rows, err := Table2Fits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d rows, want 10", len(rows))
+	}
+	for _, r := range rows {
+		// The refit must recover the published exponent wherever the
+		// published fit was trustworthy.
+		if r.PublishedTime.R2 >= 0.9 && math.Abs(r.RefitTime.B-r.PublishedTime.B) > 0.15 {
+			t.Errorf("%s: refit time exponent %.3f, published %.3f", r.Benchmark, r.RefitTime.B, r.PublishedTime.B)
+		}
+		if r.PublishedBW.R2 >= 0.9 && math.Abs(r.RefitBW.B-r.PublishedBW.B) > 0.15 {
+			t.Errorf("%s: refit BW exponent %.3f, published %.3f", r.Benchmark, r.RefitBW.B, r.PublishedBW.B)
+		}
+	}
+	out := RenderTable2(rows)
+	for _, want := range []string{"LUD", "HS", "Table II"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderTable2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3PowerScaling(t *testing.T) {
+	rows, err := Table3PowerScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("%d rows, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Refit.B-1) > 0.05 {
+			t.Errorf("%g MHz: refit exponent %.3f, want ~1 (linear in SMs)", r.FrequencyMHz, r.Refit.B)
+		}
+	}
+	if !strings.Contains(RenderTable3(rows), "765") {
+		t.Error("RenderTable3 missing the base frequency")
+	}
+}
+
+func TestFig5aAmdahl(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second validation sweep")
+	}
+	series, err := Fig5aAmdahl(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("%d series, want 3", len(series))
+	}
+	for _, s := range series {
+		first := s.Rows[0].Speedup
+		last := s.Rows[len(s.Rows)-1].Speedup
+		if last < 1.5*first {
+			t.Errorf("%d SMs: speedup barely grows with CPUs (%g -> %g)", s.GPUSMs, first, last)
+		}
+		// Saturation below the compute-limit asymptote (small tolerance for
+		// discretization).
+		for _, r := range s.Rows {
+			if r.Speedup > s.Asymptote*1.08 {
+				t.Errorf("%d SMs @ %d CPUs: speedup %g exceeds asymptote %g", s.GPUSMs, r.CPUs, r.Speedup, s.Asymptote)
+			}
+		}
+	}
+	// Bigger GPUs have higher compute limits.
+	if !(series[0].Asymptote < series[1].Asymptote && series[1].Asymptote < series[2].Asymptote) {
+		t.Error("asymptotes not ordered by GPU size")
+	}
+}
+
+func TestFig5bMemoryWall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second validation sweep")
+	}
+	rows, err := Fig5bMemoryWall(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySMs := map[int][]ConstraintRow{}
+	for _, r := range rows {
+		bySMs[r.GPUSMs] = append(bySMs[r.GPUSMs], r)
+	}
+	// Per GPU size, speedup must be (weakly) non-decreasing in bandwidth.
+	for sms, rs := range bySMs {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Speedup < rs[i-1].Speedup*0.9 {
+				t.Errorf("%d SMs: speedup drops from %g to %g as bandwidth grows", sms, rs[i-1].Speedup, rs[i].Speedup)
+			}
+		}
+	}
+	// At generous bandwidth the bigger GPU must win (compute-bound regime).
+	last := func(sms int) float64 { rs := bySMs[sms]; return rs[len(rs)-1].Speedup }
+	if !(last(16) < last(32) && last(32) < last(64)) {
+		t.Errorf("saturated speedups not ordered: 16:%g 32:%g 64:%g", last(16), last(32), last(64))
+	}
+	// At 50 GB/s the big GPUs are bandwidth-starved relative to their
+	// compute-bound performance (the memory wall).
+	first := func(sms int) float64 { return bySMs[sms][0].Speedup }
+	if first(64) > 0.5*last(64) {
+		t.Errorf("64-SM SoC not bandwidth-bound at 50 GB/s: %g vs saturated %g", first(64), last(64))
+	}
+}
+
+func TestFig5cDarkSilicon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second validation sweep")
+	}
+	rows, err := Fig5cDarkSilicon(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySMs := map[int]map[float64]float64{}
+	for _, r := range rows {
+		if bySMs[r.GPUSMs] == nil {
+			bySMs[r.GPUSMs] = map[float64]float64{}
+		}
+		bySMs[r.GPUSMs][r.Limit] = r.Speedup
+	}
+	// The 16-SM SoC reaches its potential at every budget (paper: 50 W is
+	// sufficient).
+	if bySMs[16][50] < bySMs[16][400]*0.9 {
+		t.Errorf("16-SM SoC power-bound at 50 W: %g vs %g", bySMs[16][50], bySMs[16][400])
+	}
+	// The paper's dark-silicon inversion: at 50 W the 32-SM SoC beats the
+	// 64-SM SoC whose DVFS range is clamped.
+	if bySMs[32][50] <= bySMs[64][50] {
+		t.Errorf("no dark-silicon inversion at 50 W: 32-SM %g <= 64-SM %g", bySMs[32][50], bySMs[64][50])
+	}
+	// With ample power the 64-SM SoC wins.
+	if bySMs[64][400] <= bySMs[32][400] {
+		t.Errorf("64-SM SoC not fastest at 400 W: %g vs %g", bySMs[64][400], bySMs[32][400])
+	}
+}
+
+func TestFig6WLP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second validation sweep")
+	}
+	rows, err := Fig6WLP(rodinia.RodiniaWorkload(), Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byModel := map[string][]Fig6Row{}
+	for _, r := range rows {
+		byModel[r.Model] = append(byModel[r.Model], r)
+	}
+	// MA: WLP identically 1, speedup flat in CPU count (paper: 4.9).
+	for _, r := range byModel["MA"] {
+		if r.WLP != 1 {
+			t.Errorf("MA WLP = %g at %d CPUs, want 1", r.WLP, r.CPUs)
+		}
+		if math.Abs(r.Speedup-byModel["MA"][0].Speedup) > 1e-9 {
+			t.Error("MA speedup not flat in CPU count")
+		}
+	}
+	if s := byModel["MA"][0].Speedup; s < 4 || s > 6 {
+		t.Errorf("MA Rodinia speedup = %g, paper reports 4.9", s)
+	}
+	// At every CPU count: WLP(MA) <= WLP(HILP) <= WLP(Gables) + slack.
+	for i := range byModel["HILP"] {
+		h, g := byModel["HILP"][i], byModel["Gables"][i]
+		if h.WLP < 1-1e-9 {
+			t.Errorf("HILP WLP %g < 1", h.WLP)
+		}
+		if g.WLP+0.25 < h.WLP {
+			t.Errorf("%d CPUs: Gables WLP %g below HILP %g", h.CPUs, g.WLP, h.WLP)
+		}
+		if g.Speedup*1.1 < h.Speedup {
+			t.Errorf("%d CPUs: Gables speedup %g below HILP %g", h.CPUs, g.Speedup, h.Speedup)
+		}
+	}
+	// WLP grows with CPU count for HILP (more cores unlock overlap).
+	hilp := byModel["HILP"]
+	if hilp[len(hilp)-1].WLP <= hilp[0].WLP {
+		t.Error("HILP WLP does not grow with CPU count")
+	}
+}
+
+// tinySpace is a reduced design space for sweep-machinery tests.
+func tinySpace() *soc.SpaceConfig {
+	return &soc.SpaceConfig{
+		CPUCores: []int{1, 4},
+		GPUSMs:   []int{0, 16},
+		MaxDSAs:  2,
+		DSAPEs:   []int{16},
+	}
+}
+
+func TestFig7DesignSpaceReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig7DesignSpace(Options{Seed: 1, Effort: 0.15, Space: tinySpace(), DVFSPoints: []float64{765}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 CPU x 2 GPU x (1 + 2x1) = 12 SoCs per model.
+	if len(r.HILP) != 12 || len(r.MA) != 12 || len(r.Gables) != 12 {
+		t.Fatalf("sweep sizes %d/%d/%d, want 12", len(r.MA), len(r.Gables), len(r.HILP))
+	}
+	maBest, _ := dse.Best(r.MA)
+	gabBest, _ := dse.Best(r.Gables)
+	hilpBest, _ := dse.Best(r.HILP)
+	if !(maBest.Speedup <= hilpBest.Speedup*1.05 && hilpBest.Speedup <= gabBest.Speedup*1.05) {
+		t.Errorf("best speedups not ordered: MA %g, HILP %g, Gables %g", maBest.Speedup, hilpBest.Speedup, gabBest.Speedup)
+	}
+	if len(r.HILPFront) == 0 {
+		t.Error("empty HILP Pareto front")
+	}
+	if !strings.Contains(RenderFig7(r), "Pareto front") {
+		t.Error("RenderFig7 missing front sections")
+	}
+}
+
+func TestFig8aReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig8aPowerConstrained(Options{Seed: 1, Effort: 0.15, Space: tinySpace(), DVFSPoints: []float64{210, 765}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighter budgets can only hurt the best achievable speedup.
+	best := func(budget float64) float64 {
+		b, ok := dse.Best(r.Points[budget])
+		if !ok {
+			return 0
+		}
+		return b.Speedup
+	}
+	if best(20) > best(600)*1.05 {
+		t.Errorf("20 W best %g exceeds 600 W best %g", best(20), best(600))
+	}
+	if !strings.Contains(RenderFig8a(r), "20 W") {
+		t.Error("RenderFig8a missing budget sections")
+	}
+}
+
+func TestFig8bReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r, err := Fig8bDSAAdvantage(Options{Seed: 1, Effort: 0.15, Space: tinySpace(), DVFSPoints: []float64{765}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A larger DSA advantage can only improve the best achievable speedup.
+	best := func(adv float64) float64 {
+		b, _ := dse.Best(r.Points[adv])
+		return b.Speedup
+	}
+	if best(8) < best(2)*0.95 {
+		t.Errorf("8x advantage best %g below 2x best %g", best(8), best(2))
+	}
+	if !strings.Contains(RenderFig8b(r), "advantage front") {
+		t.Error("RenderFig8b missing sections")
+	}
+}
+
+func TestFig10Streaming(t *testing.T) {
+	r, err := Fig10Streaming(Options{Seed: 1, Effort: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Variants) != 3 {
+		t.Fatalf("%d variants, want 3", len(r.Variants))
+	}
+	base, cpu, gpu := r.Variants[0], r.Variants[1], r.Variants[2]
+	if base.MeetsTarget {
+		t.Error("baseline SoC unexpectedly meets the objective (paper: it falls short)")
+	}
+	if !cpu.MeetsTarget || !gpu.MeetsTarget {
+		t.Errorf("what-ifs must meet the objective: cpu=%v gpu=%v", cpu.MeetsTarget, gpu.MeetsTarget)
+	}
+	if cpu.MakespanSec >= base.MakespanSec || gpu.MakespanSec >= base.MakespanSec {
+		t.Error("upgrades did not improve the makespan")
+	}
+	if !strings.Contains(r.Render(), "Figure 10") {
+		t.Error("Render missing header")
+	}
+}
+
+func TestAblationSolverPortfolio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second ablation")
+	}
+	rows, err := AblationSolverPortfolio(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrategy := map[string]map[string]AblationSolverRow{}
+	for _, r := range rows {
+		if byStrategy[r.SoC] == nil {
+			byStrategy[r.SoC] = map[string]AblationSolverRow{}
+		}
+		byStrategy[r.SoC][r.Strategy] = r
+	}
+	for socLabel, m := range byStrategy {
+		// Annealing must not be worse than the heuristic seeds it starts
+		// from, and justification must not be worse than annealing.
+		if m["anneal"].Makespan > m["heuristics"].Makespan {
+			t.Errorf("%s: anneal %d worse than heuristics %d", socLabel, m["anneal"].Makespan, m["heuristics"].Makespan)
+		}
+		if m["anneal+justify"].Makespan > m["anneal"].Makespan {
+			t.Errorf("%s: justification worsened %d -> %d", socLabel, m["anneal"].Makespan, m["anneal+justify"].Makespan)
+		}
+	}
+	if !strings.Contains(RenderAblationSolver(rows), "anneal+justify") {
+		t.Error("render missing strategies")
+	}
+}
+
+func TestAblationResolution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second ablation")
+	}
+	rows, err := AblationResolution(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	// Finer fixed resolution must not reduce measured speedup (ceiling
+	// inflation shrinks), and the adaptive run must land near the finest.
+	if rows[0].Speedup > rows[2].Speedup {
+		t.Errorf("coarse resolution (%g) beat fine (%g)", rows[0].Speedup, rows[2].Speedup)
+	}
+	adaptive := rows[3]
+	if !adaptive.Adaptive {
+		t.Fatal("last row should be the adaptive run")
+	}
+	if adaptive.Speedup < rows[2].Speedup*0.9 {
+		t.Errorf("adaptive speedup %g well below fine fixed %g", adaptive.Speedup, rows[2].Speedup)
+	}
+}
+
+func TestAblationDVFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second ablation")
+	}
+	rows, err := AblationDVFS(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modeling more operating points can only help under the power cap; the
+	// single-point model must be drastically worse (the GPU exceeds 50 W at
+	// base clock).
+	if rows[0].Speedup*5 > rows[len(rows)-1].Speedup {
+		t.Errorf("DVFS modeling had too little effect: 1pt %g vs full %g", rows[0].Speedup, rows[len(rows)-1].Speedup)
+	}
+}
+
+func TestAblationCPUWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second ablation")
+	}
+	rows, err := AblationCPUWidth(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if rows[0].Speedup < rows[1].Speedup*0.95 {
+		t.Errorf("parallel-CPU option hurt: with %g, without %g", rows[0].Speedup, rows[1].Speedup)
+	}
+}
+
+func TestSyntheticSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	rows, err := SyntheticSensitivity(Options{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	get := func(workloadPrefix, variant string) float64 {
+		for _, r := range rows {
+			if strings.HasPrefix(r.Workload, workloadPrefix) && r.Variant == variant {
+				return r.Speedup
+			}
+		}
+		t.Fatalf("missing row %s/%s", workloadPrefix, variant)
+		return 0
+	}
+	// On the uniform (GPU-congested) workload the bigger GPU helps a lot
+	// and DSAs help measurably; on the heavy-tailed workload neither buys
+	// nearly as much (the dominant chain limits).
+	uniBase := get("uniform", "base (c4,g16)")
+	uniGPU := get("uniform", "bigger GPU (c4,g64)")
+	if uniGPU < 1.5*uniBase {
+		t.Errorf("bigger GPU on uniform: %g vs base %g, want a large gain", uniGPU, uniBase)
+	}
+	heavyBase := get("heavy-tailed", "base (c4,g16)")
+	heavyGPU := get("heavy-tailed", "bigger GPU (c4,g64)")
+	// The congested uniform workload must benefit (relatively) more from
+	// extra accelerator capacity than the chain-limited heavy-tailed one.
+	if heavyGPU/heavyBase > uniGPU/uniBase {
+		t.Errorf("GPU gain on heavy-tailed (%g) exceeds uniform (%g)", heavyGPU/heavyBase, uniGPU/uniBase)
+	}
+	if !strings.Contains(RenderSynthetic(rows), "coverage is king") {
+		t.Error("render missing the takeaway")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hilp/internal/dag"
+	"hilp/internal/scheduler"
+)
+
+// Fig10Variant is one SoC what-if of the §VII streaming-dataflow case study.
+type Fig10Variant struct {
+	Name        string
+	MakespanSec float64
+	WLP         float64
+	Gantt       string
+	MeetsTarget bool
+}
+
+// Fig10Result compares the baseline (c1,g8,d3^1) SoC with the paper's two
+// what-ifs: a 2x faster CPU and a GPU with twice the SMs.
+type Fig10Result struct {
+	TargetSec float64 // performance objective for two overlapped samples
+	Variants  []Fig10Variant
+}
+
+// Fig10Streaming reproduces Fig. 10: HILP schedules for the SDA workload
+// (two samples in flight) on three candidate SoCs. The design objective is
+// to overlap sample processing; the baseline SoC falls short while either
+// upgrade meets the target.
+func Fig10Streaming(opts Options) (*Fig10Result, error) {
+	opts = opts.withDefaults()
+	const stepSec = 0.25
+	const instances = 2
+
+	solve := func(name string, cfg dag.SDAConfig) (Fig10Variant, error) {
+		m, err := dag.SDA(cfg)
+		if err != nil {
+			return Fig10Variant{}, err
+		}
+		inst, err := m.Build(stepSec, 400)
+		if err != nil {
+			return Fig10Variant{}, err
+		}
+		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: opts.Seed, Effort: opts.Effort, Restarts: 1})
+		if err != nil {
+			return Fig10Variant{}, err
+		}
+		return Fig10Variant{
+			Name:        name,
+			MakespanSec: float64(res.Schedule.Makespan) * stepSec,
+			WLP:         res.Schedule.WLP(inst.Problem),
+			Gantt:       inst.Gantt(res.Schedule, 64),
+		}, nil
+	}
+
+	base, err := solve("baseline (c1,g8,d3^1)", dag.SDAConfig{Instances: instances})
+	if err != nil {
+		return nil, err
+	}
+	fastCPU, err := solve("2x faster CPU", dag.SDAConfig{Instances: instances, CPUSpeedup: 2})
+	if err != nil {
+		return nil, err
+	}
+	bigGPU, err := solve("2x GPU SMs", dag.SDAConfig{Instances: instances, GPUSMs: 16})
+	if err != nil {
+		return nil, err
+	}
+
+	// Target: the paper's objective is pipelined overlap of consecutive
+	// samples, which we quantify as finishing two samples within 1.6x of a
+	// single sample's proven lower bound on the baseline SoC.
+	m, err := dag.SDA(dag.SDAConfig{Instances: 1})
+	if err != nil {
+		return nil, err
+	}
+	inst1, err := m.Build(stepSec, 200)
+	if err != nil {
+		return nil, err
+	}
+	lb := scheduler.LowerBound(inst1.Problem)
+	target := 1.6 * float64(lb) * stepSec
+
+	out := &Fig10Result{TargetSec: target}
+	for _, v := range []Fig10Variant{base, fastCPU, bigGPU} {
+		v.MeetsTarget = v.MakespanSec <= target
+		out.Variants = append(out.Variants, v)
+	}
+	return out, nil
+}
+
+// Render formats the Fig. 10 comparison.
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 - streaming dataflow (SDA), 2 samples in flight; objective: makespan <= %.1f s\n\n", r.TargetSec)
+	var rows [][]string
+	for _, v := range r.Variants {
+		rows = append(rows, []string{v.Name, f2(v.MakespanSec), f2(v.WLP), fmt.Sprint(v.MeetsTarget)})
+	}
+	b.WriteString(renderTable([]string{"SoC", "makespan (s)", "avg WLP", "meets objective"}, rows))
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, "\n%s:\n%s", v.Name, v.Gantt)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/soc"
+	"hilp/internal/workgen"
+)
+
+// SyntheticRow is one (workload shape, SoC variant) evaluation of the
+// sensitivity study.
+type SyntheticRow struct {
+	Workload string
+	Variant  string
+	Speedup  float64
+	WLP      float64
+}
+
+// SyntheticSensitivity probes how the paper's accelerator insights depend on
+// workload shape, using generated workloads instead of Rodinia: on a
+// workload of uniform applications the shared GPU congests and per-app DSAs
+// pay off; on a heavy-tailed workload the dominant application's chain
+// limits makespan and extra DSAs buy little. This is a beyond-the-paper
+// study enabled by the workgen substrate.
+func SyntheticSensitivity(opts Options) ([]SyntheticRow, error) {
+	opts = opts.withDefaults()
+	heavy, err := workgen.HeavyTailed(opts.Seed+1, 8)
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := workgen.Uniform(opts.Seed+1, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	profile := core.Profile{InitialStepSec: 10, Horizon: 400, RefineWhileBelow: 20, MaxRefinements: 2}
+	cfg := opts.schedConfig()
+
+	var rows []SyntheticRow
+	for _, w := range []rodinia.Workload{heavy, uniform} {
+		order := w.ComputeCPUOrder()
+		variants := []struct {
+			name string
+			spec soc.Spec
+		}{
+			{"base (c4,g16)", soc.Spec{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}},
+			{"+2 DSAs for top apps", soc.Spec{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765},
+				DSAs: []soc.DSA{
+					{PEs: 16, Target: w.Apps[order[0]].Bench.Abbrev},
+					{PEs: 16, Target: w.Apps[order[1]].Bench.Abbrev},
+				}}},
+			{"bigger GPU (c4,g64)", soc.Spec{CPUCores: 4, GPUSMs: 64, GPUFrequenciesMHz: []float64{765}}},
+		}
+		for _, v := range variants {
+			res, err := core.Solve(w, v.spec, profile, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: synthetic %s on %s: %w", w.Name, v.name, err)
+			}
+			rows = append(rows, SyntheticRow{Workload: w.Name, Variant: v.name, Speedup: res.Speedup, WLP: res.WLP})
+		}
+	}
+	return rows, nil
+}
+
+// RenderSynthetic formats the sensitivity study.
+func RenderSynthetic(rows []SyntheticRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Workload, r.Variant, f1(r.Speedup), f2(r.WLP)})
+	}
+	var b strings.Builder
+	b.WriteString("Sensitivity - workload shape vs accelerator strategy (synthetic workloads)\n")
+	b.WriteString(renderTable([]string{"workload", "SoC variant", "speedup", "avg WLP"}, out))
+	b.WriteString("\nDSAs pay off where the shared GPU congests (uniform); a dominant chain\n")
+	b.WriteString("(heavy-tailed) caps the benefit of any extra accelerator - coverage is king.\n")
+	return b.String()
+}

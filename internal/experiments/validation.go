@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hilp/internal/baselines"
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/soc"
+)
+
+// Fig5aRow is one point of the Amdahl's-law validation (Fig. 5a): speedup
+// versus CPU count for a given GPU size on the Default workload,
+// unconstrained.
+type Fig5aRow struct {
+	GPUSMs  int
+	CPUs    int
+	Speedup float64
+	Gap     float64
+}
+
+// Fig5aSeries holds one GPU size's sweep plus its compute-limit asymptote
+// (the paper's dotted line).
+type Fig5aSeries struct {
+	GPUSMs    int
+	Rows      []Fig5aRow
+	Asymptote float64
+}
+
+// fig5CPUCounts is the CPU-count sweep of Fig. 5a.
+var fig5CPUCounts = []int{1, 2, 3, 4, 6, 8}
+
+// fig5GPUs are the GPU sizes of Figs. 5a-c.
+var fig5GPUs = []int{16, 32, 64}
+
+// Fig5aAmdahl reproduces Fig. 5a: adding CPU cores lets the sequential
+// setup/teardown phases overlap accelerator work, so speedup climbs and then
+// saturates at the GPU's compute limit.
+func Fig5aAmdahl(opts Options) ([]Fig5aSeries, error) {
+	opts = opts.withDefaults()
+	w := rodinia.DefaultWorkload()
+	var series []Fig5aSeries
+	for _, sms := range fig5GPUs {
+		s := Fig5aSeries{GPUSMs: sms, Asymptote: gpuComputeLimit(w, sms)}
+		for _, cpus := range fig5CPUCounts {
+			spec := soc.Spec{
+				CPUCores:          cpus,
+				GPUSMs:            sms,
+				PowerBudgetWatts:  math.Inf(1),
+				MemBandwidthGBs:   math.Inf(1),
+				GPUFrequenciesMHz: []float64{rodinia.BaseFrequencyMHz},
+			}
+			res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+			if err != nil {
+				return nil, err
+			}
+			s.Rows = append(s.Rows, Fig5aRow{GPUSMs: sms, CPUs: cpus, Speedup: res.Speedup, Gap: res.Gap})
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// gpuComputeLimit is the speedup ceiling of an SoC whose GPU must run every
+// compute phase: with unlimited CPUs the makespan cannot drop below
+// max(total GPU load, longest single application chain).
+func gpuComputeLimit(w rodinia.Workload, sms int) float64 {
+	gpuLoad := 0.0
+	chainMax := 0.0
+	for _, app := range w.Apps {
+		t := soc.GPUTimeSec(app.Bench, sms, rodinia.BaseFrequencyMHz)
+		gpuLoad += t
+		chain := app.SetupSec() + t + app.TeardownSec()
+		if chain > chainMax {
+			chainMax = chain
+		}
+	}
+	floor := math.Max(gpuLoad, chainMax)
+	if floor <= 0 {
+		return 0
+	}
+	return w.SequentialSingleCoreSec() / floor
+}
+
+// RenderFig5a formats the Amdahl validation.
+func RenderFig5a(series []Fig5aSeries) string {
+	var rows [][]string
+	for _, s := range series {
+		for _, r := range s.Rows {
+			rows = append(rows, []string{fmt.Sprint(r.GPUSMs), fmt.Sprint(r.CPUs), f1(r.Speedup), f2(r.Gap)})
+		}
+		rows = append(rows, []string{fmt.Sprint(s.GPUSMs), "limit", f1(s.Asymptote), ""})
+	}
+	var b strings.Builder
+	b.WriteString("Figure 5a - Amdahl's law: speedup vs CPU count (Default, unconstrained)\n")
+	b.WriteString(renderTable([]string{"GPU SMs", "CPUs", "speedup", "gap"}, rows))
+	return b.String()
+}
+
+// ConstraintRow is one point of the memory-wall (Fig. 5b) or dark-silicon
+// (Fig. 5c) sweeps.
+type ConstraintRow struct {
+	GPUSMs  int
+	Limit   float64 // GB/s for 5b, W for 5c
+	Speedup float64
+	Gap     float64
+}
+
+// Fig5bMemoryWall reproduces Fig. 5b: with 4 CPUs and the Optimized
+// workload, sweeping the memory-bandwidth budget from 50 to 400 GB/s shows
+// each GPU size transitioning from bandwidth-bound to compute-bound.
+func Fig5bMemoryWall(opts Options) ([]ConstraintRow, error) {
+	opts = opts.withDefaults()
+	w := rodinia.OptimizedWorkload()
+	var rows []ConstraintRow
+	for _, sms := range fig5GPUs {
+		for _, bw := range []float64{50, 100, 150, 200, 250, 300, 350, 400} {
+			spec := soc.Spec{
+				CPUCores:          4,
+				GPUSMs:            sms,
+				PowerBudgetWatts:  math.Inf(1),
+				MemBandwidthGBs:   bw,
+				GPUFrequenciesMHz: []float64{rodinia.BaseFrequencyMHz},
+			}
+			res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ConstraintRow{GPUSMs: sms, Limit: bw, Speedup: res.Speedup, Gap: res.Gap})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5cDarkSilicon reproduces Fig. 5c: replacing the bandwidth constraint
+// with a power budget from 50 to 400 W. Small budgets clamp the bigger GPUs'
+// DVFS operating points (dark silicon); the full Table III frequency range
+// is modeled so the 32-SM SoC can out-run the clamped 64-SM SoC at 50 W.
+func Fig5cDarkSilicon(opts Options) ([]ConstraintRow, error) {
+	opts = opts.withDefaults()
+	w := rodinia.OptimizedWorkload()
+	var rows []ConstraintRow
+	for _, sms := range fig5GPUs {
+		for _, budget := range []float64{50, 100, 150, 200, 300, 400} {
+			spec := soc.Spec{
+				CPUCores:         4,
+				GPUSMs:           sms,
+				PowerBudgetWatts: budget,
+				MemBandwidthGBs:  math.Inf(1),
+				// Full DVFS table: the clamping story needs every point.
+			}
+			res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ConstraintRow{GPUSMs: sms, Limit: budget, Speedup: res.Speedup, Gap: res.Gap})
+		}
+	}
+	return rows, nil
+}
+
+// RenderConstraintRows formats Fig. 5b/5c sweeps.
+func RenderConstraintRows(title, unit string, rows []ConstraintRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.GPUSMs), fmt.Sprintf("%.0f", r.Limit), f1(r.Speedup), f2(r.Gap)})
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(renderTable([]string{"GPU SMs", unit, "speedup", "gap"}, out))
+	return b.String()
+}
+
+// Fig6Row is one point of the MA/HILP/Gables comparison (Figs. 6a and 6b).
+type Fig6Row struct {
+	CPUs    int
+	Model   string // "MA", "HILP", "Gables"
+	WLP     float64
+	Speedup float64
+}
+
+// Fig6WLP reproduces Fig. 6 for the given workload (Rodinia for 6a,
+// Optimized for 6b): average WLP and speedup for MA, HILP, and Gables on an
+// SoC with a 64-SM GPU as CPU count grows from 1 to 8.
+func Fig6WLP(w rodinia.Workload, opts Options) ([]Fig6Row, error) {
+	opts = opts.withDefaults()
+	var rows []Fig6Row
+	for _, cpus := range []int{1, 2, 4, 8} {
+		spec := soc.Spec{
+			CPUCores:          cpus,
+			GPUSMs:            64,
+			PowerBudgetWatts:  math.Inf(1),
+			MemBandwidthGBs:   math.Inf(1),
+			GPUFrequenciesMHz: []float64{rodinia.BaseFrequencyMHz},
+		}
+		ma, err := baselines.MultiAmdahl(w, spec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{CPUs: cpus, Model: "MA", WLP: ma.WLP, Speedup: ma.Speedup})
+
+		hilp, err := core.Solve(w, spec, validationProfile(), opts.schedConfig())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{CPUs: cpus, Model: "HILP", WLP: hilp.WLP, Speedup: hilp.Speedup})
+
+		gab, err := baselines.Gables(w, spec, validationProfile(), opts.schedConfig())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{CPUs: cpus, Model: "Gables", WLP: gab.WLP, Speedup: gab.Speedup})
+	}
+	return rows, nil
+}
+
+// RenderFig6 formats a Fig. 6 panel.
+func RenderFig6(title string, rows []Fig6Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.CPUs), r.Model, f2(r.WLP), f1(r.Speedup)})
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString(renderTable([]string{"CPUs", "model", "avg WLP", "speedup"}, out))
+	return b.String()
+}

@@ -1,0 +1,286 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// Options configures a branch-and-bound solve.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; 0 means the default.
+	MaxNodes int
+	// TimeLimit bounds wall-clock time; 0 means no limit.
+	TimeLimit time.Duration
+	// GapTolerance stops the search once the relative gap between incumbent
+	// and best bound drops below it. 0 means prove optimality (up to the
+	// integrality tolerance).
+	GapTolerance float64
+	// IntTol is the integrality tolerance; values within IntTol of an
+	// integer count as integral. 0 means the default of 1e-6.
+	IntTol float64
+	// WarmStart primes the search with a known feasible solution (e.g. one
+	// found by the CP scheduler). Infeasible warm starts are ignored.
+	WarmStart []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Solve solves the mixed-integer problem p with branch and bound over the LP
+// relaxation. It returns the incumbent (if any) and the proven bound.
+func Solve(p *Problem, opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if p.NumIntegers() == 0 {
+		return SolveLP(p)
+	}
+
+	start := time.Now()
+
+	baseLower := make([]float64, len(p.Vars))
+	baseUpper := make([]float64, len(p.Vars))
+	for i, v := range p.Vars {
+		baseLower[i] = v.Lower
+		baseUpper[i] = v.Upper
+	}
+
+	root, err := solveLPWithBounds(p, baseLower, baseUpper)
+	if err != nil {
+		return Solution{}, err
+	}
+	totalIters := root.Iters
+	switch root.Status {
+	case Infeasible:
+		return Solution{Status: Infeasible, Bound: math.Inf(1)}, nil
+	case Unbounded:
+		return Solution{Status: Unbounded, Bound: math.Inf(-1)}, nil
+	}
+
+	// Internally we treat the problem as minimization: LP objectives are
+	// compared with sign flipped for maximization problems.
+	key := func(obj float64) float64 {
+		if p.Maximize {
+			return -obj
+		}
+		return obj
+	}
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1) // in minimization key space
+		nodes        int
+	)
+	if opts.WarmStart != nil {
+		if err := p.CheckFeasible(opts.WarmStart, 10*opts.IntTol); err == nil {
+			incumbent = roundIntegers(p, opts.WarmStart, opts.IntTol)
+			incumbentObj = key(p.ObjectiveValue(incumbent))
+		}
+	}
+
+	pq := &nodeQueue{}
+	heap.Init(pq)
+	heap.Push(pq, &bbNode{lower: baseLower, upper: baseUpper, bound: key(root.Objective), lp: root})
+
+	fractional := func(x []float64) int {
+		best, bestFrac := -1, opts.IntTol
+		for j, v := range p.Vars {
+			if !v.Integer {
+				continue
+			}
+			f := math.Abs(x[j] - math.Round(x[j]))
+			// Most-fractional branching: prefer values near 0.5.
+			score := math.Min(f, 1-f)
+			if f > opts.IntTol && score > bestFrac {
+				bestFrac = score
+				best = j
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		// Fall back to any fractional variable at all.
+		for j, v := range p.Vars {
+			if !v.Integer {
+				continue
+			}
+			if f := math.Abs(x[j] - math.Round(x[j])); f > opts.IntTol {
+				return j
+			}
+		}
+		return -1
+	}
+
+	bestBound := key(root.Objective)
+	limitHit := false
+
+	for pq.Len() > 0 {
+		if nodes >= opts.MaxNodes || (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) {
+			limitHit = true
+			break
+		}
+		node := heap.Pop(pq).(*bbNode)
+		if node.bound >= incumbentObj-1e-9 {
+			continue // dominated
+		}
+		bestBound = node.bound
+		if !math.IsInf(incumbentObj, 1) && opts.GapTolerance > 0 {
+			gap := (incumbentObj - bestBound) / math.Max(1, math.Abs(incumbentObj))
+			if gap <= opts.GapTolerance {
+				break
+			}
+		}
+		nodes++
+
+		lp := node.lp
+		if lp.X == nil {
+			sol, err := solveLPWithBounds(p, node.lower, node.upper)
+			if err != nil {
+				return Solution{}, err
+			}
+			totalIters += sol.Iters
+			if sol.Status != Optimal {
+				continue
+			}
+			if key(sol.Objective) >= incumbentObj-1e-9 {
+				continue
+			}
+			lp = sol
+		}
+
+		branch := fractional(lp.X)
+		if branch < 0 {
+			// Integer feasible.
+			if obj := key(lp.Objective); obj < incumbentObj {
+				incumbentObj = obj
+				incumbent = roundIntegers(p, lp.X, opts.IntTol)
+			}
+			continue
+		}
+
+		val := lp.X[branch]
+		// Down branch: x <= floor(val).
+		downUpper := cloneWith(node.upper, branch, math.Floor(val+opts.IntTol))
+		if node.lower[branch] <= downUpper[branch]+eps {
+			if child, err := childNode(p, node.lower, downUpper, key, incumbentObj, &totalIters); err != nil {
+				return Solution{}, err
+			} else if child != nil {
+				heap.Push(pq, child)
+			}
+		}
+		// Up branch: x >= ceil(val).
+		upLower := cloneWith(node.lower, branch, math.Ceil(val-opts.IntTol))
+		if upLower[branch] <= node.upper[branch]+eps {
+			if child, err := childNode(p, upLower, node.upper, key, incumbentObj, &totalIters); err != nil {
+				return Solution{}, err
+			} else if child != nil {
+				heap.Push(pq, child)
+			}
+		}
+	}
+
+	// The proven bound: the minimum over remaining open nodes and bestBound.
+	if pq.Len() > 0 {
+		for _, n := range *pq {
+			if n.bound < bestBound {
+				bestBound = n.bound
+			}
+		}
+	} else if !limitHit && incumbent != nil {
+		bestBound = incumbentObj
+	}
+
+	unkey := func(v float64) float64 {
+		if p.Maximize {
+			return -v
+		}
+		return v
+	}
+
+	if incumbent == nil {
+		if limitHit {
+			return Solution{Status: LimitReached, Bound: unkey(bestBound), Nodes: nodes, Iters: totalIters}, nil
+		}
+		return Solution{Status: Infeasible, Bound: math.Inf(1), Nodes: nodes, Iters: totalIters}, nil
+	}
+
+	obj := unkey(incumbentObj)
+	bound := unkey(bestBound)
+	status := Optimal
+	gap := math.Abs(incumbentObj-bestBound) / math.Max(1, math.Abs(incumbentObj))
+	if limitHit && gap > opts.GapTolerance+1e-12 {
+		status = Feasible
+	}
+	return Solution{Status: status, X: incumbent, Objective: obj, Bound: bound, Nodes: nodes, Iters: totalIters}, nil
+}
+
+// childNode solves a child LP eagerly and returns a queue node, or nil if the
+// child is infeasible or dominated by the incumbent.
+func childNode(p *Problem, lower, upper []float64, key func(float64) float64, incumbentObj float64, iters *int) (*bbNode, error) {
+	sol, err := solveLPWithBounds(p, lower, upper)
+	if err != nil {
+		return nil, err
+	}
+	*iters += sol.Iters
+	if sol.Status != Optimal {
+		return nil, nil
+	}
+	b := key(sol.Objective)
+	if b >= incumbentObj-1e-9 {
+		return nil, nil
+	}
+	return &bbNode{lower: lower, upper: upper, bound: b, lp: sol}, nil
+}
+
+// roundIntegers snaps near-integral integer variables to exact integers.
+func roundIntegers(p *Problem, x []float64, tol float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for j, v := range p.Vars {
+		if v.Integer {
+			if r := math.Round(out[j]); math.Abs(out[j]-r) <= 10*tol {
+				out[j] = r
+			}
+		}
+	}
+	return out
+}
+
+func cloneWith(s []float64, idx int, val float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	out[idx] = val
+	return out
+}
+
+// bbNode is a branch-and-bound subproblem.
+type bbNode struct {
+	lower, upper []float64
+	bound        float64 // LP bound in minimization key space
+	lp           Solution
+}
+
+// nodeQueue is a min-heap on the LP bound (best-bound-first search).
+type nodeQueue []*bbNode
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*bbNode)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}

@@ -1,0 +1,199 @@
+package milp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSolveMILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binaries.
+	// Best: a + c (weight 5, value 17) vs b + c (weight 6, value 20). -> 20.
+	p := NewProblem()
+	p.Maximize = true
+	a := p.AddBinary("a", 10)
+	b := p.AddBinary("b", 13)
+	c := p.AddBinary("c", 7)
+	p.AddConstraint("w", map[int]float64{a: 3, b: 4, c: 2}, LE, 6)
+
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !almostEqual(sol.Objective, 20, 1e-6) {
+		t.Errorf("objective = %g, want 20", sol.Objective)
+	}
+	if !almostEqual(sol.X[b], 1, 1e-6) || !almostEqual(sol.X[c], 1, 1e-6) || !almostEqual(sol.X[a], 0, 1e-6) {
+		t.Errorf("x = %v, want [0 1 1]", sol.X)
+	}
+}
+
+func TestSolveMILPIntegerRounding(t *testing.T) {
+	// max x s.t. 2x <= 7, x integer -> 3 (LP gives 3.5).
+	p := NewProblem()
+	p.Maximize = true
+	x := p.AddInteger("x", 0, 100, 1)
+	p.AddConstraint("c", map[int]float64{x: 2}, LE, 7)
+
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEqual(sol.Objective, 3, 1e-6) {
+		t.Fatalf("got %v obj=%g, want optimal 3", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveMILPInfeasible(t *testing.T) {
+	// x + y == 1.5 with x, y binary has an LP solution but no integer one...
+	// actually (1, 0.5) etc. Use x + y == 1.5 with both integer.
+	p := NewProblem()
+	x := p.AddBinary("x", 1)
+	y := p.AddBinary("y", 1)
+	p.AddConstraint("half", map[int]float64{x: 1, y: 1}, EQ, 1.5)
+
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveMILPEqualityPartition(t *testing.T) {
+	// Choose exactly one of three options, minimize cost.
+	p := NewProblem()
+	a := p.AddBinary("a", 5)
+	b := p.AddBinary("b", 3)
+	c := p.AddBinary("c", 9)
+	p.AddConstraint("one", map[int]float64{a: 1, b: 1, c: 1}, EQ, 1)
+
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEqual(sol.Objective, 3, 1e-6) || !almostEqual(sol.X[b], 1, 1e-6) {
+		t.Fatalf("got %v obj=%g x=%v, want b chosen at cost 3", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestSolveMILPGapToleranceStopsEarly(t *testing.T) {
+	// A small set-cover-like MILP; with a loose gap tolerance the solver may
+	// stop early but must still report a bound consistent with the tolerance.
+	p := NewProblem()
+	n := 8
+	vars := make([]int, n)
+	for i := 0; i < n; i++ {
+		vars[i] = p.AddBinary("x", float64(1+i%3))
+	}
+	row := map[int]float64{}
+	for i := 0; i < n; i++ {
+		row[vars[i]] = float64(1 + (i*7)%5)
+	}
+	p.AddConstraint("cover", row, GE, 11)
+
+	sol, err := Solve(p, Options{GapTolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal && sol.Status != Feasible {
+		t.Fatalf("status = %v, want a solution", sol.Status)
+	}
+	if sol.Gap() > 0.5+1e-9 {
+		t.Errorf("gap = %g, want <= 0.5", sol.Gap())
+	}
+	if sol.Bound > sol.Objective+1e-9 {
+		t.Errorf("bound %g exceeds objective %g for minimization", sol.Bound, sol.Objective)
+	}
+}
+
+func TestSolveMILPTimeLimit(t *testing.T) {
+	p := NewProblem()
+	p.Maximize = true
+	// A knapsack big enough to take at least a few nodes.
+	n := 14
+	row := map[int]float64{}
+	for i := 0; i < n; i++ {
+		v := p.AddBinary("x", float64(3+(i*5)%7))
+		row[v] = float64(2 + (i*3)%5)
+	}
+	p.AddConstraint("w", row, LE, 11)
+
+	sol, err := Solve(p, Options{TimeLimit: time.Millisecond * 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == Infeasible || sol.Status == Unbounded {
+		t.Fatalf("unexpected status %v", sol.Status)
+	}
+}
+
+func TestSolvePureLPPassThrough(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable("x", 0, 5, 1)
+	p.AddConstraint("c", map[int]float64{x: 1}, GE, 2)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEqual(sol.Objective, 2, 1e-6) {
+		t.Fatalf("got %v obj=%g, want optimal 2", sol.Status, sol.Objective)
+	}
+}
+
+// TestMILPKnapsackMatchesBruteForce cross-checks branch and bound against
+// exhaustive enumeration on random small knapsacks.
+func TestMILPKnapsackMatchesBruteForce(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := int(seed)
+		next := func(mod int) int {
+			rng = (rng*1103515245 + 12345) & 0x7fffffff
+			return rng % mod
+		}
+		n := 3 + next(5)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = float64(1 + next(20))
+			weights[i] = float64(1 + next(10))
+		}
+		capacity := float64(5 + next(20))
+
+		p := NewProblem()
+		p.Maximize = true
+		row := map[int]float64{}
+		for i := 0; i < n; i++ {
+			v := p.AddBinary("x", values[i])
+			row[v] = weights[i]
+		}
+		p.AddConstraint("w", row, LE, capacity)
+
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+		return math.Abs(sol.Objective-best) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

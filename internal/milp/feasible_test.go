@@ -1,0 +1,78 @@
+package milp
+
+import (
+	"testing"
+)
+
+func TestCheckFeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddBinary("x", 1)
+	y := p.AddVariable("y", 0, 5, 2)
+	p.AddConstraint("c1", map[int]float64{x: 1, y: 1}, LE, 4)
+	p.AddConstraint("c2", map[int]float64{y: 1}, GE, 1)
+	p.AddConstraint("c3", map[int]float64{x: 2, y: 1}, EQ, 3)
+
+	if err := p.CheckFeasible([]float64{1, 1}, 1e-6); err != nil {
+		t.Errorf("feasible point rejected: %v", err)
+	}
+	if err := p.CheckFeasible([]float64{0.5, 2}, 1e-6); err == nil {
+		t.Error("fractional binary accepted")
+	}
+	if err := p.CheckFeasible([]float64{1, 6}, 1e-6); err == nil {
+		t.Error("bound violation accepted")
+	}
+	if err := p.CheckFeasible([]float64{0, 0.5}, 1e-6); err == nil {
+		t.Error("GE violation accepted")
+	}
+	if err := p.CheckFeasible([]float64{1}, 1e-6); err == nil {
+		t.Error("short vector accepted")
+	}
+	if err := p.CheckFeasible([]float64{1, 2}, 1e-6); err == nil {
+		t.Error("EQ violation accepted")
+	}
+}
+
+func TestObjectiveValue(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable("a", 0, 10, 3)
+	p.AddVariable("b", 0, 10, -1)
+	if got := p.ObjectiveValue([]float64{2, 4}); got != 2 {
+		t.Errorf("ObjectiveValue = %g, want 2", got)
+	}
+}
+
+func TestWarmStartPrimesSearch(t *testing.T) {
+	// A knapsack where the warm start is already optimal: the search should
+	// confirm it and report Optimal with the same objective.
+	p := NewProblem()
+	p.Maximize = true
+	a := p.AddBinary("a", 10)
+	b := p.AddBinary("b", 13)
+	c := p.AddBinary("c", 7)
+	p.AddConstraint("w", map[int]float64{a: 3, b: 4, c: 2}, LE, 6)
+
+	warm := []float64{0, 1, 1} // value 20, the optimum
+	sol, err := Solve(p, Options{WarmStart: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEqual(sol.Objective, 20, 1e-6) {
+		t.Fatalf("got %v obj=%g, want optimal 20", sol.Status, sol.Objective)
+	}
+}
+
+func TestWarmStartInfeasibleIgnored(t *testing.T) {
+	p := NewProblem()
+	p.Maximize = true
+	a := p.AddBinary("a", 5)
+	p.AddConstraint("c", map[int]float64{a: 1}, LE, 1)
+
+	// Warm start violates the bound; it must be ignored, not crash.
+	sol, err := Solve(p, Options{WarmStart: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !almostEqual(sol.Objective, 5, 1e-6) {
+		t.Fatalf("got %v obj=%g, want optimal 5", sol.Status, sol.Objective)
+	}
+}

@@ -1,0 +1,132 @@
+package milp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteLP serializes the problem in CPLEX LP format so instances can be
+// inspected or cross-checked with external solvers. Variable names are
+// sanitized and de-duplicated; the mapping is stable (index order).
+func WriteLP(w io.Writer, p *Problem) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+
+	names := lpNames(p)
+
+	if p.Maximize {
+		fmt.Fprintln(bw, "Maximize")
+	} else {
+		fmt.Fprintln(bw, "Minimize")
+	}
+	fmt.Fprint(bw, " obj:")
+	wrote := false
+	for j, v := range p.Vars {
+		if v.Obj == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, " %s %s", lpCoef(v.Obj, !wrote), names[j])
+		wrote = true
+	}
+	if !wrote {
+		fmt.Fprintf(bw, " 0 %s", names[0])
+	}
+	fmt.Fprintln(bw)
+
+	fmt.Fprintln(bw, "Subject To")
+	for i, c := range p.Cons {
+		name := sanitizeLPName(c.Name)
+		if name == "" {
+			name = fmt.Sprintf("c%d", i)
+		}
+		fmt.Fprintf(bw, " %s_%d:", name, i)
+		cols := make([]int, 0, len(c.Coefs))
+		for j := range c.Coefs {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		first := true
+		for _, j := range cols {
+			fmt.Fprintf(bw, " %s %s", lpCoef(c.Coefs[j], first), names[j])
+			first = false
+		}
+		if first {
+			fmt.Fprintf(bw, " 0 %s", names[0])
+		}
+		fmt.Fprintf(bw, " %s %g\n", c.Sense, c.RHS)
+	}
+
+	fmt.Fprintln(bw, "Bounds")
+	for j, v := range p.Vars {
+		switch {
+		case math.IsInf(v.Upper, 1):
+			fmt.Fprintf(bw, " %s >= %g\n", names[j], v.Lower)
+		default:
+			fmt.Fprintf(bw, " %g <= %s <= %g\n", v.Lower, names[j], v.Upper)
+		}
+	}
+
+	var integers []string
+	for j, v := range p.Vars {
+		if v.Integer {
+			integers = append(integers, names[j])
+		}
+	}
+	if len(integers) > 0 {
+		fmt.Fprintln(bw, "General")
+		fmt.Fprintf(bw, " %s\n", strings.Join(integers, " "))
+	}
+	fmt.Fprintln(bw, "End")
+	return bw.Flush()
+}
+
+// lpNames builds unique, LP-safe names for all variables.
+func lpNames(p *Problem) []string {
+	names := make([]string, len(p.Vars))
+	used := map[string]bool{}
+	for j, v := range p.Vars {
+		base := sanitizeLPName(v.Name)
+		if base == "" {
+			base = "x"
+		}
+		name := fmt.Sprintf("%s_%d", base, j)
+		for used[name] {
+			name += "_"
+		}
+		used[name] = true
+		names[j] = name
+	}
+	return names
+}
+
+// sanitizeLPName keeps only characters the LP format allows.
+func sanitizeLPName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// lpCoef renders a coefficient with an explicit sign (the leading term may
+// omit a plus).
+func lpCoef(v float64, first bool) string {
+	if v < 0 {
+		return fmt.Sprintf("- %g", -v)
+	}
+	if first {
+		return fmt.Sprintf("%g", v)
+	}
+	return fmt.Sprintf("+ %g", v)
+}

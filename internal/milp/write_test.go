@@ -1,0 +1,71 @@
+package milp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	p := NewProblem()
+	p.Maximize = true
+	x := p.AddBinary("x", 3)
+	y := p.AddVariable("load bal!", 0, math.Inf(1), -2)
+	p.AddConstraint("cap", map[int]float64{x: 1, y: 2.5}, LE, 10)
+	p.AddConstraint("", map[int]float64{y: -1}, GE, -4)
+
+	var b strings.Builder
+	if err := WriteLP(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"Maximize",
+		"Subject To",
+		"Bounds",
+		"General",
+		"End",
+		"x_0",
+		"load_bal__1",
+		"<= 10",
+		">= -4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+	// The binary must appear in the integer section and with bounds 0..1.
+	if !strings.Contains(out, "0 <= x_0 <= 1") {
+		t.Errorf("binary bounds missing:\n%s", out)
+	}
+	// The unbounded variable appears as a one-sided bound.
+	if !strings.Contains(out, "load_bal__1 >= 0") {
+		t.Errorf("one-sided bound missing:\n%s", out)
+	}
+}
+
+func TestWriteLPMinimizeEmptyObjective(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable("x", 0, 1, 0)
+	p.AddConstraint("c", map[int]float64{0: 1}, EQ, 1)
+	var b strings.Builder
+	if err := WriteLP(&b, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Minimize") {
+		t.Error("missing Minimize header")
+	}
+	if !strings.Contains(b.String(), "== 1") {
+		t.Error("missing equality row")
+	}
+}
+
+func TestWriteLPRejectsInvalid(t *testing.T) {
+	p := NewProblem()
+	p.AddVariable("x", 2, 1, 0) // inverted bounds
+	var b strings.Builder
+	if err := WriteLP(&b, p); err == nil {
+		t.Error("accepted an invalid problem")
+	}
+}

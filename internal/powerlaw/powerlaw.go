@@ -1,0 +1,110 @@
+// Package powerlaw fits y = a*x^b curves to profile data by least squares in
+// log-log space, exactly as the paper does to interpolate GPU performance,
+// bandwidth, and power between the SM counts that MIG can configure
+// (Tables II and III report the resulting (a, b, R^2) triples).
+package powerlaw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fit is a fitted power law y = A * x^B with the coefficient of
+// determination R2 of the underlying log-log linear regression.
+type Fit struct {
+	A, B float64
+	R2   float64
+}
+
+// Eval returns A * x^B.
+func (f Fit) Eval(x float64) float64 {
+	return f.A * math.Pow(x, f.B)
+}
+
+// String formats the fit like the paper's tables: "a, b, R^2".
+func (f Fit) String() string {
+	return fmt.Sprintf("%.2f, %.2f, %.2f", f.A, f.B, f.R2)
+}
+
+// ErrBadInput is returned for empty, mismatched, or non-positive samples.
+var ErrBadInput = errors.New("powerlaw: need >= 2 samples with positive x and y")
+
+// LeastSquares fits y = a*x^b to the samples by linear regression on
+// (ln x, ln y). All xs and ys must be strictly positive.
+func LeastSquares(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{}, ErrBadInput
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	lys := make([]float64, len(ys))
+	lxs := make([]float64, len(xs))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("%w: sample %d = (%g, %g)", ErrBadInput, i, xs[i], ys[i])
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		lxs[i], lys[i] = lx, ly
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	denom := n*sxx - sx*sx
+	var b float64
+	if math.Abs(denom) < 1e-12 {
+		// All x identical: slope undefined; fall back to a flat fit.
+		b = 0
+	} else {
+		b = (n*sxy - sx*sy) / denom
+	}
+	lnA := (sy - b*sx) / n
+	fit := Fit{A: math.Exp(lnA), B: b}
+
+	// R^2 in log space: 1 - SS_res / SS_tot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range lxs {
+		pred := lnA + b*lxs[i]
+		ssRes += (lys[i] - pred) * (lys[i] - pred)
+		ssTot += (lys[i] - meanY) * (lys[i] - meanY)
+	}
+	switch {
+	case ssTot < 1e-15:
+		// No variance in the data; a flat law explains it perfectly.
+		fit.R2 = 1
+	default:
+		fit.R2 = 1 - ssRes/ssTot
+		if fit.R2 < 0 {
+			fit.R2 = 0
+		}
+	}
+	return fit, nil
+}
+
+// Normalized fits a power law to ys normalized by the y at the reference x,
+// mirroring the paper's "normalized to the GPU with 14 SMs" convention. The
+// reference x must be present in xs.
+func Normalized(xs, ys []float64, refX float64) (Fit, error) {
+	refY := 0.0
+	found := false
+	for i, x := range xs {
+		if x == refX {
+			refY = ys[i]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Fit{}, fmt.Errorf("powerlaw: reference x=%g not among samples", refX)
+	}
+	if refY <= 0 {
+		return Fit{}, fmt.Errorf("powerlaw: reference y=%g must be positive", refY)
+	}
+	norm := make([]float64, len(ys))
+	for i, y := range ys {
+		norm[i] = y / refY
+	}
+	return LeastSquares(xs, norm)
+}

@@ -1,0 +1,127 @@
+package powerlaw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExactLaw(t *testing.T) {
+	// y = 3 * x^-0.8 sampled without noise must be recovered exactly.
+	xs := []float64{14, 28, 42, 56, 98}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, -0.8)
+	}
+	fit, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-3) > 1e-9 || math.Abs(fit.B+0.8) > 1e-9 {
+		t.Errorf("fit = (%g, %g), want (3, -0.8)", fit.A, fit.B)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("R2 = %g, want 1", fit.R2)
+	}
+}
+
+func TestLeastSquaresNoisy(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := []float64{1.02, 1.95, 4.1, 7.8, 16.4} // roughly y = x
+	fit, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-1) > 0.05 {
+		t.Errorf("B = %g, want ~1", fit.B)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %g, want > 0.99", fit.R2)
+	}
+}
+
+func TestLeastSquaresFlatData(t *testing.T) {
+	// Insensitive benchmark (like MC in the paper): R2 near 0 but the fit
+	// must capture the flat level.
+	xs := []float64{14, 28, 42, 56, 98}
+	ys := []float64{1.0, 1.01, 0.99, 1.0, 1.005}
+	fit, err := LeastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B) > 0.05 {
+		t.Errorf("B = %g, want ~0 for flat data", fit.B)
+	}
+	if fit.Eval(50) < 0.9 || fit.Eval(50) > 1.1 {
+		t.Errorf("Eval(50) = %g, want ~1", fit.Eval(50))
+	}
+}
+
+func TestLeastSquaresRejectsBadInput(t *testing.T) {
+	if _, err := LeastSquares([]float64{1}, []float64{1}); err == nil {
+		t.Error("accepted a single sample")
+	}
+	if _, err := LeastSquares([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := LeastSquares([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("accepted negative x")
+	}
+	if _, err := LeastSquares([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("accepted zero y")
+	}
+}
+
+func TestLeastSquaresIdenticalX(t *testing.T) {
+	fit, err := LeastSquares([]float64{5, 5, 5}, []float64{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.B != 0 {
+		t.Errorf("B = %g, want 0 fallback for identical x", fit.B)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	xs := []float64{14, 28, 56}
+	ys := []float64{10, 5, 2.5} // halves with doubling: y ~ x^-1
+	fit, err := Normalized(xs, ys, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalized to 14 SMs: value at x=14 should be ~1.
+	if v := fit.Eval(14); math.Abs(v-1) > 1e-6 {
+		t.Errorf("Eval(14) = %g, want 1", v)
+	}
+	if math.Abs(fit.B+1) > 1e-9 {
+		t.Errorf("B = %g, want -1", fit.B)
+	}
+}
+
+func TestNormalizedMissingReference(t *testing.T) {
+	if _, err := Normalized([]float64{1, 2}, []float64{1, 2}, 3); err == nil {
+		t.Error("accepted missing reference x")
+	}
+}
+
+// TestFitRoundTripProperty: for random positive (a, b), sampling the law and
+// fitting must recover the parameters.
+func TestFitRoundTripProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.1 + float64(aRaw)/32.0
+		b := -1.5 + 3.0*float64(bRaw)/255.0
+		xs := []float64{2, 4, 8, 16, 32, 64}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a * math.Pow(x, b)
+		}
+		fit, err := LeastSquares(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.A-a) < 1e-6*math.Max(1, a) && math.Abs(fit.B-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package profiler is the synthetic stand-in for the paper's hardware
+// profiling campaign (AMD EPYC 7543 with Linux perf, Nvidia A100 with Nsight
+// Compute + MIG, and gpu-burn under nvidia-smi). It simulates those
+// measurements: per-SM-count GPU profiles at the MIG slice sizes, per-core
+// CPU profiles for 1-32 cores, and full-GPU power sweeps across the DVFS
+// operating points.
+//
+// The simulated hardware is calibrated to the behaviour the paper publishes
+// (Tables II and III), including per-benchmark measurement dispersion sized
+// from the published R^2 values, so that re-running the paper's power-law
+// fitting pipeline on the simulated profiles recovers the published fits.
+// See DESIGN.md, substitutions.
+package profiler
+
+import (
+	"hash/fnv"
+	"math"
+
+	"hilp/internal/rodinia"
+	"hilp/internal/soc"
+)
+
+// MIGSMCounts are the SM slice sizes MIG supports on the profiled A100.
+var MIGSMCounts = []int{14, 28, 42, 56, 98}
+
+// MIGMemBandwidthGBs is the memory bandwidth available to each MIG slice;
+// the paper notes it scales non-linearly with SM count.
+var MIGMemBandwidthGBs = []float64{375, 375, 750, 750, 1500}
+
+// CPUCoreCounts are the core counts the paper profiled with perf.
+func CPUCoreCounts() []int {
+	counts := make([]int, 32)
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	return counts
+}
+
+// noise returns a deterministic pseudo-measurement perturbation in
+// [-amp, +amp] keyed by the benchmark, quantity, and configuration. It mimics
+// run-to-run variance: benchmarks whose published fits have low R^2 get a
+// dispersion consistent with that R^2.
+func noise(key string, x int, amp float64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	var buf [4]byte
+	buf[0] = byte(x)
+	buf[1] = byte(x >> 8)
+	buf[2] = byte(x >> 16)
+	buf[3] = byte(x >> 24)
+	_, _ = h.Write(buf[:])
+	u := float64(h.Sum64()%1_000_003) / 1_000_003.0 // [0,1)
+	return amp * (2*u - 1)
+}
+
+// dispersionFromR2 sizes the relative measurement dispersion so a power-law
+// fit over the simulated samples lands near the published R^2: perfect fits
+// get zero dispersion, R^2 = 0 (fit to pure noise) gets a large one.
+func dispersionFromR2(r2 float64) float64 {
+	if r2 >= 0.999 {
+		return 0
+	}
+	return 0.35 * math.Sqrt(1-r2)
+}
+
+// GPUSample is one simulated Nsight measurement of a benchmark's compute
+// phase on a MIG slice.
+type GPUSample struct {
+	SMs          int
+	TimeSec      float64
+	BandwidthGBs float64
+	MemBWCapGBs  float64 // the slice's memory bandwidth (not consumed BW)
+}
+
+// ProfileGPU simulates profiling b's compute phase on every MIG slice at the
+// base clock, the way the paper populates its GPU columns.
+func ProfileGPU(b rodinia.Benchmark) []GPUSample {
+	samples := make([]GPUSample, len(MIGSMCounts))
+	tDisp := dispersionFromR2(b.TimeFit.R2)
+	bwDisp := dispersionFromR2(b.BWFit.R2)
+	for i, sms := range MIGSMCounts {
+		t := soc.GPUTimeSec(b, sms, rodinia.BaseFrequencyMHz)
+		t *= math.Exp(noise(b.Abbrev+"/time", sms, tDisp))
+		bw := soc.GPUBandwidthGBs(b, sms, rodinia.BaseFrequencyMHz)
+		bw *= math.Exp(noise(b.Abbrev+"/bw", sms, bwDisp))
+		// A slice cannot consume more bandwidth than MIG gives it.
+		if cap := MIGMemBandwidthGBs[i]; bw > cap {
+			bw = cap
+		}
+		samples[i] = GPUSample{SMs: sms, TimeSec: t, BandwidthGBs: bw, MemBWCapGBs: MIGMemBandwidthGBs[i]}
+	}
+	return samples
+}
+
+// CPUSample is one simulated perf measurement on a core-count configuration.
+type CPUSample struct {
+	Cores   int
+	TimeSec float64
+}
+
+// ProfileCPU simulates profiling b's compute phase for every core count from
+// 1 to 32, the way the paper sweeps its EPYC.
+func ProfileCPU(b rodinia.Benchmark) []CPUSample {
+	counts := CPUCoreCounts()
+	samples := make([]CPUSample, len(counts))
+	for i, n := range counts {
+		t := soc.CPUTimeSec(b, n)
+		t *= math.Exp(noise(b.Abbrev+"/cpu", n, 0.01))
+		samples[i] = CPUSample{Cores: n, TimeSec: t}
+	}
+	return samples
+}
+
+// PowerSample is one simulated gpu-burn + nvidia-smi measurement.
+type PowerSample struct {
+	FrequencyMHz float64
+	SMs          int
+	Watts        float64
+}
+
+// ProfileGPUPower simulates the worst-case power sweep: gpu-burn on every
+// MIG slice at every supported core clock.
+func ProfileGPUPower() []PowerSample {
+	var samples []PowerSample
+	for _, pt := range rodinia.PowerTable() {
+		for _, sms := range MIGSMCounts {
+			samples = append(samples, PowerSample{
+				FrequencyMHz: pt.FrequencyMHz,
+				SMs:          sms,
+				Watts:        soc.GPUPowerWatts(sms, pt.FrequencyMHz),
+			})
+		}
+	}
+	return samples
+}

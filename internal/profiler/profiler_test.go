@@ -1,0 +1,121 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"hilp/internal/powerlaw"
+	"hilp/internal/rodinia"
+)
+
+func TestProfileGPURecoverablesFits(t *testing.T) {
+	// Re-running the paper's fitting pipeline on the simulated profiles must
+	// recover the published power-law exponents for the well-behaved
+	// benchmarks (high R^2).
+	for _, b := range rodinia.Benchmarks() {
+		if b.TimeFit.R2 < 0.9 {
+			continue
+		}
+		samples := ProfileGPU(b)
+		xs := make([]float64, len(samples))
+		ys := make([]float64, len(samples))
+		for i, s := range samples {
+			xs[i] = float64(s.SMs)
+			ys[i] = s.TimeSec
+		}
+		fit, err := powerlaw.Normalized(xs, ys, 14)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Abbrev, err)
+		}
+		if math.Abs(fit.B-b.TimeFit.B) > 0.15 {
+			t.Errorf("%s: refit B = %.3f, published %.3f", b.Abbrev, fit.B, b.TimeFit.B)
+		}
+	}
+}
+
+func TestProfileGPUDeterministic(t *testing.T) {
+	b, _ := rodinia.ByAbbrev("BFS")
+	s1 := ProfileGPU(b)
+	s2 := ProfileGPU(b)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("simulated profiling must be deterministic")
+		}
+	}
+}
+
+func TestProfileGPUBandwidthWithinMIGCap(t *testing.T) {
+	for _, b := range rodinia.Benchmarks() {
+		for _, s := range ProfileGPU(b) {
+			if s.BandwidthGBs > s.MemBWCapGBs+1e-9 {
+				t.Errorf("%s@%dSMs: bandwidth %g exceeds MIG cap %g", b.Abbrev, s.SMs, s.BandwidthGBs, s.MemBWCapGBs)
+			}
+			if s.TimeSec <= 0 {
+				t.Errorf("%s@%dSMs: non-positive time", b.Abbrev, s.SMs)
+			}
+		}
+	}
+}
+
+func TestProfileCPUMatchesAmdahl(t *testing.T) {
+	b, _ := rodinia.ByAbbrev("LUD")
+	samples := ProfileCPU(b)
+	if len(samples) != 32 {
+		t.Fatalf("got %d samples, want 32", len(samples))
+	}
+	if math.Abs(samples[0].TimeSec-b.ComputeCPUSec)/b.ComputeCPUSec > 0.02 {
+		t.Errorf("1-core sample %g too far from table %g", samples[0].TimeSec, b.ComputeCPUSec)
+	}
+	if samples[31].TimeSec >= samples[3].TimeSec {
+		t.Error("32-core run must beat 4-core run")
+	}
+}
+
+func TestProfileGPUPowerCoversSweep(t *testing.T) {
+	samples := ProfileGPUPower()
+	if len(samples) != 11*len(MIGSMCounts) {
+		t.Fatalf("got %d samples, want %d", len(samples), 11*len(MIGSMCounts))
+	}
+	for _, s := range samples {
+		if s.Watts <= 0 {
+			t.Errorf("non-positive power at %gMHz/%dSMs", s.FrequencyMHz, s.SMs)
+		}
+	}
+}
+
+func TestPowerRefitMatchesTableIII(t *testing.T) {
+	// Fitting simulated power vs SM count at each frequency must give a
+	// near-linear law (B ~ 1), matching Table III's fits.
+	samples := ProfileGPUPower()
+	byFreq := map[float64][]PowerSample{}
+	for _, s := range samples {
+		byFreq[s.FrequencyMHz] = append(byFreq[s.FrequencyMHz], s)
+	}
+	for f, group := range byFreq {
+		xs := make([]float64, len(group))
+		ys := make([]float64, len(group))
+		for i, s := range group {
+			xs[i] = float64(s.SMs)
+			ys[i] = s.Watts
+		}
+		fit, err := powerlaw.Normalized(xs, ys, 14)
+		if err != nil {
+			t.Fatalf("%g MHz: %v", f, err)
+		}
+		if math.Abs(fit.B-1) > 0.05 {
+			t.Errorf("%g MHz: power-vs-SMs exponent %g, want ~1", f, fit.B)
+		}
+		if fit.R2 < 0.99 {
+			t.Errorf("%g MHz: R2 = %g, want ~1", f, fit.R2)
+		}
+	}
+}
+
+func TestDispersionFromR2(t *testing.T) {
+	if dispersionFromR2(1.0) != 0 {
+		t.Error("perfect fit must have zero dispersion")
+	}
+	if !(dispersionFromR2(0.0) > dispersionFromR2(0.9)) {
+		t.Error("dispersion must grow as R2 falls")
+	}
+}

@@ -1,0 +1,240 @@
+// Package rodinia embeds the profile data the paper publishes for the ten
+// scaled Rodinia 3.1 benchmarks (Table II) and for GPU power scaling
+// (Table III), and defines the three workloads used throughout the
+// evaluation: Rodinia (as measured), Default (setup/teardown reduced 5x), and
+// Optimized (reduced 20x).
+//
+// The original measurements were taken on an AMD EPYC 7543 and an Nvidia
+// A100 with MIG; this package carries those published numbers verbatim so
+// the model inputs match the paper's.
+package rodinia
+
+import (
+	"fmt"
+
+	"hilp/internal/powerlaw"
+)
+
+// Benchmark is one row of the paper's Table II.
+type Benchmark struct {
+	Name   string // full benchmark name
+	Abbrev string // the paper's abbreviation
+
+	SetupSec      float64 // setup phase, seconds on one CPU core
+	ComputeCPUSec float64 // compute phase, seconds on one CPU core
+	ComputeGPUSec float64 // compute phase, seconds on the 14-SM reference GPU
+	TeardownSec   float64 // teardown phase, seconds on one CPU core
+
+	GPUBandwidth float64 // compute-phase bandwidth on the full (98-SM) GPU, GB/s
+
+	// TimeFit and BWFit are the paper's power-law fits of GPU execution time
+	// and bandwidth versus SM count, normalized to the 14-SM configuration.
+	TimeFit powerlaw.Fit
+	BWFit   powerlaw.Fit
+
+	ScaledConfig string // the input scaling used when profiling
+}
+
+// ReferenceSMs is the MIG slice the paper normalizes to: the Table II C-GPU
+// and bandwidth columns refer to this configuration and the power-law fits
+// are anchored so that Eval(14) ~= 1. (This reading reproduces the paper's
+// headline speedups: MA 18.2, HILP 45.6, Gables 62.1.)
+const ReferenceSMs = 14
+
+// FullGPUSMs is the largest SM count MIG exposes on the profiled A100.
+const FullGPUSMs = 14 * 7 // 98
+
+// Benchmarks returns the paper's Table II, in table order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "Breadth-First Search", Abbrev: "BFS",
+			SetupSec: 95.3, ComputeCPUSec: 17.0, ComputeGPUSec: 1.0, TeardownSec: 11.9,
+			GPUBandwidth: 86.5,
+			TimeFit:      powerlaw.Fit{A: 7.83, B: -0.77, R2: 0.95},
+			BWFit:        powerlaw.Fit{A: 0.07, B: 0.92, R2: 0.98},
+			ScaledConfig: "128M elements",
+		},
+		{
+			Name: "Heartwall", Abbrev: "HW",
+			SetupSec: 8.0e-4, ComputeCPUSec: 78.3, ComputeGPUSec: 1.2, TeardownSec: 0.2,
+			GPUBandwidth: 7.3,
+			TimeFit:      powerlaw.Fit{A: 3.77, B: -0.52, R2: 0.92},
+			BWFit:        powerlaw.Fit{A: 0.84, B: 0.24, R2: 0.30},
+			ScaledConfig: "104 frames",
+		},
+		{
+			Name: "Hotspot3D", Abbrev: "HS3D",
+			SetupSec: 0.7, ComputeCPUSec: 49.2, ComputeGPUSec: 0.1, TeardownSec: 51.2,
+			GPUBandwidth: 36.4,
+			TimeFit:      powerlaw.Fit{A: 10.33, B: -0.86, R2: 1.00},
+			BWFit:        powerlaw.Fit{A: 0.14, B: 0.75, R2: 1.00},
+			ScaledConfig: "512x512x8, 200 iterations",
+		},
+		{
+			Name: "Hotspot", Abbrev: "HS",
+			SetupSec: 80.8, ComputeCPUSec: 395.9, ComputeGPUSec: 20.5, TeardownSec: 71.3,
+			GPUBandwidth: 40.4,
+			TimeFit:      powerlaw.Fit{A: 13.93, B: -1.00, R2: 1.00},
+			BWFit:        powerlaw.Fit{A: 0.07, B: 1.00, R2: 1.00},
+			ScaledConfig: "16Kx16K, 512 iterations",
+		},
+		{
+			Name: "LavaMD", Abbrev: "LMD",
+			SetupSec: 0.3, ComputeCPUSec: 163.4, ComputeGPUSec: 2.5, TeardownSec: 0.3,
+			GPUBandwidth: 0.6,
+			TimeFit:      powerlaw.Fit{A: 13.98, B: -0.99, R2: 1.00},
+			BWFit:        powerlaw.Fit{A: 0.10, B: 0.90, R2: 1.00},
+			ScaledConfig: "42 1D boxes",
+		},
+		{
+			Name: "LU Decomposition", Abbrev: "LUD",
+			SetupSec: 0.1, ComputeCPUSec: 444.2, ComputeGPUSec: 12.0, TeardownSec: 0.6,
+			GPUBandwidth: 61.6,
+			TimeFit:      powerlaw.Fit{A: 10.26, B: -0.88, R2: 1.00},
+			BWFit:        powerlaw.Fit{A: 0.10, B: 0.87, R2: 1.00},
+			ScaledConfig: "matrix size 16K",
+		},
+		{
+			Name: "Myocyte", Abbrev: "MC",
+			SetupSec: 0.1, ComputeCPUSec: 77.6, ComputeGPUSec: 8.3e-2, TeardownSec: 0.6,
+			GPUBandwidth: 0.1,
+			TimeFit:      powerlaw.Fit{A: 1.01, B: 8.98e-06, R2: 0.00},
+			BWFit:        powerlaw.Fit{A: 2.60, B: -0.28, R2: 0.15},
+			ScaledConfig: "100K span, 12 w., 0 m.",
+		},
+		{
+			Name: "Nearest Neighbor", Abbrev: "NN",
+			SetupSec: 1.6e-3, ComputeCPUSec: 159.4, ComputeGPUSec: 3.8e-3, TeardownSec: 0.3,
+			GPUBandwidth: 187.6,
+			TimeFit:      powerlaw.Fit{A: 8.97, B: -0.82, R2: 0.98},
+			BWFit:        powerlaw.Fit{A: 0.07, B: 0.95, R2: 0.99},
+			ScaledConfig: "64K size, 2K neighbors",
+		},
+		{
+			Name: "Pathfinder", Abbrev: "PF",
+			SetupSec: 72.1, ComputeCPUSec: 14.0, ComputeGPUSec: 0.2, TeardownSec: 0.3,
+			GPUBandwidth: 95.2,
+			TimeFit:      powerlaw.Fit{A: 7.27, B: -0.76, R2: 0.99},
+			BWFit:        powerlaw.Fit{A: 0.27, B: 0.58, R2: 0.95},
+			ScaledConfig: "400K rows, 5K col., 1 pyr.",
+		},
+		{
+			Name: "Stream Cluster", Abbrev: "SC",
+			SetupSec: 1.0e-4, ComputeCPUSec: 156.0, ComputeGPUSec: 2.1, TeardownSec: 0.3,
+			GPUBandwidth: 216.1,
+			TimeFit:      powerlaw.Fit{A: 5.41, B: -0.62, R2: 0.87},
+			BWFit:        powerlaw.Fit{A: 0.07, B: 0.88, R2: 0.96},
+			ScaledConfig: "30-40 centers, 128K points",
+		},
+	}
+}
+
+// ByAbbrev returns the benchmark with the given abbreviation.
+func ByAbbrev(abbrev string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Abbrev == abbrev {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("rodinia: unknown benchmark %q", abbrev)
+}
+
+// PowerPoint is one row of the paper's Table III: the full-GPU power draw
+// under gpu-burn at one core clock frequency.
+type PowerPoint struct {
+	FrequencyMHz float64
+	AllSMsWatts  float64      // measured power of the full GPU
+	PerSMWatts   float64      // the paper's per-SM column (AllSMs / 128)
+	Fit          powerlaw.Fit // power vs SM count, normalized to 14 SMs
+}
+
+// PowerTable returns the paper's Table III, ordered by ascending frequency.
+func PowerTable() []PowerPoint {
+	return []PowerPoint{
+		{210, 77.2, 0.6, powerlaw.Fit{A: 0.10, B: 0.94, R2: 1.00}},
+		{240, 83.5, 0.7, powerlaw.Fit{A: 0.53, B: 0.99, R2: 1.00}},
+		{300, 97.1, 0.8, powerlaw.Fit{A: 0.06, B: 1.03, R2: 1.00}},
+		{360, 105.1, 0.8, powerlaw.Fit{A: 0.07, B: 0.99, R2: 1.00}},
+		{420, 119.9, 0.9, powerlaw.Fit{A: 0.06, B: 1.01, R2: 1.00}},
+		{480, 129.5, 1.0, powerlaw.Fit{A: 0.07, B: 0.99, R2: 1.00}},
+		{540, 139.8, 1.1, powerlaw.Fit{A: 0.07, B: 0.99, R2: 1.00}},
+		{600, 153.6, 1.2, powerlaw.Fit{A: 0.07, B: 0.98, R2: 1.00}},
+		{660, 164.0, 1.3, powerlaw.Fit{A: 0.07, B: 0.98, R2: 1.00}},
+		{705, 172.9, 1.4, powerlaw.Fit{A: 0.07, B: 0.97, R2: 1.00}},
+		{765, 185.4, 1.4, powerlaw.Fit{A: 0.07, B: 0.97, R2: 1.00}},
+	}
+}
+
+// BaseFrequencyMHz is the A100 base clock at which Table II was profiled.
+const BaseFrequencyMHz = 765.0
+
+// Application is one independent member of a workload: a benchmark whose
+// setup and teardown phases may have been optimized (divided) relative to
+// the stock Rodinia implementation.
+type Application struct {
+	Bench            Benchmark
+	SetupTeardownDiv float64 // 1 for Rodinia, 5 for Default, 20 for Optimized
+}
+
+// SetupSec returns the (possibly optimized) setup time in seconds.
+func (a Application) SetupSec() float64 { return a.Bench.SetupSec / a.SetupTeardownDiv }
+
+// TeardownSec returns the (possibly optimized) teardown time in seconds.
+func (a Application) TeardownSec() float64 { return a.Bench.TeardownSec / a.SetupTeardownDiv }
+
+// Workload is a named set of independent applications (the paper's A).
+type Workload struct {
+	Name string
+	Apps []Application
+}
+
+// SequentialSingleCoreSec is the paper's speedup baseline: total execution
+// time when every phase of every application runs back-to-back on a single
+// CPU core.
+func (w Workload) SequentialSingleCoreSec() float64 {
+	total := 0.0
+	for _, a := range w.Apps {
+		total += a.SetupSec() + a.Bench.ComputeCPUSec + a.TeardownSec()
+	}
+	return total
+}
+
+func workload(name string, div float64) Workload {
+	benches := Benchmarks()
+	apps := make([]Application, len(benches))
+	for i, b := range benches {
+		apps[i] = Application{Bench: b, SetupTeardownDiv: div}
+	}
+	return Workload{Name: name, Apps: apps}
+}
+
+// RodiniaWorkload is one copy of each benchmark with measured setup and
+// teardown times.
+func RodiniaWorkload() Workload { return workload("Rodinia", 1) }
+
+// DefaultWorkload reduces setup and teardown times 5x, modeling moderately
+// optimized deployments; it drives the paper's design-space exploration.
+func DefaultWorkload() Workload { return workload("Default", 5) }
+
+// OptimizedWorkload reduces setup and teardown times 20x, minimizing the
+// impact of Amdahl's law.
+func OptimizedWorkload() Workload { return workload("Optimized", 20) }
+
+// ComputeCPUOrder returns application indices of w sorted by descending CPU
+// compute time; the paper allocates DSAs in this order ("effectively
+// prioritizing DSAs for longer-running compute phases"), so the 1-DSA SoC
+// accelerates LUD, the 2-DSA SoC adds HS, and so on.
+func (w Workload) ComputeCPUOrder() []int {
+	idx := make([]int, len(w.Apps))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by descending compute time keeps this dependency-free.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && w.Apps[idx[j]].Bench.ComputeCPUSec > w.Apps[idx[j-1]].Bench.ComputeCPUSec; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}

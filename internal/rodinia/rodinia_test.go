@@ -1,0 +1,144 @@
+package rodinia
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBenchmarksComplete(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 10 {
+		t.Fatalf("got %d benchmarks, want 10", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, b := range bs {
+		if b.Abbrev == "" || b.Name == "" {
+			t.Errorf("benchmark %+v missing names", b)
+		}
+		if seen[b.Abbrev] {
+			t.Errorf("duplicate abbreviation %s", b.Abbrev)
+		}
+		seen[b.Abbrev] = true
+		if b.SetupSec <= 0 || b.ComputeCPUSec <= 0 || b.ComputeGPUSec <= 0 || b.TeardownSec <= 0 {
+			t.Errorf("%s: non-positive phase time", b.Abbrev)
+		}
+		if b.ComputeGPUSec >= b.ComputeCPUSec {
+			t.Errorf("%s: GPU compute %g not faster than CPU %g", b.Abbrev, b.ComputeGPUSec, b.ComputeCPUSec)
+		}
+	}
+}
+
+func TestTimeFitsNormalizedAt14SMs(t *testing.T) {
+	// The paper normalizes fits to the 14-SM GPU, so Eval(14) ~ 1 wherever
+	// the fit is meaningful (R2 reasonably high).
+	for _, b := range Benchmarks() {
+		if b.TimeFit.R2 < 0.5 {
+			continue // MC: flat, fit to noise per the paper
+		}
+		v := b.TimeFit.Eval(14)
+		if v < 0.7 || v > 1.4 {
+			t.Errorf("%s: TimeFit.Eval(14) = %g, want ~1", b.Abbrev, v)
+		}
+	}
+}
+
+func TestBWFitsNormalizedAt14SMs(t *testing.T) {
+	for _, b := range Benchmarks() {
+		if b.BWFit.R2 < 0.5 {
+			continue // HW and MC bandwidth fits are to noise per the paper
+		}
+		v := b.BWFit.Eval(14)
+		if v < 0.6 || v > 1.6 {
+			t.Errorf("%s: BWFit.Eval(14) = %g, want ~1", b.Abbrev, v)
+		}
+	}
+}
+
+func TestByAbbrev(t *testing.T) {
+	b, err := ByAbbrev("LUD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "LU Decomposition" || b.ComputeCPUSec != 444.2 {
+		t.Errorf("unexpected LUD row: %+v", b)
+	}
+	if _, err := ByAbbrev("NOPE"); err == nil {
+		t.Error("ByAbbrev accepted an unknown benchmark")
+	}
+}
+
+func TestPowerTable(t *testing.T) {
+	pts := PowerTable()
+	if len(pts) != 11 {
+		t.Fatalf("got %d power points, want 11", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].FrequencyMHz <= pts[i-1].FrequencyMHz {
+			t.Errorf("frequencies not ascending at %d", i)
+		}
+		if pts[i].AllSMsWatts <= pts[i-1].AllSMsWatts {
+			t.Errorf("power not monotonic at %g MHz", pts[i].FrequencyMHz)
+		}
+	}
+	// Per-SM column is AllSMs / 128 rounded to one decimal.
+	for _, pt := range pts {
+		if math.Abs(pt.PerSMWatts-pt.AllSMsWatts/128) > 0.06 {
+			t.Errorf("%g MHz: per-SM %g inconsistent with %g/128", pt.FrequencyMHz, pt.PerSMWatts, pt.AllSMsWatts)
+		}
+	}
+}
+
+func TestWorkloadScaling(t *testing.T) {
+	rod := RodiniaWorkload()
+	def := DefaultWorkload()
+	opt := OptimizedWorkload()
+	if len(rod.Apps) != 10 || len(def.Apps) != 10 || len(opt.Apps) != 10 {
+		t.Fatal("workloads must contain all ten benchmarks")
+	}
+	for i := range rod.Apps {
+		r, d, o := rod.Apps[i], def.Apps[i], opt.Apps[i]
+		if math.Abs(r.SetupSec()/5-d.SetupSec()) > 1e-12 {
+			t.Errorf("%s: Default setup not 5x smaller", r.Bench.Abbrev)
+		}
+		if math.Abs(r.TeardownSec()/20-o.TeardownSec()) > 1e-12 {
+			t.Errorf("%s: Optimized teardown not 20x smaller", r.Bench.Abbrev)
+		}
+		if r.Bench.ComputeCPUSec != d.Bench.ComputeCPUSec {
+			t.Errorf("%s: compute time must not change across workloads", r.Bench.Abbrev)
+		}
+	}
+}
+
+func TestSequentialSingleCoreSec(t *testing.T) {
+	rod := RodiniaWorkload()
+	want := 0.0
+	for _, b := range Benchmarks() {
+		want += b.SetupSec + b.ComputeCPUSec + b.TeardownSec
+	}
+	if got := rod.SequentialSingleCoreSec(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("baseline = %g, want %g", got, want)
+	}
+	if opt := OptimizedWorkload().SequentialSingleCoreSec(); opt >= rod.SequentialSingleCoreSec() {
+		t.Error("Optimized baseline should be shorter than Rodinia")
+	}
+}
+
+func TestComputeCPUOrder(t *testing.T) {
+	w := DefaultWorkload()
+	order := w.ComputeCPUOrder()
+	if len(order) != 10 {
+		t.Fatalf("order covers %d apps", len(order))
+	}
+	// Paper: the 1-DSA SoC accelerates LUD, the 2-DSA SoC adds HS.
+	if w.Apps[order[0]].Bench.Abbrev != "LUD" {
+		t.Errorf("first DSA target = %s, want LUD", w.Apps[order[0]].Bench.Abbrev)
+	}
+	if w.Apps[order[1]].Bench.Abbrev != "HS" {
+		t.Errorf("second DSA target = %s, want HS", w.Apps[order[1]].Bench.Abbrev)
+	}
+	for i := 1; i < len(order); i++ {
+		if w.Apps[order[i]].Bench.ComputeCPUSec > w.Apps[order[i-1]].Bench.ComputeCPUSec {
+			t.Error("order not descending by CPU compute time")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package scheduler
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AnnealConfig tunes the simulated-annealing search over (activity list,
+// option assignment) states.
+type AnnealConfig struct {
+	// Iterations is the number of proposed moves. 0 selects a default scaled
+	// to instance size.
+	Iterations int
+	// Restarts is the number of independent annealing runs. 0 means 1.
+	Restarts int
+	// Seed seeds the deterministic random source.
+	Seed int64
+	// InitialTempFactor scales the initial temperature relative to the seed
+	// makespan. 0 selects a default of 0.2.
+	InitialTempFactor float64
+}
+
+func (c AnnealConfig) withDefaults(p *Problem) AnnealConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 2000 + 400*len(p.Tasks)
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 1
+	}
+	if c.InitialTempFactor == 0 {
+		c.InitialTempFactor = 0.2
+	}
+	return c
+}
+
+// Anneal improves on the heuristic portfolio with simulated annealing and
+// returns the best schedule found. ok is false when even the heuristics
+// could not place the tasks (an outright-infeasible option set).
+func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
+	cfg = cfg.withDefaults(p)
+	g := newSGS(p)
+
+	seeds := heuristicCandidates(p)
+	var best Schedule
+	var bestList, bestOpts []int
+	found := false
+	for _, c := range seeds {
+		s, ok := g.decode(c.list, c.opts)
+		if !ok {
+			continue
+		}
+		if !found || s.Makespan < best.Makespan {
+			best = s
+			bestList = append([]int(nil), c.list...)
+			bestOpts = append([]int(nil), c.opts...)
+			found = true
+		}
+	}
+	if !found {
+		return Schedule{}, false
+	}
+	if len(p.Tasks) <= 1 {
+		return best, true
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(p.Tasks)
+
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		list := append([]int(nil), bestList...)
+		opts := append([]int(nil), bestOpts...)
+		cur, ok := g.decode(list, opts)
+		if !ok {
+			continue
+		}
+		temp := cfg.InitialTempFactor * float64(cur.Makespan+1)
+		cooling := math.Pow(0.001/math.Max(temp, 1e-9), 1/float64(cfg.Iterations))
+
+		for it := 0; it < cfg.Iterations; it++ {
+			// Propose a move.
+			var undo func()
+			switch rng.Intn(3) {
+			case 0: // relocate a task within the activity list
+				from := rng.Intn(n)
+				to := rng.Intn(n)
+				if from == to {
+					continue
+				}
+				moved := list[from]
+				copy(list[from:], list[from+1:])
+				list[n-1] = 0
+				copy(list[to+1:], list[to:n-1])
+				list[to] = moved
+				undo = func() {
+					// Reverse: remove at `to`, insert at `from`.
+					m := list[to]
+					copy(list[to:], list[to+1:])
+					list[n-1] = 0
+					copy(list[from+1:], list[from:n-1])
+					list[from] = m
+				}
+			case 1: // swap two adjacent tasks
+				i := rng.Intn(n - 1)
+				list[i], list[i+1] = list[i+1], list[i]
+				undo = func() { list[i], list[i+1] = list[i+1], list[i] }
+			default: // change one task's option
+				ti := rng.Intn(n)
+				nOpts := len(p.Tasks[ti].Options)
+				if nOpts <= 1 {
+					continue
+				}
+				old := opts[ti]
+				next := rng.Intn(nOpts)
+				if next == old {
+					next = (next + 1) % nOpts
+				}
+				opts[ti] = next
+				undo = func() { opts[ti] = old }
+			}
+
+			cand, ok := g.decode(list, opts)
+			accept := false
+			if ok {
+				delta := float64(cand.Makespan - cur.Makespan)
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/math.Max(temp, 1e-9)) {
+					accept = true
+				}
+			}
+			if accept {
+				cur = cand
+				if cur.Makespan < best.Makespan {
+					best = cur.Clone()
+					bestList = append(bestList[:0], list...)
+					bestOpts = append(bestOpts[:0], opts...)
+				}
+			} else {
+				undo()
+			}
+			temp *= cooling
+		}
+	}
+	return best, true
+}

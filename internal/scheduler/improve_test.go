@@ -1,0 +1,190 @@
+package scheduler
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestJustifyNeverWorsens(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := randomProblem(seed)
+		s, ok := HeuristicSchedule(p)
+		if !ok {
+			continue
+		}
+		j := Justify(p, s)
+		if j.Makespan > s.Makespan {
+			t.Errorf("seed %d: justify worsened %d -> %d", seed, s.Makespan, j.Makespan)
+		}
+		if err := j.Validate(p); err != nil {
+			t.Errorf("seed %d: justified schedule invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestJustifyImprovesSloppySchedule(t *testing.T) {
+	// A deliberately bad schedule with a gap in the middle; justification
+	// must pull the tail back.
+	p := &Problem{
+		Tasks: []Task{
+			{Name: "a", Options: []Option{{Cluster: 0, Duration: 2}}},
+			{Name: "b", Deps: []Dep{{Task: 0}}, Options: []Option{{Cluster: 0, Duration: 3}}},
+		},
+		NumClusters:  1,
+		ClusterGroup: []int{0},
+		Horizon:      40,
+	}
+	sloppy := Schedule{Start: []int{0, 10}, Option: []int{0, 0}}
+	sloppy.ComputeMakespan(p)
+	if err := sloppy.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	j := Justify(p, sloppy)
+	if j.Makespan != 5 {
+		t.Errorf("justified makespan = %d, want 5", j.Makespan)
+	}
+}
+
+func TestRightJustifyRespectsMakespan(t *testing.T) {
+	p := exampleFig2(false)
+	s, ok := HeuristicSchedule(p)
+	if !ok {
+		t.Fatal("no heuristic schedule")
+	}
+	r := rightJustify(p, s)
+	if r.Makespan > s.Makespan {
+		t.Errorf("right justification grew the makespan: %d -> %d", s.Makespan, r.Makespan)
+	}
+	if err := r.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDestructiveLowerBoundValid(t *testing.T) {
+	// On the Fig. 2 example (optimum 7) the destructive bound must stay in
+	// (0, 7] and dominate the basic bound.
+	p := exampleFig2(false)
+	basic := LowerBound(p)
+	d := DestructiveLowerBound(p, 7)
+	if d < basic {
+		t.Errorf("destructive bound %d below basic bound %d", d, basic)
+	}
+	if d > 7 {
+		t.Errorf("destructive bound %d exceeds the optimum 7", d)
+	}
+}
+
+func TestDestructiveLowerBoundPowerCap(t *testing.T) {
+	// Under the 3 W cap the optimum is 9; the energetic reasoning should
+	// tighten the bound beyond the plain energy bound (6) and critical path
+	// (7).
+	p := exampleFig2(true)
+	d := DestructiveLowerBound(p, 9)
+	if d > 9 {
+		t.Fatalf("destructive bound %d exceeds the optimum 9", d)
+	}
+	if d < LowerBound(p) {
+		t.Fatalf("destructive bound %d below basic %d", d, LowerBound(p))
+	}
+}
+
+// TestDestructiveBoundNeverExceedsOptimum is the soundness property: on
+// random instances where exact search proves the optimum, the destructive
+// bound must not exceed it.
+func TestDestructiveBoundNeverExceedsOptimum(t *testing.T) {
+	f := func(seed int16) bool {
+		p := randomProblem(int64(seed) % 64)
+		if len(p.Tasks) > 8 {
+			return true
+		}
+		ex := SolveExact(p, ExactConfig{})
+		if !ex.Found || !ex.Exhausted {
+			return true
+		}
+		d := DestructiveLowerBound(p, ex.Schedule.Makespan)
+		return d <= ex.Schedule.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatestStarts(t *testing.T) {
+	p := exampleFig2(false)
+	lst, ok := latestStarts(p, 7)
+	if !ok {
+		t.Fatal("latestStarts infeasible at the optimum")
+	}
+	// m2 (duration 1) must start at 6 at the latest; m1 (min duration 5) at
+	// 1; m0 at 0.
+	if lst[2] != 6 || lst[1] != 1 || lst[0] != 0 {
+		t.Errorf("lst = %v, want m0=0 m1=1 m2=6", lst[:3])
+	}
+	if _, ok := latestStarts(p, 6); ok {
+		t.Error("T=6 should make app m's chain infeasible")
+	}
+}
+
+func TestMandatoryWork(t *testing.T) {
+	// Window [2, 4] with duration 3: left placement covers [2,5), right
+	// [4,7). Interval [4,5): left overlap 1, right overlap 1 -> mandatory 1.
+	if got := mandatoryWork(2, 4, 3, 4, 5); got != 1 {
+		t.Errorf("mandatoryWork = %d, want 1", got)
+	}
+	// Interval far away: zero.
+	if got := mandatoryWork(2, 4, 3, 10, 12); got != 0 {
+		t.Errorf("mandatoryWork = %d, want 0", got)
+	}
+	// Zero duration: zero.
+	if got := mandatoryWork(2, 4, 0, 0, 10); got != 0 {
+		t.Errorf("mandatoryWork = %d, want 0", got)
+	}
+}
+
+func TestTabuSearchMatchesOptimalOnExample(t *testing.T) {
+	p := exampleFig2(false)
+	s, ok := TabuSearch(p, TabuConfig{Seed: 1})
+	if !ok {
+		t.Fatal("tabu found nothing")
+	}
+	if err := s.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 7 {
+		t.Errorf("tabu makespan = %d, want 7", s.Makespan)
+	}
+}
+
+func TestTabuSearchOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := randomProblem(seed)
+		s, ok := TabuSearch(p, TabuConfig{Seed: seed, Iterations: 600})
+		if !ok {
+			continue
+		}
+		if err := s.Validate(p); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if s.Makespan < LowerBound(p) {
+			t.Errorf("seed %d: tabu makespan %d below the lower bound", seed, s.Makespan)
+		}
+	}
+}
+
+func TestTabuDeterministicPerSeed(t *testing.T) {
+	p := randomProblem(5)
+	a, _ := TabuSearch(p, TabuConfig{Seed: 42, Iterations: 400})
+	b, _ := TabuSearch(p, TabuConfig{Seed: 42, Iterations: 400})
+	if a.Makespan != b.Makespan {
+		t.Errorf("same seed produced %d and %d", a.Makespan, b.Makespan)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	p := randomProblem(7)
+	a, _ := Anneal(p, AnnealConfig{Seed: 42, Iterations: 800})
+	b, _ := Anneal(p, AnnealConfig{Seed: 42, Iterations: 800})
+	if a.Makespan != b.Makespan {
+		t.Errorf("same seed produced %d and %d", a.Makespan, b.Makespan)
+	}
+}

@@ -1,0 +1,259 @@
+// Package scheduler solves the resource-constrained job-shop scheduling
+// problem at the heart of HILP: independent applications made of dependent
+// phases (tasks) must be placed on core clusters (unary machines, possibly
+// grouped into mutually exclusive device aliases) under cumulative resource
+// constraints such as power, memory bandwidth, and CPU-core count.
+//
+// The package provides a serial schedule-generation scheme, priority-rule
+// heuristics, simulated annealing, an exact branch-and-bound for small
+// instances, and combinatorial lower bounds used to certify optimality gaps.
+// It plays the role the OR-Tools CP-SAT solver plays in the original paper.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+)
+
+// DepKind describes the timing semantics of a dependency edge.
+type DepKind int
+
+const (
+	// FinishStart requires the successor to start no earlier than the
+	// predecessor's completion plus Lag (the paper's Eq. 2, and Eq. 9 for
+	// graph-shaped dependencies).
+	FinishStart DepKind = iota
+	// StartStart requires the successor to start no earlier than the
+	// predecessor's start plus Lag (the paper's initiation-interval
+	// extension, §VII).
+	StartStart
+)
+
+// String names the dependency kind.
+func (k DepKind) String() string {
+	switch k {
+	case FinishStart:
+		return "finish-start"
+	case StartStart:
+		return "start-start"
+	}
+	return fmt.Sprintf("DepKind(%d)", int(k))
+}
+
+// Dep is a dependency on another task.
+type Dep struct {
+	Task int     // index of the predecessor task
+	Kind DepKind // timing semantics
+	Lag  int     // additional delay in time steps (>= 0)
+}
+
+// Option is one feasible placement of a task: a cluster, the execution time
+// on that cluster, and the per-resource consumption while executing. Options
+// correspond to columns of the paper's T/B/P/E/U matrices for one phase.
+type Option struct {
+	Cluster  int       // core cluster the task occupies
+	Duration int       // execution time in integer time steps (>= 0)
+	Demand   []float64 // consumption per cumulative resource while active
+	Label    string    // optional human-readable label (e.g. "gpu@765MHz")
+}
+
+// Task is a single application phase to be scheduled.
+type Task struct {
+	Name    string
+	App     int // application index, used for WLP accounting and reporting
+	Phase   int // phase index within the application
+	Deps    []Dep
+	Options []Option // at least one; the compatibility matrix E is encoded by presence
+}
+
+// Resource is a cumulative resource with a capacity that the sum of demands
+// of concurrently executing tasks must not exceed (the paper's Eqs. 6-8).
+type Resource struct {
+	Name     string
+	Capacity float64
+}
+
+// Problem is a complete scheduling instance.
+type Problem struct {
+	Tasks []Task
+	// NumClusters is the number of core clusters (unary machines).
+	NumClusters int
+	// ClusterGroup maps each cluster to a device group. Clusters sharing a
+	// group are mutually exclusive: at most one task may be active across
+	// the whole group at any time step. This realizes both the paper's
+	// non-interference constraint (Eq. 3; each cluster alone in its group)
+	// and its DVFS alias trick (§III-C; all operating points of one physical
+	// device share a group).
+	ClusterGroup []int
+	// Resources are the cumulative resources (power, bandwidth, CPU cores, ...).
+	Resources []Resource
+	// Horizon is the soft scheduling horizon in time steps. Heuristics may
+	// exceed it (the adaptive-resolution loop will coarsen); exact methods
+	// and ILP encodings treat it as a hard bound.
+	Horizon int
+}
+
+// NumGroups returns the number of device groups (1 + max group id).
+func (p *Problem) NumGroups() int {
+	max := -1
+	for _, g := range p.ClusterGroup {
+		if g > max {
+			max = g
+		}
+	}
+	return max + 1
+}
+
+// Validate reports structural problems with the instance: missing options,
+// bad cluster or resource references, negative durations or lags, dependency
+// cycles, or demand vectors of the wrong length.
+func (p *Problem) Validate() error {
+	if p.NumClusters <= 0 {
+		return fmt.Errorf("scheduler: NumClusters = %d, want > 0", p.NumClusters)
+	}
+	if len(p.ClusterGroup) != p.NumClusters {
+		return fmt.Errorf("scheduler: len(ClusterGroup) = %d, want %d", len(p.ClusterGroup), p.NumClusters)
+	}
+	for c, g := range p.ClusterGroup {
+		if g < 0 {
+			return fmt.Errorf("scheduler: cluster %d has negative group %d", c, g)
+		}
+	}
+	for r, res := range p.Resources {
+		if res.Capacity < 0 || math.IsNaN(res.Capacity) {
+			return fmt.Errorf("scheduler: resource %d (%s) has invalid capacity %g", r, res.Name, res.Capacity)
+		}
+	}
+	for i, t := range p.Tasks {
+		if len(t.Options) == 0 {
+			return fmt.Errorf("scheduler: task %d (%s) has no options (incompatible with every cluster)", i, t.Name)
+		}
+		for oi, o := range t.Options {
+			if o.Cluster < 0 || o.Cluster >= p.NumClusters {
+				return fmt.Errorf("scheduler: task %d (%s) option %d references cluster %d, have %d clusters", i, t.Name, oi, o.Cluster, p.NumClusters)
+			}
+			if o.Duration < 0 {
+				return fmt.Errorf("scheduler: task %d (%s) option %d has negative duration %d", i, t.Name, oi, o.Duration)
+			}
+			if len(o.Demand) != len(p.Resources) {
+				return fmt.Errorf("scheduler: task %d (%s) option %d has %d demands, want %d", i, t.Name, oi, len(o.Demand), len(p.Resources))
+			}
+			for r, d := range o.Demand {
+				if d < 0 || math.IsNaN(d) {
+					return fmt.Errorf("scheduler: task %d (%s) option %d has invalid demand %g for resource %s", i, t.Name, oi, d, p.Resources[r].Name)
+				}
+			}
+		}
+		for _, d := range t.Deps {
+			if d.Task < 0 || d.Task >= len(p.Tasks) {
+				return fmt.Errorf("scheduler: task %d (%s) depends on task %d, have %d tasks", i, t.Name, d.Task, len(p.Tasks))
+			}
+			if d.Task == i {
+				return fmt.Errorf("scheduler: task %d (%s) depends on itself", i, t.Name)
+			}
+			if d.Lag < 0 {
+				return fmt.Errorf("scheduler: task %d (%s) has negative lag %d", i, t.Name, d.Lag)
+			}
+		}
+	}
+	if cycle := p.findCycle(); cycle != nil {
+		return fmt.Errorf("scheduler: dependency cycle through tasks %v", cycle)
+	}
+	return nil
+}
+
+// findCycle returns a task index slice forming a dependency cycle, or nil.
+func (p *Problem) findCycle() []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(p.Tasks))
+	var stack []int
+	var dfs func(i int) []int
+	dfs = func(i int) []int {
+		color[i] = grey
+		stack = append(stack, i)
+		for _, d := range p.Tasks[i].Deps {
+			switch color[d.Task] {
+			case grey:
+				// Found a cycle: slice the stack from the first occurrence.
+				for k, v := range stack {
+					if v == d.Task {
+						return append(append([]int{}, stack[k:]...), d.Task)
+					}
+				}
+				return []int{d.Task, i, d.Task}
+			case white:
+				if c := dfs(d.Task); c != nil {
+					return c
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[i] = black
+		return nil
+	}
+	for i := range p.Tasks {
+		if color[i] == white {
+			if c := dfs(i); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// MinDuration returns the shortest duration among the task's options.
+func (t *Task) MinDuration() int {
+	min := math.MaxInt
+	for _, o := range t.Options {
+		if o.Duration < min {
+			min = o.Duration
+		}
+	}
+	return min
+}
+
+// TopoOrder returns task indices in a precedence-respecting order. It must be
+// called on a validated (acyclic) problem.
+func (p *Problem) TopoOrder() []int {
+	indeg := make([]int, len(p.Tasks))
+	succ := make([][]int, len(p.Tasks))
+	for i, t := range p.Tasks {
+		for _, d := range t.Deps {
+			succ[d.Task] = append(succ[d.Task], i)
+			indeg[i]++
+		}
+	}
+	var queue, order []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, s := range succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order
+}
+
+// Successors returns, for each task, the indices of tasks that depend on it.
+func (p *Problem) Successors() [][]int {
+	succ := make([][]int, len(p.Tasks))
+	for i, t := range p.Tasks {
+		for _, d := range t.Deps {
+			succ[d.Task] = append(succ[d.Task], i)
+		}
+	}
+	return succ
+}

@@ -1,0 +1,159 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+)
+
+// exampleFig2 builds the paper's Figure 2 two-application example: apps m and
+// n with setup/compute/teardown phases on an SoC with one CPU, one GPU, and
+// one DSA. withPower adds the 3 W power constraint of Figure 3.
+func exampleFig2(withPower bool) *Problem {
+	const (
+		cpu = 0
+		gpu = 1
+		dsa = 2
+	)
+	var resources []Resource
+	demand := func(w float64) []float64 { return nil }
+	if withPower {
+		resources = []Resource{{Name: "power", Capacity: 3}}
+		demand = func(w float64) []float64 { return []float64{w} }
+	}
+
+	cpuOpt := func(d int) Option { return Option{Cluster: cpu, Duration: d, Demand: demand(1)} }
+	gpuOpt := func(d int) Option { return Option{Cluster: gpu, Duration: d, Demand: demand(3)} }
+	dsaOpt := func(d int) Option { return Option{Cluster: dsa, Duration: d, Demand: demand(2)} }
+
+	tasks := []Task{
+		{Name: "m0", App: 0, Phase: 0, Options: []Option{cpuOpt(1)}},
+		{Name: "m1", App: 0, Phase: 1, Deps: []Dep{{Task: 0}}, Options: []Option{cpuOpt(8), gpuOpt(6), dsaOpt(5)}},
+		{Name: "m2", App: 0, Phase: 2, Deps: []Dep{{Task: 1}}, Options: []Option{cpuOpt(1)}},
+		{Name: "n0", App: 1, Phase: 0, Options: []Option{cpuOpt(1)}},
+		{Name: "n1", App: 1, Phase: 1, Deps: []Dep{{Task: 3}}, Options: []Option{cpuOpt(5), gpuOpt(3), dsaOpt(2)}},
+		{Name: "n2", App: 1, Phase: 2, Deps: []Dep{{Task: 4}}, Options: []Option{cpuOpt(1)}},
+	}
+	return &Problem{
+		Tasks:        tasks,
+		NumClusters:  3,
+		ClusterGroup: []int{0, 1, 2},
+		Resources:    resources,
+		Horizon:      40,
+	}
+}
+
+func TestValidateAcceptsExample(t *testing.T) {
+	for _, withPower := range []bool{false, true} {
+		if err := exampleFig2(withPower).Validate(); err != nil {
+			t.Errorf("withPower=%v: %v", withPower, err)
+		}
+	}
+}
+
+func TestValidateRejectsNoOptions(t *testing.T) {
+	p := exampleFig2(false)
+	p.Tasks[0].Options = nil
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "no options") {
+		t.Fatalf("err = %v, want no-options error", err)
+	}
+}
+
+func TestValidateRejectsBadCluster(t *testing.T) {
+	p := exampleFig2(false)
+	p.Tasks[0].Options[0].Cluster = 7
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "cluster") {
+		t.Fatalf("err = %v, want cluster error", err)
+	}
+}
+
+func TestValidateRejectsNegativeDuration(t *testing.T) {
+	p := exampleFig2(false)
+	p.Tasks[1].Options[0].Duration = -1
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "negative duration") {
+		t.Fatalf("err = %v, want duration error", err)
+	}
+}
+
+func TestValidateRejectsWrongDemandLength(t *testing.T) {
+	p := exampleFig2(true)
+	p.Tasks[1].Options[0].Demand = []float64{1, 2}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "demands") {
+		t.Fatalf("err = %v, want demand-length error", err)
+	}
+}
+
+func TestValidateRejectsSelfDependency(t *testing.T) {
+	p := exampleFig2(false)
+	p.Tasks[2].Deps = append(p.Tasks[2].Deps, Dep{Task: 2})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "itself") {
+		t.Fatalf("err = %v, want self-dependency error", err)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	p := exampleFig2(false)
+	// m0 -> m1 -> m2 exists; close the loop m0 depends on m2.
+	p.Tasks[0].Deps = []Dep{{Task: 2}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v, want cycle error", err)
+	}
+}
+
+func TestValidateRejectsNegativeLag(t *testing.T) {
+	p := exampleFig2(false)
+	p.Tasks[1].Deps[0].Lag = -2
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "lag") {
+		t.Fatalf("err = %v, want lag error", err)
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	p := exampleFig2(false)
+	order := p.TopoOrder()
+	if len(order) != len(p.Tasks) {
+		t.Fatalf("topo order covers %d tasks, want %d", len(order), len(p.Tasks))
+	}
+	pos := make([]int, len(order))
+	for k, i := range order {
+		pos[i] = k
+	}
+	for i, task := range p.Tasks {
+		for _, d := range task.Deps {
+			if pos[d.Task] >= pos[i] {
+				t.Errorf("task %d appears before its dependency %d", i, d.Task)
+			}
+		}
+	}
+}
+
+func TestNumGroups(t *testing.T) {
+	p := exampleFig2(false)
+	if got := p.NumGroups(); got != 3 {
+		t.Errorf("NumGroups = %d, want 3", got)
+	}
+	p.ClusterGroup = []int{0, 0, 1}
+	if got := p.NumGroups(); got != 2 {
+		t.Errorf("NumGroups = %d, want 2", got)
+	}
+}
+
+func TestMinDuration(t *testing.T) {
+	p := exampleFig2(false)
+	if got := p.Tasks[1].MinDuration(); got != 5 {
+		t.Errorf("m1 MinDuration = %d, want 5 (DSA)", got)
+	}
+	if got := p.Tasks[0].MinDuration(); got != 1 {
+		t.Errorf("m0 MinDuration = %d, want 1", got)
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	p := exampleFig2(false)
+	succ := p.Successors()
+	if len(succ[0]) != 1 || succ[0][0] != 1 {
+		t.Errorf("successors of m0 = %v, want [1]", succ[0])
+	}
+	if len(succ[2]) != 0 {
+		t.Errorf("successors of m2 = %v, want none", succ[2])
+	}
+}

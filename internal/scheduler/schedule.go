@@ -1,0 +1,197 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule is an assignment of a start time and an option to every task.
+type Schedule struct {
+	Start    []int // start time step per task
+	Option   []int // chosen option index per task
+	Makespan int   // completion time of the last-finishing task (Eq. 1)
+}
+
+// Clone returns a deep copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := Schedule{
+		Start:    make([]int, len(s.Start)),
+		Option:   make([]int, len(s.Option)),
+		Makespan: s.Makespan,
+	}
+	copy(out.Start, s.Start)
+	copy(out.Option, s.Option)
+	return out
+}
+
+// Finish returns the completion time of task i.
+func (s Schedule) Finish(p *Problem, i int) int {
+	return s.Start[i] + p.Tasks[i].Options[s.Option[i]].Duration
+}
+
+// ComputeMakespan recomputes and stores the makespan from starts and options.
+func (s *Schedule) ComputeMakespan(p *Problem) int {
+	m := 0
+	for i := range p.Tasks {
+		if f := s.Finish(p, i); f > m {
+			m = f
+		}
+	}
+	s.Makespan = m
+	return m
+}
+
+// Validate checks the schedule against every constraint of the instance:
+// option ranges, non-negative starts, dependency timing (Eqs. 2/9), group
+// non-interference (Eq. 3), and all cumulative resources (Eqs. 6-8). A nil
+// return certifies feasibility.
+func (s Schedule) Validate(p *Problem) error {
+	n := len(p.Tasks)
+	if len(s.Start) != n || len(s.Option) != n {
+		return fmt.Errorf("scheduler: schedule covers %d/%d tasks, want %d", len(s.Start), len(s.Option), n)
+	}
+	for i, t := range p.Tasks {
+		if s.Option[i] < 0 || s.Option[i] >= len(t.Options) {
+			return fmt.Errorf("scheduler: task %d (%s) has option %d, want [0,%d)", i, t.Name, s.Option[i], len(t.Options))
+		}
+		if s.Start[i] < 0 {
+			return fmt.Errorf("scheduler: task %d (%s) starts at %d, want >= 0", i, t.Name, s.Start[i])
+		}
+	}
+	// Dependencies.
+	for i, t := range p.Tasks {
+		for _, d := range t.Deps {
+			var earliest int
+			switch d.Kind {
+			case FinishStart:
+				earliest = s.Finish(p, d.Task) + d.Lag
+			case StartStart:
+				earliest = s.Start[d.Task] + d.Lag
+			}
+			if s.Start[i] < earliest {
+				return fmt.Errorf("scheduler: task %d (%s) starts at %d, violates %v dependency on task %d (%s) requiring >= %d",
+					i, t.Name, s.Start[i], d.Kind, d.Task, p.Tasks[d.Task].Name, earliest)
+			}
+		}
+	}
+	// Group non-interference: overlapping tasks must occupy distinct groups.
+	for i := range p.Tasks {
+		oi := p.Tasks[i].Options[s.Option[i]]
+		for j := i + 1; j < n; j++ {
+			oj := p.Tasks[j].Options[s.Option[j]]
+			if p.ClusterGroup[oi.Cluster] != p.ClusterGroup[oj.Cluster] {
+				continue
+			}
+			if overlaps(s.Start[i], oi.Duration, s.Start[j], oj.Duration) {
+				return fmt.Errorf("scheduler: tasks %d (%s) and %d (%s) overlap on device group %d",
+					i, p.Tasks[i].Name, j, p.Tasks[j].Name, p.ClusterGroup[oi.Cluster])
+			}
+		}
+	}
+	// Cumulative resources, step by step over the union of active intervals.
+	makespan := 0
+	for i := range p.Tasks {
+		if f := s.Finish(p, i); f > makespan {
+			makespan = f
+		}
+	}
+	for r, res := range p.Resources {
+		usage := make([]float64, makespan)
+		for i, t := range p.Tasks {
+			o := t.Options[s.Option[i]]
+			for step := s.Start[i]; step < s.Start[i]+o.Duration; step++ {
+				usage[step] += o.Demand[r]
+			}
+		}
+		for step, u := range usage {
+			if u > res.Capacity+1e-9 {
+				return fmt.Errorf("scheduler: resource %s over capacity at step %d: %.4g > %.4g", res.Name, step, u, res.Capacity)
+			}
+		}
+	}
+	return nil
+}
+
+func overlaps(s1, d1, s2, d2 int) bool {
+	if d1 == 0 || d2 == 0 {
+		return false
+	}
+	return s1 < s2+d2 && s2 < s1+d1
+}
+
+// WLPProfile returns the number of concurrently active application phases
+// in each time step of the schedule (paper §II: "computing WLP simply
+// amounts to counting the application phases that co-execute in a given
+// time step").
+func (s Schedule) WLPProfile(p *Problem) []int {
+	makespan := 0
+	for i := range p.Tasks {
+		if f := s.Finish(p, i); f > makespan {
+			makespan = f
+		}
+	}
+	active := make([]int, makespan)
+	for i, t := range p.Tasks {
+		d := t.Options[s.Option[i]].Duration
+		for step := s.Start[i]; step < s.Start[i]+d; step++ {
+			active[step]++
+		}
+	}
+	return active
+}
+
+// WLP returns the average Workload-Level Parallelism of the schedule: the
+// arithmetic mean of the number of concurrently active application phases
+// across all time steps in which at least one phase is active (paper §II).
+func (s Schedule) WLP(p *Problem) float64 {
+	sum, steps := 0, 0
+	for _, a := range s.WLPProfile(p) {
+		if a > 0 {
+			sum += a
+			steps++
+		}
+	}
+	if steps == 0 {
+		return 0
+	}
+	return float64(sum) / float64(steps)
+}
+
+// PeakWLP returns the maximum per-step WLP of the schedule.
+func (s Schedule) PeakWLP(p *Problem) int {
+	peak := 0
+	for _, a := range s.WLPProfile(p) {
+		if a > peak {
+			peak = a
+		}
+	}
+	return peak
+}
+
+// ResourceProfile returns the per-step consumption of resource r over the
+// schedule's makespan (used for plots like the paper's Fig. 3b).
+func (s Schedule) ResourceProfile(p *Problem, r int) []float64 {
+	makespan := 0
+	for i := range p.Tasks {
+		if f := s.Finish(p, i); f > makespan {
+			makespan = f
+		}
+	}
+	usage := make([]float64, makespan)
+	for i, t := range p.Tasks {
+		o := t.Options[s.Option[i]]
+		for step := s.Start[i]; step < s.Start[i]+o.Duration; step++ {
+			usage[step] += o.Demand[r]
+		}
+	}
+	return usage
+}
+
+// PeakResource returns the maximum per-step consumption of resource r.
+func (s Schedule) PeakResource(p *Problem, r int) float64 {
+	peak := 0.0
+	for _, u := range s.ResourceProfile(p, r) {
+		peak = math.Max(peak, u)
+	}
+	return peak
+}

@@ -1,0 +1,250 @@
+package scheduler
+
+// timeline tracks group occupancy and cumulative resource usage over time so
+// the schedule-generation scheme can test placements incrementally. Arrays
+// grow on demand; the scheduling horizon is soft here.
+type timeline struct {
+	p         *Problem
+	groupBusy [][]bool    // [group][step]
+	usage     [][]float64 // [resource][step]
+	length    int
+}
+
+func newTimeline(p *Problem) *timeline {
+	t := &timeline{p: p}
+	t.groupBusy = make([][]bool, p.NumGroups())
+	t.usage = make([][]float64, len(p.Resources))
+	t.grow(p.Horizon + 1)
+	return t
+}
+
+// grow extends all step arrays to at least n steps.
+func (t *timeline) grow(n int) {
+	if n <= t.length {
+		return
+	}
+	for g := range t.groupBusy {
+		t.groupBusy[g] = append(t.groupBusy[g], make([]bool, n-len(t.groupBusy[g]))...)
+	}
+	for r := range t.usage {
+		t.usage[r] = append(t.usage[r], make([]float64, n-len(t.usage[r]))...)
+	}
+	t.length = n
+}
+
+// reset clears all occupancy without shrinking the arrays.
+func (t *timeline) reset() {
+	for g := range t.groupBusy {
+		b := t.groupBusy[g]
+		for i := range b {
+			b[i] = false
+		}
+	}
+	for r := range t.usage {
+		u := t.usage[r]
+		for i := range u {
+			u[i] = 0
+		}
+	}
+}
+
+// fits reports whether placing an option at start would violate the group
+// unary constraint or any resource capacity. On failure it returns the first
+// conflicting step so the caller can jump past it.
+func (t *timeline) fits(o *Option, start int) (bool, int) {
+	end := start + o.Duration
+	t.grow(end)
+	g := t.p.ClusterGroup[o.Cluster]
+	busy := t.groupBusy[g]
+	for s := start; s < end; s++ {
+		if busy[s] {
+			return false, s
+		}
+	}
+	for r := range t.p.Resources {
+		d := o.Demand[r]
+		if d == 0 {
+			continue
+		}
+		cap := t.p.Resources[r].Capacity
+		u := t.usage[r]
+		for s := start; s < end; s++ {
+			if u[s]+d > cap+1e-9 {
+				return false, s
+			}
+		}
+	}
+	return true, 0
+}
+
+// place commits an option at start.
+func (t *timeline) place(o *Option, start int) {
+	end := start + o.Duration
+	t.grow(end)
+	busy := t.groupBusy[t.p.ClusterGroup[o.Cluster]]
+	for s := start; s < end; s++ {
+		busy[s] = true
+	}
+	for r := range t.p.Resources {
+		d := o.Demand[r]
+		if d == 0 {
+			continue
+		}
+		u := t.usage[r]
+		for s := start; s < end; s++ {
+			u[s] += d
+		}
+	}
+}
+
+// remove undoes a placement.
+func (t *timeline) remove(o *Option, start int) {
+	end := start + o.Duration
+	busy := t.groupBusy[t.p.ClusterGroup[o.Cluster]]
+	for s := start; s < end; s++ {
+		busy[s] = false
+	}
+	for r := range t.p.Resources {
+		d := o.Demand[r]
+		if d == 0 {
+			continue
+		}
+		u := t.usage[r]
+		for s := start; s < end; s++ {
+			u[s] -= d
+		}
+	}
+}
+
+// earliestStart finds the earliest start >= ready where the option fits.
+// maxStart bounds the search; -1 is returned if nothing fits by then.
+func (t *timeline) earliestStart(o *Option, ready, maxStart int) int {
+	s := ready
+	for s <= maxStart {
+		ok, conflict := t.fits(o, s)
+		if ok {
+			return s
+		}
+		s = conflict + 1
+	}
+	return -1
+}
+
+// sgs is a reusable serial schedule-generation scheme. Given an activity
+// list (a task permutation) and per-task option choices, it builds the
+// semi-active schedule that places each task, in list order (repaired to be
+// precedence-feasible), at its earliest feasible start. Serial SGS over all
+// activity lists and option assignments is known to reach an optimal schedule
+// for regular objectives such as makespan, which makes it a sound decoding
+// for both heuristics and the exact search.
+type sgs struct {
+	p         *Problem
+	tl        *timeline
+	scheduled []bool
+	start     []int
+	finish    []int
+}
+
+func newSGS(p *Problem) *sgs {
+	return &sgs{
+		p:         p,
+		tl:        newTimeline(p),
+		scheduled: make([]bool, len(p.Tasks)),
+		start:     make([]int, len(p.Tasks)),
+		finish:    make([]int, len(p.Tasks)),
+	}
+}
+
+// maxStartBound is the hard cap on placement searches; hitting it means the
+// instance is so over-constrained that no placement exists even far past the
+// horizon (e.g. a demand exceeding a resource capacity outright).
+func (g *sgs) maxStartBound() int {
+	total := g.p.Horizon
+	for _, t := range g.p.Tasks {
+		total += t.MinDuration() + 1
+	}
+	return 4*total + 64
+}
+
+// ready returns the earliest start permitted by task i's dependencies given
+// the currently scheduled predecessors. All predecessors must be scheduled.
+func (g *sgs) ready(i int) int {
+	ready := 0
+	for _, d := range g.p.Tasks[i].Deps {
+		var e int
+		switch d.Kind {
+		case FinishStart:
+			e = g.finish[d.Task] + d.Lag
+		case StartStart:
+			e = g.start[d.Task] + d.Lag
+		}
+		if e > ready {
+			ready = e
+		}
+	}
+	return ready
+}
+
+// decode builds a schedule from an activity list and option choices. The
+// list need not be precedence-feasible: tasks whose predecessors are not yet
+// scheduled are deferred, preserving relative order otherwise (standard
+// activity-list repair). It returns false only if some task cannot be placed
+// within the hard bound, which indicates an infeasible option (demand above
+// capacity).
+func (g *sgs) decode(list []int, opts []int) (Schedule, bool) {
+	g.tl.reset()
+	for i := range g.scheduled {
+		g.scheduled[i] = false
+	}
+	maxStart := g.maxStartBound()
+
+	n := len(g.p.Tasks)
+	placed := 0
+	pending := make([]int, len(list))
+	copy(pending, list)
+
+	for placed < n {
+		advanced := false
+		// Canonical activity-list decoding: place the first eligible task in
+		// list order, then rescan, so earlier list positions keep priority.
+		for idx := 0; idx < len(pending); idx++ {
+			i := pending[idx]
+			if i < 0 || g.scheduled[i] {
+				continue
+			}
+			allPreds := true
+			for _, d := range g.p.Tasks[i].Deps {
+				if !g.scheduled[d.Task] {
+					allPreds = false
+					break
+				}
+			}
+			if !allPreds {
+				continue
+			}
+			o := &g.p.Tasks[i].Options[opts[i]]
+			s := g.tl.earliestStart(o, g.ready(i), maxStart)
+			if s < 0 {
+				return Schedule{}, false
+			}
+			g.tl.place(o, s)
+			g.start[i] = s
+			g.finish[i] = s + o.Duration
+			g.scheduled[i] = true
+			pending[idx] = -1
+			placed++
+			advanced = true
+			break
+		}
+		if !advanced {
+			// Should be impossible on a validated (acyclic) problem.
+			return Schedule{}, false
+		}
+	}
+
+	sched := Schedule{Start: make([]int, n), Option: make([]int, n)}
+	copy(sched.Start, g.start)
+	copy(sched.Option, opts)
+	sched.ComputeMakespan(g.p)
+	return sched, true
+}

@@ -1,0 +1,163 @@
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config tunes the layered solve: heuristics, simulated annealing, and an
+// exact pass for small instances.
+type Config struct {
+	// Seed drives all randomized components deterministically.
+	Seed int64
+	// Effort scales the annealing budget; 1.0 is the default budget and 0
+	// selects it. Larger values spend proportionally more iterations.
+	Effort float64
+	// GapTarget is the relative optimality gap the solve tries to certify
+	// (the paper uses 0.10). 0 selects 0.10.
+	GapTarget float64
+	// ExactTaskLimit enables the exact branch-and-bound when the instance
+	// has at most this many tasks. 0 selects a default of 12.
+	ExactTaskLimit int
+	// ExactNodeLimit caps exact-search nodes. 0 selects a default.
+	ExactNodeLimit int
+	// Restarts is the number of annealing restarts. 0 selects 2.
+	Restarts int
+	// Improver selects the metaheuristic: "anneal" (default) or "tabu".
+	Improver string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Effort == 0 {
+		c.Effort = 1
+	}
+	if c.GapTarget == 0 {
+		c.GapTarget = 0.10
+	}
+	if c.ExactTaskLimit == 0 {
+		c.ExactTaskLimit = 12
+	}
+	if c.ExactNodeLimit == 0 {
+		c.ExactNodeLimit = 500_000
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 2
+	}
+	return c
+}
+
+// Result is the outcome of Solve: the best schedule found, the proven lower
+// bound, and how both were obtained.
+type Result struct {
+	Schedule   Schedule
+	LowerBound int
+	// Proven is true when the schedule is provably optimal (exact search
+	// exhausted or bound met exactly).
+	Proven bool
+	// Method names the component that produced the final schedule.
+	Method string
+	// Nodes is the number of exact-search nodes explored, if any.
+	Nodes int
+}
+
+// Gap returns the relative optimality gap (UB - LB) / UB. A value of 0 means
+// proven optimal; the paper calls schedules with gap <= 0.10 near-optimal.
+func (r Result) Gap() float64 {
+	if r.Schedule.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Schedule.Makespan-r.LowerBound) / float64(r.Schedule.Makespan)
+}
+
+// ErrInfeasible is returned when no feasible schedule exists (some task has
+// no option whose demand fits within resource capacities).
+var ErrInfeasible = errors.New("scheduler: no feasible schedule exists")
+
+// Solve runs the layered strategy: priority-rule heuristics seed simulated
+// annealing; combinatorial lower bounds certify the gap; small instances are
+// finished with exact branch and bound. It mirrors the role of the ILP solver
+// invocation in the paper's Figure 1.
+func Solve(p *Problem, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(p.Tasks) == 0 {
+		return Result{Schedule: Schedule{Start: []int{}, Option: []int{}}, Method: "trivial", Proven: true}, nil
+	}
+
+	lb := LowerBound(p)
+
+	var (
+		best   Schedule
+		ok     bool
+		method string
+	)
+	switch cfg.Improver {
+	case "tabu":
+		best, ok = TabuSearch(p, TabuConfig{
+			Iterations: int(cfg.Effort * float64(1000+150*len(p.Tasks))),
+			Seed:       cfg.Seed,
+		})
+		method = "tabu"
+	case "", "anneal":
+		best, ok = Anneal(p, AnnealConfig{
+			Iterations: int(cfg.Effort * float64(2000+400*len(p.Tasks))),
+			Restarts:   cfg.Restarts,
+			Seed:       cfg.Seed,
+		})
+		method = "anneal"
+	default:
+		return Result{}, fmt.Errorf("scheduler: unknown improver %q (want anneal or tabu)", cfg.Improver)
+	}
+	if !ok {
+		return Result{}, fmt.Errorf("%w: a task's every option exceeds a resource capacity", ErrInfeasible)
+	}
+
+	// Double justification: a cheap pass that never hurts and often shaves
+	// steps off the improved schedule.
+	if j := Justify(p, best); j.Makespan < best.Makespan {
+		best = j
+		method += "+justify"
+	}
+
+	proven := best.Makespan == lb
+	nodes := 0
+
+	gap := func() float64 {
+		if best.Makespan == 0 {
+			return 0
+		}
+		return float64(best.Makespan-lb) / float64(best.Makespan)
+	}
+
+	// Destructive lower bounding tightens the certificate when the cheap
+	// combinatorial bounds leave a gap.
+	if !proven && gap() > cfg.GapTarget {
+		if d := DestructiveLowerBound(p, best.Makespan); d > lb {
+			lb = d
+			proven = best.Makespan == lb
+		}
+	}
+
+	if !proven && gap() > cfg.GapTarget && len(p.Tasks) <= cfg.ExactTaskLimit {
+		ex := SolveExact(p, ExactConfig{NodeLimit: cfg.ExactNodeLimit, UpperBound: best.Makespan})
+		nodes = ex.Nodes
+		if ex.Found {
+			best = ex.Schedule
+			method = "exact"
+		}
+		if ex.Exhausted {
+			proven = true
+			lb = best.Makespan
+			if !ex.Found {
+				method = "anneal+exact-proof"
+			}
+		}
+	}
+
+	if err := best.Validate(p); err != nil {
+		return Result{}, fmt.Errorf("scheduler: internal error, produced invalid schedule: %w", err)
+	}
+	return Result{Schedule: best, LowerBound: lb, Proven: proven, Method: method, Nodes: nodes}, nil
+}

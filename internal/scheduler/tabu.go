@@ -1,0 +1,148 @@
+package scheduler
+
+import "math/rand"
+
+// TabuConfig tunes the tabu-search improver, an alternative to simulated
+// annealing used by the ablation studies and available to callers who prefer
+// a deterministic trajectory for a given seed.
+type TabuConfig struct {
+	// Iterations is the number of search steps. 0 selects a default scaled
+	// to instance size.
+	Iterations int
+	// Tenure is how many iterations a reversed move stays forbidden. 0
+	// selects a default of 2 x number of tasks.
+	Tenure int
+	// Neighborhood is how many candidate moves are sampled per step. 0
+	// selects a default of 24.
+	Neighborhood int
+	// Seed drives candidate sampling deterministically.
+	Seed int64
+}
+
+func (c TabuConfig) withDefaults(p *Problem) TabuConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 1000 + 150*len(p.Tasks)
+	}
+	if c.Tenure == 0 {
+		c.Tenure = 2 * len(p.Tasks)
+		if c.Tenure < 8 {
+			c.Tenure = 8
+		}
+	}
+	if c.Neighborhood == 0 {
+		c.Neighborhood = 24
+	}
+	return c
+}
+
+// tabuMove identifies a move for the tabu list: either swapping the task at
+// a list position (kind 0) or assigning an option to a task (kind 1).
+type tabuMove struct {
+	kind int
+	a, b int
+}
+
+// TabuSearch improves on the heuristic portfolio with tabu search over the
+// same (activity list, option assignment) state space the annealer uses. ok
+// is false when no heuristic seed could be placed.
+func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
+	cfg = cfg.withDefaults(p)
+	g := newSGS(p)
+
+	var best Schedule
+	var list, opts []int
+	found := false
+	for _, c := range heuristicCandidates(p) {
+		s, ok := g.decode(c.list, c.opts)
+		if !ok {
+			continue
+		}
+		if !found || s.Makespan < best.Makespan {
+			best = s
+			list = append(list[:0], c.list...)
+			opts = append(opts[:0], c.opts...)
+			found = true
+		}
+	}
+	if !found {
+		return Schedule{}, false
+	}
+	n := len(p.Tasks)
+	if n <= 1 {
+		return best, true
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tabuUntil := map[tabuMove]int{}
+	cur := best.Clone()
+
+	for it := 0; it < cfg.Iterations; it++ {
+		type cand struct {
+			move  tabuMove
+			apply func()
+			undo  func()
+		}
+		bestCand := -1
+		bestSpan := -1
+		var bestApply func()
+		var bestMove tabuMove
+
+		for k := 0; k < cfg.Neighborhood; k++ {
+			var c cand
+			if rng.Intn(2) == 0 {
+				i := rng.Intn(n - 1)
+				c = cand{
+					move:  tabuMove{kind: 0, a: i, b: i + 1},
+					apply: func() { list[i], list[i+1] = list[i+1], list[i] },
+					undo:  func() { list[i], list[i+1] = list[i+1], list[i] },
+				}
+			} else {
+				ti := rng.Intn(n)
+				nOpts := len(p.Tasks[ti].Options)
+				if nOpts <= 1 {
+					continue
+				}
+				old := opts[ti]
+				next := rng.Intn(nOpts)
+				if next == old {
+					next = (next + 1) % nOpts
+				}
+				c = cand{
+					move:  tabuMove{kind: 1, a: ti, b: next},
+					apply: func() { opts[ti] = next },
+					undo:  func() { opts[ti] = old },
+				}
+			}
+			// Tabu unless it would beat the global best (aspiration).
+			c.apply()
+			sched, ok := g.decode(list, opts)
+			c.undo()
+			if !ok {
+				continue
+			}
+			if until, isTabu := tabuUntil[c.move]; isTabu && it < until && sched.Makespan >= best.Makespan {
+				continue
+			}
+			if bestCand == -1 || sched.Makespan < bestSpan {
+				bestCand = k
+				bestSpan = sched.Makespan
+				bestApply = c.apply
+				bestMove = c.move
+			}
+		}
+		if bestCand == -1 {
+			continue
+		}
+		bestApply()
+		sched, ok := g.decode(list, opts)
+		if !ok {
+			continue
+		}
+		cur = sched
+		tabuUntil[bestMove] = it + cfg.Tenure
+		if cur.Makespan < best.Makespan {
+			best = cur.Clone()
+		}
+	}
+	return best, true
+}

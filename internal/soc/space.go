@@ -1,0 +1,77 @@
+package soc
+
+import "hilp/internal/rodinia"
+
+// SpaceConfig parameterizes design-space enumeration. Zero values select the
+// paper's §VI sweep: 1/2/4 CPU cores, an optional GPU with 4/16/64 SMs, and
+// 0-10 DSAs with 1/4/16 PEs each, allocated to applications in descending
+// CPU-compute-time order. That yields 3 x 4 x (1 + 10x3) = 372 SoCs.
+type SpaceConfig struct {
+	CPUCores []int // default {1, 2, 4}
+	GPUSMs   []int // default {0, 4, 16, 64}; 0 means no GPU
+	// MaxDSAs bounds the number of DSAs: 0 selects the default (one per
+	// application), a negative value disables DSAs entirely.
+	MaxDSAs   int
+	DSAPEs    []int // default {1, 4, 16}
+	Advantage float64
+	PowerW    float64
+	MemBWGBs  float64
+}
+
+func (c SpaceConfig) withDefaults(w rodinia.Workload) SpaceConfig {
+	if len(c.CPUCores) == 0 {
+		c.CPUCores = []int{1, 2, 4}
+	}
+	if len(c.GPUSMs) == 0 {
+		c.GPUSMs = []int{0, 4, 16, 64}
+	}
+	if c.MaxDSAs == 0 {
+		c.MaxDSAs = len(w.Apps)
+	}
+	if len(c.DSAPEs) == 0 {
+		c.DSAPEs = []int{1, 4, 16}
+	}
+	return c
+}
+
+// DesignSpace enumerates the SoC configurations of the paper's §VI sweep for
+// the given workload. DSAs are allocated to applications in descending order
+// of CPU compute time (so the 1-DSA SoCs accelerate LUD, 2-DSA SoCs add HS,
+// ...), and every DSA in a configuration has the same PE count.
+func DesignSpace(w rodinia.Workload, cfg SpaceConfig) []Spec {
+	cfg = cfg.withDefaults(w)
+	order := w.ComputeCPUOrder()
+	if cfg.MaxDSAs > len(order) {
+		cfg.MaxDSAs = len(order)
+	}
+	if cfg.MaxDSAs < 0 {
+		cfg.MaxDSAs = 0
+	}
+
+	var specs []Spec
+	for _, cores := range cfg.CPUCores {
+		for _, sms := range cfg.GPUSMs {
+			base := Spec{
+				CPUCores:         cores,
+				GPUSMs:           sms,
+				DSAAdvantage:     cfg.Advantage,
+				PowerBudgetWatts: cfg.PowerW,
+				MemBandwidthGBs:  cfg.MemBWGBs,
+			}
+			// No DSAs.
+			specs = append(specs, base)
+			// 1..MaxDSAs DSAs, uniform PE count.
+			for numDSAs := 1; numDSAs <= cfg.MaxDSAs; numDSAs++ {
+				for _, pe := range cfg.DSAPEs {
+					s := base
+					s.DSAs = make([]DSA, numDSAs)
+					for k := 0; k < numDSAs; k++ {
+						s.DSAs[k] = DSA{PEs: pe, Target: w.Apps[order[k]].Bench.Abbrev}
+					}
+					specs = append(specs, s)
+				}
+			}
+		}
+	}
+	return specs
+}

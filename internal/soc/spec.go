@@ -1,0 +1,130 @@
+package soc
+
+import (
+	"fmt"
+	"strings"
+
+	"hilp/internal/rodinia"
+)
+
+// DSA is a domain-specific accelerator dedicated to the compute phase of one
+// application in the workload.
+type DSA struct {
+	PEs    int    // processing elements
+	Target string // abbreviation of the benchmark the DSA accelerates
+}
+
+// Spec describes one SoC configuration in the paper's template (Fig. 4).
+type Spec struct {
+	CPUCores int
+	GPUSMs   int   // 0 means no GPU
+	DSAs     []DSA // at most one per application
+
+	// DSAAdvantage is the efficiency advantage of DSAs over the GPU
+	// (paper default 4x). 0 selects the default.
+	DSAAdvantage float64
+	// GPUFrequenciesMHz lists the DVFS operating points the GPU may use.
+	// Empty selects all Table III frequencies.
+	GPUFrequenciesMHz []float64
+	// MemBandwidthGBs is b_max. 0 selects the paper default of 800 GB/s.
+	MemBandwidthGBs float64
+	// PowerBudgetWatts is p_max. 0 selects the paper default of 600 W.
+	PowerBudgetWatts float64
+}
+
+// Defaults from the paper's experimental setup (§IV).
+const (
+	DefaultDSAAdvantage = 4.0
+	DefaultMemBandwidth = 800.0
+	DefaultPowerBudget  = 600.0
+)
+
+// Normalize fills zero-valued fields with the paper defaults and returns the
+// completed spec.
+func (s Spec) Normalize() Spec {
+	if s.DSAAdvantage == 0 {
+		s.DSAAdvantage = DefaultDSAAdvantage
+	}
+	if len(s.GPUFrequenciesMHz) == 0 {
+		for _, pt := range rodinia.PowerTable() {
+			s.GPUFrequenciesMHz = append(s.GPUFrequenciesMHz, pt.FrequencyMHz)
+		}
+	}
+	if s.MemBandwidthGBs == 0 {
+		s.MemBandwidthGBs = DefaultMemBandwidth
+	}
+	if s.PowerBudgetWatts == 0 {
+		s.PowerBudgetWatts = DefaultPowerBudget
+	}
+	return s
+}
+
+// Validate reports structural problems with the spec.
+func (s Spec) Validate() error {
+	if s.CPUCores < 1 {
+		return fmt.Errorf("soc: %d CPU cores, want >= 1 (the template's minimum configuration)", s.CPUCores)
+	}
+	if s.GPUSMs < 0 {
+		return fmt.Errorf("soc: negative GPU SM count %d", s.GPUSMs)
+	}
+	seen := map[string]bool{}
+	for _, d := range s.DSAs {
+		if d.PEs < 1 {
+			return fmt.Errorf("soc: DSA for %s has %d PEs, want >= 1", d.Target, d.PEs)
+		}
+		if d.Target == "" {
+			return fmt.Errorf("soc: DSA with %d PEs has no target application", d.PEs)
+		}
+		if seen[d.Target] {
+			return fmt.Errorf("soc: multiple DSAs target %s", d.Target)
+		}
+		seen[d.Target] = true
+	}
+	if s.DSAAdvantage < 0 {
+		return fmt.Errorf("soc: negative DSA advantage %g", s.DSAAdvantage)
+	}
+	return nil
+}
+
+// AreaMM2 returns the chip area of the spec under the paper's area model.
+func (s Spec) AreaMM2() float64 {
+	area := float64(s.CPUCores) * CPUCoreAreaMM2
+	area += float64(s.GPUSMs) * GPUSMAreaMM2
+	for _, d := range s.DSAs {
+		area += float64(d.PEs) * DSAPEAreaMM2
+	}
+	return area
+}
+
+// Label renders the paper's (c_i, g_j, d_k^l) naming, e.g. "(c4,g16,d2^16)".
+// Heterogeneous PE counts fall back to listing each DSA.
+func (s Spec) Label() string {
+	d := len(s.DSAs)
+	pe := 0
+	uniform := true
+	for i, dsa := range s.DSAs {
+		if i == 0 {
+			pe = dsa.PEs
+		} else if dsa.PEs != pe {
+			uniform = false
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("(c%d,g%d,d%d^%d)", s.CPUCores, s.GPUSMs, d, pe)
+	}
+	parts := make([]string, len(s.DSAs))
+	for i, dsa := range s.DSAs {
+		parts[i] = fmt.Sprintf("%s:%d", dsa.Target, dsa.PEs)
+	}
+	return fmt.Sprintf("(c%d,g%d,[%s])", s.CPUCores, s.GPUSMs, strings.Join(parts, ","))
+}
+
+// DSAFor returns the DSA targeting the given benchmark, if any.
+func (s Spec) DSAFor(abbrev string) (DSA, bool) {
+	for _, d := range s.DSAs {
+		if d.Target == abbrev {
+			return d, true
+		}
+	}
+	return DSA{}, false
+}

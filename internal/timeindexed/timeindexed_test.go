@@ -1,0 +1,271 @@
+package timeindexed
+
+import (
+	"testing"
+
+	"hilp/internal/milp"
+	"hilp/internal/scheduler"
+)
+
+// twoAppExample is the paper's Figure 2 instance (optionally with the 3 W
+// power cap of Figure 3) with a tight horizon to keep the ILP small.
+func twoAppExample(withPower bool, horizon int) *scheduler.Problem {
+	var resources []scheduler.Resource
+	demand := func(w float64) []float64 { return nil }
+	if withPower {
+		resources = []scheduler.Resource{{Name: "power", Capacity: 3}}
+		demand = func(w float64) []float64 { return []float64{w} }
+	}
+	cpu := func(d int) scheduler.Option { return scheduler.Option{Cluster: 0, Duration: d, Demand: demand(1)} }
+	gpu := func(d int) scheduler.Option { return scheduler.Option{Cluster: 1, Duration: d, Demand: demand(3)} }
+	dsa := func(d int) scheduler.Option { return scheduler.Option{Cluster: 2, Duration: d, Demand: demand(2)} }
+	return &scheduler.Problem{
+		Tasks: []scheduler.Task{
+			{Name: "m0", App: 0, Options: []scheduler.Option{cpu(1)}},
+			{Name: "m1", App: 0, Deps: []scheduler.Dep{{Task: 0}}, Options: []scheduler.Option{cpu(8), gpu(6), dsa(5)}},
+			{Name: "m2", App: 0, Deps: []scheduler.Dep{{Task: 1}}, Options: []scheduler.Option{cpu(1)}},
+			{Name: "n0", App: 1, Options: []scheduler.Option{cpu(1)}},
+			{Name: "n1", App: 1, Deps: []scheduler.Dep{{Task: 3}}, Options: []scheduler.Option{cpu(5), gpu(3), dsa(2)}},
+			{Name: "n2", App: 1, Deps: []scheduler.Dep{{Task: 4}}, Options: []scheduler.Option{cpu(1)}},
+		},
+		NumClusters:  3,
+		ClusterGroup: []int{0, 1, 2},
+		Resources:    resources,
+		Horizon:      horizon,
+	}
+}
+
+func TestSolveFig2Optimal(t *testing.T) {
+	p := twoAppExample(false, 10)
+	sched, sol, err := Solve(p, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sched.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", sched.Makespan)
+	}
+	if err := sched.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveFig3PowerCap(t *testing.T) {
+	p := twoAppExample(true, 12)
+	sched, sol, err := Solve(p, milp.Options{GapTolerance: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if sched.Makespan != 9 {
+		t.Errorf("makespan = %d, want 9", sched.Makespan)
+	}
+	if peak := sched.PeakResource(p, 0); peak > 3+1e-9 {
+		t.Errorf("peak power %g exceeds cap", peak)
+	}
+}
+
+func TestBuildRejectsTinyHorizon(t *testing.T) {
+	p := twoAppExample(false, 5)
+	// Critical path of app m is 1+5+1 = 7 > 5: m2 cannot fit.
+	if _, err := Build(p); err == nil {
+		t.Fatal("expected horizon error")
+	}
+}
+
+func TestLPBoundIsValid(t *testing.T) {
+	p := twoAppExample(false, 10)
+	lb, err := LPBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 || lb > 7 {
+		t.Errorf("LPBound = %d, want in (0, 7]", lb)
+	}
+	// The combinatorial bound should agree or be dominated by/dominate the
+	// LP bound; both must stay below the optimum.
+	comb := scheduler.LowerBound(p)
+	if comb > 7 {
+		t.Errorf("combinatorial bound %d exceeds optimum", comb)
+	}
+}
+
+func TestMILPAgreesWithCPOnLags(t *testing.T) {
+	p := &scheduler.Problem{
+		Tasks: []scheduler.Task{
+			{Name: "a", Options: []scheduler.Option{{Cluster: 0, Duration: 4}}},
+			{Name: "b", Deps: []scheduler.Dep{{Task: 0, Kind: scheduler.StartStart, Lag: 2}}, Options: []scheduler.Option{{Cluster: 1, Duration: 3}}},
+		},
+		NumClusters:  2,
+		ClusterGroup: []int{0, 1},
+		Horizon:      12,
+	}
+	sched, sol, err := Solve(p, milp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal || sched.Makespan != 5 {
+		t.Fatalf("got status=%v makespan=%d, want optimal 5", sol.Status, sched.Makespan)
+	}
+	cp, err := scheduler.Solve(p, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Schedule.Makespan != sched.Makespan {
+		t.Errorf("CP makespan %d != MILP makespan %d", cp.Schedule.Makespan, sched.Makespan)
+	}
+}
+
+func TestMILPMatchesExactOnRandomInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cross-check")
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		p := smallRandomProblem(seed)
+		ex := scheduler.SolveExact(p, scheduler.ExactConfig{})
+		if !ex.Found || !ex.Exhausted {
+			continue
+		}
+		sched, sol, err := Solve(p, milp.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Status != milp.Optimal {
+			continue // budget ran out; nothing to compare
+		}
+		if sched.Makespan != ex.Schedule.Makespan {
+			t.Errorf("seed %d: MILP %d != exact CP %d", seed, sched.Makespan, ex.Schedule.Makespan)
+		}
+	}
+}
+
+func smallRandomProblem(seed int64) *scheduler.Problem {
+	// Deterministic tiny instances: 2 apps x 2 phases, 2-3 clusters.
+	rng := seed*2654435761 + 12345
+	next := func(mod int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int((rng >> 33) % int64(mod))
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	numClusters := 2 + next(2)
+	groups := make([]int, numClusters)
+	for i := range groups {
+		groups[i] = i
+	}
+	var tasks []scheduler.Task
+	for a := 0; a < 2; a++ {
+		for ph := 0; ph < 2; ph++ {
+			var deps []scheduler.Dep
+			if ph > 0 {
+				deps = []scheduler.Dep{{Task: len(tasks) - 1}}
+			}
+			nOpts := 1 + next(numClusters)
+			opts := make([]scheduler.Option, 0, nOpts)
+			for k := 0; k < nOpts; k++ {
+				opts = append(opts, scheduler.Option{
+					Cluster:  (a + ph + k) % numClusters,
+					Duration: 1 + next(3),
+					Demand:   []float64{1 + float64(next(2))},
+				})
+			}
+			tasks = append(tasks, scheduler.Task{Name: "t", App: a, Phase: ph, Deps: deps, Options: opts})
+		}
+	}
+	return &scheduler.Problem{
+		Tasks:        tasks,
+		NumClusters:  numClusters,
+		ClusterGroup: groups,
+		Resources:    []scheduler.Resource{{Name: "power", Capacity: 3}},
+		Horizon:      16,
+	}
+}
+
+func TestWarmStartRoundTrip(t *testing.T) {
+	p := twoAppExample(false, 10)
+	// Solve with CP first, then warm-start the MILP with that schedule.
+	cp, err := scheduler.Solve(p, scheduler.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := enc.WarmStart(cp.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Problem.CheckFeasible(x, 1e-6); err != nil {
+		t.Fatalf("warm start not feasible in the encoding: %v", err)
+	}
+	sched, sol, err := Solve(p, milp.Options{}, cp.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != milp.Optimal || sched.Makespan != 7 {
+		t.Fatalf("warm-started solve: status %v makespan %d, want optimal 7", sol.Status, sched.Makespan)
+	}
+}
+
+func TestWarmStartRejectsOutOfHorizon(t *testing.T) {
+	p := twoAppExample(false, 10)
+	enc, err := Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := scheduler.Schedule{
+		Start:  []int{50, 51, 57, 0, 1, 4},
+		Option: []int{0, 2, 0, 0, 1, 0},
+	}
+	if _, err := enc.WarmStart(bad); err == nil {
+		t.Error("accepted a start outside the horizon")
+	}
+}
+
+func TestMILPMatchesExactOnCappedInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cross-check")
+	}
+	// Power-capped variants: the cap makes resource constraints bind, which
+	// exercises the per-step resource rows of the encoding.
+	for seed := int64(10); seed <= 14; seed++ {
+		p := smallRandomProblem(seed)
+		p.Resources[0].Capacity = 2 // tighten
+		feasible := true
+		for _, task := range p.Tasks {
+			ok := false
+			for _, o := range task.Options {
+				if o.Demand[0] <= 2 {
+					ok = true
+				}
+			}
+			if !ok {
+				feasible = false
+			}
+		}
+		if !feasible {
+			continue
+		}
+		ex := scheduler.SolveExact(p, scheduler.ExactConfig{})
+		if !ex.Found || !ex.Exhausted {
+			continue
+		}
+		sched, sol, err := Solve(p, milp.Options{MaxNodes: 100000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Status != milp.Optimal {
+			continue
+		}
+		if sched.Makespan != ex.Schedule.Makespan {
+			t.Errorf("seed %d (capped): MILP %d != exact CP %d", seed, sched.Makespan, ex.Schedule.Makespan)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package workgen synthesizes workloads of multi-phase applications with
+// configurable shape: phase-time distributions, accelerator affinity, and
+// scaling behaviour. It exists to exercise HILP beyond the ten Rodinia
+// benchmarks - stress tests, property tests, and sensitivity studies over
+// workload shape (how robust the paper's insights are to the workload mix).
+//
+// Generated applications are expressed as rodinia.Benchmark values so the
+// whole pipeline (instance building, baselines, design-space sweeps) applies
+// unchanged.
+package workgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hilp/internal/powerlaw"
+	"hilp/internal/rodinia"
+)
+
+// Config shapes the generated workload. Ranges are [min, max]; a zero-value
+// range selects a default.
+type Config struct {
+	// Seed drives generation deterministically.
+	Seed int64
+	// Apps is the number of applications. 0 selects 10.
+	Apps int
+	// SetupFrac and TeardownFrac size the sequential phases relative to the
+	// CPU compute time. Defaults: [0.01, 0.3] and [0.005, 0.15].
+	SetupFrac    [2]float64
+	TeardownFrac [2]float64
+	// ComputeCPUSec ranges the single-core compute time. Default [20, 500].
+	ComputeCPUSec [2]float64
+	// AccelSpeedup ranges the CPU-to-reference-GPU speedup of the compute
+	// phase. Default [10, 100].
+	AccelSpeedup [2]float64
+	// BandwidthGBs ranges the full-GPU bandwidth consumption. Default
+	// [0.5, 250].
+	BandwidthGBs [2]float64
+	// ScalingExponent ranges the power-law exponent b of GPU time vs SM
+	// count (negative: more SMs, less time). Default [-1.0, -0.5].
+	ScalingExponent [2]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Apps == 0 {
+		c.Apps = 10
+	}
+	def := func(r *[2]float64, lo, hi float64) {
+		if r[0] == 0 && r[1] == 0 {
+			*r = [2]float64{lo, hi}
+		}
+	}
+	def(&c.SetupFrac, 0.01, 0.3)
+	def(&c.TeardownFrac, 0.005, 0.15)
+	def(&c.ComputeCPUSec, 20, 500)
+	def(&c.AccelSpeedup, 10, 100)
+	def(&c.BandwidthGBs, 0.5, 250)
+	def(&c.ScalingExponent, -1.0, -0.5)
+	return c
+}
+
+// Validate reports nonsensical configurations.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	ranges := map[string][2]float64{
+		"SetupFrac":     c.SetupFrac,
+		"TeardownFrac":  c.TeardownFrac,
+		"ComputeCPUSec": c.ComputeCPUSec,
+		"AccelSpeedup":  c.AccelSpeedup,
+		"BandwidthGBs":  c.BandwidthGBs,
+	}
+	for name, r := range ranges {
+		if r[0] <= 0 || r[1] < r[0] {
+			return fmt.Errorf("workgen: %s range %v must be positive and ordered", name, r)
+		}
+	}
+	if c.ScalingExponent[0] > c.ScalingExponent[1] || c.ScalingExponent[1] > 0 {
+		return fmt.Errorf("workgen: ScalingExponent range %v must be ordered and non-positive", c.ScalingExponent)
+	}
+	if c.Apps < 1 {
+		return fmt.Errorf("workgen: Apps = %d, want >= 1", c.Apps)
+	}
+	return nil
+}
+
+// Generate synthesizes a workload. The same Config and Seed always produce
+// the same workload.
+func Generate(cfg Config) (rodinia.Workload, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return rodinia.Workload{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := func(r [2]float64) float64 { return r[0] + rng.Float64()*(r[1]-r[0]) }
+
+	apps := make([]rodinia.Application, cfg.Apps)
+	for i := range apps {
+		computeCPU := in(cfg.ComputeCPUSec)
+		speedup := in(cfg.AccelSpeedup)
+		b := in(cfg.ScalingExponent)
+		bench := rodinia.Benchmark{
+			Name:          fmt.Sprintf("synthetic-%d", i),
+			Abbrev:        fmt.Sprintf("SYN%d", i),
+			SetupSec:      computeCPU * in(cfg.SetupFrac),
+			ComputeCPUSec: computeCPU,
+			// The reference GPU time is anchored at the 14-SM slice, like
+			// Table II's C-GPU column.
+			ComputeGPUSec: computeCPU / speedup,
+			TeardownSec:   computeCPU * in(cfg.TeardownFrac),
+			GPUBandwidth:  in(cfg.BandwidthGBs),
+			// Normalized fits: Eval(14) = 1 by construction.
+			TimeFit:      normalizedFit(b),
+			BWFit:        normalizedFit(-b * 0.9), // bandwidth grows as time shrinks
+			ScaledConfig: "synthetic",
+		}
+		apps[i] = rodinia.Application{Bench: bench, SetupTeardownDiv: 1}
+	}
+	return rodinia.Workload{Name: fmt.Sprintf("synthetic-%d", cfg.Seed), Apps: apps}, nil
+}
+
+// normalizedFit builds y = a*x^b with Eval(14) = 1 and a perfect R^2,
+// matching the paper's normalization convention.
+func normalizedFit(b float64) powerlaw.Fit {
+	a := 1.0
+	fit := powerlaw.Fit{A: a, B: b, R2: 1}
+	a = 1.0 / fit.Eval(rodinia.ReferenceSMs)
+	return powerlaw.Fit{A: a, B: b, R2: 1}
+}
+
+// HeavyTailed returns a compute-centric workload where a few applications
+// dominate compute time - the regime where the dominant application's chain
+// limits the makespan. Setup/teardown phases are kept small so accelerator
+// effects are not masked by CPU-bound sequential work.
+func HeavyTailed(seed int64, apps int) (rodinia.Workload, error) {
+	w, err := Generate(Config{
+		Seed: seed, Apps: apps,
+		SetupFrac:    [2]float64{0.01, 0.05},
+		TeardownFrac: [2]float64{0.005, 0.02},
+	})
+	if err != nil {
+		return rodinia.Workload{}, err
+	}
+	// Rescale compute times to a geometric tail: app k gets ~2x app k+1.
+	scale := 1.0
+	for i := range w.Apps {
+		w.Apps[i].Bench.ComputeCPUSec *= scale
+		w.Apps[i].Bench.ComputeGPUSec *= scale
+		scale *= 0.55
+	}
+	w.Name = fmt.Sprintf("heavy-tailed-%d", seed)
+	return w, nil
+}
+
+// Uniform returns a compute-centric workload where every application has
+// (nearly) the same compute demand - the regime where the shared GPU
+// congests and offloading to DSAs pays.
+func Uniform(seed int64, apps int) (rodinia.Workload, error) {
+	w, err := Generate(Config{
+		Seed:          seed,
+		Apps:          apps,
+		ComputeCPUSec: [2]float64{190, 210},
+		AccelSpeedup:  [2]float64{35, 45},
+		SetupFrac:     [2]float64{0.01, 0.05},
+		TeardownFrac:  [2]float64{0.005, 0.02},
+	})
+	if err != nil {
+		return rodinia.Workload{}, err
+	}
+	w.Name = fmt.Sprintf("uniform-%d", seed)
+	return w, nil
+}

@@ -1,0 +1,180 @@
+package workgen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 7, Apps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 7, Apps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Apps {
+		if a.Apps[i].Bench != b.Apps[i].Bench {
+			t.Fatalf("app %d differs across runs with the same seed", i)
+		}
+	}
+	c, err := Generate(Config{Seed: 8, Apps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Apps[0].Bench.ComputeCPUSec == c.Apps[0].Bench.ComputeCPUSec {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	w, err := Generate(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Apps) != 10 {
+		t.Fatalf("%d apps, want 10 by default", len(w.Apps))
+	}
+	for _, app := range w.Apps {
+		b := app.Bench
+		if b.SetupSec <= 0 || b.TeardownSec <= 0 || b.ComputeCPUSec <= 0 || b.ComputeGPUSec <= 0 {
+			t.Errorf("%s: non-positive phase time", b.Abbrev)
+		}
+		if b.ComputeGPUSec >= b.ComputeCPUSec {
+			t.Errorf("%s: accelerator not faster than CPU", b.Abbrev)
+		}
+		// Normalization convention: Eval(14) = 1.
+		if math.Abs(b.TimeFit.Eval(rodinia.ReferenceSMs)-1) > 1e-9 {
+			t.Errorf("%s: time fit not normalized at 14 SMs", b.Abbrev)
+		}
+		if b.TimeFit.B > 0 {
+			t.Errorf("%s: time grows with SMs", b.Abbrev)
+		}
+		if b.BWFit.B < 0 {
+			t.Errorf("%s: bandwidth shrinks with SMs", b.Abbrev)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Apps: -2}); err == nil {
+		t.Error("accepted negative app count")
+	}
+	if _, err := Generate(Config{Seed: 1, ComputeCPUSec: [2]float64{5, 1}}); err == nil {
+		t.Error("accepted inverted range")
+	}
+	if _, err := Generate(Config{Seed: 1, ScalingExponent: [2]float64{0.1, 0.5}}); err == nil {
+		t.Error("accepted positive scaling exponent")
+	}
+}
+
+func TestHeavyTailedIsTailed(t *testing.T) {
+	w, err := HeavyTailed(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := w.ComputeCPUOrder()
+	top := w.Apps[order[0]].Bench.ComputeCPUSec
+	bottom := w.Apps[order[len(order)-1]].Bench.ComputeCPUSec
+	if top < 10*bottom {
+		t.Errorf("tail not heavy: top %g vs bottom %g", top, bottom)
+	}
+}
+
+func TestUniformIsFlat(t *testing.T) {
+	w, err := Uniform(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := w.ComputeCPUOrder()
+	top := w.Apps[order[0]].Bench.ComputeCPUSec
+	bottom := w.Apps[order[len(order)-1]].Bench.ComputeCPUSec
+	if top > 1.2*bottom {
+		t.Errorf("workload not uniform: top %g vs bottom %g", top, bottom)
+	}
+}
+
+// TestGeneratedWorkloadsSolve is the integration property: any generated
+// workload must build into a valid instance and produce a feasible
+// near-sensible schedule on a reference SoC.
+func TestGeneratedWorkloadsSolve(t *testing.T) {
+	f := func(seed uint8) bool {
+		w, err := Generate(Config{Seed: int64(seed), Apps: 4})
+		if err != nil {
+			return false
+		}
+		spec := soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
+		res, err := core.Solve(w, spec, core.Profile{InitialStepSec: 10, Horizon: 400, RefineWhileBelow: 10, MaxRefinements: 1}, scheduler.Config{Seed: int64(seed), Effort: 0.15})
+		if err != nil {
+			return false
+		}
+		if err := res.Sched.Schedule.Validate(res.Instance.Problem); err != nil {
+			return false
+		}
+		return res.Speedup > 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDSAGainTracksGPUCongestion: DSAs pay off when the shared GPU is the
+// bottleneck (uniform workload: 8 similar apps congest a 16-SM GPU, so
+// offloading two of them helps) and buy little when a single dominant chain
+// limits the makespan anyway (heavy-tailed workload with an uncongested
+// GPU). This is the mechanism behind the paper's Key Insights 3 and 5: the
+// value of a DSA is the GPU load it removes.
+func TestDSAGainTracksGPUCongestion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	evalGain := func(w rodinia.Workload) float64 {
+		cfg := scheduler.Config{Seed: 1, Effort: 0.2}
+		profile := core.Profile{InitialStepSec: 10, Horizon: 400, RefineWhileBelow: 10, MaxRefinements: 1}
+		base := soc.Spec{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
+		noDSA, err := core.Solve(w, base, profile, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := w.ComputeCPUOrder()
+		withDSA := base
+		withDSA.DSAs = []soc.DSA{
+			{PEs: 16, Target: w.Apps[order[0]].Bench.Abbrev},
+			{PEs: 16, Target: w.Apps[order[1]].Bench.Abbrev},
+		}
+		dsa, err := core.Solve(w, withDSA, profile, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dsa.Speedup / noDSA.Speedup
+	}
+
+	heavy, err := HeavyTailed(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Uniform(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyGain := evalGain(heavy)
+	uniformGain := evalGain(uniform)
+	if uniformGain < 1.1 {
+		t.Errorf("DSAs on the GPU-congested uniform workload gained only %g, want > 1.1", uniformGain)
+	}
+	if uniformGain < heavyGain {
+		t.Errorf("DSA gain on uncongested heavy-tailed (%g) exceeds congested uniform (%g)", heavyGain, uniformGain)
+	}
+	// Adding hardware options must never hurt beyond solver/discretization
+	// noise.
+	if heavyGain < 0.85 {
+		t.Errorf("adding DSAs hurt the heavy-tailed workload: gain %g", heavyGain)
+	}
+}
