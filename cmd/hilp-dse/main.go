@@ -12,12 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"hilp"
 	"hilp/internal/dse"
+	"hilp/internal/obs"
 )
 
 func main() {
@@ -30,14 +31,17 @@ func main() {
 		powerW       = flag.Float64("power", 600, "power budget in watts")
 		advantage    = flag.Float64("dsa-advantage", 4, "DSA efficiency advantage")
 		dvfs         = flag.String("dvfs", "210,300,420,600,765", "GPU DVFS points in MHz")
-		workers      = flag.Int("workers", runtime.NumCPU(), "parallel evaluations")
+		workers      = flag.Int("workers", 0, "parallel evaluations (0 = GOMAXPROCS)")
 		seed         = flag.Int64("seed", 1, "solver random seed")
 		effort       = flag.Float64("effort", 0.25, "solver effort multiplier")
 		paretoOnly   = flag.Bool("pareto", false, "print only the Pareto front")
 		withBase     = flag.Bool("baselines", false, "also sweep MultiAmdahl and Gables")
 		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
 	)
+	var ocli obs.CLI
+	ocli.Register(nil)
 	flag.Parse()
+	octx := ocli.Context()
 
 	w, err := workloadByName(*workloadName)
 	exitOn(err)
@@ -59,16 +63,21 @@ func main() {
 	for i := range specs {
 		specs[i].GPUFrequenciesMHz = freqs
 	}
-	fmt.Fprintf(os.Stderr, "hilp-dse: evaluating %d SoCs on %s with %d workers\n", len(specs), w.Name, *workers)
+	fmt.Fprintf(os.Stderr, "hilp-dse: evaluating %d SoCs on %s\n", len(specs), w.Name)
 
-	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1}
-	points := hilp.SweepHILP(w, specs, *workers, hilp.DSEProfile, cfg)
+	sweepOpts := dse.SweepOptions{Workers: *workers, Obs: octx}
+	if ocli.Verbose {
+		sweepOpts.OnProgress = liveProgress(os.Stderr)
+	}
+	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1, Obs: octx}
+	points := dse.SweepOpts(specs, sweepOpts, dse.HILPEvaluator(w, hilp.DSEProfile, cfg))
 
 	var maPoints, gabPoints []hilp.Point
 	if *withBase {
 		maPoints = dse.Sweep(specs, *workers, dse.MAEvaluator(w))
 		gabPoints = dse.Sweep(specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
 	}
+	exitOn(ocli.Close())
 
 	report := func(model string, pts []hilp.Point) {
 		out := pts
@@ -97,6 +106,22 @@ func main() {
 	if *withBase {
 		report("MultiAmdahl", maPoints)
 		report("Gables", gabPoints)
+	}
+}
+
+// liveProgress returns a progress callback rendering a single self-updating
+// status line: points evaluated, current best, and the extrapolated ETA.
+func liveProgress(w *os.File) func(dse.Progress) {
+	return func(p dse.Progress) {
+		best := "best n/a"
+		if p.HasBest {
+			best = fmt.Sprintf("best %.1fx @ %.1f mm^2 (%s)", p.Best.Speedup, p.Best.AreaMM2, p.Best.Label)
+		}
+		fmt.Fprintf(w, "\rhilp-dse: %d/%d (%d%%)  %s  eta %s   ",
+			p.Done, p.Total, 100*p.Done/p.Total, best, p.ETA.Round(time.Second))
+		if p.Done == p.Total {
+			fmt.Fprintln(w)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hilp/internal/experiments"
+	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 )
 
@@ -156,7 +157,10 @@ func main() {
 		markdown = flag.Bool("md", false, "emit Markdown sections (headings + code fences)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
+	var ocli obs.CLI
+	ocli.Register(nil)
 	flag.Parse()
+	octx := ocli.Context()
 
 	if *list {
 		for _, e := range all {
@@ -183,7 +187,7 @@ func main() {
 		out = f
 	}
 
-	opts := experiments.Options{Seed: *seed, Effort: *effort}
+	opts := experiments.Options{Seed: *seed, Effort: *effort, Obs: octx}
 	failures := 0
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.name] {
@@ -203,6 +207,10 @@ func main() {
 		} else {
 			fmt.Fprintf(out, "===== %s: %s (took %s) =====\n%s\n", e.name, e.desc, time.Since(start).Round(time.Millisecond), text)
 		}
+	}
+	if err := ocli.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hilp-exp:", err)
+		failures++
 	}
 	if failures > 0 {
 		os.Exit(1)

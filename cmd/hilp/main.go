@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"hilp"
+	"hilp/internal/obs"
 )
 
 func main() {
@@ -45,12 +46,21 @@ func main() {
 	)
 	var dsas dsaFlags
 	flag.Var(&dsas, "dsa", "DSA as TARGET:PEs (repeatable), e.g. -dsa LUD:16")
+	var ocli obs.CLI
+	ocli.Register(nil)
 	flag.Parse()
 
-	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort}
+	octx := ocli.Context()
+	if octx != nil && ocli.Verbose {
+		// A single evaluation is cheap to narrate in full: include the
+		// per-refinement solver lines, not just top-level progress.
+		octx.Verbosity = 2
+	}
+	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Obs: octx}
 
 	if *modelPath != "" {
 		runCustom(*modelPath, *stepSec, *horizon, cfg, *showGantt, *showTasks, *jsonOut)
+		exitOn(ocli.Close())
 		return
 	}
 
@@ -66,6 +76,7 @@ func main() {
 	}
 	res, err := hilp.EvaluateWith(w, spec, hilp.DSEProfile, cfg)
 	exitOn(err)
+	exitOn(ocli.Close())
 
 	if *jsonOut {
 		out := map[string]any{

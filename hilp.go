@@ -32,6 +32,7 @@ import (
 	"hilp/internal/core"
 	"hilp/internal/dag"
 	"hilp/internal/dse"
+	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
 	"hilp/internal/soc"
@@ -155,9 +156,38 @@ func DesignSpace(w Workload, cfg SpaceConfig) []SoC {
 	return soc.DesignSpace(w, cfg)
 }
 
-// SweepHILP evaluates every spec with HILP across worker goroutines.
+// Observability re-exports: thread an *ObsContext through SolverConfig.Obs
+// (and SweepOptions.Obs) to trace and meter the entire solve stack. See
+// internal/obs for span and metric semantics.
+type (
+	// ObsContext carries tracing/metrics sinks through the solver layers.
+	ObsContext = obs.Context
+	// Tracer records hierarchical spans, exportable as Chrome trace JSON.
+	Tracer = obs.Tracer
+	// MetricsRegistry holds named counters, gauges, and histograms.
+	MetricsRegistry = obs.Registry
+	// SweepOptions configures an observed design-space sweep.
+	SweepOptions = dse.SweepOptions
+	// SweepProgress is one live update of a running sweep.
+	SweepProgress = dse.Progress
+)
+
+// NewTracer returns a wall-clock span tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// SweepHILP evaluates every spec with HILP across worker goroutines
+// (workers < 1 selects GOMAXPROCS).
 func SweepHILP(w Workload, specs []SoC, workers int, profile Profile, cfg SolverConfig) []Point {
 	return dse.Sweep(specs, workers, dse.HILPEvaluator(w, profile, cfg))
+}
+
+// SweepHILPObserved is SweepHILP with observability: sweep metrics, spans,
+// and a live progress callback via opts.
+func SweepHILPObserved(w Workload, specs []SoC, opts SweepOptions, profile Profile, cfg SolverConfig) []Point {
+	return dse.SweepOpts(specs, opts, dse.HILPEvaluator(w, profile, cfg))
 }
 
 // ParetoFront extracts the (area, speedup) Pareto-optimal points.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"hilp/internal/obs"
+	"hilp/internal/scheduler"
+)
+
+// obsClock returns a deterministic 1µs-per-reading monotonic clock.
+func obsClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+// TestSolveEmitsSpanTree is the end-to-end tracing check: one observed Solve
+// produces a well-nested span tree covering every pipeline stage, and the
+// metrics registry fills with solver counters.
+func TestSolveEmitsSpanTree(t *testing.T) {
+	w := smallWorkload(t)
+	profile := Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 10, MaxRefinements: 2}
+
+	run := func() ([]obs.SpanRecord, *obs.Registry) {
+		ctx := &obs.Context{Tracer: obs.NewTracerWithClock(obsClock()), Metrics: obs.NewRegistry()}
+		cfg := scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1, Obs: ctx}
+		if _, err := Solve(w, fastSpec(2, 16), profile, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Tracer.Snapshot(), ctx.Metrics
+	}
+	recs, reg := run()
+
+	if err := obs.WellNested(recs); err != nil {
+		t.Errorf("span tree not well nested: %v", err)
+	}
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[r.Name]++
+	}
+	for _, name := range []string{
+		"evaluate", "refine-iteration", "build-instance", "solve",
+		"bounds", "heuristics", "anneal", "anneal-restart-0",
+	} {
+		if counts[name] == 0 {
+			t.Errorf("no %q span recorded; got %v", name, counts)
+		}
+	}
+	if counts["refine-iteration"] != counts["solve"] || counts["solve"] != counts["build-instance"] {
+		t.Errorf("per-iteration spans disagree: %v", counts)
+	}
+
+	for _, name := range []string{obs.MSolves, obs.MEvaluations, obs.MSGSSchedules} {
+		if reg.Counter(name).Value() == 0 {
+			t.Errorf("counter %s stayed zero", name)
+		}
+	}
+	if reg.Gauge(obs.MMakespanSteps).Value() <= 0 {
+		t.Errorf("gauge %s = %g, want > 0", obs.MMakespanSteps, reg.Gauge(obs.MMakespanSteps).Value())
+	}
+
+	// Same seed + same fake clock = identical trace, so traces are usable as
+	// regression artifacts.
+	recs2, _ := run()
+	if len(recs2) != len(recs) {
+		t.Fatalf("second run recorded %d spans, first %d", len(recs2), len(recs))
+	}
+	for i := range recs {
+		a, b := recs[i], recs2[i]
+		if a.Name != b.Name || a.TID != b.TID || a.StartNs != b.StartNs || a.DurNs != b.DurNs {
+			t.Errorf("span %d differs across identical runs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestSolveUnobservedMatchesObserved guards against instrumentation changing
+// results: the solve outcome must be identical with and without sinks.
+func TestSolveUnobservedMatchesObserved(t *testing.T) {
+	w := smallWorkload(t)
+	profile := Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 10, MaxRefinements: 2}
+
+	plain, err := Solve(w, fastSpec(2, 16), profile, scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	observed, err := Solve(w, fastSpec(2, 16), profile, scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1, Obs: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.MakespanSec != observed.MakespanSec || plain.Speedup != observed.Speedup || plain.Gap != observed.Gap {
+		t.Errorf("observability changed the result: %+v vs %+v", plain, observed)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
 	"hilp/internal/soc"
@@ -74,13 +75,40 @@ func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), 
 	step := profile.InitialStepSec
 	var last *Result
 
+	octx := cfg.Obs
+	esp := octx.StartSpan("evaluate")
+	defer esp.End()
+	ectx := octx.WithSpan(esp)
+	octx.Counter(obs.MEvaluations).Inc()
+
+	// finish records the final outcome of the adaptive loop.
+	finish := func(r *Result) *Result {
+		octx.Counter(obs.MRefinements).Add(int64(r.Refinements))
+		octx.Gauge(obs.MCertifiedGap).Set(r.Gap)
+		octx.Gauge(obs.MMakespanSec).Set(r.MakespanSec)
+		esp.Arg("gap", r.Gap).Arg("makespan_sec", r.MakespanSec).ArgInt("refinements", r.Refinements)
+		return r
+	}
+
 	for refinement := 0; ; refinement++ {
+		rsp := ectx.StartSpan("refine-iteration").ArgInt("refinement", refinement).Arg("step_sec", step)
+		rctx := ectx.WithSpan(rsp)
+
+		bsp := rctx.StartSpan("build-instance")
 		inst, err := build(step, profile.Horizon)
 		if err != nil {
+			bsp.End()
+			rsp.End()
 			return nil, err
 		}
-		res, err := scheduler.Solve(inst.Problem, cfg)
+		bsp.ArgInt("tasks", len(inst.Problem.Tasks))
+		bsp.End()
+
+		scfg := cfg
+		scfg.Obs = rctx
+		res, err := scheduler.Solve(inst.Problem, scfg)
 		if err != nil {
+			rsp.End()
 			return nil, fmt.Errorf("core: solving at %gs steps: %w", step, err)
 		}
 		cur := &Result{
@@ -92,11 +120,15 @@ func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), 
 			Gap:         res.Gap(),
 			Refinements: refinement,
 		}
+		octx.Logf(2, "evaluate: step %gs -> makespan %d steps (%.4g s), gap %.1f%%, method %s",
+			step, res.Schedule.Makespan, cur.MakespanSec, 100*cur.Gap, res.Method)
+		rsp.ArgInt("makespan_steps", res.Schedule.Makespan).Arg("gap", cur.Gap)
+		rsp.End()
 
 		switch {
 		case res.Schedule.Makespan > profile.Horizon && last != nil:
 			// Refinement overshot the horizon; keep the previous result.
-			return last, nil
+			return finish(last), nil
 		case res.Schedule.Makespan > profile.Horizon && refinement < profile.MaxRefinements:
 			// The initial resolution was too fine for this workload; coarsen.
 			step *= 5
@@ -108,7 +140,7 @@ func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), 
 			step /= 5
 			continue
 		default:
-			return cur, nil
+			return finish(cur), nil
 		}
 	}
 }

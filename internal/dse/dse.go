@@ -5,11 +5,14 @@
 package dse
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"hilp/internal/baselines"
 	"hilp/internal/core"
+	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
 	"hilp/internal/soc"
@@ -79,13 +82,64 @@ type Point struct {
 // Evaluator scores one SoC configuration.
 type Evaluator func(soc.Spec) Point
 
+// Progress is one live update of a running sweep, delivered after every
+// completed evaluation.
+type Progress struct {
+	// Done and Total count completed and requested evaluations.
+	Done, Total int
+	// Best is the highest-speedup successful point so far; HasBest is false
+	// until one succeeds.
+	Best    Point
+	HasBest bool
+	// Elapsed is the wall-clock time since the sweep started; ETA is the
+	// remaining time extrapolated from the completed points.
+	Elapsed, ETA time.Duration
+}
+
+// SweepOptions configures SweepOpts beyond the evaluator itself.
+type SweepOptions struct {
+	// Workers is the goroutine fan-out; < 1 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// Obs receives the sweep span and per-point metrics; nil disables them.
+	Obs *obs.Context
+	// OnProgress, when non-nil, is called after every completed point.
+	// Calls are serialized and Done is strictly increasing.
+	OnProgress func(Progress)
+}
+
 // Sweep evaluates every spec, fanning out across workers goroutines, and
-// returns points in input order. Failed evaluations carry their error in
-// Point.Err and are skipped by ParetoFront.
+// returns points in input order. workers < 1 selects runtime.GOMAXPROCS(0).
+// Failed evaluations carry their error in Point.Err and are skipped by
+// ParetoFront.
 func Sweep(specs []soc.Spec, workers int, eval Evaluator) []Point {
+	return SweepOpts(specs, SweepOptions{Workers: workers}, eval)
+}
+
+// SweepOpts is Sweep with observability: a sweep span, per-point latency and
+// failure metrics, and a live progress callback.
+func SweepOpts(specs []soc.Spec, opts SweepOptions, eval Evaluator) []Point {
+	workers := opts.Workers
 	if workers < 1 {
-		workers = 1
+		workers = runtime.GOMAXPROCS(0)
 	}
+	octx := opts.Obs
+	sp := octx.StartSpan("sweep").ArgInt("points", len(specs)).ArgInt("workers", workers)
+	defer sp.End()
+	octx.Logf(1, "sweep: %d points across %d workers", len(specs), workers)
+
+	pointCtr := octx.Counter(obs.MSweepPoints)
+	failCtr := octx.Counter(obs.MSweepPointsFailed)
+	latency := octx.Histogram(obs.MSweepPointSec)
+	// Per-point timing is only needed when a sink will see it.
+	timed := opts.OnProgress != nil || (octx != nil && octx.Metrics != nil)
+
+	start := time.Now()
+	var (
+		progressMu sync.Mutex
+		done       int
+		best       Point
+		hasBest    bool
+	)
 	points := make([]Point, len(specs))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -94,7 +148,41 @@ func Sweep(specs []soc.Spec, workers int, eval Evaluator) []Point {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				points[i] = eval(specs[i])
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
+				p := eval(specs[i])
+				points[i] = p
+				pointCtr.Inc()
+				if p.Err != nil {
+					failCtr.Inc()
+				}
+				if !timed {
+					continue
+				}
+				latency.Observe(time.Since(t0).Seconds())
+				if opts.OnProgress == nil {
+					continue
+				}
+				progressMu.Lock()
+				done++
+				if p.Err == nil && (!hasBest || p.Speedup > best.Speedup) {
+					best = p
+					hasBest = true
+				}
+				prog := Progress{
+					Done:    done,
+					Total:   len(specs),
+					Best:    best,
+					HasBest: hasBest,
+					Elapsed: time.Since(start),
+				}
+				if done > 0 {
+					prog.ETA = prog.Elapsed / time.Duration(done) * time.Duration(len(specs)-done)
+				}
+				opts.OnProgress(prog)
+				progressMu.Unlock()
 			}
 		}()
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"hilp/internal/core"
+	"hilp/internal/obs"
 	"hilp/internal/scheduler"
 	"hilp/internal/soc"
 )
@@ -30,6 +31,9 @@ type Options struct {
 	// (nil selects the paper's full 372-SoC space). Tests use it to run
 	// reduced sweeps.
 	Space *soc.SpaceConfig
+	// Obs carries optional tracing/metrics sinks into every solve the
+	// experiment performs; nil disables instrumentation.
+	Obs *obs.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -46,7 +50,7 @@ func (o Options) withDefaults() Options {
 }
 
 func (o Options) schedConfig() scheduler.Config {
-	return scheduler.Config{Seed: o.Seed, Effort: o.Effort, Restarts: 1}
+	return scheduler.Config{Seed: o.Seed, Effort: o.Effort, Restarts: 1, Obs: o.Obs}
 }
 
 // validationProfile is the paper's validation setting with the refinement

@@ -42,7 +42,7 @@ func Fig10Streaming(opts Options) (*Fig10Result, error) {
 		if err != nil {
 			return Fig10Variant{}, err
 		}
-		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: opts.Seed, Effort: opts.Effort, Restarts: 1})
+		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: opts.Seed, Effort: opts.Effort, Restarts: 1, Obs: opts.Obs})
 		if err != nil {
 			return Fig10Variant{}, err
 		}

@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"math"
 	"time"
+
+	"hilp/internal/obs"
 )
 
 // Options configures a branch-and-bound solve.
@@ -22,6 +24,8 @@ type Options struct {
 	// WarmStart primes the search with a known feasible solution (e.g. one
 	// found by the CP scheduler). Infeasible warm starts are ignored.
 	WarmStart []float64
+	// Obs carries optional tracing/metrics sinks; nil disables them.
+	Obs *obs.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -41,8 +45,13 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+	octx := opts.Obs
 	if p.NumIntegers() == 0 {
-		return SolveLP(p)
+		sol, err := SolveLP(p)
+		if err == nil {
+			octx.Counter(obs.MSimplexPivots).Add(int64(sol.Iters))
+		}
+		return sol, err
 	}
 
 	start := time.Now()
@@ -59,6 +68,15 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		return Solution{}, err
 	}
 	totalIters := root.Iters
+	var nodes, pruned int
+	sp := octx.StartSpan("milp-bb").ArgInt("vars", len(p.Vars)).ArgInt("integers", p.NumIntegers())
+	defer func() {
+		octx.Counter(obs.MSimplexPivots).Add(int64(totalIters))
+		octx.Counter(obs.MBBNodes).Add(int64(nodes))
+		octx.Counter(obs.MBBPruned).Add(int64(pruned))
+		sp.ArgInt("nodes", nodes).ArgInt("pruned", pruned).ArgInt("pivots", totalIters)
+		sp.End()
+	}()
 	switch root.Status {
 	case Infeasible:
 		return Solution{Status: Infeasible, Bound: math.Inf(1)}, nil
@@ -78,7 +96,6 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	var (
 		incumbent    []float64
 		incumbentObj = math.Inf(1) // in minimization key space
-		nodes        int
 	)
 	if opts.WarmStart != nil {
 		if err := p.CheckFeasible(opts.WarmStart, 10*opts.IntTol); err == nil {
@@ -130,6 +147,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		}
 		node := heap.Pop(pq).(*bbNode)
 		if node.bound >= incumbentObj-1e-9 {
+			pruned++
 			continue // dominated
 		}
 		bestBound = node.bound
@@ -175,6 +193,8 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 				return Solution{}, err
 			} else if child != nil {
 				heap.Push(pq, child)
+			} else {
+				pruned++
 			}
 		}
 		// Up branch: x >= ceil(val).
@@ -184,6 +204,8 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 				return Solution{}, err
 			} else if child != nil {
 				heap.Push(pq, child)
+			} else {
+				pruned++
 			}
 		}
 	}

@@ -1,0 +1,72 @@
+package milp
+
+import (
+	"testing"
+
+	"hilp/internal/obs"
+)
+
+// knapsack builds the 0/1 knapsack used across solver tests: maximize
+// 10a+6b+4c subject to 3a+4b+2c <= 6; optimum is a+c = 14.
+func knapsack() *Problem {
+	p := NewProblem()
+	p.Maximize = true
+	a := p.AddBinary("a", 10)
+	b := p.AddBinary("b", 6)
+	c := p.AddBinary("c", 4)
+	p.AddConstraint("w", map[int]float64{a: 3, b: 4, c: 2}, LE, 6)
+	return p
+}
+
+func TestSolveRecordsMetricsAndSpan(t *testing.T) {
+	ctx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	sol, err := Solve(knapsack(), Options{Obs: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective != 14 {
+		t.Fatalf("status %v objective %g, want Optimal 14", sol.Status, sol.Objective)
+	}
+
+	if got := ctx.Metrics.Counter(obs.MSimplexPivots).Value(); got <= 0 {
+		t.Errorf("%s = %d, want > 0", obs.MSimplexPivots, got)
+	}
+	if got := ctx.Metrics.Counter(obs.MBBNodes).Value(); got <= 0 {
+		t.Errorf("%s = %d, want > 0", obs.MBBNodes, got)
+	}
+
+	recs := ctx.Tracer.Snapshot()
+	var bb *obs.SpanRecord
+	for i := range recs {
+		if recs[i].Name == "milp-bb" {
+			bb = &recs[i]
+		}
+	}
+	if bb == nil {
+		t.Fatalf("no milp-bb span in %+v", recs)
+	}
+	if bb.Args["vars"] != 3 || bb.Args["integers"] != 3 {
+		t.Errorf("milp-bb args = %v, want vars=3 integers=3", bb.Args)
+	}
+	if bb.Args["nodes"] <= 0 {
+		t.Errorf("milp-bb nodes arg = %v, want > 0", bb.Args["nodes"])
+	}
+	if err := obs.WellNested(recs); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveObservedMatchesUnobserved(t *testing.T) {
+	plain, err := Solve(knapsack(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &obs.Context{Metrics: obs.NewRegistry()}
+	observed, err := Solve(knapsack(), Options{Obs: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Objective != observed.Objective || plain.Status != observed.Status {
+		t.Errorf("observability changed the solution: %+v vs %+v", plain, observed)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"strings"
+)
+
+// CLI bundles the observability flags shared by the hilp binaries:
+//
+//	-trace file     write a Chrome trace-event JSON file (chrome://tracing)
+//	-metrics file   write a metrics dump (.prom/.txt → Prometheus text, else JSON)
+//	-v              verbose progress logging to stderr
+//	-pprof addr     serve net/http/pprof on addr (e.g. localhost:6060)
+//
+// Usage: Register the flags, flag.Parse, then Context() to get the (possibly
+// nil) *Context to thread into solver configs, and defer Close() to flush
+// the output files.
+type CLI struct {
+	TracePath   string
+	MetricsPath string
+	PprofAddr   string
+	Verbose     bool
+
+	ctx *Context
+}
+
+// Register installs the flags on fs (flag.CommandLine when nil).
+func (c *CLI) Register(fs *flag.FlagSet) {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	fs.StringVar(&c.TracePath, "trace", "", "write a Chrome trace-event JSON file (load at chrome://tracing)")
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write a metrics dump (.prom/.txt: Prometheus text, otherwise JSON)")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&c.Verbose, "v", false, "verbose progress logging to stderr")
+}
+
+// Context builds the observability context selected by the flags and starts
+// the pprof server when requested. It returns nil when every flag is off, so
+// the fully disabled path stays a nil *Context.
+func (c *CLI) Context() *Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	if c.PprofAddr != "" {
+		addr := c.PprofAddr
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server on %s: %v\n", addr, err)
+			}
+		}()
+	}
+	if c.TracePath == "" && c.MetricsPath == "" && !c.Verbose {
+		return nil
+	}
+	ctx := &Context{}
+	if c.TracePath != "" {
+		ctx.Tracer = NewTracer()
+	}
+	if c.MetricsPath != "" {
+		ctx.Metrics = NewRegistry()
+	}
+	if c.Verbose {
+		ctx.Verbosity = 1
+		ctx.LogWriter = os.Stderr
+	}
+	c.ctx = ctx
+	return ctx
+}
+
+// Close flushes the trace and metrics files. Call it once, after the work
+// being observed finishes.
+func (c *CLI) Close() error {
+	ctx := c.ctx
+	if ctx == nil {
+		return nil
+	}
+	if c.TracePath != "" && ctx.Tracer != nil {
+		f, err := os.Create(c.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.MetricsPath != "" && ctx.Metrics != nil {
+		f, err := os.Create(c.MetricsPath)
+		if err != nil {
+			return err
+		}
+		var werr error
+		if strings.HasSuffix(c.MetricsPath, ".prom") || strings.HasSuffix(c.MetricsPath, ".txt") {
+			werr = ctx.Metrics.WritePrometheus(f)
+		} else {
+			werr = ctx.Metrics.WriteJSON(f)
+		}
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+		return f.Close()
+	}
+	return nil
+}

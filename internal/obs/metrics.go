@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. A nil *Counter is a
+// valid no-op, so call sites fetch once and Add unconditionally.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float metric. A nil *Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefBuckets are the default histogram buckets: exponential from 1ms to
+// ~16s, suitable for the per-point evaluation times of a sweep.
+var DefBuckets = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
+
+// Histogram counts observations into fixed cumulative-export buckets. A nil
+// *Histogram is a valid no-op.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64 // len(bounds)+1
+	sumB   atomic.Uint64  // float64 bits of the running sum
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumB.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumB.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumB.Load())
+}
+
+// Registry holds named metrics. A nil *Registry hands out nil metrics, which
+// are themselves valid no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (DefBuckets when none) on first use. Buckets passed on later
+// calls are ignored.
+func (r *Registry) Histogram(name string, buckets ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(buckets)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map's keys in lexical order for deterministic
+// exports.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus dumps every metric in the Prometheus text exposition
+// format, names sorted, histograms with cumulative le buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(r.gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			name, cum, name, formatFloat(h.Sum()), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonHistogram is the JSON shape of one histogram.
+type jsonHistogram struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []int64   `json:"counts"` // per-bucket (not cumulative); last is +Inf
+	Sum     float64   `json:"sum"`
+	Count   int64     `json:"count"`
+}
+
+// jsonDump is the JSON shape of a registry.
+type jsonDump struct {
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]float64       `json:"gauges"`
+	Histograms map[string]jsonHistogram `json:"histograms"`
+}
+
+// WriteJSON dumps every metric as one JSON object (keys sorted by the
+// encoder, so output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	d := jsonDump{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]jsonHistogram, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		d.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		d.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		jh := jsonHistogram{
+			Buckets: append([]float64(nil), h.bounds...),
+			Counts:  make([]int64, len(h.counts)),
+			Sum:     h.Sum(),
+			Count:   h.Count(),
+		}
+		for i := range h.counts {
+			jh.Counts[i] = h.counts[i].Load()
+		}
+		d.Histograms[name] = jh
+	}
+	r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// ReadJSON reconstructs a registry from a WriteJSON dump, so metric files
+// round-trip (load, merge, re-export).
+func ReadJSON(rd io.Reader) (*Registry, error) {
+	var d jsonDump
+	if err := json.NewDecoder(rd).Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: parsing metrics JSON: %w", err)
+	}
+	r := NewRegistry()
+	for name, v := range d.Counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range d.Gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, jh := range d.Histograms {
+		h := r.Histogram(name, jh.Buckets...)
+		if len(jh.Counts) != len(h.counts) {
+			return nil, fmt.Errorf("obs: histogram %s has %d counts for %d buckets", name, len(jh.Counts), len(jh.Buckets))
+		}
+		for i, c := range jh.Counts {
+			h.counts[i].Store(c)
+		}
+		h.count.Store(jh.Count)
+		h.sumB.Store(math.Float64bits(jh.Sum))
+	}
+	return r, nil
+}

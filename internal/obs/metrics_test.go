@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if got := g.Value(); got != -2.25 {
+		t.Errorf("gauge = %g, want -2.25", got)
+	}
+
+	h := r.Histogram("h", 1, 2)
+	for _, v := range []float64{0.5, 1, 1.5, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 6 {
+		t.Errorf("histogram sum = %g, want 6", h.Sum())
+	}
+	// v == bound lands in that bucket (Prometheus le is inclusive).
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics accumulated state")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry WritePrometheus = %q, %v", buf.String(), err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hilp_solves_total").Add(3)
+	r.Gauge("hilp_gap").Set(0.07)
+	h := r.Histogram("hilp_point_seconds", 1, 2)
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE hilp_solves_total counter",
+		"hilp_solves_total 3",
+		"# TYPE hilp_gap gauge",
+		"hilp_gap 0.07",
+		"# TYPE hilp_point_seconds histogram",
+		`hilp_point_seconds_bucket{le="1"} 1`,
+		`hilp_point_seconds_bucket{le="2"} 2`,
+		`hilp_point_seconds_bucket{le="+Inf"} 3`,
+		"hilp_point_seconds_sum 5",
+		"hilp_point_seconds_count 3",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus dump:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hilp_solves_total").Add(7)
+	r.Gauge("hilp_gap").Set(0.125)
+	h := r.Histogram("hilp_point_seconds", 0.5, 1, 2)
+	for _, v := range []float64{0.25, 0.75, 1.5, 9} {
+		h.Observe(v)
+	}
+
+	var first bytes.Buffer
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := r2.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("round trip changed the dump:\n%s\nvs:\n%s", first.String(), second.String())
+	}
+
+	if got := r2.Counter("hilp_solves_total").Value(); got != 7 {
+		t.Errorf("reloaded counter = %d, want 7", got)
+	}
+	if got := r2.Gauge("hilp_gap").Value(); got != 0.125 {
+		t.Errorf("reloaded gauge = %g, want 0.125", got)
+	}
+	h2 := r2.Histogram("hilp_point_seconds")
+	if h2.Count() != 4 || h2.Sum() != 11.5 {
+		t.Errorf("reloaded histogram count/sum = %d/%g, want 4/11.5", h2.Count(), h2.Sum())
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	bad := `{"histograms":{"h":{"buckets":[1,2],"counts":[1],"sum":0,"count":1}}}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("mismatched bucket/count lengths accepted")
+	}
+}
+
+func TestMetricsConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", 1).Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	h := r.Histogram("h")
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	if h.Sum() != goroutines*perG*0.5 {
+		t.Errorf("histogram sum = %g, want %g", h.Sum(), goroutines*perG*0.5)
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+// Canonical metric names shared by the solver layers, so exports stay
+// consistent across binaries and the docs can reference them.
+const (
+	// MILP layer (internal/milp).
+	MSimplexPivots = "hilp_milp_simplex_pivots_total"
+	MBBNodes       = "hilp_milp_bb_nodes_total"
+	MBBPruned      = "hilp_milp_bb_pruned_total"
+
+	// Scheduler layer (internal/scheduler).
+	MExactNodes      = "hilp_sched_exact_nodes_total"
+	MAnnealAccepted  = "hilp_sched_anneal_accepted_total"
+	MAnnealRejected  = "hilp_sched_anneal_rejected_total"
+	MTabuSteps       = "hilp_sched_tabu_steps_total"
+	MSGSSchedules    = "hilp_sched_sgs_schedules_total"
+	MSolves          = "hilp_sched_solves_total"
+	MLowerBoundSteps = "hilp_sched_lower_bound_steps"
+	MMakespanSteps   = "hilp_sched_makespan_steps"
+
+	// Adaptive-resolution loop (internal/core).
+	MEvaluations  = "hilp_core_evaluations_total"
+	MRefinements  = "hilp_core_refinements_total"
+	MCertifiedGap = "hilp_core_certified_gap"
+	MMakespanSec  = "hilp_core_makespan_seconds"
+
+	// Design-space sweeps (internal/dse).
+	MSweepPoints       = "hilp_dse_points_total"
+	MSweepPointsFailed = "hilp_dse_points_failed_total"
+	MSweepPointSec     = "hilp_dse_point_seconds"
+)

@@ -1,0 +1,123 @@
+// Package obs is the solver stack's observability substrate: hierarchical
+// tracing spans exportable as Chrome trace-event JSON, a metrics registry
+// with Prometheus-text and JSON dumps, and verbose progress logging.
+//
+// The package is zero-dependency (stdlib only) and designed so the disabled
+// path costs nothing: a nil *Context is fully usable — every method is
+// nil-receiver safe, spans degrade to inert zero values, and no memory is
+// allocated per span or per metric update. Solver layers therefore thread a
+// *Context unconditionally and instrument hot paths without guarding each
+// call site.
+//
+// Span hierarchy mirrors the paper's Figure 1 pipeline:
+//
+//	evaluate                      adaptive-resolution loop (core.SolveAdaptive, §III-D)
+//	└── refine-iteration          one resolution level
+//	    ├── build-instance        workload × SoC → scheduling instance
+//	    └── solve                 layered solver (scheduler.Solve)
+//	        ├── bounds            combinatorial lower bounds
+//	        ├── heuristics        priority-rule seed portfolio
+//	        ├── anneal-restart-k  one simulated-annealing restart
+//	        ├── tabu              tabu-search improver (when selected)
+//	        ├── destructive-lb    destructive lower bounding
+//	        └── exact-bb          exact branch-and-bound finish
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Context carries the observability sinks threaded through the solver
+// layers. The zero value and a nil pointer are both valid, fully disabled
+// contexts.
+type Context struct {
+	// Tracer receives spans; nil disables tracing.
+	Tracer *Tracer
+	// Metrics receives counters, gauges, and histograms; nil disables them.
+	Metrics *Registry
+	// Verbosity gates Logf: messages at level <= Verbosity are written.
+	Verbosity int
+	// LogWriter receives verbose log lines; nil disables logging.
+	LogWriter io.Writer
+
+	// cur is the parent span for StartSpan, set by WithSpan.
+	cur Span
+}
+
+// logMu serializes verbose log lines across goroutines (sweeps log from
+// worker goroutines against a shared writer).
+var logMu sync.Mutex
+
+// Enabled reports whether any sink is attached.
+func (c *Context) Enabled() bool {
+	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil)
+}
+
+// Tracing reports whether spans are being recorded. Call sites use it to
+// skip building span names (e.g. fmt.Sprintf) on the disabled path.
+func (c *Context) Tracing() bool { return c != nil && c.Tracer != nil }
+
+// StartSpan opens a span. When the context carries a current span (see
+// WithSpan) the new span is its child on the same track; otherwise it is a
+// root span on a fresh track. Disabled contexts return an inert span.
+func (c *Context) StartSpan(name string) Span {
+	if c == nil || c.Tracer == nil {
+		return Span{}
+	}
+	if c.cur.t != nil {
+		return c.cur.Child(name)
+	}
+	return c.Tracer.StartSpan(name)
+}
+
+// WithSpan returns a copy of the context whose StartSpan calls create
+// children of s, so callees nest under the caller's span without an explicit
+// parent parameter. A nil context stays nil.
+func (c *Context) WithSpan(s Span) *Context {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	cp.cur = s
+	return &cp
+}
+
+// Counter returns the named counter, or nil (a valid no-op counter) when
+// metrics are disabled.
+func (c *Context) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge, or nil when metrics are disabled.
+func (c *Context) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram (created with buckets on first use),
+// or nil when metrics are disabled.
+func (c *Context) Histogram(name string, buckets ...float64) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.Metrics.Histogram(name, buckets...)
+}
+
+// Logf writes one verbose log line when level <= Verbosity and a writer is
+// attached. Lines are serialized across goroutines.
+func (c *Context) Logf(level int, format string, args ...any) {
+	if c == nil || c.LogWriter == nil || level > c.Verbosity {
+		return
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(c.LogWriter, format, args...)
+	io.WriteString(c.LogWriter, "\n")
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// fakeClock returns a monotonic clock advancing 1µs per reading, making
+// traces byte-for-byte deterministic.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+// buildTree records a small evaluate→solve→{bounds,anneal} tree plus a
+// second root, mirroring the solver pipeline shape.
+func buildTree(tr *Tracer) {
+	ev := tr.StartSpan("evaluate").ArgInt("apps", 3)
+	solve := ev.Child("solve")
+	b := solve.Child("bounds")
+	b.ArgInt("lower_bound", 42)
+	b.End()
+	a := solve.Child("anneal")
+	a.End()
+	solve.End()
+	ev.End()
+
+	other := tr.StartSpan("sweep")
+	other.End()
+}
+
+func TestSpanTreeWellNested(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock())
+	buildTree(tr)
+	recs := tr.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("got %d spans, want 5", len(recs))
+	}
+	if err := WellNested(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Children share the root's track; independent roots get fresh tracks.
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	ev := byName["evaluate"]
+	for _, child := range []string{"solve", "bounds", "anneal"} {
+		c := byName[child]
+		if c.TID != ev.TID {
+			t.Errorf("%s on track %d, want parent's track %d", child, c.TID, ev.TID)
+		}
+		if c.StartNs < ev.StartNs || c.StartNs+c.DurNs > ev.StartNs+ev.DurNs {
+			t.Errorf("%s [%d,%d) outside evaluate [%d,%d)",
+				child, c.StartNs, c.StartNs+c.DurNs, ev.StartNs, ev.StartNs+ev.DurNs)
+		}
+	}
+	if byName["sweep"].TID == ev.TID {
+		t.Error("independent roots share a track")
+	}
+	if got := ev.Args["apps"]; got != 3 {
+		t.Errorf("evaluate args[apps] = %v, want 3", got)
+	}
+	if got := byName["bounds"].Args["lower_bound"]; got != 42 {
+		t.Errorf("bounds args[lower_bound] = %v, want 42", got)
+	}
+}
+
+func TestWellNestedDetectsViolations(t *testing.T) {
+	overlap := []SpanRecord{
+		{Name: "a", TID: 1, StartNs: 0, DurNs: 10},
+		{Name: "b", TID: 1, StartNs: 5, DurNs: 10}, // crosses a's end
+	}
+	if err := WellNested(overlap); err == nil {
+		t.Error("overlapping spans not detected")
+	}
+	open := []SpanRecord{{Name: "a", TID: 1, StartNs: 0, DurNs: -1}}
+	if err := WellNested(open); err == nil {
+		t.Error("unclosed span not detected")
+	}
+	disjoint := []SpanRecord{
+		{Name: "a", TID: 1, StartNs: 0, DurNs: 5},
+		{Name: "b", TID: 1, StartNs: 5, DurNs: 5},
+		{Name: "c", TID: 2, StartNs: 3, DurNs: 10}, // other track may overlap
+	}
+	if err := WellNested(disjoint); err != nil {
+		t.Errorf("disjoint spans flagged: %v", err)
+	}
+}
+
+func TestTraceDeterministicWithFakeClock(t *testing.T) {
+	render := func() []byte {
+		tr := NewTracerWithClock(fakeClock())
+		buildTree(tr)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical runs produced different traces:\n%s\n%s", a, b)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock())
+	buildTree(tr)
+	open := tr.StartSpan("still-open") // must export with elapsed duration
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("%d events, want 6", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %s has ph %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("event %s has negative duration %g", ev.Name, ev.Dur)
+		}
+	}
+	open.End()
+}
+
+func TestZeroSpanIsInert(t *testing.T) {
+	var s Span
+	if s.Active() {
+		t.Error("zero span reports Active")
+	}
+	c := s.Child("x").Arg("k", 1).ArgInt("i", 2).ArgStr("s", "v")
+	c.End()
+	s.End()
+	if c.Active() {
+		t.Error("child of zero span reports Active")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	clock := fakeClock()
+	tr := NewTracerWithClock(clock)
+	s := tr.StartSpan("a")
+	s.End()
+	want := tr.Snapshot()[0].DurNs
+	clock() // advance time
+	s.End()
+	if got := tr.Snapshot()[0].DurNs; got != want {
+		t.Errorf("second End changed duration: %d -> %d", want, got)
+	}
+}

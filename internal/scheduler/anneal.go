@@ -1,8 +1,11 @@
 package scheduler
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+
+	"hilp/internal/obs"
 )
 
 // AnnealConfig tunes the simulated-annealing search over (activity list,
@@ -18,6 +21,8 @@ type AnnealConfig struct {
 	// InitialTempFactor scales the initial temperature relative to the seed
 	// makespan. 0 selects a default of 0.2.
 	InitialTempFactor float64
+	// Obs carries optional tracing/metrics sinks; nil disables them.
+	Obs *obs.Context
 }
 
 func (c AnnealConfig) withDefaults(p *Problem) AnnealConfig {
@@ -40,12 +45,22 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 	cfg = cfg.withDefaults(p)
 	g := newSGS(p)
 
+	octx := cfg.Obs
+	asp := octx.StartSpan("anneal").ArgInt("iterations", cfg.Iterations).ArgInt("restarts", cfg.Restarts)
+	defer asp.End()
+	actx := octx.WithSpan(asp)
+	sgsCtr := octx.Counter(obs.MSGSSchedules)
+	accCtr := octx.Counter(obs.MAnnealAccepted)
+	rejCtr := octx.Counter(obs.MAnnealRejected)
+
+	hsp := actx.StartSpan("heuristics")
 	seeds := heuristicCandidates(p)
 	var best Schedule
 	var bestList, bestOpts []int
 	found := false
 	for _, c := range seeds {
 		s, ok := g.decode(c.list, c.opts)
+		sgsCtr.Inc()
 		if !ok {
 			continue
 		}
@@ -56,6 +71,10 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 			found = true
 		}
 	}
+	if found {
+		hsp.ArgInt("seeds", len(seeds)).ArgInt("best_makespan", best.Makespan)
+	}
+	hsp.End()
 	if !found {
 		return Schedule{}, false
 	}
@@ -67,10 +86,16 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 	n := len(p.Tasks)
 
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		var rsp obs.Span
+		if actx.Tracing() {
+			rsp = actx.StartSpan(fmt.Sprintf("anneal-restart-%d", restart))
+		}
 		list := append([]int(nil), bestList...)
 		opts := append([]int(nil), bestOpts...)
 		cur, ok := g.decode(list, opts)
+		sgsCtr.Inc()
 		if !ok {
+			rsp.End()
 			continue
 		}
 		temp := cfg.InitialTempFactor * float64(cur.Makespan+1)
@@ -119,6 +144,7 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 			}
 
 			cand, ok := g.decode(list, opts)
+			sgsCtr.Inc()
 			accept := false
 			if ok {
 				delta := float64(cand.Makespan - cur.Makespan)
@@ -127,6 +153,7 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 				}
 			}
 			if accept {
+				accCtr.Inc()
 				cur = cand
 				if cur.Makespan < best.Makespan {
 					best = cur.Clone()
@@ -134,10 +161,14 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 					bestOpts = append(bestOpts[:0], opts...)
 				}
 			} else {
+				rejCtr.Inc()
 				undo()
 			}
 			temp *= cooling
 		}
+		rsp.ArgInt("best_makespan", best.Makespan)
+		rsp.End()
 	}
+	asp.ArgInt("best_makespan", best.Makespan)
 	return best, true
 }

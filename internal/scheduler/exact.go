@@ -1,6 +1,10 @@
 package scheduler
 
-import "math"
+import (
+	"math"
+
+	"hilp/internal/obs"
+)
 
 // ExactConfig tunes the exact branch-and-bound search.
 type ExactConfig struct {
@@ -11,6 +15,9 @@ type ExactConfig struct {
 	// UpperBound primes the search with a known feasible makespan; 0 means
 	// none. Nodes that cannot beat it are pruned.
 	UpperBound int
+	// Obs carries optional tracing/metrics sinks; nil disables them. Node
+	// counts are recorded once at the end, so the search loop stays clean.
+	Obs *obs.Context
 }
 
 // ExactResult reports the outcome of the exact search.
@@ -151,7 +158,12 @@ func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
 		}
 	}
 
+	octx := cfg.Obs
+	esp := octx.StartSpan("exact-bb").ArgInt("node_limit", cfg.NodeLimit)
 	dfs(0, 0)
+	octx.Counter(obs.MExactNodes).Add(int64(nodes))
+	esp.ArgInt("nodes", nodes).ArgInt("exhausted", boolToInt(!limitHit))
+	esp.End()
 
 	return ExactResult{
 		Schedule:  best,
@@ -159,4 +171,11 @@ func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
 		Exhausted: !limitHit,
 		Nodes:     nodes,
 	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -3,6 +3,8 @@ package scheduler
 import (
 	"errors"
 	"fmt"
+
+	"hilp/internal/obs"
 )
 
 // Config tunes the layered solve: heuristics, simulated annealing, and an
@@ -25,6 +27,9 @@ type Config struct {
 	Restarts int
 	// Improver selects the metaheuristic: "anneal" (default) or "tabu".
 	Improver string
+	// Obs carries optional tracing/metrics sinks; nil (the default) disables
+	// instrumentation at negligible cost.
+	Obs *obs.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -86,7 +91,16 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 		return Result{Schedule: Schedule{Start: []int{}, Option: []int{}}, Method: "trivial", Proven: true}, nil
 	}
 
+	octx := cfg.Obs
+	sp := octx.StartSpan("solve").ArgInt("tasks", len(p.Tasks))
+	defer sp.End()
+	sctx := octx.WithSpan(sp)
+	octx.Counter(obs.MSolves).Inc()
+
+	bsp := sctx.StartSpan("bounds")
 	lb := LowerBound(p)
+	bsp.ArgInt("lower_bound", lb)
+	bsp.End()
 
 	var (
 		best   Schedule
@@ -98,6 +112,7 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 		best, ok = TabuSearch(p, TabuConfig{
 			Iterations: int(cfg.Effort * float64(1000+150*len(p.Tasks))),
 			Seed:       cfg.Seed,
+			Obs:        sctx,
 		})
 		method = "tabu"
 	case "", "anneal":
@@ -105,6 +120,7 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 			Iterations: int(cfg.Effort * float64(2000+400*len(p.Tasks))),
 			Restarts:   cfg.Restarts,
 			Seed:       cfg.Seed,
+			Obs:        sctx,
 		})
 		method = "anneal"
 	default:
@@ -134,30 +150,44 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	// Destructive lower bounding tightens the certificate when the cheap
 	// combinatorial bounds leave a gap.
 	if !proven && gap() > cfg.GapTarget {
+		dsp := sctx.StartSpan("destructive-lb")
 		if d := DestructiveLowerBound(p, best.Makespan); d > lb {
 			lb = d
 			proven = best.Makespan == lb
 		}
+		dsp.ArgInt("lower_bound", lb)
+		dsp.End()
 	}
 
-	if !proven && gap() > cfg.GapTarget && len(p.Tasks) <= cfg.ExactTaskLimit {
-		ex := SolveExact(p, ExactConfig{NodeLimit: cfg.ExactNodeLimit, UpperBound: best.Makespan})
-		nodes = ex.Nodes
-		if ex.Found {
-			best = ex.Schedule
-			method = "exact"
-		}
-		if ex.Exhausted {
-			proven = true
-			lb = best.Makespan
-			if !ex.Found {
-				method = "anneal+exact-proof"
+	if !proven && gap() > cfg.GapTarget {
+		// The exact stage span is recorded even when the search is skipped,
+		// so traces show why a gap was left uncertified.
+		xsp := sctx.StartSpan("exact")
+		if len(p.Tasks) <= cfg.ExactTaskLimit {
+			ex := SolveExact(p, ExactConfig{NodeLimit: cfg.ExactNodeLimit, UpperBound: best.Makespan, Obs: sctx.WithSpan(xsp)})
+			nodes = ex.Nodes
+			if ex.Found {
+				best = ex.Schedule
+				method = "exact"
 			}
+			if ex.Exhausted {
+				proven = true
+				lb = best.Makespan
+				if !ex.Found {
+					method = "anneal+exact-proof"
+				}
+			}
+		} else {
+			xsp.ArgStr("skipped", "task-limit").ArgInt("tasks", len(p.Tasks)).ArgInt("limit", cfg.ExactTaskLimit)
 		}
+		xsp.End()
 	}
 
 	if err := best.Validate(p); err != nil {
 		return Result{}, fmt.Errorf("scheduler: internal error, produced invalid schedule: %w", err)
 	}
+	octx.Gauge(obs.MLowerBoundSteps).Set(float64(lb))
+	octx.Gauge(obs.MMakespanSteps).Set(float64(best.Makespan))
+	sp.ArgInt("makespan", best.Makespan).ArgInt("lower_bound", lb).ArgStr("method", method)
 	return Result{Schedule: best, LowerBound: lb, Proven: proven, Method: method, Nodes: nodes}, nil
 }

@@ -1,6 +1,10 @@
 package scheduler
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"hilp/internal/obs"
+)
 
 // TabuConfig tunes the tabu-search improver, an alternative to simulated
 // annealing used by the ablation studies and available to callers who prefer
@@ -17,6 +21,8 @@ type TabuConfig struct {
 	Neighborhood int
 	// Seed drives candidate sampling deterministically.
 	Seed int64
+	// Obs carries optional tracing/metrics sinks; nil disables them.
+	Obs *obs.Context
 }
 
 func (c TabuConfig) withDefaults(p *Problem) TabuConfig {
@@ -49,11 +55,20 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 	cfg = cfg.withDefaults(p)
 	g := newSGS(p)
 
+	octx := cfg.Obs
+	tsp := octx.StartSpan("tabu").ArgInt("iterations", cfg.Iterations)
+	defer tsp.End()
+	tctx := octx.WithSpan(tsp)
+	sgsCtr := octx.Counter(obs.MSGSSchedules)
+	stepCtr := octx.Counter(obs.MTabuSteps)
+
+	hsp := tctx.StartSpan("heuristics")
 	var best Schedule
 	var list, opts []int
 	found := false
 	for _, c := range heuristicCandidates(p) {
 		s, ok := g.decode(c.list, c.opts)
+		sgsCtr.Inc()
 		if !ok {
 			continue
 		}
@@ -64,6 +79,7 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 			found = true
 		}
 	}
+	hsp.End()
 	if !found {
 		return Schedule{}, false
 	}
@@ -77,6 +93,7 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 	cur := best.Clone()
 
 	for it := 0; it < cfg.Iterations; it++ {
+		stepCtr.Inc()
 		type cand struct {
 			move  tabuMove
 			apply func()
@@ -116,6 +133,7 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 			// Tabu unless it would beat the global best (aspiration).
 			c.apply()
 			sched, ok := g.decode(list, opts)
+			sgsCtr.Inc()
 			c.undo()
 			if !ok {
 				continue
@@ -135,6 +153,7 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 		}
 		bestApply()
 		sched, ok := g.decode(list, opts)
+		sgsCtr.Inc()
 		if !ok {
 			continue
 		}
@@ -144,5 +163,6 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 			best = cur.Clone()
 		}
 	}
+	tsp.ArgInt("best_makespan", best.Makespan)
 	return best, true
 }

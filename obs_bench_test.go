@@ -1,0 +1,81 @@
+package hilp_test
+
+// Benchmarks guarding the observability layer's overhead contract: the
+// solver with a disabled (nil) obs.Context must stay within ~2% of the
+// uninstrumented baseline, and the micro-benchmarks isolate the per-call
+// cost of the no-op path. BENCH_obs.json records a reference run; refresh
+// it with:
+//
+//	go test -bench 'BenchmarkObs|BenchmarkEvaluate' -benchmem -run - .
+
+import (
+	"testing"
+
+	"hilp"
+	"hilp/internal/obs"
+)
+
+func benchWorkload() hilp.Workload {
+	w := hilp.DefaultWorkload()
+	return hilp.Workload{Name: "bench-small", Apps: w.Apps[:3]}
+}
+
+func benchSpec() hilp.SoC {
+	return hilp.SoC{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{300, 765}}
+}
+
+func benchEvaluate(b *testing.B, octx *hilp.ObsContext) {
+	w := benchWorkload()
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := hilp.SolverConfig{Seed: 1, Effort: 0.25, Restarts: 1, Obs: octx}
+		if _, err := hilp.EvaluateWith(w, spec, hilp.DSEProfile, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateBaseline is the uninstrumented reference.
+func BenchmarkEvaluateBaseline(b *testing.B) { benchEvaluate(b, nil) }
+
+// BenchmarkEvaluateObsDisabled threads a sink-less context through every
+// layer; its delta vs the baseline is the disabled-instrumentation overhead
+// the ≤2% contract bounds.
+func BenchmarkEvaluateObsDisabled(b *testing.B) { benchEvaluate(b, &hilp.ObsContext{}) }
+
+// BenchmarkEvaluateObsFull traces and meters the same solve, showing the
+// cost ceiling when both sinks are attached.
+func BenchmarkEvaluateObsFull(b *testing.B) {
+	benchEvaluate(b, &hilp.ObsContext{Tracer: hilp.NewTracer(), Metrics: hilp.NewMetricsRegistry()})
+}
+
+// BenchmarkObsNoopCalls measures the raw per-call price of the disabled
+// path (span open/close, counter, gauge, histogram, suppressed log).
+func BenchmarkObsNoopCalls(b *testing.B) {
+	var octx *obs.Context
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := octx.StartSpan("solve")
+		octx.Counter(obs.MSolves).Inc()
+		octx.Gauge(obs.MCertifiedGap).Set(0.1)
+		octx.Histogram(obs.MSweepPointSec).Observe(0.5)
+		octx.Logf(2, "suppressed")
+		sp.End()
+	}
+}
+
+// BenchmarkObsActiveCalls is the same call sequence against live sinks.
+func BenchmarkObsActiveCalls(b *testing.B) {
+	octx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := octx.StartSpan("solve")
+		octx.Counter(obs.MSolves).Inc()
+		octx.Gauge(obs.MCertifiedGap).Set(0.1)
+		octx.Histogram(obs.MSweepPointSec).Observe(0.5)
+		octx.Logf(2, "suppressed")
+		sp.End()
+	}
+}
