@@ -19,6 +19,7 @@ import (
 	"hilp"
 	"hilp/internal/dse"
 	"hilp/internal/obs"
+	"hilp/internal/report"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 		paretoOnly   = flag.Bool("pareto", false, "print only the Pareto front")
 		withBase     = flag.Bool("baselines", false, "also sweep MultiAmdahl and Gables")
 		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
+		reportPath   = flag.String("report", "", "write an HTML run report (plus a .json twin): the sweep's Pareto front and a full re-evaluation of its best point")
 	)
 	var ocli obs.CLI
 	ocli.Register(nil)
@@ -79,7 +81,11 @@ func main() {
 	}
 	exitOn(ocli.Close())
 
-	report := func(model string, pts []hilp.Point) {
+	if *reportPath != "" {
+		exitOn(writeSweepReport(*reportPath, w, points, cfg))
+	}
+
+	printPoints := func(model string, pts []hilp.Point) {
 		out := pts
 		if *paretoOnly {
 			out = hilp.ParetoFront(pts)
@@ -102,11 +108,44 @@ func main() {
 		}
 	}
 
-	report("HILP", points)
+	printPoints("HILP", points)
 	if *withBase {
-		report("MultiAmdahl", maPoints)
-		report("Gables", gabPoints)
+		printPoints("MultiAmdahl", maPoints)
+		printPoints("Gables", gabPoints)
 	}
+}
+
+// writeSweepReport renders the sweep's Pareto front to an HTML report. The
+// sweep itself runs without a flight recorder (it is parallel, so recorded
+// event interleavings would not be deterministic); instead the best point is
+// re-evaluated once, single-threaded, with a recorder attached so the report
+// also carries that point's schedule, utilization, and convergence traces.
+func writeSweepReport(path string, w hilp.Workload, points []hilp.Point, cfg hilp.SolverConfig) error {
+	title := fmt.Sprintf("hilp-dse sweep — %s", w.Name)
+	var d *report.Data
+	if best, ok := hilp.BestPoint(points); ok {
+		rec := obs.NewRecorder()
+		recCfg := cfg
+		recCfg.Obs = &obs.Context{Recorder: rec}
+		res, err := hilp.EvaluateWith(w, best.Spec, hilp.DSEProfile, recCfg)
+		if err != nil {
+			return err
+		}
+		d, err = report.FromResult(title, res, rec)
+		if err != nil {
+			return err
+		}
+		d.Subtitle = fmt.Sprintf("best point %s re-evaluated in detail; %d SoCs swept", best.Label, len(points))
+	} else {
+		d = report.New(title, fmt.Sprintf("%d SoCs swept; no feasible point found", len(points)))
+	}
+	d.AddSweep(points)
+	jsonPath, err := report.Write(path, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hilp-dse: report written to %s (JSON twin %s)\n", path, jsonPath)
+	return nil
 }
 
 // liveProgress returns a progress callback rendering a single self-updating
@@ -115,7 +154,8 @@ func liveProgress(w *os.File) func(dse.Progress) {
 	return func(p dse.Progress) {
 		best := "best n/a"
 		if p.HasBest {
-			best = fmt.Sprintf("best %.1fx @ %.1f mm^2 (%s)", p.Best.Speedup, p.Best.AreaMM2, p.Best.Label)
+			best = fmt.Sprintf("best %.1fx @ %.1f mm^2 gap %.1f%% (%s)",
+				p.Best.Speedup, p.Best.AreaMM2, 100*p.Best.Gap, p.Best.Label)
 		}
 		fmt.Fprintf(w, "\rhilp-dse: %d/%d (%d%%)  %s  eta %s   ",
 			p.Done, p.Total, 100*p.Done/p.Total, best, p.ETA.Round(time.Second))

@@ -15,8 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"hilp"
 	"hilp/internal/experiments"
 	"hilp/internal/obs"
+	"hilp/internal/report"
 	"hilp/internal/rodinia"
 )
 
@@ -156,6 +158,7 @@ func main() {
 		outArg   = flag.String("out", "", "write the report to this file instead of stdout")
 		markdown = flag.Bool("md", false, "emit Markdown sections (headings + code fences)")
 		list     = flag.Bool("list", false, "list experiments and exit")
+		repPath  = flag.String("report", "", "also write an HTML run report (plus a .json twin) for the Default workload on the paper's reference SoC, independent of -only")
 	)
 	var ocli obs.CLI
 	ocli.Register(nil)
@@ -212,7 +215,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hilp-exp:", err)
 		failures++
 	}
+	if *repPath != "" {
+		if err := writeRunReport(*repPath, *seed, *effort); err != nil {
+			fmt.Fprintf(os.Stderr, "hilp-exp: report failed: %v\n", err)
+			failures++
+		}
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeRunReport evaluates the Default workload on the paper's reference SoC
+// (4 CPUs, a 16-SM GPU, 600 W, 800 GB/s) with the flight recorder attached
+// and renders the full HTML report: schedule timeline, utilization
+// accounting, and solver convergence traces.
+func writeRunReport(path string, seed int64, effort float64) error {
+	rec := obs.NewRecorder()
+	cfg := hilp.SolverConfig{Seed: seed, Effort: effort, Obs: &obs.Context{Recorder: rec}}
+	res, err := hilp.EvaluateWith(hilp.DefaultWorkload(), hilp.SoC{
+		CPUCores:         4,
+		GPUSMs:           16,
+		PowerBudgetWatts: 600,
+		MemBandwidthGBs:  800,
+	}, hilp.DSEProfile, cfg)
+	if err != nil {
+		return err
+	}
+	d, err := report.FromResult("hilp-exp reference run", res, rec)
+	if err != nil {
+		return err
+	}
+	jsonPath, err := report.Write(path, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hilp-exp: report written to %s (JSON twin %s)\n", path, jsonPath)
+	return nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"hilp"
 	"hilp/internal/obs"
+	"hilp/internal/report"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		showTasks    = flag.Bool("tasks", false, "print per-task placements")
 		exportPath   = flag.String("export", "", "write the schedule as JSON to this file")
 		jsonOut      = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		reportPath   = flag.String("report", "", "write a self-contained HTML run report (plus a .json twin) to this path")
 	)
 	var dsas dsaFlags
 	flag.Var(&dsas, "dsa", "DSA as TARGET:PEs (repeatable), e.g. -dsa LUD:16")
@@ -56,10 +58,19 @@ func main() {
 		// per-refinement solver lines, not just top-level progress.
 		octx.Verbosity = 2
 	}
+	var rec *obs.Recorder
+	if *reportPath != "" {
+		// The run report needs the flight recorder attached to the solve.
+		rec = obs.NewRecorder()
+		if octx == nil {
+			octx = &obs.Context{}
+		}
+		octx.Recorder = rec
+	}
 	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Obs: octx}
 
 	if *modelPath != "" {
-		runCustom(*modelPath, *stepSec, *horizon, cfg, *showGantt, *showTasks, *jsonOut)
+		runCustom(*modelPath, *stepSec, *horizon, cfg, *showGantt, *showTasks, *jsonOut, *reportPath, rec)
 		exitOn(ocli.Close())
 		return
 	}
@@ -77,6 +88,14 @@ func main() {
 	res, err := hilp.EvaluateWith(w, spec, hilp.DSEProfile, cfg)
 	exitOn(err)
 	exitOn(ocli.Close())
+
+	if *reportPath != "" {
+		d, err := report.FromResult("HILP run report", res, rec)
+		exitOn(err)
+		jsonPath, err := report.Write(*reportPath, d)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "hilp: report written to %s (JSON twin %s)\n", *reportPath, jsonPath)
+	}
 
 	if *jsonOut {
 		out := map[string]any{
@@ -122,13 +141,21 @@ func main() {
 	}
 }
 
-func runCustom(path string, stepSec float64, horizon int, cfg hilp.SolverConfig, gantt, tasks, jsonOut bool) {
+func runCustom(path string, stepSec float64, horizon int, cfg hilp.SolverConfig, gantt, tasks, jsonOut bool, reportPath string, rec *obs.Recorder) {
 	data, err := os.ReadFile(path)
 	exitOn(err)
 	var m hilp.CustomModel
 	exitOn(json.Unmarshal(data, &m))
 	inst, res, err := hilp.SolveModel(m, stepSec, horizon, cfg)
 	exitOn(err)
+
+	if reportPath != "" {
+		d, err := report.FromSchedule(fmt.Sprintf("model %s — run report", m.Name), inst, res, rec)
+		exitOn(err)
+		jsonPath, err := report.Write(reportPath, d)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "hilp: report written to %s (JSON twin %s)\n", reportPath, jsonPath)
+	}
 
 	if jsonOut {
 		out := map[string]any{

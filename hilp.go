@@ -166,6 +166,14 @@ type (
 	Tracer = obs.Tracer
 	// MetricsRegistry holds named counters, gauges, and histograms.
 	MetricsRegistry = obs.Registry
+	// Recorder is the solver flight recorder: it captures timestamped
+	// incumbent/bound/temperature events per solve, yielding convergence
+	// curves and final gap certificates for run reports.
+	Recorder = obs.Recorder
+	// SolveRecord is one solve's recorded event stream plus certificate.
+	SolveRecord = obs.SolveRecord
+	// GapCertificate is a solve's final incumbent/bound pair.
+	GapCertificate = obs.Certificate
 	// SweepOptions configures an observed design-space sweep.
 	SweepOptions = dse.SweepOptions
 	// SweepProgress is one live update of a running sweep.
@@ -177,6 +185,10 @@ func NewTracer() *Tracer { return obs.NewTracer() }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRecorder returns an empty solver flight recorder; attach it via
+// ObsContext.Recorder to capture convergence events from a solve.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // SweepHILP evaluates every spec with HILP across worker goroutines
 // (workers < 1 selects GOMAXPROCS).

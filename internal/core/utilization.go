@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"hilp/internal/scheduler"
+)
+
+// ResourceUsage is the step-by-step accounting of one cumulative resource
+// (power, bandwidth, CPU cores) over a schedule.
+type ResourceUsage struct {
+	Name     string    `json:"name"`
+	Capacity float64   `json:"capacity"`
+	Series   []float64 `json:"series"` // per-step consumption, len = makespan
+	Peak     float64   `json:"peak"`
+	Mean     float64   `json:"mean"` // arithmetic mean over the makespan
+	// PeakFrac and MeanFrac are Peak and Mean divided by Capacity (0 when
+	// the capacity is zero).
+	PeakFrac float64 `json:"peakFrac"`
+	MeanFrac float64 `json:"meanFrac"`
+	// BindingSteps counts the steps in which this resource was the binding
+	// constraint: the active resource closest to its capacity.
+	BindingSteps int `json:"bindingSteps"`
+}
+
+// GroupUsage is the occupancy accounting of one device group (a CPU core,
+// the GPU across its DVFS aliases, or a DSA).
+type GroupUsage struct {
+	Name      string  `json:"name"`
+	BusySteps int     `json:"busySteps"`
+	BusyFrac  float64 `json:"busyFrac"` // busy steps / makespan
+}
+
+// PhaseBinding names the constraint that binds one scheduled phase: the
+// resource with the highest mean utilization fraction while the phase runs.
+type PhaseBinding struct {
+	Task     string  `json:"task"`
+	App      int     `json:"app"`
+	Start    int     `json:"start"`    // steps
+	Duration int     `json:"duration"` // steps
+	Binding  string  `json:"binding"`  // resource name, "" when nothing is consumed
+	MeanFrac float64 `json:"meanFrac"` // that resource's mean fraction over the phase
+}
+
+// UtilizationReport is the result of replaying a schedule step-by-step
+// against the instance's resource capacities and device groups: per-resource
+// time series with peaks and means, per-group occupancy, and the binding
+// constraint per step and per phase.
+type UtilizationReport struct {
+	Steps     int             `json:"steps"`
+	StepSec   float64         `json:"stepSec"`
+	Resources []ResourceUsage `json:"resources"`
+	Groups    []GroupUsage    `json:"groups"`
+	// Binding holds, per step, the index into Resources of the binding
+	// constraint (-1 when no resource is consumed at that step).
+	Binding []int          `json:"binding"`
+	Phases  []PhaseBinding `json:"phases"`
+}
+
+// Account replays the schedule step-by-step against the problem's cumulative
+// resources and device groups. It is an independent feasibility validator:
+// any capacity overshoot or double-booked device group returns an error, so
+// solver regressions that emit infeasible schedules fail loudly. groupNames
+// labels the device groups (generated names are used when nil or short).
+//
+// stepSec only scales reporting (it is recorded in the report); accounting
+// itself is in integer steps.
+func Account(p *scheduler.Problem, s scheduler.Schedule, stepSec float64, groupNames []string) (*UtilizationReport, error) {
+	n := len(p.Tasks)
+	if len(s.Start) != n || len(s.Option) != n {
+		return nil, fmt.Errorf("core: utilization: schedule covers %d/%d tasks, want %d", len(s.Start), len(s.Option), n)
+	}
+	makespan := 0
+	for i := range p.Tasks {
+		if s.Option[i] < 0 || s.Option[i] >= len(p.Tasks[i].Options) {
+			return nil, fmt.Errorf("core: utilization: task %d (%s) has option %d, want [0,%d)",
+				i, p.Tasks[i].Name, s.Option[i], len(p.Tasks[i].Options))
+		}
+		if s.Start[i] < 0 {
+			return nil, fmt.Errorf("core: utilization: task %d (%s) starts at %d, want >= 0", i, p.Tasks[i].Name, s.Start[i])
+		}
+		if f := s.Finish(p, i); f > makespan {
+			makespan = f
+		}
+	}
+
+	rep := &UtilizationReport{Steps: makespan, StepSec: stepSec}
+
+	// Per-resource series, accumulated task by task, then validated step by
+	// step against the capacity.
+	series := make([][]float64, len(p.Resources))
+	for r := range p.Resources {
+		series[r] = make([]float64, makespan)
+	}
+	numGroups := p.NumGroups()
+	occupancy := make([][]int, numGroups) // occupying task index per step, -1 free
+	for g := range occupancy {
+		occupancy[g] = make([]int, makespan)
+		for step := range occupancy[g] {
+			occupancy[g][step] = -1
+		}
+	}
+	for i := range p.Tasks {
+		o := &p.Tasks[i].Options[s.Option[i]]
+		g := p.ClusterGroup[o.Cluster]
+		for step := s.Start[i]; step < s.Start[i]+o.Duration; step++ {
+			for r := range p.Resources {
+				series[r][step] += o.Demand[r]
+			}
+			if prev := occupancy[g][step]; prev >= 0 {
+				return nil, fmt.Errorf("core: utilization: tasks %s and %s double-book device group %d at step %d",
+					p.Tasks[prev].Name, p.Tasks[i].Name, g, step)
+			}
+			occupancy[g][step] = i
+		}
+	}
+	for r, res := range p.Resources {
+		for step, u := range series[r] {
+			if u > res.Capacity+1e-9 {
+				return nil, fmt.Errorf("core: utilization: resource %s over capacity at step %d: %.6g > %.6g (infeasible schedule)",
+					res.Name, step, u, res.Capacity)
+			}
+		}
+	}
+
+	// Binding constraint per step: the consumed resource nearest its
+	// capacity. Ties break toward the first resource, deterministically.
+	rep.Binding = make([]int, makespan)
+	for step := 0; step < makespan; step++ {
+		bind, bindFrac := -1, 0.0
+		for r, res := range p.Resources {
+			u := series[r][step]
+			if u <= 0 || res.Capacity <= 0 {
+				continue
+			}
+			if frac := u / res.Capacity; frac > bindFrac+1e-12 {
+				bind, bindFrac = r, frac
+			}
+		}
+		rep.Binding[step] = bind
+	}
+
+	rep.Resources = make([]ResourceUsage, len(p.Resources))
+	for r, res := range p.Resources {
+		u := ResourceUsage{Name: res.Name, Capacity: res.Capacity, Series: series[r]}
+		sum := 0.0
+		for _, v := range series[r] {
+			if v > u.Peak {
+				u.Peak = v
+			}
+			sum += v
+		}
+		if makespan > 0 {
+			u.Mean = sum / float64(makespan)
+		}
+		if res.Capacity > 0 {
+			u.PeakFrac = u.Peak / res.Capacity
+			u.MeanFrac = u.Mean / res.Capacity
+		}
+		for _, b := range rep.Binding {
+			if b == r {
+				u.BindingSteps++
+			}
+		}
+		rep.Resources[r] = u
+	}
+
+	rep.Groups = make([]GroupUsage, numGroups)
+	for g := 0; g < numGroups; g++ {
+		name := fmt.Sprintf("group%d", g)
+		if g < len(groupNames) && groupNames[g] != "" {
+			name = groupNames[g]
+		}
+		gu := GroupUsage{Name: name}
+		for _, occ := range occupancy[g] {
+			if occ >= 0 {
+				gu.BusySteps++
+			}
+		}
+		if makespan > 0 {
+			gu.BusyFrac = float64(gu.BusySteps) / float64(makespan)
+		}
+		rep.Groups[g] = gu
+	}
+
+	rep.Phases = make([]PhaseBinding, n)
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		o := &t.Options[s.Option[i]]
+		pb := PhaseBinding{Task: t.Name, App: t.App, Start: s.Start[i], Duration: o.Duration}
+		for r, res := range p.Resources {
+			if res.Capacity <= 0 || o.Duration == 0 {
+				continue
+			}
+			sum := 0.0
+			for step := s.Start[i]; step < s.Start[i]+o.Duration; step++ {
+				sum += series[r][step]
+			}
+			if frac := sum / float64(o.Duration) / res.Capacity; frac > pb.MeanFrac+1e-12 {
+				pb.Binding = res.Name
+				pb.MeanFrac = frac
+			}
+		}
+		rep.Phases[i] = pb
+	}
+	return rep, nil
+}
+
+// groupNames labels the instance's device groups the way the Gantt chart
+// labels its rows (GPU DVFS aliases collapse to "gpu").
+func (in *Instance) groupNames() []string {
+	names := make([]string, in.Problem.NumGroups())
+	for _, c := range in.Clusters {
+		if names[c.Group] == "" {
+			name := c.Name
+			if c.Kind == GPUCluster {
+				name = "gpu"
+			}
+			names[c.Group] = name
+		}
+	}
+	return names
+}
+
+// AccountUtilization replays the schedule against the instance's power,
+// bandwidth, and CPU-count constraints, returning per-resource time series,
+// peak/mean utilization, device-group occupancy, and the binding-constraint
+// breakdown. It rejects infeasible schedules with a descriptive error and so
+// doubles as an independent check on every solution the solvers emit.
+func (in *Instance) AccountUtilization(s scheduler.Schedule) (*UtilizationReport, error) {
+	return Account(in.Problem, s, in.StepSec, in.groupNames())
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hilp/internal/scheduler"
+)
+
+// accountProblem builds a tiny two-cluster instance with one cumulative
+// resource (capacity 4) for hand-checkable accounting:
+//
+//	steps:    0   1   2   3
+//	a (c0):  [3   3]
+//	b (c1):  [1   1   1]
+func accountProblem() (*scheduler.Problem, scheduler.Schedule) {
+	p := &scheduler.Problem{
+		NumClusters:  2,
+		ClusterGroup: []int{0, 1},
+		Resources:    []scheduler.Resource{{Name: "power", Capacity: 4}},
+		Horizon:      10,
+		Tasks: []scheduler.Task{
+			{Name: "a", App: 0, Options: []scheduler.Option{{Cluster: 0, Duration: 2, Demand: []float64{3}}}},
+			{Name: "b", App: 1, Options: []scheduler.Option{{Cluster: 1, Duration: 3, Demand: []float64{1}}}},
+		},
+	}
+	s := scheduler.Schedule{Start: []int{0, 0}, Option: []int{0, 0}, Makespan: 3}
+	return p, s
+}
+
+func TestAccountSeriesAndStats(t *testing.T) {
+	p, s := accountProblem()
+	rep, err := Account(p, s, 2.0, []string{"c0", "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 3 || rep.StepSec != 2.0 {
+		t.Fatalf("steps=%d stepSec=%g, want 3 and 2", rep.Steps, rep.StepSec)
+	}
+	if len(rep.Resources) != 1 {
+		t.Fatalf("%d resources, want 1", len(rep.Resources))
+	}
+	r := rep.Resources[0]
+	wantSeries := []float64{4, 4, 1}
+	for i, v := range wantSeries {
+		if math.Abs(r.Series[i]-v) > 1e-12 {
+			t.Errorf("series[%d] = %g, want %g", i, r.Series[i], v)
+		}
+	}
+	if r.Peak != 4 || math.Abs(r.Mean-3) > 1e-12 {
+		t.Errorf("peak=%g mean=%g, want 4 and 3", r.Peak, r.Mean)
+	}
+	if r.PeakFrac != 1 || math.Abs(r.MeanFrac-0.75) > 1e-12 {
+		t.Errorf("peakFrac=%g meanFrac=%g, want 1 and 0.75", r.PeakFrac, r.MeanFrac)
+	}
+	// Power is the only consumed resource, so it binds every step.
+	if r.BindingSteps != 3 {
+		t.Errorf("bindingSteps = %d, want 3", r.BindingSteps)
+	}
+	for step, b := range rep.Binding {
+		if b != 0 {
+			t.Errorf("binding[%d] = %d, want 0", step, b)
+		}
+	}
+	// Group occupancy: c0 busy 2/3, c1 busy 3/3.
+	if len(rep.Groups) != 2 || rep.Groups[0].Name != "c0" || rep.Groups[1].Name != "c1" {
+		t.Fatalf("groups = %+v", rep.Groups)
+	}
+	if rep.Groups[0].BusySteps != 2 || rep.Groups[1].BusySteps != 3 {
+		t.Errorf("busy steps = %d/%d, want 2/3", rep.Groups[0].BusySteps, rep.Groups[1].BusySteps)
+	}
+	if math.Abs(rep.Groups[1].BusyFrac-1) > 1e-12 {
+		t.Errorf("c1 busyFrac = %g, want 1", rep.Groups[1].BusyFrac)
+	}
+	// Phase bindings: both phases bind on power.
+	if len(rep.Phases) != 2 {
+		t.Fatalf("%d phases, want 2", len(rep.Phases))
+	}
+	if rep.Phases[0].Binding != "power" || math.Abs(rep.Phases[0].MeanFrac-1) > 1e-12 {
+		t.Errorf("phase a binding = %+v, want power at 1.0", rep.Phases[0])
+	}
+	// b overlaps a for 2 of its 3 steps: mean usage (4+4+1)/3 over cap 4.
+	if rep.Phases[1].Binding != "power" || math.Abs(rep.Phases[1].MeanFrac-0.75) > 1e-12 {
+		t.Errorf("phase b binding = %+v, want power at 0.75", rep.Phases[1])
+	}
+}
+
+func TestAccountRejectsOverCapacity(t *testing.T) {
+	p, s := accountProblem()
+	p.Resources[0].Capacity = 3.5 // steps 0-1 consume 4
+	_, err := Account(p, s, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "over capacity") {
+		t.Fatalf("err = %v, want over-capacity rejection", err)
+	}
+}
+
+func TestAccountRejectsDoubleBooking(t *testing.T) {
+	p, s := accountProblem()
+	// Put both tasks on the same device group, overlapping in time.
+	p.ClusterGroup = []int{0, 0}
+	p.Resources[0].Capacity = 100
+	_, err := Account(p, s, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "double-book") {
+		t.Fatalf("err = %v, want double-booking rejection", err)
+	}
+}
+
+func TestAccountRejectsMalformedSchedules(t *testing.T) {
+	p, s := accountProblem()
+	cases := []struct {
+		name   string
+		mutate func(*scheduler.Schedule)
+	}{
+		{"short", func(s *scheduler.Schedule) { s.Start = s.Start[:1] }},
+		{"negative start", func(s *scheduler.Schedule) { s.Start[0] = -1 }},
+		{"bad option", func(s *scheduler.Schedule) { s.Option[1] = 7 }},
+	}
+	for _, c := range cases {
+		bad := scheduler.Schedule{
+			Start:    append([]int(nil), s.Start...),
+			Option:   append([]int(nil), s.Option...),
+			Makespan: s.Makespan,
+		}
+		c.mutate(&bad)
+		if _, err := Account(p, bad, 1, nil); err == nil {
+			t.Errorf("%s: accepted malformed schedule", c.name)
+		}
+	}
+}
+
+func TestAccountEmptySchedule(t *testing.T) {
+	p := &scheduler.Problem{
+		NumClusters:  1,
+		ClusterGroup: []int{0},
+		Resources:    []scheduler.Resource{{Name: "power", Capacity: 1}},
+		Horizon:      1,
+	}
+	rep, err := Account(p, scheduler.Schedule{Start: []int{}, Option: []int{}}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps != 0 || len(rep.Phases) != 0 {
+		t.Errorf("empty schedule report = %+v", rep)
+	}
+	if rep.Resources[0].Peak != 0 || rep.Resources[0].Mean != 0 {
+		t.Errorf("empty schedule resource usage = %+v", rep.Resources[0])
+	}
+}
+
+// TestAccountUtilizationCrossChecksSolver replays a real solver result
+// through the accounter: it must accept the schedule (independent
+// feasibility check) and agree with the instance's capacities.
+func TestAccountUtilizationCrossChecksSolver(t *testing.T) {
+	w := smallWorkload(t)
+	inst, err := BuildInstance(w, fastSpec(2, 16), 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := inst.AccountUtilization(res.Schedule)
+	if err != nil {
+		t.Fatalf("accounter rejected a solver schedule: %v", err)
+	}
+	if rep.Steps != res.Schedule.Makespan {
+		t.Errorf("accounted steps %d != makespan %d", rep.Steps, res.Schedule.Makespan)
+	}
+	if rep.StepSec != inst.StepSec {
+		t.Errorf("stepSec = %g, want %g", rep.StepSec, inst.StepSec)
+	}
+	// Peak utilization never exceeds capacity on any active resource.
+	for _, r := range rep.Resources {
+		if r.Capacity > 0 && r.Peak > r.Capacity+1e-9 {
+			t.Errorf("resource %s peak %g exceeds capacity %g", r.Name, r.Peak, r.Capacity)
+		}
+	}
+	// Group names follow the Gantt convention: GPU aliases collapse to "gpu".
+	sawGPU := false
+	for _, g := range rep.Groups {
+		if g.Name == "gpu" {
+			sawGPU = true
+		}
+		if g.BusyFrac < 0 || g.BusyFrac > 1 {
+			t.Errorf("group %s busyFrac = %g", g.Name, g.BusyFrac)
+		}
+	}
+	if !sawGPU {
+		t.Error("no group named gpu in the utilization report")
+	}
+	// Every step with work has a binding constraint or no consumption at all.
+	for step, b := range rep.Binding {
+		if b < -1 || b >= len(rep.Resources) {
+			t.Errorf("binding[%d] = %d out of range", step, b)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 package dse
 
 import (
-	"bufio"
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
@@ -9,20 +9,29 @@ import (
 
 // WriteCSV serializes points as CSV with a header row, skipping errored
 // evaluations (their labels are emitted with an error column instead).
+// Fields are quoted and escaped per RFC 4180, so labels and error messages
+// containing commas, quotes, or newlines survive a round trip.
 func WriteCSV(w io.Writer, model string, points []Point) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "model,soc,area_mm2,speedup,wlp,gap,makespan_sec,mix,error"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "soc", "area_mm2", "speedup", "wlp", "gap", "makespan_sec", "mix", "error"}); err != nil {
 		return err
 	}
 	for _, p := range points {
 		if p.Err != nil {
-			fmt.Fprintf(bw, "%s,%s,%.2f,,,,,%s,%q\n", model, p.Label, p.AreaMM2, p.Mix, p.Err.Error())
+			if err := cw.Write([]string{model, p.Label, fmt.Sprintf("%.2f", p.AreaMM2),
+				"", "", "", "", p.Mix.String(), p.Err.Error()}); err != nil {
+				return err
+			}
 			continue
 		}
-		fmt.Fprintf(bw, "%s,%s,%.2f,%.4f,%.4f,%.4f,%.4f,%s,\n",
-			model, p.Label, p.AreaMM2, p.Speedup, p.WLP, p.Gap, p.MakespanSec, p.Mix)
+		if err := cw.Write([]string{model, p.Label, fmt.Sprintf("%.2f", p.AreaMM2),
+			fmt.Sprintf("%.4f", p.Speedup), fmt.Sprintf("%.4f", p.WLP), fmt.Sprintf("%.4f", p.Gap),
+			fmt.Sprintf("%.4f", p.MakespanSec), p.Mix.String(), ""}); err != nil {
+			return err
+		}
 	}
-	return bw.Flush()
+	cw.Flush()
+	return cw.Error()
 }
 
 // Hypervolume returns the area dominated by the Pareto front of the points

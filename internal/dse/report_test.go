@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"encoding/csv"
 	"errors"
 	"math"
 	"strings"
@@ -29,8 +30,38 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.Contains(lines[2], "33.4000") || !strings.Contains(lines[2], "gpu-dominated") {
 		t.Errorf("bad row %q", lines[2])
 	}
-	if !strings.Contains(lines[3], `"boom"`) {
+	if !strings.Contains(lines[3], "boom") {
 		t.Errorf("error row missing message: %q", lines[3])
+	}
+}
+
+// TestWriteCSVEscaping: fields with commas, quotes, and newlines must be
+// quoted per RFC 4180 so a CSV reader recovers them intact.
+func TestWriteCSVEscaping(t *testing.T) {
+	pts := []Point{
+		{Label: `evil,"label"`, AreaMM2: 1, Speedup: 2, Mix: NoAccel},
+		{Label: "bad", AreaMM2: 2, Mix: NoAccel, Err: errors.New("line1\nline2, with comma")},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, "HILP", pts); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(strings.NewReader(b.String()))
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, b.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(rows))
+	}
+	if rows[1][1] != `evil,"label"` {
+		t.Errorf("label round trip: %q", rows[1][1])
+	}
+	if rows[2][8] != "line1\nline2, with comma" {
+		t.Errorf("error round trip: %q", rows[2][8])
+	}
+	if rows[2][3] != "" {
+		t.Errorf("errored row speedup = %q, want empty", rows[2][3])
 	}
 }
 

@@ -70,6 +70,8 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	totalIters := root.Iters
 	var nodes, pruned int
 	sp := octx.StartSpan("milp-bb").ArgInt("vars", len(p.Vars)).ArgInt("integers", p.NumIntegers())
+	rt := octx.Record("milp-bb")
+	defer rt.End()
 	defer func() {
 		octx.Counter(obs.MSimplexPivots).Add(int64(totalIters))
 		octx.Counter(obs.MBBNodes).Add(int64(nodes))
@@ -101,6 +103,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		if err := p.CheckFeasible(opts.WarmStart, 10*opts.IntTol); err == nil {
 			incumbent = roundIntegers(p, opts.WarmStart, opts.IntTol)
 			incumbentObj = key(p.ObjectiveValue(incumbent))
+			rt.Incumbent(0, p.ObjectiveValue(incumbent))
 		}
 	}
 
@@ -139,6 +142,10 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 
 	bestBound := key(root.Objective)
 	limitHit := false
+	// Bound events are recorded in the problem's own objective space (key is
+	// its own inverse), throttled to changes of the proven bound.
+	rt.Bound(0, root.Objective)
+	lastRecBound := bestBound
 
 	for pq.Len() > 0 {
 		if nodes >= opts.MaxNodes || (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) {
@@ -151,6 +158,10 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 			continue // dominated
 		}
 		bestBound = node.bound
+		if rt.Active() && bestBound != lastRecBound {
+			rt.Bound(nodes, key(bestBound))
+			lastRecBound = bestBound
+		}
 		if !math.IsInf(incumbentObj, 1) && opts.GapTolerance > 0 {
 			gap := (incumbentObj - bestBound) / math.Max(1, math.Abs(incumbentObj))
 			if gap <= opts.GapTolerance {
@@ -181,6 +192,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 			if obj := key(lp.Objective); obj < incumbentObj {
 				incumbentObj = obj
 				incumbent = roundIntegers(p, lp.X, opts.IntTol)
+				rt.Incumbent(nodes, lp.Objective)
 			}
 			continue
 		}
@@ -242,6 +254,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	if limitHit && gap > opts.GapTolerance+1e-12 {
 		status = Feasible
 	}
+	rt.Certify(obj, bound, status == Optimal)
 	return Solution{Status: status, X: incumbent, Objective: obj, Bound: bound, Nodes: nodes, Iters: totalIters}, nil
 }
 

@@ -37,6 +37,9 @@ type Context struct {
 	Tracer *Tracer
 	// Metrics receives counters, gauges, and histograms; nil disables them.
 	Metrics *Registry
+	// Recorder receives per-solve convergence events (the flight recorder);
+	// nil disables recording.
+	Recorder *Recorder
 	// Verbosity gates Logf: messages at level <= Verbosity are written.
 	Verbosity int
 	// LogWriter receives verbose log lines; nil disables logging.
@@ -52,7 +55,19 @@ var logMu sync.Mutex
 
 // Enabled reports whether any sink is attached.
 func (c *Context) Enabled() bool {
-	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil)
+	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil || c.Recorder != nil)
+}
+
+// Recording reports whether a flight recorder is attached.
+func (c *Context) Recording() bool { return c != nil && c.Recorder != nil }
+
+// Record opens a flight-recorder trace for one solver run. Disabled contexts
+// return an inert trace, so solvers record unconditionally.
+func (c *Context) Record(solver string) SolveTrace {
+	if c == nil || c.Recorder == nil {
+		return SolveTrace{}
+	}
+	return c.Recorder.Begin(solver)
 }
 
 // Tracing reports whether spans are being recorded. Call sites use it to

@@ -1,0 +1,272 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxConvergenceCharts bounds the convergence grid; every solve still
+// appears in the certificate table and the JSON twin.
+const maxConvergenceCharts = 12
+
+// reportCSS styles the report. Colors are CSS custom properties so the dark
+// values swap in one place: the media query follows the OS setting and a
+// data-theme attribute on <html> overrides it either way.
+const reportCSS = `
+:root { color-scheme: light; }
+.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --fold: #898781;
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a; --series-4: #eda100;
+  --series-5: #e87ba4; --series-6: #008300; --series-7: #4a3aa7; --series-8: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) { color-scheme: dark; }
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835; --border: rgba(255,255,255,0.10);
+    --fold: #898781;
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70; --series-4: #c98500;
+    --series-5: #d55181; --series-6: #008300; --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+:root[data-theme="dark"] { color-scheme: dark; }
+:root[data-theme="dark"] .viz-root {
+  --surface-1: #1a1a19; --page: #0d0d0d;
+  --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+  --grid: #2c2c2a; --baseline: #383835; --border: rgba(255,255,255,0.10);
+  --fold: #898781;
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70; --series-4: #c98500;
+  --series-5: #d55181; --series-6: #008300; --series-7: #9085e9; --series-8: #e66767;
+}
+.viz-root {
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 0; padding: 24px; min-height: 100vh;
+}
+.viz-root main { max-width: 960px; margin: 0 auto; }
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 10px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 14px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 10px 16px; min-width: 96px;
+}
+.tile .v { font-size: 20px; font-weight: 600; }
+.tile .l { font-size: 11px; color: var(--muted); text-transform: uppercase; letter-spacing: .04em; }
+.card { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 14px; }
+.legend { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 10px; font-size: 12px; color: var(--text-secondary); }
+.chip { display: inline-flex; align-items: center; gap: 5px; }
+.swatch { width: 11px; height: 11px; border-radius: 3px; display: inline-block; }
+.grid2 { display: grid; grid-template-columns: repeat(auto-fit, minmax(380px, 1fr)); gap: 14px; }
+.caption { font-size: 12px; color: var(--text-secondary); margin: 4px 0 0; }
+svg text { fill: var(--muted); font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+svg text.rowlabel { fill: var(--text-secondary); font-size: 12px; }
+svg text.axistitle { fill: var(--muted); font-size: 11px; }
+svg text.vallabel { fill: var(--text-secondary); font-variant-numeric: tabular-nums; }
+details { margin-top: 10px; }
+details summary { cursor: pointer; font-size: 12px; color: var(--text-secondary); }
+table { border-collapse: collapse; font-size: 12px; margin-top: 8px; width: 100%; }
+th, td { text-align: left; padding: 3px 10px 3px 0; border-bottom: 1px solid var(--grid); }
+td.n, th.n { text-align: right; font-variant-numeric: tabular-nums; }
+.empty { color: var(--muted); font-style: italic; }
+footer { margin-top: 28px; font-size: 11px; color: var(--muted); }
+`
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// HTML renders the report as one dependency-free document: inline CSS,
+// inline SVG, native <title> tooltips, a data table behind every chart, and
+// dark-mode colors selected per surface (not auto-inverted).
+func (d *Data) HTML() ([]byte, error) {
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	b.WriteString("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n<style>%s</style>\n</head>\n", esc(d.Title), reportCSS)
+	b.WriteString("<body class=\"viz-root\">\n<main>\n")
+
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(d.Title))
+	if d.Subtitle != "" {
+		fmt.Fprintf(&b, "<p class=\"subtitle\">%s</p>\n", esc(d.Subtitle))
+	}
+	if len(d.Summary) > 0 {
+		b.WriteString("<div class=\"tiles\">\n")
+		for _, s := range d.Summary {
+			fmt.Fprintf(&b, "<div class=\"tile\"><div class=\"v\">%s</div><div class=\"l\">%s</div></div>\n",
+				esc(s.Value), esc(s.Label))
+		}
+		b.WriteString("</div>\n")
+	}
+
+	if d.Timeline != nil {
+		d.writeTimelineSection(&b)
+	}
+	if d.Utilization != nil {
+		d.writeUtilizationSection(&b)
+	}
+	if len(d.Solves) > 0 {
+		d.writeConvergenceSection(&b)
+	}
+	if d.Sweep != nil {
+		d.writeSweepSection(&b)
+	}
+
+	b.WriteString("<footer>Generated by hilp. The JSON twin next to this file carries the same data machine-readably.</footer>\n")
+	b.WriteString("</main>\n</body>\n</html>\n")
+	return []byte(b.String()), nil
+}
+
+func (d *Data) writeTimelineSection(b *strings.Builder) {
+	t := d.Timeline
+	b.WriteString("<h2>Schedule timeline</h2>\n<div class=\"card\">\n")
+	if len(t.Apps) > 1 {
+		b.WriteString("<div class=\"legend\">\n")
+		for a, name := range t.Apps {
+			fmt.Fprintf(b, "<span class=\"chip\"><span class=\"swatch\" style=\"background:%s\"></span>%s</span>\n",
+				seriesColor(a), esc(name))
+		}
+		if len(t.Apps) > 8 {
+			fmt.Fprintf(b, "<span class=\"chip\"><span class=\"swatch\" style=\"background:var(--fold)\"></span>apps 9–%d</span>\n", len(t.Apps))
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString(timelineSVG(t))
+	fmt.Fprintf(b, "<p class=\"caption\">%d phases across %d device rows; makespan %d steps (%s s).</p>\n",
+		len(t.Segments), len(t.Rows), t.Makespan, fnum(float64(t.Makespan)*t.StepSec))
+	b.WriteString("<details><summary>Data table</summary>\n<table>\n<tr><th>task</th><th>app</th><th>device</th><th>placement</th><th class=\"n\">start</th><th class=\"n\">steps</th><th class=\"n\">seconds</th></tr>\n")
+	for _, s := range t.Segments {
+		app := fmt.Sprintf("app %d", s.App)
+		if s.App < len(t.Apps) {
+			app = t.Apps[s.App]
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class=\"n\">%d</td><td class=\"n\">%d</td><td class=\"n\">%s</td></tr>\n",
+			esc(s.Task), esc(app), esc(t.Rows[s.Row]), esc(s.Label), s.Start, s.Duration, fnum(float64(s.Duration)*t.StepSec))
+	}
+	b.WriteString("</table>\n</details>\n</div>\n")
+}
+
+func (d *Data) writeUtilizationSection(b *strings.Builder) {
+	u := d.Utilization
+	b.WriteString("<h2>Resource utilization</h2>\n<div class=\"card\">\n")
+	b.WriteString(utilizationSVG(u))
+	// Binding-constraint summary in prose, derived from the accounting.
+	if len(u.Resources) > 0 && u.Steps > 0 {
+		var parts []string
+		for _, r := range u.Resources {
+			if r.BindingSteps > 0 {
+				parts = append(parts, fmt.Sprintf("%s binds %d of %d steps (peak %.0f%%, mean %.0f%% of capacity)",
+					r.Name, r.BindingSteps, u.Steps, 100*r.PeakFrac, 100*r.MeanFrac))
+			}
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(b, "<p class=\"caption\">Binding constraints: %s.</p>\n", esc(strings.Join(parts, "; ")))
+		}
+	}
+	b.WriteString("<h2>Device occupancy</h2>\n")
+	b.WriteString(groupsSVG(u))
+	b.WriteString("<details><summary>Data table</summary>\n")
+	b.WriteString("<table>\n<tr><th>resource</th><th class=\"n\">capacity</th><th class=\"n\">peak</th><th class=\"n\">mean</th><th class=\"n\">peak %</th><th class=\"n\">mean %</th><th class=\"n\">binding steps</th></tr>\n")
+	for _, r := range u.Resources {
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"n\">%s</td><td class=\"n\">%s</td><td class=\"n\">%s</td><td class=\"n\">%.1f</td><td class=\"n\">%.1f</td><td class=\"n\">%d</td></tr>\n",
+			esc(r.Name), fnum(r.Capacity), fnum(r.Peak), fnum(r.Mean), 100*r.PeakFrac, 100*r.MeanFrac, r.BindingSteps)
+	}
+	b.WriteString("</table>\n<table>\n<tr><th>phase</th><th class=\"n\">start</th><th class=\"n\">steps</th><th>binding constraint</th><th class=\"n\">mean % of capacity</th></tr>\n")
+	for _, p := range u.Phases {
+		binding := p.Binding
+		if binding == "" {
+			binding = "—"
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"n\">%d</td><td class=\"n\">%d</td><td>%s</td><td class=\"n\">%.1f</td></tr>\n",
+			esc(p.Task), p.Start, p.Duration, esc(binding), 100*p.MeanFrac)
+	}
+	b.WriteString("</table>\n</details>\n</div>\n")
+}
+
+func (d *Data) writeConvergenceSection(b *strings.Builder) {
+	b.WriteString("<h2>Solver convergence</h2>\n<div class=\"card\">\n")
+	b.WriteString("<div class=\"legend\">\n")
+	fmt.Fprintf(b, "<span class=\"chip\"><span class=\"swatch\" style=\"background:var(--series-1)\"></span>incumbent</span>\n")
+	fmt.Fprintf(b, "<span class=\"chip\"><span class=\"swatch\" style=\"background:var(--series-2)\"></span>proven bound</span>\n")
+	b.WriteString("</div>\n<div class=\"grid2\">\n")
+	charts := 0
+	for i, s := range d.Solves {
+		if charts >= maxConvergenceCharts {
+			break
+		}
+		svg := convergenceSVG(s)
+		if svg == "" {
+			continue
+		}
+		charts++
+		caption := fmt.Sprintf("%s (solve %d)", s.Solver, i+1)
+		if c := s.Certificate; c != nil {
+			if c.Proven {
+				caption += fmt.Sprintf(" — proven optimal at %s", fnum(c.Incumbent))
+			} else {
+				caption += fmt.Sprintf(" — gap %.1f%% (incumbent %s, bound %s)", 100*c.Gap, fnum(c.Incumbent), fnum(c.Bound))
+			}
+		}
+		fmt.Fprintf(b, "<figure style=\"margin:0\">%s<figcaption class=\"caption\">%s</figcaption></figure>\n", svg, esc(caption))
+	}
+	b.WriteString("</div>\n")
+	if n := len(d.Solves); charts < n {
+		fmt.Fprintf(b, "<p class=\"caption\">Showing %d of %d recorded solves; the JSON twin carries all of them.</p>\n", charts, n)
+	}
+	b.WriteString("<details><summary>Gap certificates</summary>\n<table>\n<tr><th class=\"n\">#</th><th>solver</th><th class=\"n\">events</th><th class=\"n\">incumbent</th><th class=\"n\">bound</th><th class=\"n\">gap</th><th>proven</th></tr>\n")
+	for i, s := range d.Solves {
+		inc, bound, gap, proven := "—", "—", "—", "—"
+		if c := s.Certificate; c != nil {
+			inc, bound = fnum(c.Incumbent), fnum(c.Bound)
+			gap = fmt.Sprintf("%.1f%%", 100*c.Gap)
+			proven = "no"
+			if c.Proven {
+				proven = "yes"
+			}
+		}
+		fmt.Fprintf(b, "<tr><td class=\"n\">%d</td><td>%s</td><td class=\"n\">%d</td><td class=\"n\">%s</td><td class=\"n\">%s</td><td class=\"n\">%s</td><td>%s</td></tr>\n",
+			i+1, esc(s.Solver), len(s.Events), inc, bound, gap, proven)
+	}
+	b.WriteString("</table>\n</details>\n</div>\n")
+}
+
+func (d *Data) writeSweepSection(b *strings.Builder) {
+	sw := d.Sweep
+	ok, front := 0, 0
+	for _, p := range sw.Points {
+		if p.Err == "" {
+			ok++
+		}
+		if p.OnFront {
+			front++
+		}
+	}
+	b.WriteString("<h2>Design-space sweep</h2>\n<div class=\"card\">\n")
+	b.WriteString("<div class=\"legend\">\n")
+	for _, mix := range []string{"cpu-only", "gpu-dominated", "dsa-dominated", "mixed"} {
+		b.WriteString(legendChip(mixMarks[mix], mix) + "\n")
+	}
+	b.WriteString("<span class=\"chip\">dashed line: Pareto front</span>\n</div>\n")
+	b.WriteString(paretoSVG(sw))
+	fmt.Fprintf(b, "<p class=\"caption\">%d evaluated points (%d feasible), %d on the Pareto front; hypervolume %s against (%s mm², 0×).</p>\n",
+		len(sw.Points), ok, front, fnum(sw.Hypervolume), fnum(sw.RefArea))
+	b.WriteString("<details><summary>Data table</summary>\n<table>\n<tr><th>SoC</th><th class=\"n\">area mm²</th><th class=\"n\">speedup</th><th class=\"n\">WLP</th><th class=\"n\">gap</th><th>mix</th><th>front</th></tr>\n")
+	for _, p := range sw.Points {
+		if p.Err != "" {
+			fmt.Fprintf(b, "<tr><td>%s</td><td class=\"n\">%.1f</td><td colspan=\"5\">infeasible: %s</td></tr>\n",
+				esc(p.Label), p.AreaMM2, esc(p.Err))
+			continue
+		}
+		onFront := ""
+		if p.OnFront {
+			onFront = "✓"
+		}
+		fmt.Fprintf(b, "<tr><td>%s</td><td class=\"n\">%.1f</td><td class=\"n\">%.2f</td><td class=\"n\">%.2f</td><td class=\"n\">%.1f%%</td><td>%s</td><td>%s</td></tr>\n",
+			esc(p.Label), p.AreaMM2, p.Speedup, p.WLP, 100*p.Gap, esc(p.Mix), onFront)
+	}
+	b.WriteString("</table>\n</details>\n</div>\n")
+}

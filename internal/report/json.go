@@ -1,0 +1,14 @@
+package report
+
+import "encoding/json"
+
+// JSON renders the machine-readable twin of the HTML report. Field order is
+// fixed by the struct definitions and no timestamps are included, so the
+// output is byte-identical across runs with the same seed.
+func (d *Data) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,298 @@
+// Package report assembles solver flight-recorder traces, schedule
+// utilization accounting, and design-space sweep results into one
+// self-contained HTML run report (inline SVG, no external assets) plus a
+// machine-readable JSON twin.
+//
+// Reports are deterministic: charts and tables are derived only from
+// schedule steps, solver iteration counts, and objective values — never
+// from wall-clock timestamps — so two runs with the same seed produce
+// byte-identical files.
+package report
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hilp/internal/core"
+	"hilp/internal/dse"
+	"hilp/internal/obs"
+	"hilp/internal/scheduler"
+)
+
+// Stat is one hero tile in the report header.
+type Stat struct {
+	Label string `json:"label"`
+	Value string `json:"value"`
+}
+
+// Segment is one scheduled phase on the timeline.
+type Segment struct {
+	Task     string `json:"task"`
+	App      int    `json:"app"`
+	Row      int    `json:"row"` // index into Timeline.Rows
+	Start    int    `json:"start"`
+	Duration int    `json:"duration"`
+	Label    string `json:"label"` // placement option, e.g. "gpu@765MHz"
+}
+
+// Timeline is the schedule rendered as device rows over time steps.
+type Timeline struct {
+	Rows     []string  `json:"rows"` // device-group names
+	Apps     []string  `json:"apps"` // application names, indexed by Segment.App
+	StepSec  float64   `json:"stepSec"`
+	Makespan int       `json:"makespan"` // steps
+	Segments []Segment `json:"segments"`
+}
+
+// SolveEvent is one convergence observation, projected from the flight
+// recorder without its wall-clock timestamp (Iter is the deterministic
+// x-coordinate).
+type SolveEvent struct {
+	Kind  string  `json:"kind"` // incumbent, bound, temperature, restart
+	Iter  int     `json:"iter"`
+	Value float64 `json:"value"`
+}
+
+// Certificate is a solve's final solution-quality claim.
+type Certificate struct {
+	Incumbent float64 `json:"incumbent"`
+	Bound     float64 `json:"bound"`
+	Proven    bool    `json:"proven"`
+	Gap       float64 `json:"gap"`
+}
+
+// Solve is one recorded solver run: its convergence events and gap
+// certificate.
+type Solve struct {
+	Solver      string       `json:"solver"`
+	Events      []SolveEvent `json:"events"`
+	Certificate *Certificate `json:"certificate,omitempty"`
+}
+
+// SweepPoint is one evaluated SoC of a design-space sweep.
+type SweepPoint struct {
+	Label   string  `json:"label"`
+	AreaMM2 float64 `json:"areaMM2"`
+	Speedup float64 `json:"speedup"`
+	WLP     float64 `json:"wlp"`
+	Gap     float64 `json:"gap"`
+	Mix     string  `json:"mix"`
+	OnFront bool    `json:"onFront"`
+	Err     string  `json:"error,omitempty"`
+}
+
+// Sweep is the design-space section of a report.
+type Sweep struct {
+	Points []SweepPoint `json:"points"`
+	// Hypervolume is measured against (RefArea, 0): the area dominated by
+	// the Pareto front, the sweep's scalar quality figure.
+	Hypervolume float64 `json:"hypervolume"`
+	RefArea     float64 `json:"refAreaMM2"`
+}
+
+// Data is everything a run report renders. Sections left nil are omitted
+// from both the HTML and the JSON twin.
+type Data struct {
+	Title       string                  `json:"title"`
+	Subtitle    string                  `json:"subtitle,omitempty"`
+	Summary     []Stat                  `json:"summary,omitempty"`
+	Timeline    *Timeline               `json:"timeline,omitempty"`
+	Utilization *core.UtilizationReport `json:"utilization,omitempty"`
+	Solves      []Solve                 `json:"solves,omitempty"`
+	Sweep       *Sweep                  `json:"sweep,omitempty"`
+}
+
+// New starts an empty report.
+func New(title, subtitle string) *Data {
+	return &Data{Title: title, Subtitle: subtitle}
+}
+
+// AddStat appends a hero tile.
+func (d *Data) AddStat(label, value string) {
+	d.Summary = append(d.Summary, Stat{Label: label, Value: value})
+}
+
+// AddSchedule fills the timeline and utilization sections from a solved
+// instance. The utilization accounter independently re-validates the
+// schedule, so an infeasible one is an error here too.
+func (d *Data) AddSchedule(inst *core.Instance, s scheduler.Schedule) error {
+	util, err := inst.AccountUtilization(s)
+	if err != nil {
+		return err
+	}
+	d.Utilization = util
+
+	p := inst.Problem
+	t := &Timeline{StepSec: inst.StepSec, Makespan: s.Makespan}
+	t.Rows = make([]string, p.NumGroups())
+	for _, c := range inst.Clusters {
+		if t.Rows[c.Group] == "" {
+			name := c.Name
+			if c.Kind == core.GPUCluster {
+				name = "gpu"
+			}
+			t.Rows[c.Group] = name
+		}
+	}
+	numApps := 0
+	for i := range p.Tasks {
+		if p.Tasks[i].App+1 > numApps {
+			numApps = p.Tasks[i].App + 1
+		}
+	}
+	t.Apps = make([]string, numApps)
+	for a := range t.Apps {
+		if a < len(inst.Workload.Apps) {
+			t.Apps[a] = inst.Workload.Apps[a].Bench.Abbrev
+		} else {
+			t.Apps[a] = fmt.Sprintf("app %d", a)
+		}
+	}
+	for i := range p.Tasks {
+		o := &p.Tasks[i].Options[s.Option[i]]
+		label := o.Label
+		if label == "" {
+			label = inst.Clusters[o.Cluster].Name
+		}
+		t.Segments = append(t.Segments, Segment{
+			Task:     p.Tasks[i].Name,
+			App:      p.Tasks[i].App,
+			Row:      p.ClusterGroup[o.Cluster],
+			Start:    s.Start[i],
+			Duration: o.Duration,
+			Label:    label,
+		})
+	}
+	sort.Slice(t.Segments, func(a, b int) bool {
+		if t.Segments[a].Row != t.Segments[b].Row {
+			return t.Segments[a].Row < t.Segments[b].Row
+		}
+		if t.Segments[a].Start != t.Segments[b].Start {
+			return t.Segments[a].Start < t.Segments[b].Start
+		}
+		return t.Segments[a].Task < t.Segments[b].Task
+	})
+	d.Timeline = t
+	return nil
+}
+
+// AddRecorder projects the recorder's solve records into the report,
+// dropping wall-clock timestamps so output stays deterministic.
+func (d *Data) AddRecorder(rec *obs.Recorder) {
+	for _, r := range rec.Snapshot() {
+		s := Solve{Solver: r.Solver}
+		for _, e := range r.Events {
+			s.Events = append(s.Events, SolveEvent{Kind: e.Kind.String(), Iter: e.Iter, Value: e.Value})
+		}
+		if r.Certificate != nil {
+			s.Certificate = &Certificate{
+				Incumbent: r.Certificate.Incumbent,
+				Bound:     r.Certificate.Bound,
+				Proven:    r.Certificate.Proven,
+				Gap:       r.Certificate.Gap(),
+			}
+		}
+		d.Solves = append(d.Solves, s)
+	}
+}
+
+// AddSweep fills the sweep section: all evaluated points, the Pareto front
+// flagged in place, and the front's hypervolume against (max area, 0).
+func (d *Data) AddSweep(points []dse.Point) {
+	sw := &Sweep{}
+	front := map[string]bool{}
+	for _, p := range dse.ParetoFront(points) {
+		front[p.Label] = true
+	}
+	for _, p := range points {
+		sp := SweepPoint{
+			Label:   p.Label,
+			AreaMM2: p.AreaMM2,
+			Speedup: p.Speedup,
+			WLP:     p.WLP,
+			Gap:     p.Gap,
+			Mix:     p.Mix.String(),
+			OnFront: p.Err == nil && front[p.Label],
+		}
+		if p.Err != nil {
+			sp.Err = p.Err.Error()
+		}
+		if p.Err == nil && p.AreaMM2 > sw.RefArea {
+			sw.RefArea = p.AreaMM2
+		}
+		sw.Points = append(sw.Points, sp)
+	}
+	sw.Hypervolume = dse.Hypervolume(points, sw.RefArea, 0)
+	d.Sweep = sw
+}
+
+// FromResult builds a report for one complete HILP evaluation: hero stats,
+// timeline, utilization, and (when rec is non-nil) convergence traces.
+func FromResult(title string, res *core.Result, rec *obs.Recorder) (*Data, error) {
+	d := New(title, fmt.Sprintf("workload %s on %s (%.1f mm², %g s steps)",
+		res.Instance.Workload.Name, res.Instance.Spec.Label(), res.Instance.Spec.AreaMM2(), res.StepSec))
+	d.AddStat("makespan", fmt.Sprintf("%.4g s", res.MakespanSec))
+	if res.Speedup > 0 {
+		d.AddStat("speedup", fmt.Sprintf("%.2f×", res.Speedup))
+	}
+	d.AddStat("avg WLP", fmt.Sprintf("%.2f", res.WLP))
+	d.AddStat("gap", fmt.Sprintf("%.1f%%", 100*res.Gap))
+	d.AddStat("method", res.Sched.Method)
+	if err := d.AddSchedule(res.Instance, res.Sched.Schedule); err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		d.AddRecorder(rec)
+	}
+	return d, nil
+}
+
+// FromSchedule builds a report for a directly solved instance (custom
+// models), without the workload/speedup framing of FromResult.
+func FromSchedule(title string, inst *core.Instance, res scheduler.Result, rec *obs.Recorder) (*Data, error) {
+	d := New(title, fmt.Sprintf("%d tasks on %d clusters (%g s steps)",
+		len(inst.Problem.Tasks), len(inst.Clusters), inst.StepSec))
+	d.AddStat("makespan", fmt.Sprintf("%.4g s", float64(res.Schedule.Makespan)*inst.StepSec))
+	d.AddStat("avg WLP", fmt.Sprintf("%.2f", res.Schedule.WLP(inst.Problem)))
+	d.AddStat("gap", fmt.Sprintf("%.1f%%", 100*res.Gap()))
+	d.AddStat("method", res.Method)
+	if err := d.AddSchedule(inst, res.Schedule); err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		d.AddRecorder(rec)
+	}
+	return d, nil
+}
+
+// JSONPath returns the path of the JSON twin written alongside an HTML
+// report: the .html extension swapped for .json (or .json appended).
+func JSONPath(htmlPath string) string {
+	if strings.HasSuffix(htmlPath, ".html") {
+		return strings.TrimSuffix(htmlPath, ".html") + ".json"
+	}
+	return htmlPath + ".json"
+}
+
+// Write renders the report to htmlPath and its machine-readable twin to
+// JSONPath(htmlPath), returning the twin's path.
+func Write(htmlPath string, d *Data) (string, error) {
+	html, err := d.HTML()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(htmlPath, html, 0o644); err != nil {
+		return "", err
+	}
+	js, err := d.JSON()
+	if err != nil {
+		return "", err
+	}
+	jsonPath := JSONPath(htmlPath)
+	if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+		return "", err
+	}
+	return jsonPath, nil
+}

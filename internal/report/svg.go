@@ -1,0 +1,426 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strconv"
+	"strings"
+
+	"hilp/internal/core"
+)
+
+// Chart geometry shared by every SVG. Width is a viewBox unit; the CSS
+// scales charts to the container, so these are aspect ratios, not pixels.
+const (
+	chartW   = 900
+	leftPad  = 110
+	rightPad = 16
+)
+
+// Sequential blue ramp (light→dark) for magnitude encoding: utilization
+// fractions map onto it. Values are data, not theme, so the hexes are
+// inlined; a hairline ring keeps the light end visible on both surfaces.
+var seqRamp = []string{
+	"#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+	"#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281", "#0d366b",
+}
+
+// seriesColor returns the categorical CSS variable for index i. Categorical
+// hues are assigned in fixed slot order and never cycled: indices past the
+// eighth fold into the neutral "other" color.
+func seriesColor(i int) string {
+	if i >= 0 && i < 8 {
+		return fmt.Sprintf("var(--series-%d)", i+1)
+	}
+	return "var(--fold)"
+}
+
+// rampColor maps a utilization fraction in [0,1] onto the sequential ramp.
+func rampColor(frac float64) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return seqRamp[int(math.Round(frac*float64(len(seqRamp)-1)))]
+}
+
+// num formats an SVG coordinate with fixed precision (deterministic).
+func num(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 2, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func esc(s string) string { return html.EscapeString(s) }
+
+// niceStep picks a 1/2/5×10^k tick step so that span/step stays near n.
+func niceStep(span float64, n int) float64 {
+	if span <= 0 || n <= 0 {
+		return 1
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// svgOpen starts an accessible, container-scaled SVG.
+func svgOpen(b *strings.Builder, w, h float64, label string) {
+	fmt.Fprintf(b, `<svg viewBox="0 0 %s %s" role="img" aria-label="%s" style="width:100%%;height:auto;display:block">`,
+		num(w), num(h), esc(label))
+}
+
+// xTicks renders vertical gridlines and bottom tick labels for a linear
+// x-axis spanning [0, max] data units over [x0, x0+plotW].
+func xTicks(b *strings.Builder, x0, plotW, yTop, yBottom, max float64, format func(float64) string) {
+	step := niceStep(max, 6)
+	for v := 0.0; v <= max+1e-9; v += step {
+		x := x0 + v/max*plotW
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--grid)" stroke-width="1"/>`,
+			num(x), num(yTop), num(x), num(yBottom))
+		fmt.Fprintf(b, `<text x="%s" y="%s" text-anchor="middle" class="tick">%s</text>`,
+			num(x), num(yBottom+14), esc(format(v)))
+	}
+}
+
+// timelineSVG renders the schedule as a Gantt chart: one row per device
+// group, one rounded bar per phase, colored by application.
+func timelineSVG(t *Timeline) string {
+	const rowH, rowGap, topPad, axisH = 26.0, 8.0, 10.0, 30.0
+	if t.Makespan == 0 || len(t.Rows) == 0 {
+		return `<p class="empty">empty schedule</p>`
+	}
+	plotW := float64(chartW - leftPad - rightPad)
+	h := topPad + float64(len(t.Rows))*(rowH+rowGap) + axisH
+	ms := float64(t.Makespan)
+	x := func(v float64) float64 { return leftPad + v/ms*plotW }
+	rowY := func(r int) float64 { return topPad + float64(r)*(rowH+rowGap) }
+
+	var b strings.Builder
+	svgOpen(&b, chartW, h, "schedule timeline")
+	xTicks(&b, leftPad, plotW, topPad, rowY(len(t.Rows)-1)+rowH, ms, func(v float64) string {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	})
+	for r, name := range t.Rows {
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" class="rowlabel">%s</text>`,
+			num(leftPad-8), num(rowY(r)+rowH/2+4), esc(name))
+	}
+	for _, s := range t.Segments {
+		if s.Duration == 0 {
+			continue
+		}
+		secs := float64(s.Duration) * t.StepSec
+		title := fmt.Sprintf("%s → %s: steps %d–%d (%s s)", s.Task, s.Label, s.Start, s.Start+s.Duration,
+			strconv.FormatFloat(secs, 'g', 4, 64))
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" rx="3" fill="%s" stroke="var(--surface-1)" stroke-width="2"><title>%s</title></rect>`,
+			num(x(float64(s.Start))), num(rowY(s.Row)), num(float64(s.Duration)/ms*plotW), num(rowH),
+			seriesColor(s.App), esc(title))
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="axistitle">time steps (1 step = %s s)</text>`,
+		num(leftPad+plotW/2), num(h-2), esc(strconv.FormatFloat(t.StepSec, 'g', -1, 64)))
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// convergenceSVG renders one solve's incumbent and bound trajectories as
+// step-after lines against the solver's iteration coordinate. Restart events
+// become dashed vertical markers; temperature events appear only in the data
+// table (a different unit does not share this axis).
+func convergenceSVG(s Solve) string {
+	const w, h = 440.0, 190.0
+	const lp, rp, tp, bp = 52.0, 12.0, 10.0, 30.0
+	type pt struct {
+		iter  int
+		value float64
+	}
+	var inc, bnd []pt
+	var restarts []int
+	maxIter := 1
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, e := range s.Events {
+		if e.Iter > maxIter {
+			maxIter = e.Iter
+		}
+		switch e.Kind {
+		case "incumbent":
+			inc = append(inc, pt{e.Iter, e.Value})
+		case "bound":
+			bnd = append(bnd, pt{e.Iter, e.Value})
+		case "restart":
+			restarts = append(restarts, e.Iter)
+		default:
+			continue
+		}
+		if e.Kind == "incumbent" || e.Kind == "bound" {
+			lo, hi = math.Min(lo, e.Value), math.Max(hi, e.Value)
+		}
+	}
+	if len(inc) == 0 && len(bnd) == 0 {
+		return ""
+	}
+	if hi == lo {
+		hi, lo = hi+1, lo-1
+	}
+	pad := (hi - lo) * 0.08
+	lo, hi = lo-pad, hi+pad
+	plotW, plotH := w-lp-rp, h-tp-bp
+	x := func(it int) float64 { return lp + float64(it)/float64(maxIter)*plotW }
+	y := func(v float64) float64 { return tp + (hi-v)/(hi-lo)*plotH }
+
+	var b strings.Builder
+	svgOpen(&b, w, h, "convergence of "+s.Solver)
+	// Horizontal gridlines with value labels.
+	step := niceStep(hi-lo, 4)
+	for v := math.Ceil(lo/step) * step; v <= hi+1e-9; v += step {
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--grid)" stroke-width="1"/>`,
+			num(lp), num(y(v)), num(w-rp), num(y(v)))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" class="tick">%s</text>`,
+			num(lp-5), num(y(v)+3), esc(strconv.FormatFloat(v, 'g', 4, 64)))
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="tick">0</text>`, num(lp), num(h-bp+14))
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="tick">%d</text>`, num(w-rp), num(h-bp+14), maxIter)
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="axistitle">iterations</text>`, num(lp+plotW/2), num(h-2))
+	for _, r := range restarts {
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--grid)" stroke-width="1" stroke-dasharray="3 3"><title>restart at iteration %d</title></line>`,
+			num(x(r)), num(tp), num(x(r)), num(h-bp), r)
+	}
+	series := func(pts []pt, color, name string) {
+		if len(pts) == 0 {
+			return
+		}
+		var path strings.Builder
+		fmt.Fprintf(&path, "M%s %s", num(x(pts[0].iter)), num(y(pts[0].value)))
+		for i := 1; i < len(pts); i++ {
+			fmt.Fprintf(&path, " H%s V%s", num(x(pts[i].iter)), num(y(pts[i].value)))
+		}
+		fmt.Fprintf(&path, " H%s", num(x(maxIter)))
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`, path.String(), color)
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s" stroke="var(--surface-1)" stroke-width="1.5"><title>%s %s at iteration %d</title></circle>`,
+				num(x(p.iter)), num(y(p.value)), color, esc(name), esc(strconv.FormatFloat(p.value, 'g', 6, 64)), p.iter)
+		}
+	}
+	series(bnd, "var(--series-2)", "bound")
+	series(inc, "var(--series-1)", "incumbent")
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// utilizationSVG renders per-resource consumption as heat rows: time on the
+// x-axis, one row per resource, color depth encoding the utilization
+// fraction. Adjacent equal-valued steps merge into one rectangle.
+func utilizationSVG(u *core.UtilizationReport) string {
+	const rowH, rowGap, topPad, axisH = 24.0, 6.0, 8.0, 30.0
+	if u.Steps == 0 || len(u.Resources) == 0 {
+		return `<p class="empty">no resource usage</p>`
+	}
+	plotW := float64(chartW - leftPad - rightPad)
+	legendH := 34.0
+	h := topPad + float64(len(u.Resources))*(rowH+rowGap) + axisH + legendH
+	ms := float64(u.Steps)
+
+	var b strings.Builder
+	svgOpen(&b, chartW, h, "resource utilization heat rows")
+	bottom := topPad + float64(len(u.Resources))*(rowH+rowGap) - rowGap
+	xTicks(&b, leftPad, plotW, topPad, bottom, ms, func(v float64) string {
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	})
+	for r, res := range u.Resources {
+		yTop := topPad + float64(r)*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" class="rowlabel">%s</text>`,
+			num(leftPad-8), num(yTop+rowH/2+4), esc(res.Name))
+		if res.Capacity <= 0 {
+			continue
+		}
+		// Run-length merge equal consecutive values into single rects.
+		for start := 0; start < len(res.Series); {
+			end := start + 1
+			for end < len(res.Series) && res.Series[end] == res.Series[start] {
+				end++
+			}
+			v := res.Series[start]
+			if v > 0 {
+				frac := v / res.Capacity
+				title := fmt.Sprintf("%s: steps %d–%d, %s of %s (%.1f%%)", res.Name, start, end,
+					strconv.FormatFloat(v, 'g', 4, 64), strconv.FormatFloat(res.Capacity, 'g', 4, 64), 100*frac)
+				fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" stroke="var(--border)" stroke-width="0.5"><title>%s</title></rect>`,
+					num(leftPad+float64(start)/ms*plotW), num(yTop), num(float64(end-start)/ms*plotW), num(rowH),
+					rampColor(frac), esc(title))
+			}
+			start = end
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="axistitle">time steps</text>`,
+		num(leftPad+plotW/2), num(bottom+axisH-2))
+	// Ramp legend: 0% → 100% of capacity.
+	ly := h - legendH + 14
+	sw := 14.0
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" class="tick">0%%</text>`, num(leftPad-6), num(ly+10))
+	for i, c := range seqRamp {
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="12" fill="%s" stroke="var(--border)" stroke-width="0.5"/>`,
+			num(leftPad+float64(i)*sw), num(ly), num(sw), c)
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" class="tick">100%% of capacity</text>`,
+		num(leftPad+float64(len(seqRamp))*sw+6), num(ly+10))
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// groupsSVG renders device-group occupancy as a single-series horizontal bar
+// chart with direct value labels (one series, so no legend).
+func groupsSVG(u *core.UtilizationReport) string {
+	const rowH, rowGap, topPad = 18.0, 8.0, 6.0
+	if len(u.Groups) == 0 {
+		return ""
+	}
+	plotW := float64(chartW - leftPad - rightPad - 60)
+	h := topPad + float64(len(u.Groups))*(rowH+rowGap)
+	var b strings.Builder
+	svgOpen(&b, chartW, h, "device occupancy")
+	for g, gr := range u.Groups {
+		yTop := topPad + float64(g)*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" class="rowlabel">%s</text>`,
+			num(leftPad-8), num(yTop+rowH/2+4), esc(gr.Name))
+		w := gr.BusyFrac * plotW
+		fmt.Fprintf(&b, `<rect x="%s" y="%s" width="%s" height="%s" rx="3" fill="var(--series-1)"><title>%s busy %d of %d steps</title></rect>`,
+			num(leftPad), num(yTop), num(w), num(rowH), esc(gr.Name), gr.BusySteps, u.Steps)
+		fmt.Fprintf(&b, `<text x="%s" y="%s" class="vallabel">%.0f%%</text>`,
+			num(leftPad+w+6), num(yTop+rowH/2+4), 100*gr.BusyFrac)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// mixMark describes the color+shape encoding of one accelerator-mix class.
+// Shape is the secondary channel: identity never rides on hue alone, and the
+// categorical slots stay within the all-pairs-validated first three (the
+// cpu-only baseline class wears neutral ink, not a series slot).
+type mixMark struct {
+	color string
+	shape string // circle, square, triangle, diamond
+}
+
+var mixMarks = map[string]mixMark{
+	"cpu-only":      {"var(--fold)", "circle"},
+	"gpu-dominated": {"var(--series-1)", "square"},
+	"dsa-dominated": {"var(--series-2)", "triangle"},
+	"mixed":         {"var(--series-3)", "diamond"},
+}
+
+// drawMark emits one scatter marker centered at (x, y).
+func drawMark(b *strings.Builder, m mixMark, x, y float64, title string) {
+	const r = 5.0
+	switch m.shape {
+	case "square":
+		fmt.Fprintf(b, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" stroke="var(--surface-1)" stroke-width="1.5">`,
+			num(x-r+1), num(y-r+1), num(2*r-2), num(2*r-2), m.color)
+	case "triangle":
+		fmt.Fprintf(b, `<path d="M%s %s L%s %s L%s %s Z" fill="%s" stroke="var(--surface-1)" stroke-width="1.5">`,
+			num(x), num(y-r), num(x+r), num(y+r-1), num(x-r), num(y+r-1), m.color)
+	case "diamond":
+		fmt.Fprintf(b, `<path d="M%s %s L%s %s L%s %s L%s %s Z" fill="%s" stroke="var(--surface-1)" stroke-width="1.5">`,
+			num(x), num(y-r-1), num(x+r+1), num(y), num(x), num(y+r+1), num(x-r-1), num(y), m.color)
+	default:
+		fmt.Fprintf(b, `<circle cx="%s" cy="%s" r="%s" fill="%s" stroke="var(--surface-1)" stroke-width="1.5">`,
+			num(x), num(y), num(r), m.color)
+	}
+	fmt.Fprintf(b, `<title>%s</title>`, esc(title))
+	switch m.shape {
+	case "circle":
+		b.WriteString(`</circle>`)
+	case "square":
+		b.WriteString(`</rect>`)
+	default:
+		b.WriteString(`</path>`)
+	}
+}
+
+// paretoSVG renders the sweep as an area/speedup scatter with the Pareto
+// front traced through it.
+func paretoSVG(sw *Sweep) string {
+	const w, h = 900.0, 380.0
+	const lp, rp, tp, bp = 64.0, 16.0, 12.0, 40.0
+	maxArea, maxSpeed := 0.0, 0.0
+	for _, p := range sw.Points {
+		if p.Err != "" {
+			continue
+		}
+		maxArea = math.Max(maxArea, p.AreaMM2)
+		maxSpeed = math.Max(maxSpeed, p.Speedup)
+	}
+	if maxArea == 0 || maxSpeed == 0 {
+		return `<p class="empty">no successful sweep points</p>`
+	}
+	maxArea, maxSpeed = maxArea*1.05, maxSpeed*1.08
+	plotW, plotH := w-lp-rp, h-tp-bp
+	x := func(a float64) float64 { return lp + a/maxArea*plotW }
+	y := func(s float64) float64 { return tp + (maxSpeed-s)/maxSpeed*plotH }
+
+	var b strings.Builder
+	svgOpen(&b, w, h, "design-space sweep: speedup versus area")
+	xTicks(&b, lp, plotW, tp, h-bp, maxArea, func(v float64) string {
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	})
+	ystep := niceStep(maxSpeed, 5)
+	for v := 0.0; v <= maxSpeed+1e-9; v += ystep {
+		fmt.Fprintf(&b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--grid)" stroke-width="1"/>`,
+			num(lp), num(y(v)), num(w-rp), num(y(v)))
+		fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="end" class="tick">%s</text>`,
+			num(lp-6), num(y(v)+3), esc(strconv.FormatFloat(v, 'g', 4, 64)))
+	}
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="axistitle">area (mm²)</text>`, num(lp+plotW/2), num(h-4))
+	fmt.Fprintf(&b, `<text x="%s" y="%s" text-anchor="middle" class="axistitle" transform="rotate(-90 14 %s)">speedup</text>`,
+		num(14.0), num(tp+plotH/2), num(tp+plotH/2))
+
+	// Pareto front: dashed trace through the non-dominated points.
+	var front []SweepPoint
+	for _, p := range sw.Points {
+		if p.OnFront {
+			front = append(front, p)
+		}
+	}
+	if len(front) > 1 {
+		var path strings.Builder
+		for i, p := range front {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%s %s ", cmd, num(x(p.AreaMM2)), num(y(p.Speedup)))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="var(--text-secondary)" stroke-width="1.5" stroke-dasharray="5 4"/>`,
+			strings.TrimSpace(path.String()))
+	}
+	for _, p := range sw.Points {
+		if p.Err != "" {
+			continue
+		}
+		m, ok := mixMarks[p.Mix]
+		if !ok {
+			m = mixMark{"var(--fold)", "circle"}
+		}
+		title := fmt.Sprintf("%s: %.2f× @ %.1f mm² (%s)", p.Label, p.Speedup, p.AreaMM2, p.Mix)
+		if p.OnFront {
+			title += ", Pareto-optimal"
+		}
+		drawMark(&b, m, x(p.AreaMM2), y(p.Speedup), title)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// legendChip renders one inline legend entry (mark + label) as a tiny SVG.
+func legendChip(m mixMark, label string) string {
+	var b strings.Builder
+	b.WriteString(`<span class="chip"><svg viewBox="0 0 14 14" width="14" height="14" aria-hidden="true">`)
+	drawMark(&b, m, 7, 7, label)
+	b.WriteString(`</svg> ` + esc(label) + `</span>`)
+	return b.String()
+}

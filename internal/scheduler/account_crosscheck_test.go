@@ -1,0 +1,69 @@
+// Cross-checks solver outputs against the independent utilization accounter
+// in internal/core. This lives in an external test package because core
+// imports scheduler; the accounter replays schedules step-by-step and so
+// validates feasibility through a code path the solvers never touch.
+package scheduler_test
+
+import (
+	"testing"
+
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+func crosscheckInstance(t *testing.T) *core.Instance {
+	t.Helper()
+	w := rodinia.DefaultWorkload()
+	w = rodinia.Workload{Name: "small", Apps: w.Apps[:4]}
+	spec := soc.Spec{
+		CPUCores:          2,
+		GPUSMs:            16,
+		GPUFrequenciesMHz: []float64{300, 765},
+		DSAs:              []soc.DSA{{PEs: 4, Target: w.Apps[0].Bench.Abbrev}},
+	}
+	inst, err := core.BuildInstance(w, spec, 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// TestSolversPassUtilizationAccounting runs every improver through the
+// accounter: any capacity overshoot or device double-booking the solver
+// smuggled into a schedule fails here even if Schedule.Validate were wrong.
+func TestSolversPassUtilizationAccounting(t *testing.T) {
+	inst := crosscheckInstance(t)
+	for _, improver := range []string{"anneal", "tabu"} {
+		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 7, Effort: 0.2, Improver: improver})
+		if err != nil {
+			t.Fatalf("%s: %v", improver, err)
+		}
+		rep, err := inst.AccountUtilization(res.Schedule)
+		if err != nil {
+			t.Fatalf("%s: accounter rejected solver schedule: %v", improver, err)
+		}
+		if rep.Steps != res.Schedule.Makespan {
+			t.Errorf("%s: accounted %d steps, makespan %d", improver, rep.Steps, res.Schedule.Makespan)
+		}
+	}
+}
+
+// TestExactSolverPassesUtilizationAccounting certifies the exact search the
+// same way on an instance small enough to finish.
+func TestExactSolverPassesUtilizationAccounting(t *testing.T) {
+	w := rodinia.DefaultWorkload()
+	w = rodinia.Workload{Name: "tiny", Apps: w.Apps[:2]}
+	inst, err := core.BuildInstance(w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}, 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := scheduler.SolveExact(inst.Problem, scheduler.ExactConfig{NodeLimit: 200_000})
+	if !ex.Found {
+		t.Fatal("exact search found no schedule")
+	}
+	if _, err := inst.AccountUtilization(ex.Schedule); err != nil {
+		t.Fatalf("accounter rejected exact schedule: %v", err)
+	}
+}

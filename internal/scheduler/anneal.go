@@ -48,6 +48,8 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 	octx := cfg.Obs
 	asp := octx.StartSpan("anneal").ArgInt("iterations", cfg.Iterations).ArgInt("restarts", cfg.Restarts)
 	defer asp.End()
+	rt := octx.Record("anneal")
+	defer rt.End()
 	actx := octx.WithSpan(asp)
 	sgsCtr := octx.Counter(obs.MSGSSchedules)
 	accCtr := octx.Counter(obs.MAnnealAccepted)
@@ -73,6 +75,7 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 	}
 	if found {
 		hsp.ArgInt("seeds", len(seeds)).ArgInt("best_makespan", best.Makespan)
+		rt.Incumbent(0, float64(best.Makespan))
 	}
 	hsp.End()
 	if !found {
@@ -90,6 +93,7 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 		if actx.Tracing() {
 			rsp = actx.StartSpan(fmt.Sprintf("anneal-restart-%d", restart))
 		}
+		rt.Restart(restart*cfg.Iterations, restart)
 		list := append([]int(nil), bestList...)
 		opts := append([]int(nil), bestOpts...)
 		cur, ok := g.decode(list, opts)
@@ -159,6 +163,9 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 					best = cur.Clone()
 					bestList = append(bestList[:0], list...)
 					bestOpts = append(bestOpts[:0], opts...)
+					gi := restart*cfg.Iterations + it + 1
+					rt.Incumbent(gi, float64(best.Makespan))
+					rt.Temperature(gi, temp)
 				}
 			} else {
 				rejCtr.Inc()

@@ -68,6 +68,7 @@ func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
 	options := make([]int, n)
 	nodes := 0
 	limitHit := false
+	rt := cfg.Obs.Record("exact-bb")
 
 	var dfs func(placed, currentMakespan int)
 	dfs = func(placed, currentMakespan int) {
@@ -84,6 +85,7 @@ func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
 				bestMakespan = currentMakespan
 				best = Schedule{Start: append([]int(nil), starts...), Option: append([]int(nil), options...), Makespan: currentMakespan}
 				foundBest = true
+				rt.Incumbent(nodes, float64(bestMakespan))
 			}
 			return
 		}
@@ -164,6 +166,11 @@ func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
 	octx.Counter(obs.MExactNodes).Add(int64(nodes))
 	esp.ArgInt("nodes", nodes).ArgInt("exhausted", boolToInt(!limitHit))
 	esp.End()
+	if foundBest && !limitHit {
+		// The tree was exhausted, so the incumbent is provably optimal.
+		rt.Certify(float64(bestMakespan), float64(bestMakespan), true)
+	}
+	rt.End()
 
 	return ExactResult{
 		Schedule:  best,

@@ -97,10 +97,17 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	sctx := octx.WithSpan(sp)
 	octx.Counter(obs.MSolves).Inc()
 
+	// The solve-level flight-recorder trace tracks incumbent and bound per
+	// stage (0 bounds, 1 improver, 2 justify, 3 destructive LB, 4 exact) and
+	// carries the final gap certificate.
+	rt := octx.Record("solve")
+	defer rt.End()
+
 	bsp := sctx.StartSpan("bounds")
 	lb := LowerBound(p)
 	bsp.ArgInt("lower_bound", lb)
 	bsp.End()
+	rt.Bound(0, float64(lb))
 
 	var (
 		best   Schedule
@@ -129,12 +136,14 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("%w: a task's every option exceeds a resource capacity", ErrInfeasible)
 	}
+	rt.Incumbent(1, float64(best.Makespan))
 
 	// Double justification: a cheap pass that never hurts and often shaves
 	// steps off the improved schedule.
 	if j := Justify(p, best); j.Makespan < best.Makespan {
 		best = j
 		method += "+justify"
+		rt.Incumbent(2, float64(best.Makespan))
 	}
 
 	proven := best.Makespan == lb
@@ -154,6 +163,7 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 		if d := DestructiveLowerBound(p, best.Makespan); d > lb {
 			lb = d
 			proven = best.Makespan == lb
+			rt.Bound(3, float64(lb))
 		}
 		dsp.ArgInt("lower_bound", lb)
 		dsp.End()
@@ -169,10 +179,12 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 			if ex.Found {
 				best = ex.Schedule
 				method = "exact"
+				rt.Incumbent(4, float64(best.Makespan))
 			}
 			if ex.Exhausted {
 				proven = true
 				lb = best.Makespan
+				rt.Bound(4, float64(lb))
 				if !ex.Found {
 					method = "anneal+exact-proof"
 				}
@@ -189,5 +201,6 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	octx.Gauge(obs.MLowerBoundSteps).Set(float64(lb))
 	octx.Gauge(obs.MMakespanSteps).Set(float64(best.Makespan))
 	sp.ArgInt("makespan", best.Makespan).ArgInt("lower_bound", lb).ArgStr("method", method)
+	rt.Certify(float64(best.Makespan), float64(lb), proven)
 	return Result{Schedule: best, LowerBound: lb, Proven: proven, Method: method, Nodes: nodes}, nil
 }

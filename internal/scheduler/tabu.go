@@ -58,6 +58,8 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 	octx := cfg.Obs
 	tsp := octx.StartSpan("tabu").ArgInt("iterations", cfg.Iterations)
 	defer tsp.End()
+	rt := octx.Record("tabu")
+	defer rt.End()
 	tctx := octx.WithSpan(tsp)
 	sgsCtr := octx.Counter(obs.MSGSSchedules)
 	stepCtr := octx.Counter(obs.MTabuSteps)
@@ -83,6 +85,7 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 	if !found {
 		return Schedule{}, false
 	}
+	rt.Incumbent(0, float64(best.Makespan))
 	n := len(p.Tasks)
 	if n <= 1 {
 		return best, true
@@ -161,6 +164,7 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 		tabuUntil[bestMove] = it + cfg.Tenure
 		if cur.Makespan < best.Makespan {
 			best = cur.Clone()
+			rt.Incumbent(it+1, float64(best.Makespan))
 		}
 	}
 	tsp.ArgInt("best_makespan", best.Makespan)

@@ -52,7 +52,8 @@ func BenchmarkEvaluateObsFull(b *testing.B) {
 }
 
 // BenchmarkObsNoopCalls measures the raw per-call price of the disabled
-// path (span open/close, counter, gauge, histogram, suppressed log).
+// path (span open/close, counter, gauge, histogram, suppressed log, and an
+// inert flight-recorder trace).
 func BenchmarkObsNoopCalls(b *testing.B) {
 	var octx *obs.Context
 	b.ReportAllocs()
@@ -62,6 +63,10 @@ func BenchmarkObsNoopCalls(b *testing.B) {
 		octx.Gauge(obs.MCertifiedGap).Set(0.1)
 		octx.Histogram(obs.MSweepPointSec).Observe(0.5)
 		octx.Logf(2, "suppressed")
+		tr := octx.Record("solve")
+		tr.Incumbent(i, 10)
+		tr.Bound(i, 8)
+		tr.End()
 		sp.End()
 	}
 }
@@ -71,11 +76,17 @@ func BenchmarkObsActiveCalls(b *testing.B) {
 	octx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		// A fresh recorder per iteration keeps recorded-event memory O(1).
+		octx.Recorder = obs.NewRecorder()
 		sp := octx.StartSpan("solve")
 		octx.Counter(obs.MSolves).Inc()
 		octx.Gauge(obs.MCertifiedGap).Set(0.1)
 		octx.Histogram(obs.MSweepPointSec).Observe(0.5)
 		octx.Logf(2, "suppressed")
+		tr := octx.Record("solve")
+		tr.Incumbent(i, 10)
+		tr.Bound(i, 8)
+		tr.End()
 		sp.End()
 	}
 }
