@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,12 +73,12 @@ func main() {
 		sweepOpts.OnProgress = liveProgress(os.Stderr)
 	}
 	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1, Obs: octx}
-	points := dse.SweepOpts(specs, sweepOpts, dse.HILPEvaluator(w, hilp.DSEProfile, cfg))
+	points := dse.SweepOpts(context.Background(), specs, sweepOpts, dse.HILPEvaluator(w, hilp.DSEProfile, cfg))
 
 	var maPoints, gabPoints []hilp.Point
 	if *withBase {
-		maPoints = dse.Sweep(specs, *workers, dse.MAEvaluator(w))
-		gabPoints = dse.Sweep(specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
+		maPoints = dse.Sweep(context.Background(), specs, *workers, dse.MAEvaluator(w))
+		gabPoints = dse.Sweep(context.Background(), specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
 	}
 	exitOn(ocli.Close())
 

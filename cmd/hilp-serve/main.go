@@ -1,0 +1,94 @@
+// Command hilp-serve runs the HILP solve service: an HTTP JSON API over the
+// whole evaluation stack.
+//
+//	hilp-serve -addr :8080 -workers 4 -default-timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   solve one (workload, SoC) pair or a custom model
+//	POST /v1/sweep      start an async design-space sweep, returns a job
+//	GET  /v1/jobs/{id}  poll a sweep job
+//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text metrics
+//
+// Per-request timeouts map onto solver deadlines: a request that exceeds its
+// budget still gets the best schedule found so far, with result.cancelled
+// set and a valid optimality-gap certificate. Identical evaluate requests
+// are served byte-identically from an LRU cache (see the X-HILP-Cache
+// response header). SIGINT/SIGTERM drain in-flight solves before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hilp/internal/obs"
+	"hilp/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		workers        = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		queueDepth     = flag.Int("queue", 0, "waiting requests beyond running solves before 429 (0 = 2x workers)")
+		cacheEntries   = flag.Int("cache", 128, "solve cache entries (negative disables)")
+		defaultTimeout = flag.Duration("default-timeout", 30*time.Second, "solve budget when the request sets none")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested solve budgets")
+		maxJobs        = flag.Int("max-jobs", 64, "retained async sweep jobs")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+		verbose        = flag.Bool("v", false, "log requests and solver progress to stderr")
+	)
+	flag.Parse()
+
+	octx := &obs.Context{Metrics: obs.NewRegistry()}
+	if *verbose {
+		octx.Verbosity = 1
+		octx.LogWriter = os.Stderr
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxJobs:        *maxJobs,
+		Obs:            octx,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("hilp-serve: listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("hilp-serve: %v", err)
+	case got := <-sig:
+		log.Printf("hilp-serve: %v, draining (budget %s)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain in-flight HTTP requests first, then cancel and collect jobs.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hilp-serve: http drain: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hilp-serve: job drain: %v\n", err)
+	}
+	log.Printf("hilp-serve: drained, bye")
+}

@@ -23,6 +23,7 @@ import (
 	"hilp"
 	"hilp/internal/obs"
 	"hilp/internal/report"
+	"hilp/internal/wire"
 )
 
 func main() {
@@ -144,8 +145,8 @@ func main() {
 func runCustom(path string, stepSec float64, horizon int, cfg hilp.SolverConfig, gantt, tasks, jsonOut bool, reportPath string, rec *obs.Recorder) {
 	data, err := os.ReadFile(path)
 	exitOn(err)
-	var m hilp.CustomModel
-	exitOn(json.Unmarshal(data, &m))
+	m, err := wire.DecodeModel(data)
+	exitOn(err)
 	inst, res, err := hilp.SolveModel(m, stepSec, horizon, cfg)
 	exitOn(err)
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
@@ -35,8 +36,8 @@ func main() {
 	workers := runtime.NumCPU()
 
 	hilpPts := hilp.SweepHILP(w, specs, workers, hilp.DSEProfile, cfg)
-	maPts := dse.Sweep(specs, workers, dse.MAEvaluator(w))
-	gabPts := dse.Sweep(specs, workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
+	maPts := dse.Sweep(context.Background(), specs, workers, dse.MAEvaluator(w))
+	gabPts := dse.Sweep(context.Background(), specs, workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
 
 	show := func(name string, pts []hilp.Point) {
 		for _, p := range pts {

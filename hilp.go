@@ -22,12 +22,22 @@
 //
 //	w := hilp.DefaultWorkload()
 //	spec := hilp.SoC{CPUCores: 4, GPUSMs: 16, DSAs: []hilp.DSA{{PEs: 16, Target: "LUD"}}}
-//	res, err := hilp.Evaluate(w, spec)
+//	res, err := hilp.Solve(context.Background(), w, spec)
 //	if err != nil { ... }
 //	fmt.Printf("speedup %.1fx, WLP %.2f, gap %.1f%%\n", res.Speedup, res.WLP, 100*res.Gap)
+//
+// Solve and Sweep are the context-first entry points: cancelling the context
+// (or letting its deadline expire) stops the solve early and returns the
+// best incumbent found so far with a valid optimality-gap certificate, never
+// an error. Functional options (WithProfile, WithSolver, WithObs,
+// WithBaseline, ...) select resolution, solver effort, observability, and
+// the evaluation model. The pre-context entry points (Evaluate,
+// EvaluateWith, SweepHILP, ...) remain as thin deprecated wrappers.
 package hilp
 
 import (
+	"context"
+
 	"hilp/internal/baselines"
 	"hilp/internal/core"
 	"hilp/internal/dag"
@@ -129,25 +139,34 @@ func Benchmarks() []Benchmark { return rodinia.Benchmarks() }
 
 // Evaluate runs HILP on the workload and SoC with the DSE profile and
 // default solver effort.
+//
+// Deprecated: use Solve, which takes a context and functional options.
 func Evaluate(w Workload, spec SoC) (*Result, error) {
-	return core.Solve(w, spec, core.DSEProfile, scheduler.Config{Seed: 1})
+	return Solve(context.Background(), w, spec)
 }
 
 // EvaluateWith runs HILP with explicit resolution and solver settings.
+//
+// Deprecated: use Solve with WithProfile and WithSolver.
 func EvaluateWith(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, error) {
-	return core.Solve(w, spec, profile, cfg)
+	return Solve(context.Background(), w, spec, WithProfile(profile), WithSolver(cfg))
 }
 
 // MultiAmdahl evaluates the workload with the MultiAmdahl baseline (fixed
-// sequential phase order, WLP = 1).
+// sequential phase order, WLP = 1). Unlike Solve with
+// WithBaseline(BaselineMultiAmdahl), it returns the model's native result
+// with per-phase placement choices.
 func MultiAmdahl(w Workload, spec SoC) (MAResult, error) {
 	return baselines.MultiAmdahl(w, spec)
 }
 
 // Gables evaluates the workload with the parallel-mode Gables baseline
 // (dependencies discarded, no power constraint).
+//
+// Deprecated: use Solve with WithBaseline(BaselineGables).
 func Gables(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, error) {
-	return baselines.Gables(w, spec, profile, cfg)
+	return Solve(context.Background(), w, spec,
+		WithBaseline(BaselineGables), WithProfile(profile), WithSolver(cfg))
 }
 
 // DesignSpace enumerates the §VI SoC design space for the workload (the
@@ -192,14 +211,19 @@ func NewRecorder() *Recorder { return obs.NewRecorder() }
 
 // SweepHILP evaluates every spec with HILP across worker goroutines
 // (workers < 1 selects GOMAXPROCS).
+//
+// Deprecated: use Sweep with WithWorkers, WithProfile, and WithSolver.
 func SweepHILP(w Workload, specs []SoC, workers int, profile Profile, cfg SolverConfig) []Point {
-	return dse.Sweep(specs, workers, dse.HILPEvaluator(w, profile, cfg))
+	return Sweep(context.Background(), w, specs,
+		WithWorkers(workers), WithProfile(profile), WithSolver(cfg))
 }
 
 // SweepHILPObserved is SweepHILP with observability: sweep metrics, spans,
 // and a live progress callback via opts.
+//
+// Deprecated: use Sweep with WithObs and WithProgress.
 func SweepHILPObserved(w Workload, specs []SoC, opts SweepOptions, profile Profile, cfg SolverConfig) []Point {
-	return dse.SweepOpts(specs, opts, dse.HILPEvaluator(w, profile, cfg))
+	return dse.SweepOpts(context.Background(), specs, opts, dse.HILPEvaluator(w, profile, cfg))
 }
 
 // ParetoFront extracts the (area, speedup) Pareto-optimal points.
@@ -243,18 +267,35 @@ func BuildInstance(w Workload, spec SoC, stepSec float64, horizon int) (*Instanc
 }
 
 // SolveInstance solves a built (possibly pinned) instance.
+//
+// Deprecated: use SolveInstanceContext so the solve can be cancelled.
 func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
-	return scheduler.Solve(in.Problem, cfg)
+	return SolveInstanceContext(context.Background(), in, cfg)
+}
+
+// SolveInstanceContext solves a built (possibly pinned) instance. Cancelling
+// ctx returns the best incumbent found so far with Result.Cancelled set.
+func SolveInstanceContext(ctx context.Context, in *Instance, cfg SolverConfig) (scheduler.Result, error) {
+	return scheduler.Solve(ctx, in.Problem, cfg)
 }
 
 // SolveModel builds and solves a custom model at the given time-step
 // resolution, returning the instance (for rendering) and the schedule result.
+//
+// Deprecated: use SolveModelContext so the solve can be cancelled.
 func SolveModel(m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (*Instance, scheduler.Result, error) {
+	return SolveModelContext(context.Background(), m, stepSec, horizon, cfg)
+}
+
+// SolveModelContext builds and solves a custom model at the given time-step
+// resolution. Cancelling ctx returns the best incumbent found so far with
+// Result.Cancelled set.
+func SolveModelContext(ctx context.Context, m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (*Instance, scheduler.Result, error) {
 	inst, err := m.Build(stepSec, horizon)
 	if err != nil {
 		return nil, scheduler.Result{}, err
 	}
-	res, err := scheduler.Solve(inst.Problem, cfg)
+	res, err := scheduler.Solve(ctx, inst.Problem, cfg)
 	if err != nil {
 		return nil, scheduler.Result{}, err
 	}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -122,11 +123,11 @@ func TestGablesOptimisticVsHILP(t *testing.T) {
 	profile := core.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 20, MaxRefinements: 2}
 	cfg := scheduler.Config{Seed: 1, Effort: 0.4}
 
-	hilp, err := core.Solve(w, spec, profile, cfg)
+	hilp, err := core.Solve(context.Background(), w, spec, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gab, err := Gables(w, spec, profile, cfg)
+	gab, err := Gables(context.Background(), w, spec, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +144,11 @@ func TestGablesIgnoresPowerBudget(t *testing.T) {
 	w := rodinia.Workload{Name: "mini", Apps: rodinia.DefaultWorkload().Apps[:3]}
 	profile := core.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 20, MaxRefinements: 2}
 	cfg := scheduler.Config{Seed: 1, Effort: 0.3}
-	a, err := Gables(w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}, profile, cfg)
+	a, err := Gables(context.Background(), w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Gables(w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}, PowerBudgetWatts: 5}, profile, cfg)
+	b, err := Gables(context.Background(), w, soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}, PowerBudgetWatts: 5}, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +168,11 @@ func TestOrderingMAPessimisticGablesOptimistic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hilp, err := core.Solve(w, spec, profile, cfg)
+	hilp, err := core.Solve(context.Background(), w, spec, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gab, err := Gables(w, spec, profile, cfg)
+	gab, err := Gables(context.Background(), w, spec, profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -117,11 +118,11 @@ func MultiAmdahl(w rodinia.Workload, spec soc.Spec) (MAResult, error) {
 // bandwidth budget (Gables, a Roofline derivative, models bandwidth but not
 // power). The resulting optimistic schedule is found with the same solver
 // HILP uses, on the same instance minus the dependency edges.
-func Gables(w rodinia.Workload, spec soc.Spec, profile core.Profile, cfg scheduler.Config) (*core.Result, error) {
+func Gables(ctx context.Context, w rodinia.Workload, spec soc.Spec, profile core.Profile, cfg scheduler.Config) (*core.Result, error) {
 	spec = spec.Normalize()
 	spec.PowerBudgetWatts = math.Inf(1) // Gables cannot constrain power
 
-	res, err := core.SolveAdaptive(func(stepSec float64, horizon int) (*core.Instance, error) {
+	res, err := core.SolveAdaptive(ctx, func(stepSec float64, horizon int) (*core.Instance, error) {
 		inst, err := core.BuildInstance(w, spec, stepSec, horizon)
 		if err != nil {
 			return nil, err

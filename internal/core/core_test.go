@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -165,11 +166,11 @@ func TestSolveAcceleratedBeatsCPUOnly(t *testing.T) {
 	cfg := scheduler.Config{Seed: 1, Effort: 0.3}
 	profile := Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 10, MaxRefinements: 2}
 
-	cpuOnly, err := Solve(w, fastSpec(1, 0), profile, cfg)
+	cpuOnly, err := Solve(context.Background(), w, fastSpec(1, 0), profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	accel, err := Solve(w, fastSpec(4, 64), profile, cfg)
+	accel, err := Solve(context.Background(), w, fastSpec(4, 64), profile, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestSolveAdaptiveRefinement(t *testing.T) {
 	// A fast SoC finishes the small workload in well under RefineWhileBelow
 	// steps at 10 s resolution, so the solver must refine.
 	w := smallWorkload(t)
-	res, err := Solve(w, fastSpec(4, 64), DSEProfile, scheduler.Config{Seed: 1, Effort: 0.3})
+	res, err := Solve(context.Background(), w, fastSpec(4, 64), DSEProfile, scheduler.Config{Seed: 1, Effort: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestSolveAdaptiveRefinement(t *testing.T) {
 
 func TestSolveSpeedupNearOneOnSingleCore(t *testing.T) {
 	w := smallWorkload(t)
-	res, err := Solve(w, fastSpec(1, 0), Profile{InitialStepSec: 2, Horizon: 1000, RefineWhileBelow: 50, MaxRefinements: 1}, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := Solve(context.Background(), w, fastSpec(1, 0), Profile{InitialStepSec: 2, Horizon: 1000, RefineWhileBelow: 50, MaxRefinements: 1}, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestGanttRendering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestCustomModelFortJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestCustomModelGroupAliases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestSolveCoarsensWhenHorizonOvershoots(t *testing.T) {
 	// horizon; the adaptive loop must coarsen instead of failing.
 	w := smallWorkload(t)
 	profile := Profile{InitialStepSec: 0.05, Horizon: 100, RefineWhileBelow: 0, MaxRefinements: 4}
-	res, err := Solve(w, fastSpec(4, 64), profile, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := Solve(context.Background(), w, fastSpec(4, 64), profile, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestSolveRefineThenOvershootKeepsLastGood(t *testing.T) {
 	// the last in-horizon result rather than the overshooting one.
 	w := smallWorkload(t)
 	profile := Profile{InitialStepSec: 10, Horizon: 60, RefineWhileBelow: 60, MaxRefinements: 4}
-	res, err := Solve(w, fastSpec(4, 64), profile, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := Solve(context.Background(), w, fastSpec(4, 64), profile, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}

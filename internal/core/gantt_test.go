@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func ganttModel(t *testing.T, secs ...float64) (*Instance, scheduler.Schedule) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestGanttByApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestPeakWLP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}

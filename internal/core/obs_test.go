@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"hilp/internal/obs"
@@ -26,7 +27,7 @@ func TestSolveEmitsSpanTree(t *testing.T) {
 	run := func() ([]obs.SpanRecord, *obs.Registry) {
 		ctx := &obs.Context{Tracer: obs.NewTracerWithClock(obsClock()), Metrics: obs.NewRegistry()}
 		cfg := scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1, Obs: ctx}
-		if _, err := Solve(w, fastSpec(2, 16), profile, cfg); err != nil {
+		if _, err := Solve(context.Background(), w, fastSpec(2, 16), profile, cfg); err != nil {
 			t.Fatal(err)
 		}
 		return ctx.Tracer.Snapshot(), ctx.Metrics
@@ -81,12 +82,12 @@ func TestSolveUnobservedMatchesObserved(t *testing.T) {
 	w := smallWorkload(t)
 	profile := Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 10, MaxRefinements: 2}
 
-	plain, err := Solve(w, fastSpec(2, 16), profile, scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1})
+	plain, err := Solve(context.Background(), w, fastSpec(2, 16), profile, scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
-	observed, err := Solve(w, fastSpec(2, 16), profile, scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1, Obs: ctx})
+	observed, err := Solve(context.Background(), w, fastSpec(2, 16), profile, scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1, Obs: ctx})
 	if err != nil {
 		t.Fatal(err)
 	}

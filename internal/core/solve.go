@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hilp/internal/obs"
@@ -47,14 +48,20 @@ type Result struct {
 	Gap float64
 	// Refinements counts how many times the resolution was adapted.
 	Refinements int
+	// Cancelled is true when the evaluation was cut short by context
+	// cancellation or deadline expiry: the result is the best incumbent at
+	// the resolution reached so far, with a valid (if loose) gap.
+	Cancelled bool
 }
 
 // Solve evaluates the workload on the SoC with HILP: it builds the instance,
 // solves it, and adapts the time-step resolution until the makespan is well
-// resolved (or the refinement budget runs out).
-func Solve(w rodinia.Workload, spec soc.Spec, profile Profile, cfg scheduler.Config) (*Result, error) {
+// resolved (or the refinement budget runs out). Cancelling ctx stops the
+// loop at the current resolution and returns the best result so far with
+// Result.Cancelled set (see SolveAdaptive).
+func Solve(ctx context.Context, w rodinia.Workload, spec soc.Spec, profile Profile, cfg scheduler.Config) (*Result, error) {
 	spec = spec.Normalize()
-	res, err := SolveAdaptive(func(stepSec float64, horizon int) (*Instance, error) {
+	res, err := SolveAdaptive(ctx, func(stepSec float64, horizon int) (*Instance, error) {
 		return BuildInstance(w, spec, stepSec, horizon)
 	}, profile, cfg)
 	if err != nil {
@@ -71,7 +78,14 @@ func Solve(w rodinia.Workload, spec soc.Spec, profile Profile, cfg scheduler.Con
 // under-resolved, coarsen if the initial resolution overshoots the horizon.
 // The baselines package reuses it with dependency-stripped instances.
 // Speedup is left at zero; callers define their own baseline.
-func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), profile Profile, cfg scheduler.Config) (*Result, error) {
+//
+// ctx is threaded into every scheduler.Solve call, so cancellation has
+// anytime semantics end to end: the in-flight solve returns its best
+// incumbent, the loop stops refining, and the result carries Cancelled=true
+// with the resolution and gap certified so far. Errors are reserved for
+// genuinely failed solves (invalid instances, infeasibility), never for
+// cancellation.
+func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int) (*Instance, error), profile Profile, cfg scheduler.Config) (*Result, error) {
 	step := profile.InitialStepSec
 	var last *Result
 
@@ -106,7 +120,7 @@ func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), 
 
 		scfg := cfg
 		scfg.Obs = rctx
-		res, err := scheduler.Solve(inst.Problem, scfg)
+		res, err := scheduler.Solve(ctx, inst.Problem, scfg)
 		if err != nil {
 			rsp.End()
 			return nil, fmt.Errorf("core: solving at %gs steps: %w", step, err)
@@ -119,11 +133,24 @@ func SolveAdaptive(build func(stepSec float64, horizon int) (*Instance, error), 
 			WLP:         res.Schedule.WLP(inst.Problem),
 			Gap:         res.Gap(),
 			Refinements: refinement,
+			Cancelled:   res.Cancelled,
 		}
 		octx.Logf(2, "evaluate: step %gs -> makespan %d steps (%.4g s), gap %.1f%%, method %s",
 			step, res.Schedule.Makespan, cur.MakespanSec, 100*cur.Gap, res.Method)
 		rsp.ArgInt("makespan_steps", res.Schedule.Makespan).Arg("gap", cur.Gap)
 		rsp.End()
+
+		if ctx.Err() != nil {
+			// Cancelled: stop refining and return the best-resolved result.
+			// A coarser previous result is never better than the current one
+			// unless the current solve overshot the horizon.
+			if res.Schedule.Makespan > profile.Horizon && last != nil {
+				last.Cancelled = true
+				return finish(last), nil
+			}
+			cur.Cancelled = true
+			return finish(cur), nil
+		}
 
 		switch {
 		case res.Schedule.Makespan > profile.Horizon && last != nil:

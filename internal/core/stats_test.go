@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -28,7 +29,7 @@ func statsExample(t *testing.T) (*Instance, scheduler.Schedule) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestStatsWithoutConstraints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestCustomModelExtraResources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -157,7 +158,7 @@ func TestAccountUtilizationCrossChecksSolver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}

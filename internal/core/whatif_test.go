@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestPinPhase(t *testing.T) {
 		}
 	}
 	// The pinned instance still solves and honors the pin.
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPinningChangesTheSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	freeRes, err := scheduler.Solve(free.Problem, cfg)
+	freeRes, err := scheduler.Solve(context.Background(), free.Problem, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestPinningChangesTheSchedule(t *testing.T) {
 	if err := pinned.PinPhase(w.Apps[0].Bench.Abbrev+".compute", "cpu0"); err != nil {
 		t.Fatal(err)
 	}
-	pinRes, err := scheduler.Solve(pinned.Problem, cfg)
+	pinRes, err := scheduler.Solve(context.Background(), pinned.Problem, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dag
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -109,7 +110,7 @@ func TestSDABaselineSchedule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestSDAWhatIfsImprove(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.5})
+		res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestSDAInitiationInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Effort: 0.5})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Effort: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package dse
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -76,11 +77,16 @@ type Point struct {
 	Gap         float64
 	MakespanSec float64
 	Mix         Mix
-	Err         error
+	// Cancelled is true when the evaluation was cut short by context
+	// cancellation: the metrics are the best incumbent's, not converged ones.
+	Cancelled bool
+	Err       error
 }
 
-// Evaluator scores one SoC configuration.
-type Evaluator func(soc.Spec) Point
+// Evaluator scores one SoC configuration. The context bounds the
+// evaluation; implementations built on core.Solve return their best
+// incumbent (with Point.Err nil) when it is cancelled mid-solve.
+type Evaluator func(ctx context.Context, s soc.Spec) Point
 
 // Progress is one live update of a running sweep, delivered after every
 // completed evaluation.
@@ -111,13 +117,19 @@ type SweepOptions struct {
 // returns points in input order. workers < 1 selects runtime.GOMAXPROCS(0).
 // Failed evaluations carry their error in Point.Err and are skipped by
 // ParetoFront.
-func Sweep(specs []soc.Spec, workers int, eval Evaluator) []Point {
-	return SweepOpts(specs, SweepOptions{Workers: workers}, eval)
+//
+// Cancelling ctx stops the sweep dispatching new specs: in-flight
+// evaluations finish (returning their best incumbents — see Evaluator), and
+// every spec never dispatched comes back with Point.Err set to the context
+// error, so completed points are preserved and unevaluated ones are
+// distinguishable.
+func Sweep(ctx context.Context, specs []soc.Spec, workers int, eval Evaluator) []Point {
+	return SweepOpts(ctx, specs, SweepOptions{Workers: workers}, eval)
 }
 
 // SweepOpts is Sweep with observability: a sweep span, per-point latency and
 // failure metrics, and a live progress callback.
-func SweepOpts(specs []soc.Spec, opts SweepOptions, eval Evaluator) []Point {
+func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Evaluator) []Point {
 	workers := opts.Workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -152,7 +164,7 @@ func SweepOpts(specs []soc.Spec, opts SweepOptions, eval Evaluator) []Point {
 				if timed {
 					t0 = time.Now()
 				}
-				p := eval(specs[i])
+				p := eval(ctx, specs[i])
 				points[i] = p
 				pointCtr.Inc()
 				if p.Err != nil {
@@ -186,11 +198,25 @@ func SweepOpts(specs []soc.Spec, opts SweepOptions, eval Evaluator) []Point {
 			}
 		}()
 	}
+	dispatched := len(specs)
+feed:
 	for i := range specs {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// Mark never-dispatched specs so callers can tell them from evaluated
+	// points; their labels are still filled in for reporting.
+	for i := dispatched; i < len(specs); i++ {
+		p := newPoint(specs[i])
+		p.Err = ctx.Err()
+		points[i] = p
+	}
 	return points
 }
 
@@ -241,9 +267,9 @@ func Best(points []Point) (Point, bool) {
 
 // HILPEvaluator builds an Evaluator that scores SoCs with HILP.
 func HILPEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Config) Evaluator {
-	return func(s soc.Spec) Point {
+	return func(ctx context.Context, s soc.Spec) Point {
 		p := newPoint(s)
-		res, err := core.Solve(w, s, profile, cfg)
+		res, err := core.Solve(ctx, w, s, profile, cfg)
 		if err != nil {
 			p.Err = err
 			return p
@@ -252,6 +278,7 @@ func HILPEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Confi
 		p.WLP = res.WLP
 		p.Gap = res.Gap
 		p.MakespanSec = res.MakespanSec
+		p.Cancelled = res.Cancelled
 		return p
 	}
 }
@@ -259,9 +286,9 @@ func HILPEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Confi
 // GablesEvaluator builds an Evaluator that scores SoCs with parallel-mode
 // Gables.
 func GablesEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Config) Evaluator {
-	return func(s soc.Spec) Point {
+	return func(ctx context.Context, s soc.Spec) Point {
 		p := newPoint(s)
-		res, err := baselines.Gables(w, s, profile, cfg)
+		res, err := baselines.Gables(ctx, w, s, profile, cfg)
 		if err != nil {
 			p.Err = err
 			return p
@@ -270,13 +297,15 @@ func GablesEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Con
 		p.WLP = res.WLP
 		p.Gap = res.Gap
 		p.MakespanSec = res.MakespanSec
+		p.Cancelled = res.Cancelled
 		return p
 	}
 }
 
 // MAEvaluator builds an Evaluator that scores SoCs with MultiAmdahl.
 func MAEvaluator(w rodinia.Workload) Evaluator {
-	return func(s soc.Spec) Point {
+	return func(ctx context.Context, s soc.Spec) Point {
+		_ = ctx // MultiAmdahl is analytic: nothing to cancel
 		p := newPoint(s)
 		res, err := baselines.MultiAmdahl(w, s)
 		if err != nil {

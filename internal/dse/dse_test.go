@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestSweepPreservesOrderAndParallelizes(t *testing.T) {
 		{CPUCores: 2},
 		{CPUCores: 4},
 	}
-	pts := Sweep(specs, 3, func(s soc.Spec) Point {
+	pts := Sweep(context.Background(), specs, 3, func(_ context.Context, s soc.Spec) Point {
 		return Point{Label: s.Label(), AreaMM2: s.AreaMM2()}
 	})
 	for i, s := range specs {
@@ -105,7 +106,7 @@ func TestEvaluatorsOnMiniSpace(t *testing.T) {
 		"gables": GablesEvaluator(w, profile, cfg),
 		"ma":     MAEvaluator(w),
 	} {
-		pts := Sweep(specs, 1, eval)
+		pts := Sweep(context.Background(), specs, 1, eval)
 		for i, p := range pts {
 			if p.Err != nil {
 				t.Errorf("%s: point %d: %v", name, i, p.Err)

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -11,7 +12,7 @@ import (
 
 // stubEvaluator scores a spec by its CPU count without running the solver,
 // failing specs with zero cores.
-func stubEvaluator(s soc.Spec) Point {
+func stubEvaluator(_ context.Context, s soc.Spec) Point {
 	p := newPoint(s)
 	if s.CPUCores == 0 {
 		p.Err = errors.New("stub: infeasible")
@@ -33,7 +34,7 @@ func TestSweepDefaultsWorkers(t *testing.T) {
 	// workers <= 0 must select GOMAXPROCS rather than deadlock with zero
 	// workers draining the job channel.
 	for _, workers := range []int{0, -3} {
-		points := Sweep(stubSpecs(6), workers, stubEvaluator)
+		points := Sweep(context.Background(), stubSpecs(6), workers, stubEvaluator)
 		if len(points) != 6 {
 			t.Fatalf("workers=%d: %d points, want 6", workers, len(points))
 		}
@@ -56,7 +57,7 @@ func TestSweepOptsProgress(t *testing.T) {
 		// exact guarantee under test (the race detector enforces it).
 		OnProgress: func(p Progress) { updates = append(updates, p) },
 	}
-	points := SweepOpts(stubSpecs(n), opts, stubEvaluator)
+	points := SweepOpts(context.Background(), stubSpecs(n), opts, stubEvaluator)
 	if len(points) != n {
 		t.Fatalf("%d points, want %d", len(points), n)
 	}
@@ -93,7 +94,7 @@ func TestSweepOptsProgress(t *testing.T) {
 
 func TestSweepOptsRecordsSpan(t *testing.T) {
 	ctx := &obs.Context{Tracer: obs.NewTracer()}
-	SweepOpts(stubSpecs(3), SweepOptions{Workers: 2, Obs: ctx}, stubEvaluator)
+	SweepOpts(context.Background(), stubSpecs(3), SweepOptions{Workers: 2, Obs: ctx}, stubEvaluator)
 	recs := ctx.Tracer.Snapshot()
 	if len(recs) != 1 || recs[0].Name != "sweep" {
 		t.Fatalf("spans = %+v, want one sweep span", recs)
@@ -111,9 +112,9 @@ func TestSweepOptsRecordsSpan(t *testing.T) {
 
 func TestSweepOrderIndependentOfWorkers(t *testing.T) {
 	specs := stubSpecs(9)
-	want := fmt.Sprint(Sweep(specs, 1, stubEvaluator))
+	want := fmt.Sprint(Sweep(context.Background(), specs, 1, stubEvaluator))
 	for _, workers := range []int{2, 8} {
-		if got := fmt.Sprint(Sweep(specs, workers, stubEvaluator)); got != want {
+		if got := fmt.Sprint(Sweep(context.Background(), specs, workers, stubEvaluator)); got != want {
 			t.Errorf("workers=%d reordered points:\n%s\nwant:\n%s", workers, got, want)
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -76,12 +77,12 @@ func AblationSolverPortfolio(opts Options) ([]AblationSolverRow, error) {
 			return nil, err
 		}
 		if err := run("anneal", func() (scheduler.Schedule, bool) {
-			return scheduler.Anneal(p, scheduler.AnnealConfig{Seed: opts.Seed, Iterations: iters})
+			return scheduler.Anneal(context.Background(), p, scheduler.AnnealConfig{Seed: opts.Seed, Iterations: iters})
 		}); err != nil {
 			return nil, err
 		}
 		if err := run("anneal+justify", func() (scheduler.Schedule, bool) {
-			s, ok := scheduler.Anneal(p, scheduler.AnnealConfig{Seed: opts.Seed, Iterations: iters})
+			s, ok := scheduler.Anneal(context.Background(), p, scheduler.AnnealConfig{Seed: opts.Seed, Iterations: iters})
 			if !ok {
 				return s, false
 			}
@@ -90,7 +91,7 @@ func AblationSolverPortfolio(opts Options) ([]AblationSolverRow, error) {
 			return nil, err
 		}
 		if err := run("tabu", func() (scheduler.Schedule, bool) {
-			return scheduler.TabuSearch(p, scheduler.TabuConfig{Seed: opts.Seed, Iterations: iters / 2})
+			return scheduler.TabuSearch(context.Background(), p, scheduler.TabuConfig{Seed: opts.Seed, Iterations: iters / 2})
 		}); err != nil {
 			return nil, err
 		}
@@ -135,14 +136,14 @@ func AblationResolution(opts Options) ([]AblationResolutionRow, error) {
 	for _, step := range []float64{10, 2, 0.4} {
 		start := time.Now()
 		profile := core.Profile{InitialStepSec: step, Horizon: 2000, RefineWhileBelow: 0, MaxRefinements: 0}
-		res, err := core.Solve(w, spec, profile, cfg)
+		res, err := core.Solve(context.Background(), w, spec, profile, cfg)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, AblationResolutionRow{StepSec: step, Speedup: res.Speedup, Elapsed: time.Since(start)})
 	}
 	start := time.Now()
-	res, err := core.Solve(w, spec, dseProfile(), cfg)
+	res, err := core.Solve(context.Background(), w, spec, dseProfile(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +193,7 @@ func AblationDVFS(opts Options) ([]AblationDVFSRow, error) {
 			MemBandwidthGBs:   math.Inf(1),
 			GPUFrequenciesMHz: freqs,
 		}
-		res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+		res, err := core.Solve(context.Background(), w, spec, dseProfile(), opts.schedConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +234,7 @@ func AblationCPUWidth(opts Options) ([]AblationCPUWidthRow, error) {
 	spec := soc.Spec{CPUCores: 4, GPUFrequenciesMHz: []float64{765}}
 	var rows []AblationCPUWidthRow
 	for _, disable := range []bool{false, true} {
-		res, err := core.SolveAdaptive(func(stepSec float64, horizon int) (*core.Instance, error) {
+		res, err := core.SolveAdaptive(context.Background(), func(stepSec float64, horizon int) (*core.Instance, error) {
 			return core.BuildInstanceOpts(w, spec, stepSec, horizon, core.BuildOptions{DisableParallelCPU: disable})
 		}, validationProfile(), opts.schedConfig())
 		if err != nil {

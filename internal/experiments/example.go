@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,7 +69,7 @@ func Fig2and3Example(opts Options) (*ExampleResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := scheduler.Solve(inst.Problem, cfg)
+	res, err := scheduler.Solve(context.Background(), inst.Problem, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +98,7 @@ func Fig2and3Example(opts Options) (*ExampleResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	resP, err := scheduler.Solve(instP.Problem, cfg)
+	resP, err := scheduler.Solve(context.Background(), instP.Problem, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +112,7 @@ func Fig2and3Example(opts Options) (*ExampleResult, error) {
 	for i := range instG.Problem.Tasks {
 		instG.Problem.Tasks[i].Deps = nil
 	}
-	resG, err := scheduler.Solve(instG.Problem, cfg)
+	resG, err := scheduler.Solve(context.Background(), instG.Problem, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func Fig2and3Example(opts Options) (*ExampleResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	resC, err := scheduler.Solve(instC.Problem, cfg)
+	resC, err := scheduler.Solve(context.Background(), instC.Problem, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -42,7 +43,7 @@ func Fig10Streaming(opts Options) (*Fig10Result, error) {
 		if err != nil {
 			return Fig10Variant{}, err
 		}
-		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: opts.Seed, Effort: opts.Effort, Restarts: 1, Obs: opts.Obs})
+		res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: opts.Seed, Effort: opts.Effort, Restarts: 1, Obs: opts.Obs})
 		if err != nil {
 			return Fig10Variant{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,7 +56,7 @@ func SyntheticSensitivity(opts Options) ([]SyntheticRow, error) {
 			{"bigger GPU (c4,g64)", soc.Spec{CPUCores: 4, GPUSMs: 64, GPUFrequenciesMHz: []float64{765}}},
 		}
 		for _, v := range variants {
-			res, err := core.Solve(w, v.spec, profile, cfg)
+			res, err := core.Solve(context.Background(), w, v.spec, profile, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: synthetic %s on %s: %w", w.Name, v.name, err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -52,7 +53,7 @@ func Fig5aAmdahl(opts Options) ([]Fig5aSeries, error) {
 				MemBandwidthGBs:   math.Inf(1),
 				GPUFrequenciesMHz: []float64{rodinia.BaseFrequencyMHz},
 			}
-			res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+			res, err := core.Solve(context.Background(), w, spec, dseProfile(), opts.schedConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -124,7 +125,7 @@ func Fig5bMemoryWall(opts Options) ([]ConstraintRow, error) {
 				MemBandwidthGBs:   bw,
 				GPUFrequenciesMHz: []float64{rodinia.BaseFrequencyMHz},
 			}
-			res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+			res, err := core.Solve(context.Background(), w, spec, dseProfile(), opts.schedConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -151,7 +152,7 @@ func Fig5cDarkSilicon(opts Options) ([]ConstraintRow, error) {
 				MemBandwidthGBs:  math.Inf(1),
 				// Full DVFS table: the clamping story needs every point.
 			}
-			res, err := core.Solve(w, spec, dseProfile(), opts.schedConfig())
+			res, err := core.Solve(context.Background(), w, spec, dseProfile(), opts.schedConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -201,13 +202,13 @@ func Fig6WLP(w rodinia.Workload, opts Options) ([]Fig6Row, error) {
 		}
 		rows = append(rows, Fig6Row{CPUs: cpus, Model: "MA", WLP: ma.WLP, Speedup: ma.Speedup})
 
-		hilp, err := core.Solve(w, spec, validationProfile(), opts.schedConfig())
+		hilp, err := core.Solve(context.Background(), w, spec, validationProfile(), opts.schedConfig())
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, Fig6Row{CPUs: cpus, Model: "HILP", WLP: hilp.WLP, Speedup: hilp.Speedup})
 
-		gab, err := baselines.Gables(w, spec, validationProfile(), opts.schedConfig())
+		gab, err := baselines.Gables(context.Background(), w, spec, validationProfile(), opts.schedConfig())
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,8 @@ package milp
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"math"
 	"time"
 
@@ -12,7 +14,10 @@ import (
 type Options struct {
 	// MaxNodes bounds the number of explored nodes; 0 means the default.
 	MaxNodes int
-	// TimeLimit bounds wall-clock time; 0 means no limit.
+	// TimeLimit bounds wall-clock time; 0 means no limit. A ctx deadline
+	// passed to Solve composes with it: the earlier of the two wins, and the
+	// budget is enforced inside LP node solves (per pivot batch), not only
+	// between nodes.
 	TimeLimit time.Duration
 	// GapTolerance stops the search once the relative gap between incumbent
 	// and best bound drops below it. 0 means prove optimality (up to the
@@ -38,23 +43,53 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// errStopped aborts LP node solves when the solve budget (ctx deadline or
+// TimeLimit) expires mid-node; branch and bound converts it into a
+// LimitReached/Feasible outcome rather than surfacing it as an error.
+var errStopped = errors.New("milp: time budget exhausted")
+
 // Solve solves the mixed-integer problem p with branch and bound over the LP
 // relaxation. It returns the incumbent (if any) and the proven bound.
-func Solve(p *Problem, opts Options) (Solution, error) {
+//
+// Solve honors ctx: cancellation or a ctx deadline stops the search like an
+// expired TimeLimit would, returning the incumbent found so far (Status
+// Feasible or LimitReached) with the proven bound — work is never discarded.
+// The budget is checked between nodes and, via a stop hook threaded into the
+// simplex, every few hundred pivots inside a node, so a pathological LP
+// relaxation cannot blow past the deadline.
+func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
 	opts = opts.withDefaults()
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
+
+	start := time.Now()
+	// The effective deadline is the earlier of the ctx deadline and
+	// start+TimeLimit; stop() is threaded through every LP solve.
+	deadline, hasDeadline := ctx.Deadline()
+	if opts.TimeLimit > 0 {
+		if tl := start.Add(opts.TimeLimit); !hasDeadline || tl.Before(deadline) {
+			deadline = tl
+			hasDeadline = true
+		}
+	}
+	stop := func() bool {
+		// Callers amortize this over a pivot batch, so polling ctx and the
+		// clock directly is cheap enough.
+		return ctx.Err() != nil || (hasDeadline && time.Now().After(deadline))
+	}
+
 	octx := opts.Obs
 	if p.NumIntegers() == 0 {
-		sol, err := SolveLP(p)
+		sol, err := solveLPStop(p, stop)
 		if err == nil {
 			octx.Counter(obs.MSimplexPivots).Add(int64(sol.Iters))
 		}
+		if errors.Is(err, errStopped) {
+			return Solution{Status: LimitReached, Bound: math.Inf(lpBoundSign(p))}, nil
+		}
 		return sol, err
 	}
-
-	start := time.Now()
 
 	baseLower := make([]float64, len(p.Vars))
 	baseUpper := make([]float64, len(p.Vars))
@@ -63,7 +98,11 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		baseUpper[i] = v.Upper
 	}
 
-	root, err := solveLPWithBounds(p, baseLower, baseUpper)
+	root, err := solveLPWithBounds(p, baseLower, baseUpper, stop)
+	if errors.Is(err, errStopped) {
+		// Budget gone before the root relaxation finished: nothing proven.
+		return Solution{Status: LimitReached, Bound: math.Inf(lpBoundSign(p))}, nil
+	}
 	if err != nil {
 		return Solution{}, err
 	}
@@ -148,7 +187,7 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	lastRecBound := bestBound
 
 	for pq.Len() > 0 {
-		if nodes >= opts.MaxNodes || (opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit) {
+		if nodes >= opts.MaxNodes || stop() {
 			limitHit = true
 			break
 		}
@@ -172,7 +211,13 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 
 		lp := node.lp
 		if lp.X == nil {
-			sol, err := solveLPWithBounds(p, node.lower, node.upper)
+			sol, err := solveLPWithBounds(p, node.lower, node.upper, stop)
+			if errors.Is(err, errStopped) {
+				// The popped node's bound was computed when it was pushed and
+				// is the heap minimum, so bestBound stays valid.
+				limitHit = true
+				break
+			}
 			if err != nil {
 				return Solution{}, err
 			}
@@ -201,9 +246,15 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		// Down branch: x <= floor(val).
 		downUpper := cloneWith(node.upper, branch, math.Floor(val+opts.IntTol))
 		if node.lower[branch] <= downUpper[branch]+eps {
-			if child, err := childNode(p, node.lower, downUpper, key, incumbentObj, &totalIters); err != nil {
+			child, err := childNode(p, node.lower, downUpper, key, incumbentObj, &totalIters, stop)
+			if errors.Is(err, errStopped) {
+				limitHit = true
+				break
+			}
+			if err != nil {
 				return Solution{}, err
-			} else if child != nil {
+			}
+			if child != nil {
 				heap.Push(pq, child)
 			} else {
 				pruned++
@@ -212,9 +263,15 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 		// Up branch: x >= ceil(val).
 		upLower := cloneWith(node.lower, branch, math.Ceil(val-opts.IntTol))
 		if upLower[branch] <= node.upper[branch]+eps {
-			if child, err := childNode(p, upLower, node.upper, key, incumbentObj, &totalIters); err != nil {
+			child, err := childNode(p, upLower, node.upper, key, incumbentObj, &totalIters, stop)
+			if errors.Is(err, errStopped) {
+				limitHit = true
+				break
+			}
+			if err != nil {
 				return Solution{}, err
-			} else if child != nil {
+			}
+			if child != nil {
 				heap.Push(pq, child)
 			} else {
 				pruned++
@@ -258,10 +315,21 @@ func Solve(p *Problem, opts Options) (Solution, error) {
 	return Solution{Status: status, X: incumbent, Objective: obj, Bound: bound, Nodes: nodes, Iters: totalIters}, nil
 }
 
+// lpBoundSign is the sign of the trivial "no information" bound in the
+// problem's own objective space: -Inf for minimization, +Inf for
+// maximization.
+func lpBoundSign(p *Problem) int {
+	if p.Maximize {
+		return 1
+	}
+	return -1
+}
+
 // childNode solves a child LP eagerly and returns a queue node, or nil if the
-// child is infeasible or dominated by the incumbent.
-func childNode(p *Problem, lower, upper []float64, key func(float64) float64, incumbentObj float64, iters *int) (*bbNode, error) {
-	sol, err := solveLPWithBounds(p, lower, upper)
+// child is infeasible or dominated by the incumbent. A stopped LP solve
+// surfaces errStopped so the caller can convert it into a limit outcome.
+func childNode(p *Problem, lower, upper []float64, key func(float64) float64, incumbentObj float64, iters *int, stopFn func() bool) (*bbNode, error) {
+	sol, err := solveLPWithBounds(p, lower, upper, stopFn)
 	if err != nil {
 		return nil, err
 	}

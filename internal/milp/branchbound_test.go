@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestSolveMILPKnapsack(t *testing.T) {
 	c := p.AddBinary("c", 7)
 	p.AddConstraint("w", map[int]float64{a: 3, b: 4, c: 2}, LE, 6)
 
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestSolveMILPIntegerRounding(t *testing.T) {
 	x := p.AddInteger("x", 0, 100, 1)
 	p.AddConstraint("c", map[int]float64{x: 2}, LE, 7)
 
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestSolveMILPInfeasible(t *testing.T) {
 	y := p.AddBinary("y", 1)
 	p.AddConstraint("half", map[int]float64{x: 1, y: 1}, EQ, 1.5)
 
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSolveMILPEqualityPartition(t *testing.T) {
 	c := p.AddBinary("c", 9)
 	p.AddConstraint("one", map[int]float64{a: 1, b: 1, c: 1}, EQ, 1)
 
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestSolveMILPGapToleranceStopsEarly(t *testing.T) {
 	}
 	p.AddConstraint("cover", row, GE, 11)
 
-	sol, err := Solve(p, Options{GapTolerance: 0.5})
+	sol, err := Solve(context.Background(), p, Options{GapTolerance: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSolveMILPTimeLimit(t *testing.T) {
 	}
 	p.AddConstraint("w", row, LE, 11)
 
-	sol, err := Solve(p, Options{TimeLimit: time.Millisecond * 500})
+	sol, err := Solve(context.Background(), p, Options{TimeLimit: time.Millisecond * 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestSolvePureLPPassThrough(t *testing.T) {
 	p := NewProblem()
 	x := p.AddVariable("x", 0, 5, 1)
 	p.AddConstraint("c", map[int]float64{x: 1}, GE, 2)
-	sol, err := Solve(p, Options{})
+	sol, err := Solve(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestMILPKnapsackMatchesBruteForce(t *testing.T) {
 		}
 		p.AddConstraint("w", row, LE, capacity)
 
-		sol, err := Solve(p, Options{})
+		sol, err := Solve(context.Background(), p, Options{})
 		if err != nil || sol.Status != Optimal {
 			return false
 		}

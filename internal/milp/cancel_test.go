@@ -1,0 +1,71 @@
+package milp
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// hardKnapsack builds a correlated knapsack whose branch-and-bound tree is
+// large enough to outlive a millisecond-scale budget.
+func hardKnapsack(n int) *Problem {
+	p := NewProblem()
+	p.Maximize = true
+	row := map[int]float64{}
+	for i := 0; i < n; i++ {
+		w := float64(13 + (i*29)%31)
+		v := p.AddBinary("x", w+float64((i*7)%5))
+		row[v] = w
+	}
+	p.AddConstraint("w", row, LE, float64(n*9))
+	return p
+}
+
+func TestSolveCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	sol, err := Solve(ctx, hardKnapsack(40), Options{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("solve ran %v past a 10ms ctx deadline", elapsed)
+	}
+	if sol.Status == Optimal {
+		// Finishing early is legal, but then the certificate must close.
+		if sol.Gap() > 1e-6 {
+			t.Errorf("optimal status with gap %g", sol.Gap())
+		}
+	} else if sol.Status != Feasible && sol.Status != LimitReached {
+		t.Errorf("status %v, want Feasible or LimitReached on deadline", sol.Status)
+	}
+}
+
+func TestSolveCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := Solve(ctx, hardKnapsack(20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != LimitReached {
+		t.Errorf("status %v on pre-cancelled ctx, want LimitReached", sol.Status)
+	}
+}
+
+func TestSolveCtxDeadlineTighterThanTimeLimit(t *testing.T) {
+	// The effective deadline is min(ctx deadline, TimeLimit): a generous
+	// TimeLimit must not override an imminent ctx deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Solve(ctx, hardKnapsack(40), Options{TimeLimit: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("solve ran %v: TimeLimit overrode the ctx deadline", elapsed)
+	}
+}

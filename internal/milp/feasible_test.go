@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"testing"
 )
 
@@ -52,7 +53,7 @@ func TestWarmStartPrimesSearch(t *testing.T) {
 	p.AddConstraint("w", map[int]float64{a: 3, b: 4, c: 2}, LE, 6)
 
 	warm := []float64{0, 1, 1} // value 20, the optimum
-	sol, err := Solve(p, Options{WarmStart: warm})
+	sol, err := Solve(context.Background(), p, Options{WarmStart: warm})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestWarmStartInfeasibleIgnored(t *testing.T) {
 	p.AddConstraint("c", map[int]float64{a: 1}, LE, 1)
 
 	// Warm start violates the bound; it must be ignored, not crash.
-	sol, err := Solve(p, Options{WarmStart: []float64{7}})
+	sol, err := Solve(context.Background(), p, Options{WarmStart: []float64{7}})
 	if err != nil {
 		t.Fatal(err)
 	}

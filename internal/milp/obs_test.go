@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"testing"
 
 	"hilp/internal/obs"
@@ -20,7 +21,7 @@ func knapsack() *Problem {
 
 func TestSolveRecordsMetricsAndSpan(t *testing.T) {
 	ctx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
-	sol, err := Solve(knapsack(), Options{Obs: ctx})
+	sol, err := Solve(context.Background(), knapsack(), Options{Obs: ctx})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,12 +58,12 @@ func TestSolveRecordsMetricsAndSpan(t *testing.T) {
 }
 
 func TestSolveObservedMatchesUnobserved(t *testing.T) {
-	plain, err := Solve(knapsack(), Options{})
+	plain, err := Solve(context.Background(), knapsack(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := &obs.Context{Metrics: obs.NewRegistry()}
-	observed, err := Solve(knapsack(), Options{Obs: ctx})
+	observed, err := Solve(context.Background(), knapsack(), Options{Obs: ctx})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,19 +24,27 @@ var ErrIterationLimit = errors.New("milp: simplex iteration limit exceeded")
 // the solution. The returned Solution has Status Optimal, Infeasible, or
 // Unbounded.
 func SolveLP(p *Problem) (Solution, error) {
+	return solveLPStop(p, nil)
+}
+
+// solveLPStop is SolveLP with an optional stop hook, polled every
+// stopCheckEvery pivots; a true return aborts the solve with errStopped.
+func solveLPStop(p *Problem, stop func() bool) (Solution, error) {
 	lower := make([]float64, len(p.Vars))
 	upper := make([]float64, len(p.Vars))
 	for i, v := range p.Vars {
 		lower[i] = v.Lower
 		upper[i] = v.Upper
 	}
-	return solveLPWithBounds(p, lower, upper)
+	return solveLPWithBounds(p, lower, upper, stop)
 }
 
 // solveLPWithBounds solves the LP relaxation with the given variable bounds
 // overriding those in p. Branch and bound uses this to explore subproblems
-// without mutating the problem.
-func solveLPWithBounds(p *Problem, lower, upper []float64) (Solution, error) {
+// without mutating the problem. A non-nil stop hook is polled every
+// stopCheckEvery pivots so an expiring solve budget interrupts even a
+// pathological LP mid-node; the solve then returns errStopped.
+func solveLPWithBounds(p *Problem, lower, upper []float64, stop func() bool) (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
@@ -53,6 +61,7 @@ func solveLPWithBounds(p *Problem, lower, upper []float64) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
+	t.stop = stop
 
 	// Phase 1: minimize the sum of artificial variables.
 	if t.numArtificial > 0 {
@@ -105,7 +114,13 @@ type tableau struct {
 	realCost      []float64 // phase-2 costs per column
 	phase2        bool
 	iters         int
+	stop          func() bool // optional solve-budget hook, polled per pivot batch
 }
+
+// stopCheckEvery is how many pivots pass between stop-hook polls. A pivot
+// touches the full tableau, so a few hundred pivots already dwarf the cost of
+// one clock read while keeping in-node interrupt latency small.
+const stopCheckEvery = 256
 
 // newTableau builds the standard-form tableau for p with variables shifted by
 // their lower bounds and finite upper bounds added as explicit rows.
@@ -269,6 +284,9 @@ func (t *tableau) iterate() error {
 	for it := 0; ; it++ {
 		if it > maxIters {
 			return ErrIterationLimit
+		}
+		if t.stop != nil && it%stopCheckEvery == 0 && t.stop() {
+			return errStopped
 		}
 		bland := t.iters >= blandAfter
 		enter := t.chooseEntering(bland, inPhase2)

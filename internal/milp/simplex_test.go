@@ -164,7 +164,7 @@ func TestSolveLPDegenerate(t *testing.T) {
 func TestSolveLPConflictingBoundOverride(t *testing.T) {
 	p := NewProblem()
 	p.AddVariable("x", 0, 10, 1)
-	sol, err := solveLPWithBounds(p, []float64{5}, []float64{4})
+	sol, err := solveLPWithBounds(p, []float64{5}, []float64{4}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -47,6 +47,20 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add adjusts the value by delta (negative to decrement), e.g. for
+// in-flight request gauges.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 for a nil gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {

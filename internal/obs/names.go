@@ -28,4 +28,15 @@ const (
 	MSweepPoints       = "hilp_dse_points_total"
 	MSweepPointsFailed = "hilp_dse_points_failed_total"
 	MSweepPointSec     = "hilp_dse_point_seconds"
+
+	// Solve service (internal/server).
+	MServeRequests    = "hilp_serve_requests_total"
+	MServeErrors      = "hilp_serve_errors_total"
+	MServeRejected    = "hilp_serve_rejected_total"
+	MServeCacheHits   = "hilp_serve_cache_hits_total"
+	MServeCacheMisses = "hilp_serve_cache_misses_total"
+	MServeDeadlines   = "hilp_serve_deadline_exceeded_total"
+	MServeRequestSec  = "hilp_serve_request_seconds"
+	MServeInFlight    = "hilp_serve_in_flight"
+	MServeJobsActive  = "hilp_serve_jobs_active"
 )

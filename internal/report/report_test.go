@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -69,7 +70,7 @@ func buildTestData(t *testing.T) *Data {
 		t.Fatal(err)
 	}
 	rec := obs.NewRecorderWithClock(countingClock())
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Obs: &obs.Context{Recorder: rec}})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Obs: &obs.Context{Recorder: rec}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestFromResultEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 1, Obs: octx})
+	res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 1, Obs: octx})
 	if err != nil {
 		t.Fatal(err)
 	}

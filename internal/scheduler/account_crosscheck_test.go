@@ -5,6 +5,7 @@
 package scheduler_test
 
 import (
+	"context"
 	"testing"
 
 	"hilp/internal/core"
@@ -36,7 +37,7 @@ func crosscheckInstance(t *testing.T) *core.Instance {
 func TestSolversPassUtilizationAccounting(t *testing.T) {
 	inst := crosscheckInstance(t)
 	for _, improver := range []string{"anneal", "tabu"} {
-		res, err := scheduler.Solve(inst.Problem, scheduler.Config{Seed: 7, Effort: 0.2, Improver: improver})
+		res, err := scheduler.Solve(context.Background(), inst.Problem, scheduler.Config{Seed: 7, Effort: 0.2, Improver: improver})
 		if err != nil {
 			t.Fatalf("%s: %v", improver, err)
 		}
@@ -59,7 +60,7 @@ func TestExactSolverPassesUtilizationAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex := scheduler.SolveExact(inst.Problem, scheduler.ExactConfig{NodeLimit: 200_000})
+	ex := scheduler.SolveExact(context.Background(), inst.Problem, scheduler.ExactConfig{NodeLimit: 200_000})
 	if !ex.Found {
 		t.Fatal("exact search found no schedule")
 	}

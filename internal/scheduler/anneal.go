@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,10 +39,19 @@ func (c AnnealConfig) withDefaults(p *Problem) AnnealConfig {
 	return c
 }
 
+// cancelCheckMask throttles ctx.Err() polling inside search loops: the
+// context is consulted once every cancelCheckMask+1 iterations, keeping the
+// uncancelled path essentially free while bounding cancel latency to a few
+// dozen schedule decodes (well under the ~50 ms anytime contract).
+const cancelCheckMask = 31
+
 // Anneal improves on the heuristic portfolio with simulated annealing and
 // returns the best schedule found. ok is false when even the heuristics
 // could not place the tasks (an outright-infeasible option set).
-func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
+//
+// Cancelling ctx stops the search promptly; the best schedule found so far
+// is still returned (the heuristic seeds alone guarantee one).
+func Anneal(ctx context.Context, p *Problem, cfg AnnealConfig) (Schedule, bool) {
 	cfg = cfg.withDefaults(p)
 	g := newSGS(p)
 
@@ -89,6 +99,9 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 	n := len(p.Tasks)
 
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		if ctx.Err() != nil {
+			break
+		}
 		var rsp obs.Span
 		if actx.Tracing() {
 			rsp = actx.StartSpan(fmt.Sprintf("anneal-restart-%d", restart))
@@ -106,6 +119,9 @@ func Anneal(p *Problem, cfg AnnealConfig) (Schedule, bool) {
 		cooling := math.Pow(0.001/math.Max(temp, 1e-9), 1/float64(cfg.Iterations))
 
 		for it := 0; it < cfg.Iterations; it++ {
+			if it&cancelCheckMask == 0 && ctx.Err() != nil {
+				break
+			}
 			// Propose a move.
 			var undo func()
 			switch rng.Intn(3) {

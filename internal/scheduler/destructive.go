@@ -1,6 +1,9 @@
 package scheduler
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Destructive lower bounding: instead of bounding the optimum directly,
 // pick a candidate makespan T and try to *destroy* it - prove that no
@@ -22,7 +25,11 @@ import "math"
 // schedule (the search space is [LowerBound, ub]). The bound's validity does
 // not rely on the destruction test being monotone in T: it is derived only
 // from T values the test actually destroyed.
-func DestructiveLowerBound(p *Problem, ub int) int {
+//
+// Cancelling ctx stops the binary search between destruction probes; the
+// strongest bound derived so far is returned (every destroyed T remains a
+// valid certificate regardless of where the search stopped).
+func DestructiveLowerBound(ctx context.Context, p *Problem, ub int) int {
 	lb := LowerBound(p)
 	if lb >= ub {
 		return lb
@@ -30,6 +37,9 @@ func DestructiveLowerBound(p *Problem, ub int) int {
 	best := lb
 	lo, hi := lb, ub
 	for lo < hi {
+		if ctx.Err() != nil {
+			break
+		}
 		mid := (lo + hi) / 2
 		if destroyed(p, mid) {
 			if mid+1 > best {

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"math"
 
 	"hilp/internal/obs"
@@ -43,7 +44,11 @@ type ExactResult struct {
 // The search is exponential and intended for small instances (the paper's
 // running examples and unit-level certification); larger instances should use
 // Anneal plus LowerBound, or the time-indexed MILP encoding.
-func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
+//
+// Cancelling ctx aborts the search as if the node limit had been hit: the
+// incumbent (if any) is returned with Exhausted=false, so no optimality is
+// claimed from a truncated tree.
+func SolveExact(ctx context.Context, p *Problem, cfg ExactConfig) ExactResult {
 	if cfg.NodeLimit == 0 {
 		cfg.NodeLimit = 2_000_000
 	}
@@ -77,6 +82,12 @@ func SolveExact(p *Problem, cfg ExactConfig) ExactResult {
 		}
 		nodes++
 		if nodes > cfg.NodeLimit {
+			limitHit = true
+			return
+		}
+		// Poll ctx once every 256 nodes: each node is a handful of timeline
+		// operations, so cancel latency stays in the microsecond range.
+		if nodes&255 == 0 && ctx.Err() != nil {
 			limitHit = true
 			return
 		}

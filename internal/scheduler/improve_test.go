@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -65,7 +66,7 @@ func TestDestructiveLowerBoundValid(t *testing.T) {
 	// (0, 7] and dominate the basic bound.
 	p := exampleFig2(false)
 	basic := LowerBound(p)
-	d := DestructiveLowerBound(p, 7)
+	d := DestructiveLowerBound(context.Background(), p, 7)
 	if d < basic {
 		t.Errorf("destructive bound %d below basic bound %d", d, basic)
 	}
@@ -79,7 +80,7 @@ func TestDestructiveLowerBoundPowerCap(t *testing.T) {
 	// tighten the bound beyond the plain energy bound (6) and critical path
 	// (7).
 	p := exampleFig2(true)
-	d := DestructiveLowerBound(p, 9)
+	d := DestructiveLowerBound(context.Background(), p, 9)
 	if d > 9 {
 		t.Fatalf("destructive bound %d exceeds the optimum 9", d)
 	}
@@ -97,11 +98,11 @@ func TestDestructiveBoundNeverExceedsOptimum(t *testing.T) {
 		if len(p.Tasks) > 8 {
 			return true
 		}
-		ex := SolveExact(p, ExactConfig{})
+		ex := SolveExact(context.Background(), p, ExactConfig{})
 		if !ex.Found || !ex.Exhausted {
 			return true
 		}
-		d := DestructiveLowerBound(p, ex.Schedule.Makespan)
+		d := DestructiveLowerBound(context.Background(), p, ex.Schedule.Makespan)
 		return d <= ex.Schedule.Makespan
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -143,7 +144,7 @@ func TestMandatoryWork(t *testing.T) {
 
 func TestTabuSearchMatchesOptimalOnExample(t *testing.T) {
 	p := exampleFig2(false)
-	s, ok := TabuSearch(p, TabuConfig{Seed: 1})
+	s, ok := TabuSearch(context.Background(), p, TabuConfig{Seed: 1})
 	if !ok {
 		t.Fatal("tabu found nothing")
 	}
@@ -158,7 +159,7 @@ func TestTabuSearchMatchesOptimalOnExample(t *testing.T) {
 func TestTabuSearchOnRandomInstances(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		p := randomProblem(seed)
-		s, ok := TabuSearch(p, TabuConfig{Seed: seed, Iterations: 600})
+		s, ok := TabuSearch(context.Background(), p, TabuConfig{Seed: seed, Iterations: 600})
 		if !ok {
 			continue
 		}
@@ -173,8 +174,8 @@ func TestTabuSearchOnRandomInstances(t *testing.T) {
 
 func TestTabuDeterministicPerSeed(t *testing.T) {
 	p := randomProblem(5)
-	a, _ := TabuSearch(p, TabuConfig{Seed: 42, Iterations: 400})
-	b, _ := TabuSearch(p, TabuConfig{Seed: 42, Iterations: 400})
+	a, _ := TabuSearch(context.Background(), p, TabuConfig{Seed: 42, Iterations: 400})
+	b, _ := TabuSearch(context.Background(), p, TabuConfig{Seed: 42, Iterations: 400})
 	if a.Makespan != b.Makespan {
 		t.Errorf("same seed produced %d and %d", a.Makespan, b.Makespan)
 	}
@@ -182,8 +183,8 @@ func TestTabuDeterministicPerSeed(t *testing.T) {
 
 func TestAnnealDeterministicPerSeed(t *testing.T) {
 	p := randomProblem(7)
-	a, _ := Anneal(p, AnnealConfig{Seed: 42, Iterations: 800})
-	b, _ := Anneal(p, AnnealConfig{Seed: 42, Iterations: 800})
+	a, _ := Anneal(context.Background(), p, AnnealConfig{Seed: 42, Iterations: 800})
+	b, _ := Anneal(context.Background(), p, AnnealConfig{Seed: 42, Iterations: 800})
 	if a.Makespan != b.Makespan {
 		t.Errorf("same seed produced %d and %d", a.Makespan, b.Makespan)
 	}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -63,6 +64,11 @@ type Result struct {
 	Method string
 	// Nodes is the number of exact-search nodes explored, if any.
 	Nodes int
+	// Cancelled is true when the solve was cut short by context cancellation
+	// or deadline expiry. The schedule and lower bound are still valid (the
+	// best incumbent and certificate found before the cut), but later stages
+	// that could have tightened them were skipped.
+	Cancelled bool
 }
 
 // Gap returns the relative optimality gap (UB - LB) / UB. A value of 0 means
@@ -82,7 +88,13 @@ var ErrInfeasible = errors.New("scheduler: no feasible schedule exists")
 // annealing; combinatorial lower bounds certify the gap; small instances are
 // finished with exact branch and bound. It mirrors the role of the ILP solver
 // invocation in the paper's Figure 1.
-func Solve(p *Problem, cfg Config) (Result, error) {
+//
+// Solve honors ctx with anytime semantics: on cancellation or deadline
+// expiry it stops searching and returns the best incumbent found so far with
+// a valid (if loose) lower-bound certificate and Result.Cancelled set, never
+// an error. Every stage — the improver, destructive lower bounding, and the
+// exact finish — checks ctx at a fine grain, so the return is prompt.
+func Solve(ctx context.Context, p *Problem, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if err := p.Validate(); err != nil {
 		return Result{}, err
@@ -116,14 +128,14 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	)
 	switch cfg.Improver {
 	case "tabu":
-		best, ok = TabuSearch(p, TabuConfig{
+		best, ok = TabuSearch(ctx, p, TabuConfig{
 			Iterations: int(cfg.Effort * float64(1000+150*len(p.Tasks))),
 			Seed:       cfg.Seed,
 			Obs:        sctx,
 		})
 		method = "tabu"
 	case "", "anneal":
-		best, ok = Anneal(p, AnnealConfig{
+		best, ok = Anneal(ctx, p, AnnealConfig{
 			Iterations: int(cfg.Effort * float64(2000+400*len(p.Tasks))),
 			Restarts:   cfg.Restarts,
 			Seed:       cfg.Seed,
@@ -157,10 +169,11 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	}
 
 	// Destructive lower bounding tightens the certificate when the cheap
-	// combinatorial bounds leave a gap.
-	if !proven && gap() > cfg.GapTarget {
+	// combinatorial bounds leave a gap. Skipped once the context is done:
+	// the cheap bound already certifies a (looser) gap.
+	if !proven && gap() > cfg.GapTarget && ctx.Err() == nil {
 		dsp := sctx.StartSpan("destructive-lb")
-		if d := DestructiveLowerBound(p, best.Makespan); d > lb {
+		if d := DestructiveLowerBound(ctx, p, best.Makespan); d > lb {
 			lb = d
 			proven = best.Makespan == lb
 			rt.Bound(3, float64(lb))
@@ -169,12 +182,12 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 		dsp.End()
 	}
 
-	if !proven && gap() > cfg.GapTarget {
+	if !proven && gap() > cfg.GapTarget && ctx.Err() == nil {
 		// The exact stage span is recorded even when the search is skipped,
 		// so traces show why a gap was left uncertified.
 		xsp := sctx.StartSpan("exact")
 		if len(p.Tasks) <= cfg.ExactTaskLimit {
-			ex := SolveExact(p, ExactConfig{NodeLimit: cfg.ExactNodeLimit, UpperBound: best.Makespan, Obs: sctx.WithSpan(xsp)})
+			ex := SolveExact(ctx, p, ExactConfig{NodeLimit: cfg.ExactNodeLimit, UpperBound: best.Makespan, Obs: sctx.WithSpan(xsp)})
 			nodes = ex.Nodes
 			if ex.Found {
 				best = ex.Schedule
@@ -198,9 +211,10 @@ func Solve(p *Problem, cfg Config) (Result, error) {
 	if err := best.Validate(p); err != nil {
 		return Result{}, fmt.Errorf("scheduler: internal error, produced invalid schedule: %w", err)
 	}
+	cancelled := ctx.Err() != nil && !proven
 	octx.Gauge(obs.MLowerBoundSteps).Set(float64(lb))
 	octx.Gauge(obs.MMakespanSteps).Set(float64(best.Makespan))
 	sp.ArgInt("makespan", best.Makespan).ArgInt("lower_bound", lb).ArgStr("method", method)
 	rt.Certify(float64(best.Makespan), float64(lb), proven)
-	return Result{Schedule: best, LowerBound: lb, Proven: proven, Method: method, Nodes: nodes}, nil
+	return Result{Schedule: best, LowerBound: lb, Proven: proven, Method: method, Nodes: nodes, Cancelled: cancelled}, nil
 }

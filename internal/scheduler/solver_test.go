@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -11,7 +12,7 @@ func TestSolveFig2Unconstrained(t *testing.T) {
 	// The paper's Figure 2: the optimal schedule runs m1 on the DSA and n1
 	// on the GPU for a makespan of 7 (vs 17 naive), a 2.4x speedup.
 	p := exampleFig2(false)
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestSolveFig3PowerConstrained(t *testing.T) {
 	// schedule serializes both compute phases on the DSA (paper Figure 3)
 	// for a makespan of 9.
 	p := exampleFig2(true)
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSolveNaiveSingleCPU(t *testing.T) {
 	for i := range p.Tasks {
 		p.Tasks[i].Options = p.Tasks[i].Options[:1]
 	}
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,14 +80,14 @@ func TestSolveInfeasible(t *testing.T) {
 	p := exampleFig2(true)
 	// Drop the power cap below every option of task m1.
 	p.Resources[0].Capacity = 0.5
-	if _, err := Solve(p, Config{Seed: 1}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Seed: 1}); err == nil {
 		t.Fatal("expected infeasibility error")
 	}
 }
 
 func TestSolveEmptyProblem(t *testing.T) {
 	p := &Problem{NumClusters: 1, ClusterGroup: []int{0}, Horizon: 10}
-	res, err := Solve(p, Config{})
+	res, err := Solve(context.Background(), p, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSolveSingleTask(t *testing.T) {
 		ClusterGroup: []int{0},
 		Horizon:      10,
 	}
-	res, err := Solve(p, Config{Seed: 3})
+	res, err := Solve(context.Background(), p, Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestSolveStartStartLag(t *testing.T) {
 		ClusterGroup: []int{0, 1},
 		Horizon:      30,
 	}
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestSolveFinishStartLag(t *testing.T) {
 		ClusterGroup: []int{0},
 		Horizon:      20,
 	}
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSolveDVFSAliasGroups(t *testing.T) {
 		Resources:    []Resource{{Name: "power", Capacity: 3}},
 		Horizon:      40,
 	}
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestSolveDVFSAliasGroups(t *testing.T) {
 
 func TestExactMatchesAnnealOnExample(t *testing.T) {
 	p := exampleFig2(false)
-	ex := SolveExact(p, ExactConfig{})
+	ex := SolveExact(context.Background(), p, ExactConfig{})
 	if !ex.Found || !ex.Exhausted {
 		t.Fatalf("exact: found=%v exhausted=%v", ex.Found, ex.Exhausted)
 	}
@@ -299,7 +300,7 @@ func TestSolveProperty(t *testing.T) {
 		if p.Validate() != nil {
 			return false
 		}
-		res, err := Solve(p, Config{Seed: int64(seed), Effort: 0.3})
+		res, err := Solve(context.Background(), p, Config{Seed: int64(seed), Effort: 0.3})
 		if err != nil {
 			return false
 		}
@@ -321,11 +322,11 @@ func TestExactNeverWorseThanAnneal(t *testing.T) {
 		if len(p.Tasks) > 8 {
 			continue
 		}
-		ann, ok := Anneal(p, AnnealConfig{Seed: seed, Iterations: 1500})
+		ann, ok := Anneal(context.Background(), p, AnnealConfig{Seed: seed, Iterations: 1500})
 		if !ok {
 			continue
 		}
-		ex := SolveExact(p, ExactConfig{})
+		ex := SolveExact(context.Background(), p, ExactConfig{})
 		if !ex.Exhausted {
 			continue
 		}
@@ -349,7 +350,7 @@ func TestWLPGablesStyle(t *testing.T) {
 	for i := range p.Tasks {
 		p.Tasks[i].Deps = nil
 	}
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +364,7 @@ func TestWLPGablesStyle(t *testing.T) {
 
 func TestScheduleResourceProfile(t *testing.T) {
 	p := exampleFig2(true)
-	res, err := Solve(p, Config{Seed: 1})
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +387,7 @@ func TestScheduleResourceProfile(t *testing.T) {
 func TestSolveSeedStability(t *testing.T) {
 	p := exampleFig2(false)
 	for seed := int64(0); seed < 10; seed++ {
-		res, err := Solve(p, Config{Seed: seed})
+		res, err := Solve(context.Background(), p, Config{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -398,7 +399,7 @@ func TestSolveSeedStability(t *testing.T) {
 	q := randomProblem(42)
 	best, worst := 1<<30, 0
 	for seed := int64(0); seed < 6; seed++ {
-		res, err := Solve(q, Config{Seed: seed, Effort: 0.5})
+		res, err := Solve(context.Background(), q, Config{Seed: seed, Effort: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"math/rand"
 
 	"hilp/internal/obs"
@@ -51,7 +52,10 @@ type tabuMove struct {
 // TabuSearch improves on the heuristic portfolio with tabu search over the
 // same (activity list, option assignment) state space the annealer uses. ok
 // is false when no heuristic seed could be placed.
-func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
+//
+// Cancelling ctx stops the search promptly; the best schedule found so far
+// is still returned.
+func TabuSearch(ctx context.Context, p *Problem, cfg TabuConfig) (Schedule, bool) {
 	cfg = cfg.withDefaults(p)
 	g := newSGS(p)
 
@@ -96,6 +100,9 @@ func TabuSearch(p *Problem, cfg TabuConfig) (Schedule, bool) {
 	cur := best.Clone()
 
 	for it := 0; it < cfg.Iterations; it++ {
+		if it&cancelCheckMask == 0 && ctx.Err() != nil {
+			break
+		}
 		stepCtr.Inc()
 		type cand struct {
 			move  tabuMove

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -143,7 +144,7 @@ func TestTimelinePlaceRemoveRoundTripProperty(t *testing.T) {
 
 func TestSolveWithTabuImprover(t *testing.T) {
 	p := exampleFig2(false)
-	res, err := Solve(p, Config{Seed: 1, Improver: "tabu"})
+	res, err := Solve(context.Background(), p, Config{Seed: 1, Improver: "tabu"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestSolveWithTabuImprover(t *testing.T) {
 
 func TestSolveRejectsUnknownImprover(t *testing.T) {
 	p := exampleFig2(false)
-	if _, err := Solve(p, Config{Seed: 1, Improver: "quantum"}); err == nil {
+	if _, err := Solve(context.Background(), p, Config{Seed: 1, Improver: "quantum"}); err == nil {
 		t.Error("accepted an unknown improver")
 	}
 }

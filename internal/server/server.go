@@ -1,0 +1,566 @@
+// Package server implements hilp-serve: an HTTP JSON solve service over the
+// public hilp API. It exposes synchronous evaluation (POST /v1/evaluate),
+// asynchronous design-space sweeps behind job handles (POST /v1/sweep,
+// GET /v1/jobs/{id}), liveness and Prometheus-text metrics endpoints, a
+// bounded worker pool with admission control, an LRU cache keyed on the
+// canonical request hash, and per-request timeouts mapped onto solver
+// deadlines. Because the whole solve stack has anytime semantics, a request
+// hitting its deadline still returns 200 with the best incumbent found and
+// result.cancelled set — never a wasted solve.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hilp"
+	"hilp/internal/obs"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+	"hilp/internal/wire"
+)
+
+// Config tunes the service. The zero value selects production-safe defaults.
+type Config struct {
+	// Workers bounds concurrent solves; < 1 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the ones
+	// running; further requests are rejected with 429. < 1 selects
+	// 2 x Workers.
+	QueueDepth int
+	// CacheEntries sizes the solve cache; 0 selects 128, negative disables
+	// caching.
+	CacheEntries int
+	// DefaultTimeout bounds a solve when the request does not ask for a
+	// budget; 0 selects 30 s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested budgets; 0 selects 5 min.
+	MaxTimeout time.Duration
+	// MaxJobs bounds retained async jobs; 0 selects 64.
+	MaxJobs int
+	// Obs receives request metrics and solver telemetry. nil creates a
+	// metrics-only context so /metrics always works.
+	Obs *obs.Context
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 64
+	}
+	return c
+}
+
+// Server is the solve service. Create with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	obs   *obs.Context
+	mux   *http.ServeMux
+	cache *cache
+
+	// tokens is the worker pool: holding a token admits one solve.
+	tokens  chan struct{}
+	waiting atomic.Int64
+
+	baseCtx context.Context // parent of all job contexts; Shutdown cancels it
+	stop    context.CancelFunc
+	jobWG   sync.WaitGroup
+
+	jobMu    sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+}
+
+type job struct {
+	id      string
+	total   int
+	done    atomic.Int64
+	mu      sync.Mutex
+	status  string // "running", "done", "cancelled"
+	result  *wire.SweepResponse
+	created time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	octx := cfg.Obs
+	if octx == nil {
+		octx = &obs.Context{Metrics: obs.NewRegistry()}
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		obs:     octx,
+		mux:     http.NewServeMux(),
+		cache:   newCache(cfg.CacheEntries),
+		tokens:  make(chan struct{}, cfg.Workers),
+		baseCtx: ctx,
+		stop:    stop,
+		jobs:    map[string]*job{},
+	}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the service: it cancels every running job (their sweeps
+// return completed points thanks to anytime semantics) and waits for job
+// goroutines until ctx expires. Callers drain in-flight HTTP requests first
+// via http.Server.Shutdown; those requests run on their own contexts and
+// finish normally.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stop()
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// errBusy rejects a request when the pool and its queue are saturated.
+var errBusy = errors.New("server: worker pool saturated")
+
+// acquire admits the caller to the worker pool, queueing up to QueueDepth
+// waiters beyond the running solves.
+func (s *Server) acquire(ctx context.Context) error {
+	if n := s.waiting.Add(1); n > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		return errBusy
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.tokens }
+
+// solveTimeout maps the request's budget onto a solver deadline.
+func (s *Server) solveTimeout(sec float64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if sec > 0 {
+		d = time.Duration(sec * float64(time.Second))
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func parseBaseline(name string) (hilp.Baseline, error) {
+	switch strings.ToLower(name) {
+	case "", "hilp":
+		return hilp.BaselineHILP, nil
+	case "gables":
+		return hilp.BaselineGables, nil
+	case "multiamdahl", "ma":
+		return hilp.BaselineMultiAmdahl, nil
+	}
+	return 0, fmt.Errorf("unknown baseline %q (want hilp, gables, or multiamdahl)", name)
+}
+
+// maxBodyBytes bounds request bodies; custom models are at most a few MB.
+const maxBodyBytes = 8 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	defer io.Copy(io.Discard, r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.obs.Counter(obs.MServeErrors).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := wire.Marshal(wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()})
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter(obs.MServeRequests).Inc()
+	inFlight := s.obs.Gauge(obs.MServeInFlight)
+	inFlight.Add(1)
+	defer inFlight.Add(-1)
+	start := time.Now()
+	defer func() { s.obs.Histogram(obs.MServeRequestSec).Observe(time.Since(start).Seconds()) }()
+
+	var req wire.EvaluateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// The cache key is the canonical (re-marshaled) request, so formatting
+	// and key order don't fragment it.
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := cacheKey(canonical)
+	if body, ok := s.cache.get(key); ok {
+		s.obs.Counter(obs.MServeCacheHits).Inc()
+		w.Header().Set("X-HILP-Cache", "hit")
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	s.obs.Counter(obs.MServeCacheMisses).Inc()
+
+	if err := s.acquire(r.Context()); err != nil {
+		if errors.Is(err, errBusy) {
+			s.obs.Counter(obs.MServeRejected).Inc()
+			s.writeError(w, http.StatusTooManyRequests, err)
+		} else {
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		}
+		return
+	}
+	defer s.release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeout(req.TimeoutSec))
+	defer cancel()
+
+	var result wire.Result
+	var code int
+	if req.Model != nil {
+		result, code, err = s.evaluateModel(ctx, &req)
+	} else {
+		result, code, err = s.evaluateTemplate(ctx, &req)
+	}
+	if err != nil {
+		s.writeError(w, code, err)
+		return
+	}
+	if result.Cancelled {
+		s.obs.Counter(obs.MServeDeadlines).Inc()
+	}
+
+	body, err := wire.Marshal(wire.EvaluateResponse{SchemaVersion: wire.SchemaVersion, Result: result})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Cancelled results are the best incumbent under *this* request's
+	// deadline, not the converged answer — never serve them to later
+	// callers.
+	if !result.Cancelled {
+		s.cache.put(key, body)
+	}
+	w.Header().Set("X-HILP-Cache", "miss")
+	writeJSON(w, http.StatusOK, body)
+}
+
+// evaluateTemplate solves a (workload, SoC) pair from the paper's template.
+func (s *Server) evaluateTemplate(ctx context.Context, req *wire.EvaluateRequest) (wire.Result, int, error) {
+	if req.SoC == nil {
+		return wire.Result{}, http.StatusBadRequest, errors.New("request lacks both soc and model")
+	}
+	var ww wire.Workload
+	if req.Workload != nil {
+		ww = *req.Workload
+	}
+	w, err := ww.ToWorkload()
+	if err != nil {
+		return wire.Result{}, http.StatusBadRequest, err
+	}
+	baseline, err := parseBaseline(req.Baseline)
+	if err != nil {
+		return wire.Result{}, http.StatusBadRequest, err
+	}
+	spec := req.SoC.ToSpec()
+	opts := []hilp.Option{hilp.WithBaseline(baseline), hilp.WithObs(s.obs)}
+	if req.Profile != nil {
+		opts = append(opts, hilp.WithProfile(req.Profile.ToProfile()))
+	}
+	if req.Solver != nil {
+		opts = append(opts, hilp.WithSolver(req.Solver.ToConfig()))
+	}
+	res, err := hilp.Solve(ctx, w, spec, opts...)
+	if err != nil {
+		return wire.Result{}, http.StatusUnprocessableEntity, err
+	}
+	out := wire.FromResult(res)
+	out.SpecLabel = spec.Normalize().Label()
+	return out, http.StatusOK, nil
+}
+
+// evaluateModel solves a custom model (§VII).
+func (s *Server) evaluateModel(ctx context.Context, req *wire.EvaluateRequest) (wire.Result, int, error) {
+	step := req.StepSec
+	if step == 0 {
+		step = 1
+	}
+	horizon := req.Horizon
+	if horizon == 0 {
+		horizon = 200
+	}
+	inst, err := req.Model.Build(step, horizon)
+	if err != nil {
+		return wire.Result{}, http.StatusBadRequest, err
+	}
+	cfg := scheduler.Config{Seed: 1}
+	if req.Solver != nil {
+		cfg = req.Solver.ToConfig()
+	}
+	cfg.Obs = s.obs
+	res, err := scheduler.Solve(ctx, inst.Problem, cfg)
+	if err != nil {
+		return wire.Result{}, http.StatusUnprocessableEntity, err
+	}
+	makespanSec := float64(res.Schedule.Makespan) * step
+	return wire.Result{
+		SchemaVersion: wire.SchemaVersion,
+		StepSec:       step,
+		MakespanSec:   makespanSec,
+		Speedup:       wire.ModelSpeedup(*req.Model, makespanSec),
+		WLP:           res.Schedule.WLP(inst.Problem),
+		Gap:           res.Gap(),
+		Proven:        res.Proven,
+		Method:        res.Method,
+		Cancelled:     res.Cancelled,
+	}, http.StatusOK, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter(obs.MServeRequests).Inc()
+	var req wire.SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var ww wire.Workload
+	if req.Workload != nil {
+		ww = *req.Workload
+	}
+	workload, err := ww.ToWorkload()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	baseline, err := parseBaseline(req.Baseline)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs := make([]soc.Spec, 0, len(req.Specs))
+	for _, sp := range req.Specs {
+		specs = append(specs, sp.ToSpec())
+	}
+	if len(specs) == 0 {
+		var space wire.Space
+		if req.Space != nil {
+			space = *req.Space
+		}
+		specs = soc.DesignSpace(workload, space.ToSpaceConfig())
+	}
+
+	j, err := s.newJob(len(specs))
+	if err != nil {
+		s.obs.Counter(obs.MServeRejected).Inc()
+		s.writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	opts := []hilp.Option{
+		hilp.WithBaseline(baseline),
+		hilp.WithObs(s.obs),
+		hilp.WithWorkers(s.cfg.Workers),
+		hilp.WithProgress(func(p hilp.SweepProgress) { j.done.Store(int64(p.Done)) }),
+	}
+	if req.Profile != nil {
+		opts = append(opts, hilp.WithProfile(req.Profile.ToProfile()))
+	}
+	if req.Solver != nil {
+		opts = append(opts, hilp.WithSolver(req.Solver.ToConfig()))
+	}
+	timeout := s.solveTimeout(req.TimeoutSec)
+
+	s.jobWG.Add(1)
+	s.obs.Gauge(obs.MServeJobsActive).Add(1)
+	go func() {
+		defer s.jobWG.Done()
+		defer s.obs.Gauge(obs.MServeJobsActive).Add(-1)
+		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+		defer cancel()
+		points := hilp.Sweep(ctx, workload, specs, opts...)
+		j.finish(points, ctx.Err() != nil)
+		if ctx.Err() != nil {
+			s.obs.Counter(obs.MServeDeadlines).Inc()
+		}
+	}()
+
+	body, _ := wire.Marshal(j.snapshot())
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter(obs.MServeRequests).Inc()
+	s.jobMu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.jobMu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	body, err := wire.Marshal(j.snapshot())
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, []byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if s.obs != nil && s.obs.Metrics != nil {
+		s.obs.Metrics.WritePrometheus(w)
+	}
+}
+
+// newJob registers a job, evicting the oldest finished job when the registry
+// is full.
+func (s *Server) newJob(total int) (*job, error) {
+	var raw [8]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return nil, err
+	}
+	j := &job{id: hex.EncodeToString(raw[:]), total: total, status: "running", created: time.Now()}
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	if len(s.jobs) >= s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			old := s.jobs[id]
+			old.mu.Lock()
+			terminal := old.status != "running"
+			old.mu.Unlock()
+			if terminal {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return nil, fmt.Errorf("job registry full (%d running jobs)", len(s.jobs))
+		}
+	}
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	return j, nil
+}
+
+// finish records the job's terminal state.
+func (j *job) finish(points []hilp.Point, cancelled bool) {
+	resp := &wire.SweepResponse{SchemaVersion: wire.SchemaVersion}
+	for _, p := range points {
+		wp := wire.Point{
+			Spec:        wire.FromSpec(p.Spec),
+			Label:       p.Label,
+			AreaMM2:     p.AreaMM2,
+			Speedup:     p.Speedup,
+			WLP:         p.WLP,
+			Gap:         p.Gap,
+			MakespanSec: p.MakespanSec,
+			Mix:         p.Mix.String(),
+			Cancelled:   p.Cancelled,
+		}
+		if p.Err != nil {
+			wp.Error = p.Err.Error()
+		}
+		resp.Points = append(resp.Points, wp)
+	}
+	byLabel := map[string]int{}
+	for i, p := range points {
+		byLabel[p.Label] = i
+	}
+	for _, p := range hilp.ParetoFront(points) {
+		resp.Pareto = append(resp.Pareto, byLabel[p.Label])
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done.Store(int64(len(points)))
+	j.result = resp
+	if cancelled {
+		j.status = "cancelled"
+	} else {
+		j.status = "done"
+	}
+}
+
+// snapshot renders the job's current wire state.
+func (j *job) snapshot() wire.Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return wire.Job{
+		SchemaVersion: wire.SchemaVersion,
+		ID:            j.id,
+		Status:        j.status,
+		Done:          int(j.done.Load()),
+		Total:         j.total,
+		URL:           "/v1/jobs/" + j.id,
+		Result:        j.result,
+	}
+}

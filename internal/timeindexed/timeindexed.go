@@ -11,6 +11,7 @@
 package timeindexed
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -220,8 +221,9 @@ func (e *Encoding) WarmStart(s scheduler.Schedule) ([]float64, error) {
 
 // Solve builds the encoding, runs branch and bound, and decodes the result.
 // The returned milp.Solution carries the proven bound and node statistics.
-// When warmStart is non-nil, the search is primed with that schedule.
-func Solve(p *scheduler.Problem, opts milp.Options, warmStart ...scheduler.Schedule) (scheduler.Schedule, milp.Solution, error) {
+// When warmStart is non-nil, the search is primed with that schedule. The
+// context bounds the branch-and-bound search (see milp.Solve).
+func Solve(ctx context.Context, p *scheduler.Problem, opts milp.Options, warmStart ...scheduler.Schedule) (scheduler.Schedule, milp.Solution, error) {
 	enc, err := Build(p)
 	if err != nil {
 		return scheduler.Schedule{}, milp.Solution{}, err
@@ -231,7 +233,7 @@ func Solve(p *scheduler.Problem, opts milp.Options, warmStart ...scheduler.Sched
 			opts.WarmStart = x
 		}
 	}
-	sol, err := milp.Solve(enc.Problem, opts)
+	sol, err := milp.Solve(ctx, enc.Problem, opts)
 	if err != nil {
 		return scheduler.Schedule{}, milp.Solution{}, err
 	}

@@ -1,6 +1,7 @@
 package timeindexed
 
 import (
+	"context"
 	"testing"
 
 	"hilp/internal/milp"
@@ -37,7 +38,7 @@ func twoAppExample(withPower bool, horizon int) *scheduler.Problem {
 
 func TestSolveFig2Optimal(t *testing.T) {
 	p := twoAppExample(false, 10)
-	sched, sol, err := Solve(p, milp.Options{})
+	sched, sol, err := Solve(context.Background(), p, milp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestSolveFig2Optimal(t *testing.T) {
 
 func TestSolveFig3PowerCap(t *testing.T) {
 	p := twoAppExample(true, 12)
-	sched, sol, err := Solve(p, milp.Options{GapTolerance: 0})
+	sched, sol, err := Solve(context.Background(), p, milp.Options{GapTolerance: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,14 +105,14 @@ func TestMILPAgreesWithCPOnLags(t *testing.T) {
 		ClusterGroup: []int{0, 1},
 		Horizon:      12,
 	}
-	sched, sol, err := Solve(p, milp.Options{})
+	sched, sol, err := Solve(context.Background(), p, milp.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.Status != milp.Optimal || sched.Makespan != 5 {
 		t.Fatalf("got status=%v makespan=%d, want optimal 5", sol.Status, sched.Makespan)
 	}
-	cp, err := scheduler.Solve(p, scheduler.Config{Seed: 1})
+	cp, err := scheduler.Solve(context.Background(), p, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +127,11 @@ func TestMILPMatchesExactOnRandomInstances(t *testing.T) {
 	}
 	for seed := int64(1); seed <= 6; seed++ {
 		p := smallRandomProblem(seed)
-		ex := scheduler.SolveExact(p, scheduler.ExactConfig{})
+		ex := scheduler.SolveExact(context.Background(), p, scheduler.ExactConfig{})
 		if !ex.Found || !ex.Exhausted {
 			continue
 		}
-		sched, sol, err := Solve(p, milp.Options{MaxNodes: 100000})
+		sched, sol, err := Solve(context.Background(), p, milp.Options{MaxNodes: 100000})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -190,7 +191,7 @@ func smallRandomProblem(seed int64) *scheduler.Problem {
 func TestWarmStartRoundTrip(t *testing.T) {
 	p := twoAppExample(false, 10)
 	// Solve with CP first, then warm-start the MILP with that schedule.
-	cp, err := scheduler.Solve(p, scheduler.Config{Seed: 1})
+	cp, err := scheduler.Solve(context.Background(), p, scheduler.Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestWarmStartRoundTrip(t *testing.T) {
 	if err := enc.Problem.CheckFeasible(x, 1e-6); err != nil {
 		t.Fatalf("warm start not feasible in the encoding: %v", err)
 	}
-	sched, sol, err := Solve(p, milp.Options{}, cp.Schedule)
+	sched, sol, err := Solve(context.Background(), p, milp.Options{}, cp.Schedule)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,11 +254,11 @@ func TestMILPMatchesExactOnCappedInstances(t *testing.T) {
 		if !feasible {
 			continue
 		}
-		ex := scheduler.SolveExact(p, scheduler.ExactConfig{})
+		ex := scheduler.SolveExact(context.Background(), p, scheduler.ExactConfig{})
 		if !ex.Found || !ex.Exhausted {
 			continue
 		}
-		sched, sol, err := Solve(p, milp.Options{MaxNodes: 100000})
+		sched, sol, err := Solve(context.Background(), p, milp.Options{MaxNodes: 100000})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hilp/internal/core"
+)
+
+// Model is the wire form of a custom workload-and-SoC model (§VII). Its
+// JSON field names are the capitalized Go names of core.CustomModel — the
+// format examples/models/fig2.json and existing cmd/hilp users already rely
+// on — so the model schema is pinned here by the alias rather than
+// re-declared with different tags.
+type Model = core.CustomModel
+
+// DecodeModel parses a custom model from JSON and validates that it can be
+// built (cluster references resolve, every task has options, the dependency
+// graph is well-formed). The validation build uses a nominal resolution; the
+// caller chooses its own when solving.
+func DecodeModel(data []byte) (Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Model{}, fmt.Errorf("wire: decoding model: %w", err)
+	}
+	if _, err := m.Build(1, 1<<20); err != nil {
+		return Model{}, fmt.Errorf("wire: invalid model: %w", err)
+	}
+	return m, nil
+}
+
+// ModelSpeedup is the custom-model analogue of the workload speedup: the
+// fully serialized single-best-option execution time divided by the solved
+// makespan. Each task contributes its fastest option's seconds (running
+// phases back-to-back), so a speedup of N means the schedule exploited N-way
+// parallelism and placement jointly.
+func ModelSpeedup(m Model, makespanSec float64) float64 {
+	if makespanSec <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, t := range m.Tasks {
+		best := -1.0
+		for _, o := range t.Options {
+			if best < 0 || o.Sec < best {
+				best = o.Sec
+			}
+		}
+		if best > 0 {
+			total += best
+		}
+	}
+	return total / makespanSec
+}

@@ -1,0 +1,110 @@
+package wire
+
+import "hilp/internal/soc"
+
+// EvaluateRequest is the body of POST /v1/evaluate. Exactly one of the two
+// input modes applies: template mode (Workload + SoC, like the paper's
+// experiments) when Model is nil, or custom-model mode (Model + StepSec +
+// Horizon, §VII) when it is set.
+type EvaluateRequest struct {
+	SchemaVersion int `json:"schemaVersion,omitempty"`
+
+	// Template mode.
+	Workload *Workload `json:"workload,omitempty"`
+	SoC      *SoC      `json:"soc,omitempty"`
+	// Baseline selects the evaluation model: "hilp" (default), "gables", or
+	// "multiamdahl". Ignored in model mode.
+	Baseline string `json:"baseline,omitempty"`
+
+	// Custom-model mode.
+	Model *Model `json:"model,omitempty"`
+	// StepSec is the model-mode time-step resolution in seconds (default 1).
+	StepSec float64 `json:"stepSec,omitempty"`
+	// Horizon is the model-mode scheduling horizon in steps (default 200).
+	Horizon int `json:"horizon,omitempty"`
+
+	Profile *Profile      `json:"profile,omitempty"`
+	Solver  *SolverConfig `json:"solver,omitempty"`
+	// TimeoutSec bounds the solve; 0 selects the server default. On expiry
+	// the response still succeeds, carrying the best incumbent with
+	// result.cancelled set (anytime semantics).
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+// EvaluateResponse is the body of a successful POST /v1/evaluate.
+type EvaluateResponse struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Result        Result `json:"result"`
+}
+
+// Space is the wire form of a design-space enumeration (§VI).
+type Space struct {
+	CPUCores []int `json:"cpuCores,omitempty"`
+	GPUSMs   []int `json:"gpuSMs,omitempty"`
+	// MaxDSAs bounds DSA count: 0 selects one per application, negative
+	// disables DSAs.
+	MaxDSAs   int     `json:"maxDSAs,omitempty"`
+	DSAPEs    []int   `json:"dsaPEs,omitempty"`
+	Advantage float64 `json:"advantage,omitempty"`
+	PowerW    float64 `json:"powerW,omitempty"`
+	MemBWGBs  float64 `json:"memBWGBs,omitempty"`
+}
+
+// ToSpaceConfig converts to the internal enumeration config.
+func (s Space) ToSpaceConfig() soc.SpaceConfig {
+	return soc.SpaceConfig{
+		CPUCores:  s.CPUCores,
+		GPUSMs:    s.GPUSMs,
+		MaxDSAs:   s.MaxDSAs,
+		DSAPEs:    s.DSAPEs,
+		Advantage: s.Advantage,
+		PowerW:    s.PowerW,
+		MemBWGBs:  s.MemBWGBs,
+	}
+}
+
+// SweepRequest is the body of POST /v1/sweep. Specs lists explicit SoCs;
+// when empty, Space (or its zero value: the paper's 372-point §VI space) is
+// enumerated for the workload.
+type SweepRequest struct {
+	SchemaVersion int           `json:"schemaVersion,omitempty"`
+	Workload      *Workload     `json:"workload,omitempty"`
+	Specs         []SoC         `json:"specs,omitempty"`
+	Space         *Space        `json:"space,omitempty"`
+	Baseline      string        `json:"baseline,omitempty"`
+	Profile       *Profile      `json:"profile,omitempty"`
+	Solver        *SolverConfig `json:"solver,omitempty"`
+	// TimeoutSec bounds the whole sweep; points not dispatched before expiry
+	// come back with an error string, completed ones are preserved.
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+// SweepResponse is the terminal result of a sweep job.
+type SweepResponse struct {
+	SchemaVersion int     `json:"schemaVersion"`
+	Points        []Point `json:"points"`
+	// Pareto indexes the (area, speedup) Pareto-optimal subset of Points,
+	// ascending by area.
+	Pareto []int `json:"pareto,omitempty"`
+}
+
+// Job describes an asynchronous sweep job.
+type Job struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	ID            string `json:"id"`
+	// Status is "running", "done", or "cancelled".
+	Status string `json:"status"`
+	// Done and Total count completed and requested points.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// URL polls the job.
+	URL string `json:"url"`
+	// Result is set once Status is terminal.
+	Result *SweepResponse `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Error         string `json:"error"`
+}

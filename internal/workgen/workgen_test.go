@@ -1,6 +1,7 @@
 package workgen
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -111,7 +112,7 @@ func TestGeneratedWorkloadsSolve(t *testing.T) {
 			return false
 		}
 		spec := soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
-		res, err := core.Solve(w, spec, core.Profile{InitialStepSec: 10, Horizon: 400, RefineWhileBelow: 10, MaxRefinements: 1}, scheduler.Config{Seed: int64(seed), Effort: 0.15})
+		res, err := core.Solve(context.Background(), w, spec, core.Profile{InitialStepSec: 10, Horizon: 400, RefineWhileBelow: 10, MaxRefinements: 1}, scheduler.Config{Seed: int64(seed), Effort: 0.15})
 		if err != nil {
 			return false
 		}
@@ -139,7 +140,7 @@ func TestDSAGainTracksGPUCongestion(t *testing.T) {
 		cfg := scheduler.Config{Seed: 1, Effort: 0.2}
 		profile := core.Profile{InitialStepSec: 10, Horizon: 400, RefineWhileBelow: 10, MaxRefinements: 1}
 		base := soc.Spec{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
-		noDSA, err := core.Solve(w, base, profile, cfg)
+		noDSA, err := core.Solve(context.Background(), w, base, profile, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func TestDSAGainTracksGPUCongestion(t *testing.T) {
 			{PEs: 16, Target: w.Apps[order[0]].Bench.Abbrev},
 			{PEs: 16, Target: w.Apps[order[1]].Bench.Abbrev},
 		}
-		dsa, err := core.Solve(w, withDSA, profile, cfg)
+		dsa, err := core.Solve(context.Background(), w, withDSA, profile, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,154 @@
+package hilp
+
+import (
+	"context"
+
+	"hilp/internal/baselines"
+	"hilp/internal/core"
+	"hilp/internal/dse"
+	"hilp/internal/scheduler"
+)
+
+// Baseline selects the evaluation model Solve and Sweep apply to a design
+// point. HILP is the default; Gables and MultiAmdahl are the two
+// state-of-the-art early-stage models the paper compares against (§V).
+type Baseline int
+
+// Evaluation models.
+const (
+	// BaselineHILP is the paper's WLP-aware scheduling model (the default).
+	BaselineHILP Baseline = iota
+	// BaselineGables discards phase dependencies and the power budget,
+	// modelling maximal workload-level parallelism.
+	BaselineGables
+	// BaselineMultiAmdahl serializes all phases (WLP = 1) and solves
+	// analytically; the profile and solver options are ignored.
+	BaselineMultiAmdahl
+)
+
+// String names the baseline.
+func (b Baseline) String() string {
+	switch b {
+	case BaselineHILP:
+		return "hilp"
+	case BaselineGables:
+		return "gables"
+	case BaselineMultiAmdahl:
+		return "multiamdahl"
+	}
+	return "unknown"
+}
+
+// Option customizes Solve and Sweep. The zero configuration evaluates with
+// HILP at the DSE profile and default solver effort.
+type Option func(*solveOptions)
+
+type solveOptions struct {
+	profile    Profile
+	cfg        SolverConfig
+	baseline   Baseline
+	workers    int
+	onProgress func(SweepProgress)
+	obs        *ObsContext
+}
+
+func buildOptions(opts []Option) solveOptions {
+	o := solveOptions{profile: core.DSEProfile, cfg: scheduler.Config{Seed: 1}}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.obs != nil {
+		o.cfg.Obs = o.obs
+	}
+	return o
+}
+
+// WithProfile sets the adaptive time-step resolution profile (§III-D).
+func WithProfile(p Profile) Option {
+	return func(o *solveOptions) { o.profile = p }
+}
+
+// WithSolver sets the scheduling-search configuration.
+func WithSolver(cfg SolverConfig) Option {
+	return func(o *solveOptions) { o.cfg = cfg }
+}
+
+// WithObs threads an observability context (tracing, metrics, flight
+// recorder) through the whole solve stack, including sweep-level spans. It
+// overrides any SolverConfig.Obs set via WithSolver.
+func WithObs(octx *ObsContext) Option {
+	return func(o *solveOptions) { o.obs = octx }
+}
+
+// WithBaseline selects the evaluation model; the default is BaselineHILP.
+func WithBaseline(b Baseline) Option {
+	return func(o *solveOptions) { o.baseline = b }
+}
+
+// WithWorkers sets the sweep fan-out (< 1 selects GOMAXPROCS). Solve
+// ignores it.
+func WithWorkers(n int) Option {
+	return func(o *solveOptions) { o.workers = n }
+}
+
+// WithProgress installs a live progress callback for Sweep, invoked after
+// every completed point. Solve ignores it.
+func WithProgress(fn func(SweepProgress)) Option {
+	return func(o *solveOptions) { o.onProgress = fn }
+}
+
+// Solve evaluates the workload on the SoC under the selected baseline
+// (HILP unless overridden with WithBaseline).
+//
+// Cancellation has anytime semantics: when ctx is cancelled or its deadline
+// expires mid-solve, Solve returns its best incumbent so far — a feasible
+// schedule with a valid (if loose) optimality-gap certificate — with
+// Result.Cancelled set, rather than an error. Errors are reserved for
+// invalid inputs and infeasible instances.
+func Solve(ctx context.Context, w Workload, spec SoC, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	switch o.baseline {
+	case BaselineGables:
+		return baselines.Gables(ctx, w, spec, o.profile, o.cfg)
+	case BaselineMultiAmdahl:
+		ma, err := baselines.MultiAmdahl(w, spec)
+		if err != nil {
+			return nil, err
+		}
+		// MultiAmdahl is analytic: the result is exact, so the gap is zero
+		// and there is no schedule or instance to attach.
+		return &Result{
+			MakespanSec: ma.MakespanSec,
+			Speedup:     ma.Speedup,
+			WLP:         ma.WLP,
+		}, nil
+	default:
+		return core.Solve(ctx, w, spec, o.profile, o.cfg)
+	}
+}
+
+// Sweep evaluates every spec under the selected baseline, fanning out across
+// WithWorkers goroutines, and returns points in input order. Failed
+// evaluations carry their error in Point.Err.
+//
+// Cancelling ctx stops the sweep dispatching new specs: in-flight
+// evaluations finish with their best incumbents (Point.Cancelled set), and
+// specs never dispatched come back with Point.Err set to the context error,
+// so completed points are preserved.
+func Sweep(ctx context.Context, w Workload, specs []SoC, opts ...Option) []Point {
+	o := buildOptions(opts)
+	var eval dse.Evaluator
+	switch o.baseline {
+	case BaselineGables:
+		eval = dse.GablesEvaluator(w, o.profile, o.cfg)
+	case BaselineMultiAmdahl:
+		eval = dse.MAEvaluator(w)
+	default:
+		eval = dse.HILPEvaluator(w, o.profile, o.cfg)
+	}
+	return dse.SweepOpts(ctx, specs, dse.SweepOptions{
+		Workers:    o.workers,
+		Obs:        o.obs,
+		OnProgress: o.onProgress,
+	}, eval)
+}
