@@ -19,6 +19,7 @@ import (
 
 	"hilp"
 	"hilp/internal/dse"
+	"hilp/internal/faults"
 	"hilp/internal/obs"
 	"hilp/internal/report"
 )
@@ -40,6 +41,7 @@ func main() {
 		withBase     = flag.Bool("baselines", false, "also sweep MultiAmdahl and Gables")
 		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
 		reportPath   = flag.String("report", "", "write an HTML run report (plus a .json twin): the sweep's Pareto front and a full re-evaluation of its best point")
+		faultSpec    = flag.String("faults", "", "chaos-test fault injection spec, e.g. seed=1,rate=0.1,kinds=panic+timeout,sites=solve (empty disables)")
 	)
 	var ocli obs.CLI
 	ocli.Register(nil)
@@ -72,8 +74,32 @@ func main() {
 	if ocli.Verbose {
 		sweepOpts.OnProgress = liveProgress(os.Stderr)
 	}
+	ctx := context.Background()
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		fcfg, err := faults.ParseSpec(*faultSpec)
+		exitOn(err)
+		injector = faults.New(fcfg)
+		ctx = faults.NewContext(ctx, injector)
+		fmt.Fprintf(os.Stderr, "hilp-dse: CHAOS MODE: injecting faults (%s)\n", *faultSpec)
+	}
+
 	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1, Obs: octx}
-	points := dse.SweepOpts(context.Background(), specs, sweepOpts, dse.HILPEvaluator(w, hilp.DSEProfile, cfg))
+	points := dse.SweepOpts(ctx, specs, sweepOpts, dse.HILPEvaluator(w, hilp.DSEProfile, cfg))
+
+	if injector != nil {
+		failed, degraded := 0, 0
+		for _, p := range points {
+			switch {
+			case p.Err != nil:
+				failed++
+			case p.Degraded:
+				degraded++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "hilp-dse: chaos: %d faults fired on %d points; %d points failed, %d degraded to fallback\n",
+			injector.FiredCount(), len(injector.FiredKeys()), failed, degraded)
+	}
 
 	var maPoints, gabPoints []hilp.Point
 	if *withBase {
@@ -99,10 +125,14 @@ func main() {
 		fmt.Printf("%-18s %10s %9s %6s %6s  %s\n", "SoC", "area mm^2", "speedup", "WLP", "gap", "mix")
 		for _, p := range out {
 			if p.Err != nil {
-				fmt.Printf("%-18s   infeasible: %v\n", p.Label, p.Err)
+				fmt.Printf("%-18s   failed: %v\n", p.Label, p.Err)
 				continue
 			}
-			fmt.Printf("%-18s %10.1f %9.1f %6.2f %5.1f%%  %s\n", p.Label, p.AreaMM2, p.Speedup, p.WLP, 100*p.Gap, p.Mix)
+			mark := ""
+			if p.Degraded {
+				mark = " (degraded: " + p.FallbackReason + ")"
+			}
+			fmt.Printf("%-18s %10.1f %9.1f %6.2f %5.1f%%  %s%s\n", p.Label, p.AreaMM2, p.Speedup, p.WLP, 100*p.Gap, p.Mix, mark)
 		}
 		if best, ok := hilp.BestPoint(pts); ok {
 			fmt.Printf("best: %s (%.1fx @ %.1f mm^2)\n", best.Label, best.Speedup, best.AreaMM2)

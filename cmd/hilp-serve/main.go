@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"hilp/internal/faults"
 	"hilp/internal/obs"
 	"hilp/internal/server"
 )
@@ -43,9 +44,22 @@ func main() {
 		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested solve budgets")
 		maxJobs        = flag.Int("max-jobs", 64, "retained async sweep jobs")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget")
+		maxBody        = flag.Int64("max-body", 0, "request body limit in bytes before 413 (0 = 8 MiB)")
+		jobRetries     = flag.Int("job-retries", 0, "retries for transiently failing sweep jobs (0 = 2, negative disables)")
+		faultSpec      = flag.String("faults", "", "chaos-test fault injection spec, e.g. seed=1,rate=0.1,kinds=panic+timeout,sites=solve (empty disables)")
 		verbose        = flag.Bool("v", false, "log requests and solver progress to stderr")
 	)
 	flag.Parse()
+
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		cfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("hilp-serve: -faults: %v", err)
+		}
+		injector = faults.New(cfg)
+		log.Printf("hilp-serve: CHAOS MODE: injecting faults (%s)", *faultSpec)
+	}
 
 	octx := &obs.Context{Metrics: obs.NewRegistry()}
 	if *verbose {
@@ -59,6 +73,9 @@ func main() {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxJobs:        *maxJobs,
+		MaxBodyBytes:   *maxBody,
+		JobRetries:     *jobRetries,
+		Faults:         injector,
 		Obs:            octx,
 	})
 

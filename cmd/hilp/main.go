@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -222,8 +223,20 @@ func (d *dsaFlags) Set(v string) error {
 }
 
 func exitOn(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hilp:", err)
+	if err == nil {
+		return
+	}
+	// Model-validation failures list every bad field with its path, so a
+	// hand-written model JSON can be fixed in one pass instead of one error
+	// at a time.
+	var ve *hilp.ValidationError
+	if errors.As(err, &ve) {
+		fmt.Fprintln(os.Stderr, "hilp: invalid model:")
+		for _, f := range ve.Fields {
+			fmt.Fprintf(os.Stderr, "  %s: %s [%s]\n", f.Path, f.Msg, f.Code)
+		}
 		os.Exit(1)
 	}
+	fmt.Fprintln(os.Stderr, "hilp:", err)
+	os.Exit(1)
 }

@@ -106,6 +106,24 @@ type Graph = dag.Graph
 // Instance is a built scheduling instance with rendering helpers.
 type Instance = core.Instance
 
+// ErrBadModel is the sentinel wrapped by every input-validation failure:
+// NaN/Inf/negative fields, dimension mismatches, unknown references, empty
+// compatibility rows, dependency cycles. Match with errors.Is; the individual
+// problems are recovered with errors.As on *ValidationError.
+var ErrBadModel = core.ErrBadModel
+
+// FieldError addresses one invalid input field by JSON-style path (e.g.
+// "tasks[2].options[1].sec") with a stable machine-readable code.
+type FieldError = core.FieldError
+
+// ValidationError aggregates every FieldError found in one validation pass.
+type ValidationError = core.ValidationError
+
+// PanicError is a solver panic converted into an error at one of the stack's
+// recover boundaries (scheduler.Solve, sweep workers, Solve itself, the
+// hilp-serve pool), with the goroutine stack attached.
+type PanicError = scheduler.PanicError
+
 // Accelerator mix classes (paper Fig. 7 color coding).
 const (
 	NoAccel      = dse.NoAccel
@@ -274,9 +292,12 @@ func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
 }
 
 // SolveInstanceContext solves a built (possibly pinned) instance. Cancelling
-// ctx returns the best incumbent found so far with Result.Cancelled set.
+// ctx returns the best incumbent found so far with Result.Cancelled set. The
+// solve runs through the fault-tolerance chain: transient solver failures are
+// retried and then degraded to the heuristic scheduler (Result.Degraded set)
+// rather than surfaced as errors.
 func SolveInstanceContext(ctx context.Context, in *Instance, cfg SolverConfig) (scheduler.Result, error) {
-	return scheduler.Solve(ctx, in.Problem, cfg)
+	return core.SolveProblem(ctx, in.Problem, cfg)
 }
 
 // SolveModel builds and solves a custom model at the given time-step
@@ -289,13 +310,15 @@ func SolveModel(m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (
 
 // SolveModelContext builds and solves a custom model at the given time-step
 // resolution. Cancelling ctx returns the best incumbent found so far with
-// Result.Cancelled set.
+// Result.Cancelled set. Invalid models fail with an error wrapping
+// ErrBadModel; transient solver failures are retried and then degraded to the
+// heuristic scheduler (Result.Degraded set).
 func SolveModelContext(ctx context.Context, m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (*Instance, scheduler.Result, error) {
 	inst, err := m.Build(stepSec, horizon)
 	if err != nil {
 		return nil, scheduler.Result{}, err
 	}
-	res, err := scheduler.Solve(ctx, inst.Problem, cfg)
+	res, err := core.SolveProblem(ctx, inst.Problem, cfg)
 	if err != nil {
 		return nil, scheduler.Result{}, err
 	}

@@ -72,15 +72,14 @@ type CustomOption struct {
 }
 
 // Build compiles the model into a solvable instance at the given resolution.
+// Invalid models fail with a *ValidationError wrapping ErrBadModel, each
+// problem addressed by field path.
 func (m CustomModel) Build(stepSec float64, horizon int) (*Instance, error) {
-	if stepSec <= 0 {
-		return nil, fmt.Errorf("core: step size %g, want > 0", stepSec)
+	if stepSec <= 0 || math.IsNaN(stepSec) || math.IsInf(stepSec, 0) {
+		return nil, BadField("stepSec", CodeRange, "step size %g, want finite > 0", stepSec)
 	}
-	if len(m.Clusters) == 0 {
-		return nil, fmt.Errorf("core: model %q has no clusters", m.Name)
-	}
-	if len(m.Tasks) == 0 {
-		return nil, fmt.Errorf("core: model %q has no tasks", m.Name)
+	if err := m.Validate(); err != nil {
+		return nil, err
 	}
 
 	in := &Instance{StepSec: stepSec, PowerRes: -1, BWRes: -1, CPURes: -1}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"hilp/internal/faults"
+	"hilp/internal/milp"
+	"hilp/internal/obs"
+	"hilp/internal/scheduler"
+	"hilp/internal/timeindexed"
+)
+
+// ErrBadResult flags a solver return that failed the trust-boundary re-check:
+// an infeasible schedule or a lower bound that contradicts the incumbent. The
+// fallback chain treats it like a panic — retry, then degrade — so corrupted
+// results never propagate as silent garbage.
+var ErrBadResult = errors.New("core: solver produced an invalid result")
+
+// Fallback reasons recorded in Result.FallbackReason.
+const (
+	ReasonPanic    = "panic"
+	ReasonNumerics = "numerics"
+	ReasonInjected = "injected-fault"
+	ReasonBadOut   = "invalid-result"
+	ReasonMILPGave = "milp-incomplete"
+)
+
+// errMILPIncomplete marks a MILP solve that ended without a usable incumbent
+// (node/time limits) even though the instance is heuristically feasible.
+var errMILPIncomplete = errors.New("core: milp search ended without an incumbent")
+
+// Transient reports whether err is worth retrying: solver panics, numerical
+// failures, injected faults, and corrupted results. Validation errors,
+// genuine infeasibility, and context expiry are final.
+func Transient(err error) bool {
+	var pe *scheduler.PanicError
+	return errors.As(err, &pe) ||
+		errors.Is(err, milp.ErrNumerics) ||
+		errors.Is(err, faults.ErrInjected) ||
+		errors.Is(err, ErrBadResult) ||
+		errors.Is(err, errMILPIncomplete)
+}
+
+// reasonOf classifies a transient error for Result.FallbackReason.
+func reasonOf(err error) string {
+	var pe *scheduler.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return ReasonPanic
+	case errors.Is(err, milp.ErrNumerics):
+		return ReasonNumerics
+	case errors.Is(err, faults.ErrInjected):
+		return ReasonInjected
+	case errors.Is(err, ErrBadResult):
+		return ReasonBadOut
+	case errors.Is(err, errMILPIncomplete):
+		return ReasonMILPGave
+	}
+	return "error"
+}
+
+// SolveProblem is the fault-tolerant solve entry: every solver invocation in
+// the stack (the adaptive loop, hilp.SolveInstance/SolveModel, hilp-serve)
+// goes through it instead of calling scheduler.Solve directly. The chain is
+//
+//	primary solve -> retry once with perturbed settings -> heuristic fallback
+//
+// Primary is the layered CP search (scheduler.Solve), or the time-indexed
+// MILP when cfg.Improver is "milp". After any successful solve the result is
+// re-checked at this trust boundary (schedule feasibility + bound sanity); a
+// check failure is treated like a solver error. Transient failures — panics,
+// milp.ErrNumerics, injected faults, corrupted results — are retried once
+// with a perturbed seed (CP) or loosened tolerances (MILP); if the retry also
+// fails, the priority-rule heuristic scheduler produces a feasible schedule
+// with the combinatorial lower bound and the result is marked Degraded with
+// the fallback reason. Callers therefore always get a feasible schedule with
+// a valid bound, or a typed error (validation, genuine infeasibility, context
+// expiry) — never silent garbage.
+func SolveProblem(ctx context.Context, p *scheduler.Problem, cfg scheduler.Config) (scheduler.Result, error) {
+	octx := cfg.Obs
+	fp := faults.FromContext(ctx)
+
+	attempt := func(retry bool) (scheduler.Result, error) {
+		var res scheduler.Result
+		var err error
+		if cfg.Improver == "milp" {
+			res, err = solveMILP(ctx, p, cfg, retry)
+		} else {
+			c := cfg
+			if retry {
+				// A different seed reshuffles every randomized component;
+				// ill-conditioned search trajectories rarely repeat.
+				c.Seed = cfg.Seed*6364136223846793005 + 1442695040888963407
+			}
+			res, err = scheduler.Solve(ctx, p, c)
+		}
+		if err != nil {
+			return scheduler.Result{}, err
+		}
+		if fp.Corrupt(faults.SiteSolve) {
+			// Injected result corruption: a bound that contradicts the
+			// incumbent, which the trust-boundary check below must catch.
+			res.LowerBound = res.Schedule.Makespan + 1
+		}
+		if verr := checkResult(p, res); verr != nil {
+			return scheduler.Result{}, verr
+		}
+		return res, nil
+	}
+
+	res, err := attempt(false)
+	if err == nil {
+		return res, nil
+	}
+	if !Transient(err) || ctx.Err() != nil {
+		return scheduler.Result{}, err
+	}
+	firstErr := err
+
+	octx.Counter(obs.MSolveRetries).Inc()
+	octx.Logf(1, "solve: transient failure (%v), retrying with perturbed settings", err)
+	res, err = attempt(true)
+	if err == nil {
+		return res, nil
+	}
+	if !Transient(err) || ctx.Err() != nil {
+		return scheduler.Result{}, err
+	}
+
+	fb, ok := heuristicFallback(p)
+	if !ok {
+		// Even the heuristics cannot place every task: surface the original
+		// failure rather than inventing an infeasibility verdict.
+		return scheduler.Result{}, fmt.Errorf("core: solve failed and heuristic fallback found no schedule: %w", firstErr)
+	}
+	fb.Degraded = true
+	fb.FallbackReason = reasonOf(firstErr)
+	octx.Counter(obs.MSolveFallbacks).Inc()
+	octx.Counter(obs.MSolveDegraded).Inc()
+	octx.Logf(1, "solve: degraded to heuristic fallback after %v (reason %s, makespan %d, bound %d)",
+		firstErr, fb.FallbackReason, fb.Schedule.Makespan, fb.LowerBound)
+	return fb, nil
+}
+
+// checkResult re-validates a solver result at the trust boundary: the
+// schedule must be feasible for p and the bound must bracket the makespan.
+func checkResult(p *scheduler.Problem, res scheduler.Result) error {
+	if len(p.Tasks) == 0 {
+		return nil
+	}
+	if err := res.Schedule.Validate(p); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadResult, err)
+	}
+	if res.LowerBound < 0 || res.LowerBound > res.Schedule.Makespan {
+		return fmt.Errorf("%w: lower bound %d outside [0, makespan %d]",
+			ErrBadResult, res.LowerBound, res.Schedule.Makespan)
+	}
+	return nil
+}
+
+// heuristicFallback is the chain's last resort: the priority-rule portfolio
+// plus double justification, certified by the cheap combinatorial bound.
+func heuristicFallback(p *scheduler.Problem) (scheduler.Result, bool) {
+	if len(p.Tasks) == 0 {
+		return scheduler.Result{Schedule: scheduler.Schedule{Start: []int{}, Option: []int{}}, Method: "trivial", Proven: true}, true
+	}
+	s, ok := scheduler.HeuristicSchedule(p)
+	if !ok {
+		return scheduler.Result{}, false
+	}
+	if j := scheduler.Justify(p, s); j.Makespan < s.Makespan {
+		s = j
+	}
+	if err := s.Validate(p); err != nil {
+		return scheduler.Result{}, false
+	}
+	lb := scheduler.LowerBound(p)
+	return scheduler.Result{
+		Schedule:   s,
+		LowerBound: lb,
+		Proven:     s.Makespan == lb,
+		Method:     "heuristic-fallback",
+	}, true
+}
+
+// solveMILP is the chain's MILP primary: the time-indexed 0/1 encoding solved
+// with the in-repo branch and bound, warm-started from the heuristic
+// portfolio. A retry loosens the integrality tolerance and gap target, the
+// standard response to numerics-induced failures. An Infeasible/Unbounded
+// verdict on an instance the heuristics can schedule is classified as
+// milp.ErrNumerics (infeasible-due-to-numerics), so the chain retries and
+// degrades instead of reporting a false infeasibility.
+func solveMILP(ctx context.Context, p *scheduler.Problem, cfg scheduler.Config, retry bool) (scheduler.Result, error) {
+	opts := milp.Options{
+		MaxNodes:     cfg.ExactNodeLimit,
+		GapTolerance: cfg.GapTarget,
+		Obs:          cfg.Obs,
+	}
+	if retry {
+		opts.IntTol = 1e-5
+		opts.GapTolerance = math.Max(1.5*cfg.GapTarget, 0.02)
+	}
+	warm, warmOK := scheduler.HeuristicSchedule(p)
+
+	var sched scheduler.Schedule
+	var sol milp.Solution
+	var err error
+	if warmOK {
+		sched, sol, err = timeindexed.Solve(ctx, p, opts, warm)
+	} else {
+		sched, sol, err = timeindexed.Solve(ctx, p, opts)
+	}
+	if err != nil {
+		return scheduler.Result{}, err
+	}
+
+	switch sol.Status {
+	case milp.Optimal, milp.Feasible:
+		lb := int(math.Ceil(sol.Bound - 1e-6))
+		if comb := scheduler.LowerBound(p); comb > lb {
+			lb = comb
+		}
+		if lb > sched.Makespan {
+			lb = sched.Makespan
+		}
+		if lb < 0 {
+			lb = 0
+		}
+		return scheduler.Result{
+			Schedule:   sched,
+			LowerBound: lb,
+			Proven:     sol.Status == milp.Optimal,
+			Method:     "milp",
+			Cancelled:  ctx.Err() != nil && sol.Status != milp.Optimal,
+		}, nil
+	case milp.Infeasible, milp.Unbounded:
+		if warmOK {
+			return scheduler.Result{}, fmt.Errorf(
+				"%w: milp reported %v for an instance the heuristics schedule in %d steps",
+				milp.ErrNumerics, sol.Status, warm.Makespan)
+		}
+		return scheduler.Result{}, scheduler.ErrInfeasible
+	default: // LimitReached without incumbent
+		return scheduler.Result{}, fmt.Errorf("%w (status %v)", errMILPIncomplete, sol.Status)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hilp/internal/faults"
 	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
@@ -52,6 +53,14 @@ type Result struct {
 	// cancellation or deadline expiry: the result is the best incumbent at
 	// the resolution reached so far, with a valid (if loose) gap.
 	Cancelled bool
+	// Degraded is true when any refinement iteration fell back to the
+	// heuristic scheduler after the primary solver failed (see
+	// SolveProblem); the schedule is feasible and the bound valid, but the
+	// gap is typically looser. The flag is sticky across refinements.
+	Degraded bool
+	// FallbackReason classifies the first degradation ("panic", "numerics",
+	// "injected-fault", ...); empty unless Degraded.
+	FallbackReason string
 }
 
 // Solve evaluates the workload on the SoC with HILP: it builds the instance,
@@ -61,6 +70,14 @@ type Result struct {
 // Result.Cancelled set (see SolveAdaptive).
 func Solve(ctx context.Context, w rodinia.Workload, spec soc.Spec, profile Profile, cfg scheduler.Config) (*Result, error) {
 	spec = spec.Normalize()
+	// Input hardening: reject NaN/Inf/negative fields with field-addressed
+	// errors before any of them reach the instance builder or the solver.
+	if err := ValidateWorkload(w); err != nil {
+		return nil, err
+	}
+	if err := ValidateSpec(spec); err != nil {
+		return nil, err
+	}
 	res, err := SolveAdaptive(ctx, func(stepSec float64, horizon int) (*Instance, error) {
 		return BuildInstance(w, spec, stepSec, horizon)
 	}, profile, cfg)
@@ -88,6 +105,12 @@ func Solve(ctx context.Context, w rodinia.Workload, spec soc.Spec, profile Profi
 func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int) (*Instance, error), profile Profile, cfg scheduler.Config) (*Result, error) {
 	step := profile.InitialStepSec
 	var last *Result
+	// Degradation is sticky across refinements: once any iteration fell back
+	// to the heuristic scheduler, the whole evaluation reports Degraded even
+	// if a finer (or the kept coarser) iteration solved cleanly, so chaos
+	// accounting and callers see every point a fault actually touched.
+	var degraded bool
+	var fallbackReason string
 
 	octx := cfg.Obs
 	esp := octx.StartSpan("evaluate")
@@ -97,6 +120,12 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 
 	// finish records the final outcome of the adaptive loop.
 	finish := func(r *Result) *Result {
+		if degraded {
+			r.Degraded = true
+			if r.FallbackReason == "" {
+				r.FallbackReason = fallbackReason
+			}
+		}
 		octx.Counter(obs.MRefinements).Add(int64(r.Refinements))
 		octx.Gauge(obs.MCertifiedGap).Set(r.Gap)
 		octx.Gauge(obs.MMakespanSec).Set(r.MakespanSec)
@@ -105,6 +134,11 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 	}
 
 	for refinement := 0; ; refinement++ {
+		// Fault-injection site outside the solver's own recover boundary:
+		// panics here must be caught by sweep workers, hilp.Solve, or the
+		// server pool, exercising the outer isolation layers.
+		faults.FromContext(ctx).PanicNow(faults.SiteEvaluate)
+
 		rsp := ectx.StartSpan("refine-iteration").ArgInt("refinement", refinement).Arg("step_sec", step)
 		rctx := ectx.WithSpan(rsp)
 
@@ -120,10 +154,16 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 
 		scfg := cfg
 		scfg.Obs = rctx
-		res, err := scheduler.Solve(ctx, inst.Problem, scfg)
+		res, err := SolveProblem(ctx, inst.Problem, scfg)
 		if err != nil {
 			rsp.End()
 			return nil, fmt.Errorf("core: solving at %gs steps: %w", step, err)
+		}
+		if res.Degraded {
+			degraded = true
+			if fallbackReason == "" {
+				fallbackReason = res.FallbackReason
+			}
 		}
 		cur := &Result{
 			Instance:    inst,

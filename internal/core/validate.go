@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"hilp/internal/rodinia"
+	"hilp/internal/soc"
+)
+
+// ErrBadModel is the sentinel every input-validation failure wraps. Callers
+// match it with errors.Is and recover the individual field problems with
+// errors.As on *ValidationError; hilp-serve maps it to HTTP 422.
+var ErrBadModel = errors.New("hilp: invalid model")
+
+// Field-error codes. Each FieldError carries exactly one, so clients can
+// branch without parsing messages.
+const (
+	CodeNaN       = "nan"       // value is NaN
+	CodeInfinite  = "infinite"  // value is ±Inf where a finite one is required
+	CodeNegative  = "negative"  // value is negative where >= 0 is required
+	CodeEmpty     = "empty"     // required collection or name is empty
+	CodeUnknown   = "unknown"   // reference to an undeclared entity
+	CodeDuplicate = "duplicate" // name declared more than once
+	CodeCycle     = "cycle"     // dependency cycle
+	CodeDimension = "dimension" // collection has the wrong length
+	CodeRange     = "range"     // value outside its valid range
+)
+
+// FieldError addresses one invalid input field by JSON-style path, e.g.
+// "tasks[2].options[1].sec" or "workload.apps[0].bench".
+type FieldError struct {
+	Path string `json:"path"`
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+func (e FieldError) Error() string { return fmt.Sprintf("%s: %s (%s)", e.Path, e.Msg, e.Code) }
+
+// ValidationError aggregates every field problem found in one pass, so a
+// client can fix a payload in one round trip. It wraps ErrBadModel.
+type ValidationError struct {
+	Fields []FieldError
+}
+
+func (e *ValidationError) Error() string {
+	if len(e.Fields) == 1 {
+		return fmt.Sprintf("invalid model: %s", e.Fields[0].Error())
+	}
+	paths := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		paths[i] = f.Path
+	}
+	return fmt.Sprintf("invalid model: %d invalid fields (%s); first: %s",
+		len(e.Fields), strings.Join(paths, ", "), e.Fields[0].Error())
+}
+
+func (e *ValidationError) Unwrap() error { return ErrBadModel }
+
+// BadField builds a single-field ValidationError; converters (e.g. the wire
+// layer) use it to report structured errors without a full validation pass.
+func BadField(path, code, format string, args ...any) error {
+	return &ValidationError{Fields: []FieldError{{Path: path, Code: code, Msg: fmt.Sprintf(format, args...)}}}
+}
+
+// fieldList accumulates FieldErrors during one validation pass.
+type fieldList struct {
+	fields []FieldError
+}
+
+func (v *fieldList) addf(path, code, format string, args ...any) {
+	v.fields = append(v.fields, FieldError{Path: path, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+// finite checks a scalar for NaN/Inf and (unless allowNeg) negativity,
+// reporting problems under path. allowPosInf admits +Inf (used by budgets
+// where +Inf means unconstrained).
+func (v *fieldList) finite(path string, x float64, allowNeg, allowPosInf bool) {
+	switch {
+	case math.IsNaN(x):
+		v.addf(path, CodeNaN, "is NaN")
+	case math.IsInf(x, 1) && !allowPosInf:
+		v.addf(path, CodeInfinite, "is +Inf")
+	case math.IsInf(x, -1):
+		v.addf(path, CodeInfinite, "is -Inf")
+	case x < 0 && !allowNeg:
+		v.addf(path, CodeNegative, "is %g, want >= 0", x)
+	}
+}
+
+func (v *fieldList) err() error {
+	if len(v.fields) == 0 {
+		return nil
+	}
+	return &ValidationError{Fields: v.fields}
+}
+
+// Validate checks the model's every field and reports all problems at once as
+// a *ValidationError (wrapping ErrBadModel), or nil. Build runs it first, so
+// any entry point that compiles a CustomModel gets structured errors.
+func (m CustomModel) Validate() error {
+	var v fieldList
+
+	clusterNames := map[string]bool{}
+	if len(m.Clusters) == 0 {
+		v.addf("clusters", CodeEmpty, "model has no clusters")
+	}
+	for i, c := range m.Clusters {
+		path := fmt.Sprintf("clusters[%d]", i)
+		if c.Name == "" {
+			v.addf(path+".name", CodeEmpty, "cluster has no name")
+			continue
+		}
+		if clusterNames[c.Name] {
+			v.addf(path+".name", CodeDuplicate, "cluster %q declared more than once", c.Name)
+		}
+		clusterNames[c.Name] = true
+	}
+
+	v.finite("powerBudgetW", m.PowerBudgetW, false, true)
+	v.finite("bandwidthGBs", m.BandwidthGBs, false, true)
+
+	extraNames := map[string]bool{}
+	for i, r := range m.Extra {
+		path := fmt.Sprintf("extra[%d]", i)
+		switch {
+		case r.Name == "":
+			v.addf(path+".name", CodeEmpty, "extra resource has no name")
+		case r.Name == "power" || r.Name == "bandwidth":
+			v.addf(path+".name", CodeDuplicate, "extra resource %q collides with a built-in resource", r.Name)
+		case extraNames[r.Name]:
+			v.addf(path+".name", CodeDuplicate, "extra resource %q declared more than once", r.Name)
+		default:
+			extraNames[r.Name] = true
+		}
+		v.finite(path+".capacity", r.Capacity, false, true)
+	}
+
+	taskIdx := map[string]int{}
+	if len(m.Tasks) == 0 {
+		v.addf("tasks", CodeEmpty, "model has no tasks")
+	}
+	for i, t := range m.Tasks {
+		path := fmt.Sprintf("tasks[%d]", i)
+		if t.Name == "" {
+			v.addf(path+".name", CodeEmpty, "task has no name")
+			continue
+		}
+		if _, dup := taskIdx[t.Name]; dup {
+			v.addf(path+".name", CodeDuplicate, "task %q declared more than once", t.Name)
+			continue
+		}
+		taskIdx[t.Name] = i
+	}
+	for i, t := range m.Tasks {
+		path := fmt.Sprintf("tasks[%d]", i)
+		if t.App < 0 {
+			v.addf(path+".app", CodeRange, "application index %d, want >= 0", t.App)
+		}
+		if len(t.Options) == 0 {
+			// An empty compatibility row: the task can run nowhere.
+			v.addf(path+".options", CodeEmpty, "task %q has no placement options", t.Name)
+		}
+		for j, o := range t.Options {
+			opath := fmt.Sprintf("%s.options[%d]", path, j)
+			if o.Cluster == "" || !clusterNames[o.Cluster] {
+				v.addf(opath+".cluster", CodeUnknown, "references unknown cluster %q", o.Cluster)
+			}
+			v.finite(opath+".sec", o.Sec, false, false)
+			v.finite(opath+".powerW", o.PowerW, false, false)
+			v.finite(opath+".bandwidthGBs", o.BandwidthGBs, false, false)
+			for name, d := range o.ExtraDemand {
+				dpath := fmt.Sprintf("%s.extraDemand.%s", opath, name)
+				if !extraNames[name] {
+					v.addf(dpath, CodeUnknown, "demands unknown resource %q", name)
+				}
+				v.finite(dpath, d, false, false)
+			}
+		}
+		for j, d := range t.Deps {
+			dpath := fmt.Sprintf("%s.deps[%d]", path, j)
+			if _, ok := taskIdx[d.Task]; !ok {
+				v.addf(dpath+".task", CodeUnknown, "depends on unknown task %q", d.Task)
+			} else if d.Task == t.Name {
+				v.addf(dpath+".task", CodeCycle, "task %q depends on itself", t.Name)
+			}
+			v.finite(dpath+".lagSec", d.LagSec, true, false)
+		}
+	}
+
+	// Cycle detection only makes sense once every reference resolves.
+	if len(v.fields) == 0 {
+		if cyc := findModelCycle(m.Tasks, taskIdx); len(cyc) > 0 {
+			v.addf(fmt.Sprintf("tasks[%d].deps", taskIdx[cyc[0]]), CodeCycle,
+				"dependency cycle: %s", strings.Join(cyc, " -> "))
+		}
+	}
+	return v.err()
+}
+
+// findModelCycle returns one dependency cycle among the tasks as a name list
+// (first name repeated at the end), or nil.
+func findModelCycle(tasks []CustomTask, idx map[string]int) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(tasks))
+	parent := make([]int, len(tasks))
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycleFrom func(int) []string
+	cycleFrom = func(i int) []string {
+		color[i] = gray
+		for _, d := range tasks[i].Deps {
+			j := idx[d.Task]
+			switch color[j] {
+			case white:
+				parent[j] = i
+				if c := cycleFrom(j); c != nil {
+					return c
+				}
+			case gray:
+				// Walk the parent chain from i back to j to name the cycle.
+				names := []string{tasks[j].Name}
+				for k := i; k != j && k >= 0; k = parent[k] {
+					names = append(names, tasks[k].Name)
+				}
+				// Reverse into dependency order and close the loop.
+				for l, r := 0, len(names)-1; l < r; l, r = l+1, r-1 {
+					names[l], names[r] = names[r], names[l]
+				}
+				return append(names, names[0])
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range tasks {
+		if color[i] == white {
+			if c := cycleFrom(i); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateWorkload rejects workloads with NaN/Inf/negative phase times or
+// invalid setup/teardown divisors, with paths relative to the workload
+// ("apps[0].bench.computeCPUSec").
+func ValidateWorkload(w rodinia.Workload) error {
+	var v fieldList
+	if len(w.Apps) == 0 {
+		v.addf("apps", CodeEmpty, "workload %q has no applications", w.Name)
+	}
+	for i, a := range w.Apps {
+		path := fmt.Sprintf("apps[%d]", i)
+		if a.Bench.Abbrev == "" && a.Bench.Name == "" {
+			v.addf(path+".bench", CodeEmpty, "application has no benchmark")
+			continue
+		}
+		v.finite(path+".bench.setupSec", a.Bench.SetupSec, false, false)
+		v.finite(path+".bench.computeCPUSec", a.Bench.ComputeCPUSec, false, false)
+		v.finite(path+".bench.computeGPUSec", a.Bench.ComputeGPUSec, false, false)
+		v.finite(path+".bench.teardownSec", a.Bench.TeardownSec, false, false)
+		v.finite(path+".bench.gpuBandwidth", a.Bench.GPUBandwidth, false, false)
+		div := a.SetupTeardownDiv
+		switch {
+		case math.IsNaN(div):
+			v.addf(path+".setupTeardownDiv", CodeNaN, "is NaN")
+		case math.IsInf(div, 0):
+			v.addf(path+".setupTeardownDiv", CodeInfinite, "is infinite")
+		case div <= 0:
+			v.addf(path+".setupTeardownDiv", CodeRange, "is %g, want > 0", div)
+		}
+	}
+	return v.err()
+}
+
+// ValidateSpec rejects SoC specs with NaN/Inf/negative fields or structural
+// problems, with field-addressed codes ("dsas[1].pes"). Budgets of +Inf are
+// legal (explicitly unconstrained); call it on a normalized spec so zero
+// defaults have been filled in.
+func ValidateSpec(s soc.Spec) error {
+	var v fieldList
+	if s.CPUCores < 1 {
+		v.addf("cpuCores", CodeRange, "is %d, want >= 1", s.CPUCores)
+	}
+	if s.GPUSMs < 0 {
+		v.addf("gpuSMs", CodeNegative, "is %d, want >= 0", s.GPUSMs)
+	}
+	targets := map[string]bool{}
+	for i, d := range s.DSAs {
+		path := fmt.Sprintf("dsas[%d]", i)
+		if d.PEs < 1 {
+			v.addf(path+".pes", CodeRange, "is %d, want >= 1", d.PEs)
+		}
+		switch {
+		case d.Target == "":
+			v.addf(path+".target", CodeEmpty, "DSA has no target application")
+		case targets[d.Target]:
+			v.addf(path+".target", CodeDuplicate, "multiple DSAs target %q", d.Target)
+		default:
+			targets[d.Target] = true
+		}
+	}
+	v.finite("dsaAdvantage", s.DSAAdvantage, false, false)
+	for i, f := range s.GPUFrequenciesMHz {
+		path := fmt.Sprintf("gpuFrequenciesMHz[%d]", i)
+		switch {
+		case math.IsNaN(f):
+			v.addf(path, CodeNaN, "is NaN")
+		case math.IsInf(f, 0):
+			v.addf(path, CodeInfinite, "is infinite")
+		case f <= 0:
+			v.addf(path, CodeRange, "is %g, want > 0", f)
+		}
+	}
+	v.finite("memBandwidthGBs", s.MemBandwidthGBs, false, true)
+	v.finite("powerBudgetWatts", s.PowerBudgetWatts, false, true)
+	return v.err()
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hilp/internal/rodinia"
+	"hilp/internal/soc"
+)
+
+// validModel is a minimal well-formed model for mutation-based tests.
+func validModel() CustomModel {
+	return CustomModel{
+		Name:     "ok",
+		Clusters: []CustomCluster{{Name: "cpu"}, {Name: "gpu"}},
+		Tasks: []CustomTask{
+			{Name: "a", Options: []CustomOption{{Cluster: "cpu", Sec: 2}, {Cluster: "gpu", Sec: 1}}},
+			{Name: "b", Deps: []CustomDep{{Task: "a"}}, Options: []CustomOption{{Cluster: "cpu", Sec: 3}}},
+		},
+	}
+}
+
+// fieldAt extracts the (path, code) pairs of a validation error.
+func fieldAt(t *testing.T, err error) map[string]string {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a validation error")
+	}
+	if !errors.Is(err, ErrBadModel) {
+		t.Fatalf("error %v does not wrap ErrBadModel", err)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %T is not a *ValidationError", err)
+	}
+	if len(ve.Fields) == 0 {
+		t.Fatal("ValidationError with no fields")
+	}
+	out := map[string]string{}
+	for _, f := range ve.Fields {
+		out[f.Path] = f.Code
+	}
+	return out
+}
+
+func TestValidateModelOK(t *testing.T) {
+	if err := validModel().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if _, err := validModel().Build(1, 100); err != nil {
+		t.Fatalf("valid model failed to build: %v", err)
+	}
+}
+
+func TestValidateModel(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CustomModel)
+		path   string
+		code   string
+	}{
+		{"empty clusters", func(m *CustomModel) { m.Clusters = nil }, "clusters", CodeEmpty},
+		{"empty tasks", func(m *CustomModel) { m.Tasks = nil }, "tasks", CodeEmpty},
+		{"unnamed cluster", func(m *CustomModel) { m.Clusters[1].Name = "" }, "clusters[1].name", CodeEmpty},
+		{"duplicate cluster", func(m *CustomModel) { m.Clusters[1].Name = "cpu" }, "clusters[1].name", CodeDuplicate},
+		{"nan power budget", func(m *CustomModel) { m.PowerBudgetW = math.NaN() }, "powerBudgetW", CodeNaN},
+		{"negative bandwidth budget", func(m *CustomModel) { m.BandwidthGBs = -3 }, "bandwidthGBs", CodeNegative},
+		{"unnamed task", func(m *CustomModel) { m.Tasks[0].Name = "" }, "tasks[0].name", CodeEmpty},
+		{"duplicate task", func(m *CustomModel) { m.Tasks[1].Name = "a" }, "tasks[1].name", CodeDuplicate},
+		{"negative app", func(m *CustomModel) { m.Tasks[0].App = -1 }, "tasks[0].app", CodeRange},
+		{"empty compatibility row", func(m *CustomModel) { m.Tasks[1].Options = nil }, "tasks[1].options", CodeEmpty},
+		{"unknown cluster", func(m *CustomModel) { m.Tasks[0].Options[1].Cluster = "tpu" }, "tasks[0].options[1].cluster", CodeUnknown},
+		{"nan seconds", func(m *CustomModel) { m.Tasks[0].Options[0].Sec = math.NaN() }, "tasks[0].options[0].sec", CodeNaN},
+		{"infinite seconds", func(m *CustomModel) { m.Tasks[0].Options[0].Sec = math.Inf(1) }, "tasks[0].options[0].sec", CodeInfinite},
+		{"negative seconds", func(m *CustomModel) { m.Tasks[0].Options[0].Sec = -4 }, "tasks[0].options[0].sec", CodeNegative},
+		{"negative power", func(m *CustomModel) { m.Tasks[0].Options[0].PowerW = -1 }, "tasks[0].options[0].powerW", CodeNegative},
+		{"unknown dep", func(m *CustomModel) { m.Tasks[1].Deps[0].Task = "ghost" }, "tasks[1].deps[0].task", CodeUnknown},
+		{"self dep", func(m *CustomModel) { m.Tasks[1].Deps[0].Task = "b" }, "tasks[1].deps[0].task", CodeCycle},
+		{"nan lag", func(m *CustomModel) { m.Tasks[1].Deps[0].LagSec = math.NaN() }, "tasks[1].deps[0].lagSec", CodeNaN},
+		{"unnamed extra resource", func(m *CustomModel) { m.Extra = []CustomResource{{Capacity: 1}} }, "extra[0].name", CodeEmpty},
+		{"extra collides with builtin", func(m *CustomModel) { m.Extra = []CustomResource{{Name: "power", Capacity: 1}} }, "extra[0].name", CodeDuplicate},
+		{"unknown extra demand", func(m *CustomModel) {
+			m.Tasks[0].Options[0].ExtraDemand = map[string]float64{"sram": 1}
+		}, "tasks[0].options[0].extraDemand.sram", CodeUnknown},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := validModel()
+			tc.mutate(&m)
+			fields := fieldAt(t, m.Validate())
+			if got, ok := fields[tc.path]; !ok || got != tc.code {
+				t.Errorf("fields %v, want %s=%s", fields, tc.path, tc.code)
+			}
+			// Build must reject the same model (validation is its first step).
+			if _, err := m.Build(1, 100); err == nil {
+				t.Error("Build accepted the invalid model")
+			}
+		})
+	}
+}
+
+func TestValidateModelCycle(t *testing.T) {
+	m := validModel()
+	// a -> b -> a (a already has no deps; give it one on b).
+	m.Tasks[0].Deps = []CustomDep{{Task: "b"}}
+	fields := fieldAt(t, m.Validate())
+	found := false
+	for path, code := range fields {
+		if code == CodeCycle {
+			found = true
+			_ = path
+		}
+	}
+	if !found {
+		t.Fatalf("cycle not reported: %v", fields)
+	}
+}
+
+func TestValidateReportsAllFieldsAtOnce(t *testing.T) {
+	m := validModel()
+	m.Tasks[0].Options[0].Sec = math.NaN()
+	m.Tasks[1].Options = nil
+	m.PowerBudgetW = -2
+	fields := fieldAt(t, m.Validate())
+	if len(fields) < 3 {
+		t.Errorf("one pass reported %d fields (%v), want all 3", len(fields), fields)
+	}
+}
+
+func TestBuildRejectsBadStep(t *testing.T) {
+	for _, step := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := validModel().Build(step, 100); !errors.Is(err, ErrBadModel) {
+			t.Errorf("Build(step=%g) err = %v, want ErrBadModel", step, err)
+		}
+	}
+}
+
+func TestValidateWorkload(t *testing.T) {
+	w := rodinia.DefaultWorkload()
+	if err := ValidateWorkload(w); err != nil {
+		t.Fatalf("built-in workload rejected: %v", err)
+	}
+	if err := ValidateWorkload(rodinia.Workload{Name: "hollow"}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	bad := rodinia.DefaultWorkload()
+	bad.Apps[0].Bench.ComputeCPUSec = math.NaN()
+	fields := fieldAt(t, ValidateWorkload(bad))
+	if fields["apps[0].bench.computeCPUSec"] != CodeNaN {
+		t.Errorf("fields %v", fields)
+	}
+	bad = rodinia.DefaultWorkload()
+	bad.Apps[1].SetupTeardownDiv = -5
+	fields = fieldAt(t, ValidateWorkload(bad))
+	if fields["apps[1].setupTeardownDiv"] != CodeRange {
+		t.Errorf("fields %v", fields)
+	}
+}
+
+func TestValidateSpec(t *testing.T) {
+	ok := soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}.Normalize()
+	if err := ValidateSpec(ok); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		spec soc.Spec
+		path string
+		code string
+	}{
+		{"no cores", soc.Spec{CPUCores: 0}, "cpuCores", CodeRange},
+		{"negative SMs", soc.Spec{CPUCores: 1, GPUSMs: -4}, "gpuSMs", CodeNegative},
+		{"zero-PE DSA", soc.Spec{CPUCores: 1, DSAs: []soc.DSA{{PEs: 0, Target: "LUD"}}}, "dsas[0].pes", CodeRange},
+		{"untargeted DSA", soc.Spec{CPUCores: 1, DSAs: []soc.DSA{{PEs: 4}}}, "dsas[0].target", CodeEmpty},
+		{"duplicate DSA target", soc.Spec{CPUCores: 1,
+			DSAs: []soc.DSA{{PEs: 4, Target: "LUD"}, {PEs: 8, Target: "LUD"}}}, "dsas[1].target", CodeDuplicate},
+		{"nan frequency", soc.Spec{CPUCores: 1, GPUFrequenciesMHz: []float64{math.NaN()}}, "gpuFrequenciesMHz[0]", CodeNaN},
+		{"zero frequency", soc.Spec{CPUCores: 1, GPUFrequenciesMHz: []float64{0}}, "gpuFrequenciesMHz[0]", CodeRange},
+		{"nan power", soc.Spec{CPUCores: 1, PowerBudgetWatts: math.NaN()}, "powerBudgetWatts", CodeNaN},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fields := fieldAt(t, ValidateSpec(tc.spec))
+			if got, ok := fields[tc.path]; !ok || got != tc.code {
+				t.Errorf("fields %v, want %s=%s", fields, tc.path, tc.code)
+			}
+		})
+	}
+	// +Inf budgets mean explicitly unconstrained and must pass.
+	inf := ok
+	inf.PowerBudgetWatts = math.Inf(1)
+	inf.MemBandwidthGBs = math.Inf(1)
+	if err := ValidateSpec(inf); err != nil {
+		t.Errorf("+Inf budgets rejected: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"hilp/internal/baselines"
 	"hilp/internal/core"
+	"hilp/internal/faults"
 	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
@@ -80,7 +81,13 @@ type Point struct {
 	// Cancelled is true when the evaluation was cut short by context
 	// cancellation: the metrics are the best incumbent's, not converged ones.
 	Cancelled bool
-	Err       error
+	// Degraded is true when the point's solve fell back to the heuristic
+	// scheduler after the primary solver failed; the metrics are valid but
+	// the gap is typically looser.
+	Degraded bool
+	// FallbackReason classifies the degradation; empty unless Degraded.
+	FallbackReason string
+	Err            error
 }
 
 // Evaluator scores one SoC configuration. The context bounds the
@@ -152,6 +159,23 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 		best       Point
 		hasBest    bool
 	)
+	// evalOne isolates one evaluation: a panicking evaluator poisons only its
+	// own point (Err set to a *scheduler.PanicError with the stack attached),
+	// never the worker goroutine, so a sweep finishes with N-1 good points.
+	// Each point is keyed into the fault injector (if any) by its index, so
+	// chaos tests can account for exactly which points were hit.
+	evalOne := func(i int) (p Point) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe := scheduler.NewPanicError("dse.Sweep", r)
+				octx.Counter(obs.MSweepPanics).Inc()
+				octx.Logf(1, "sweep: point %d (%s) panicked: %v\n%s", i, specs[i].Label(), r, pe.Stack)
+				p = newPoint(specs[i])
+				p.Err = pe
+			}
+		}()
+		return eval(faults.WithKey(ctx, uint64(i)), specs[i])
+	}
 	points := make([]Point, len(specs))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -164,7 +188,7 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 				if timed {
 					t0 = time.Now()
 				}
-				p := eval(ctx, specs[i])
+				p := evalOne(i)
 				points[i] = p
 				pointCtr.Inc()
 				if p.Err != nil {
@@ -279,6 +303,8 @@ func HILPEvaluator(w rodinia.Workload, profile core.Profile, cfg scheduler.Confi
 		p.Gap = res.Gap
 		p.MakespanSec = res.MakespanSec
 		p.Cancelled = res.Cancelled
+		p.Degraded = res.Degraded
+		p.FallbackReason = res.FallbackReason
 		return p
 	}
 }

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Rate: 0.3}
+	a, b := New(cfg), New(cfg)
+	for key := uint64(0); key < 200; key++ {
+		for _, site := range []string{SiteSolve, SiteEvaluate, SiteServe} {
+			if got, want := a.decide(site, key), b.decide(site, key); got != want {
+				t.Fatalf("decide(%s, %d) differs across identical injectors: %v vs %v", site, key, got, want)
+			}
+		}
+	}
+	if New(Config{Seed: 8, Rate: 0.3}).decide(SiteSolve, 0) == a.decide(SiteSolve, 0) &&
+		New(Config{Seed: 8, Rate: 0.3}).decide(SiteSolve, 1) == a.decide(SiteSolve, 1) &&
+		New(Config{Seed: 8, Rate: 0.3}).decide(SiteSolve, 2) == a.decide(SiteSolve, 2) &&
+		New(Config{Seed: 8, Rate: 0.3}).decide(SiteSolve, 3) == a.decide(SiteSolve, 3) {
+		t.Error("different seeds produced identical decisions on keys 0..3")
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	never := New(Config{Seed: 1, Rate: 0})
+	always := New(Config{Seed: 1, Rate: 1})
+	fired := 0
+	for key := uint64(0); key < 1000; key++ {
+		if never.decide(SiteSolve, key) != None {
+			t.Fatalf("rate 0 fired at key %d", key)
+		}
+		if always.decide(SiteSolve, key) == None {
+			t.Fatalf("rate 1 did not fire at key %d", key)
+		}
+		if New(Config{Seed: 1, Rate: 0.2}).decide(SiteSolve, key) != None {
+			fired++
+		}
+	}
+	// 20% +- a generous tolerance over 1000 keys.
+	if fired < 120 || fired > 300 {
+		t.Errorf("rate 0.2 fired %d/1000 times, want roughly 200", fired)
+	}
+	if never.Enabled() {
+		t.Error("rate-0 injector reports Enabled")
+	}
+	if !always.Enabled() {
+		t.Error("rate-1 injector reports disabled")
+	}
+}
+
+func TestTimesBudget(t *testing.T) {
+	in := New(Config{Seed: 1, Rate: 1, Times: 2, Kinds: []Kind{KindError}})
+	p := in.Point(9)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := p.InjectErr(ctx, SiteSolve); !errors.Is(err, ErrInjected) {
+			t.Fatalf("firing %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := p.InjectErr(ctx, SiteSolve); err != nil {
+		t.Fatalf("third firing not suppressed by Times=2: %v", err)
+	}
+	if got := in.FiredCount(); got != 2 {
+		t.Errorf("FiredCount = %d, want 2", got)
+	}
+	if keys := in.FiredKeys(); len(keys) != 1 || keys[0] != 9 {
+		t.Errorf("FiredKeys = %v, want [9]", keys)
+	}
+}
+
+func TestPanicNow(t *testing.T) {
+	in := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindPanic}})
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *InjectedPanic", r, r)
+		}
+		if ip.Site != SiteSolve || ip.Key != 3 {
+			t.Errorf("panic value %+v, want site %s key 3", ip, SiteSolve)
+		}
+	}()
+	in.Point(3).PanicNow(SiteSolve)
+	t.Fatal("PanicNow did not panic at rate 1")
+}
+
+func TestTimeoutKindSleepsAndWraps(t *testing.T) {
+	in := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindTimeout}, Delay: 5 * time.Millisecond})
+	start := time.Now()
+	err := in.Point(0).InjectErr(context.Background(), SiteSolve)
+	if !errors.Is(err, ErrTimeout) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrTimeout wrapping ErrInjected", err)
+	}
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Errorf("timeout kind returned after %v, want >= ~5ms delay", d)
+	}
+	// A cancelled context cuts the sleep short.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in2 := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindTimeout}, Delay: time.Hour})
+	done := make(chan error, 1)
+	go func() { done <- in2.Point(0).InjectErr(ctx, SiteSolve) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("cancelled timeout err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout kind ignored context cancellation")
+	}
+}
+
+func TestSiteFilter(t *testing.T) {
+	in := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindError}, Sites: []string{SiteServe}})
+	if err := in.Point(0).InjectErr(context.Background(), SiteSolve); err != nil {
+		t.Errorf("filtered site fired: %v", err)
+	}
+	if err := in.Point(0).InjectErr(context.Background(), SiteServe); err == nil {
+		t.Error("enabled site did not fire")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector Enabled")
+	}
+	if in.Point(1) != nil {
+		t.Error("nil injector Point != nil")
+	}
+	if in.FiredKeys() != nil || in.FiredCount() != 0 {
+		t.Error("nil injector has firing history")
+	}
+	var p *Point
+	p.PanicNow(SiteSolve) // must not panic
+	if err := p.InjectErr(context.Background(), SiteSolve); err != nil {
+		t.Errorf("nil point InjectErr = %v", err)
+	}
+	if p.Corrupt(SiteSolve) {
+		t.Error("nil point Corrupt = true")
+	}
+	if p.Key() != 0 {
+		t.Error("nil point Key != 0")
+	}
+	// Context plumbing without an injector is a pass-through.
+	ctx := context.Background()
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Error("NewContext(nil) wrapped the context")
+	}
+	if got := WithKey(ctx, 5); got != ctx {
+		t.Error("WithKey without injector wrapped the context")
+	}
+	if FromContext(ctx) != nil {
+		t.Error("FromContext on empty context != nil")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	in := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{KindError}})
+	ctx := NewContext(context.Background(), in)
+	if p := FromContext(ctx); p == nil || p.Key() != 0 {
+		t.Fatalf("FromContext = %+v, want key-0 point", FromContext(ctx))
+	}
+	ctx = WithKey(ctx, 42)
+	if p := FromContext(ctx); p == nil || p.Key() != 42 {
+		t.Fatalf("after WithKey, key = %v, want 42", FromContext(ctx).Key())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=9,rate=0.25,times=3,delay=20ms,kinds=panic+nan,sites=solve+serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.Rate != 0.25 || cfg.Times != 3 || cfg.Delay != 20*time.Millisecond {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if len(cfg.Kinds) != 2 || cfg.Kinds[0] != KindPanic || cfg.Kinds[1] != KindCorrupt {
+		t.Errorf("kinds %v, want [panic corrupt]", cfg.Kinds)
+	}
+	if len(cfg.Sites) != 2 || cfg.Sites[0] != SiteSolve || cfg.Sites[1] != SiteServe {
+		t.Errorf("sites %v", cfg.Sites)
+	}
+	for _, bad := range []string{"", "rate", "rate=2", "kinds=quantum", "volume=11"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", KindPanic: "panic", KindTimeout: "timeout", KindError: "error", KindCorrupt: "corrupt"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package leakcheck verifies that a test leaks no goroutines. It follows the
+// snapshot-and-settle approach of go.uber.org/goleak without the dependency:
+// record the goroutine count when the test starts, then at cleanup poll until
+// the count settles back to the baseline or a grace deadline passes, dumping
+// every goroutine stack on failure. The chaos tests use it to prove that
+// injected panics, timeouts, and job retries never strand sweep workers or
+// server job goroutines.
+package leakcheck
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace bounds how long cleanup waits for goroutines started by the test to
+// exit. Legitimate teardown (HTTP connection close, sweep worker drain) is
+// asynchronous, so the check polls instead of failing on the first look.
+const grace = 5 * time.Second
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup that
+// fails the test if, after teardown (server shutdown, context cancellation),
+// more goroutines are running than at the start. Call it first in the test so
+// its cleanup runs last, after the test's own t.Cleanup teardowns.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Idle keep-alive connections from the default client hold a read
+		// goroutine each; they are pooled, not leaked.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(grace)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("leakcheck: %d goroutines after teardown, %d at test start; stacks:\n%s", n, base, buf)
+	})
+}

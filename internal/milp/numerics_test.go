@@ -1,0 +1,20 @@
+package milp
+
+import (
+	"errors"
+	"testing"
+)
+
+// The numerics sentinels form the contract the solve pipeline's retry logic
+// keys on: both failure modes must be matchable as ErrNumerics.
+func TestNumericsSentinels(t *testing.T) {
+	if !errors.Is(ErrIterationLimit, ErrNumerics) {
+		t.Error("ErrIterationLimit does not wrap ErrNumerics")
+	}
+	if !errors.Is(ErrDegenerate, ErrNumerics) {
+		t.Error("ErrDegenerate does not wrap ErrNumerics")
+	}
+	if errors.Is(ErrNumerics, ErrIterationLimit) {
+		t.Error("sentinel hierarchy inverted")
+	}
+}

@@ -16,9 +16,26 @@ const (
 	blandAfter = 20000
 )
 
+// ErrNumerics is the sentinel for numerical failure of the simplex method:
+// degenerate-pivot stalls, iteration-budget exhaustion, and phase-1
+// unboundedness all wrap it, so callers can distinguish "the arithmetic broke
+// down" from genuine infeasibility and retry with perturbed tolerances or
+// fall back to another solver.
+var ErrNumerics = errors.New("milp: numerical instability detected")
+
 // ErrIterationLimit is returned when the simplex method fails to converge
-// within its iteration budget; it indicates numerical trouble.
-var ErrIterationLimit = errors.New("milp: simplex iteration limit exceeded")
+// within its iteration budget; it wraps ErrNumerics.
+var ErrIterationLimit = fmt.Errorf("%w: simplex iteration limit exceeded", ErrNumerics)
+
+// ErrDegenerate is returned when the simplex stalls on a long run of
+// degenerate pivots (no objective progress) that even Bland's anti-cycling
+// rule fails to break — floating-point cycling. It wraps ErrNumerics.
+var ErrDegenerate = fmt.Errorf("%w: degenerate pivot stall", ErrNumerics)
+
+// degenStreakLimit is the number of consecutive zero-progress pivots treated
+// as a stall. It exceeds blandAfter so Bland's rule gets a full chance to
+// break ties before the solve is declared numerically stuck.
+const degenStreakLimit = blandAfter + 10000
 
 // SolveLP solves the linear relaxation of p (integrality dropped) and returns
 // the solution. The returned Solution has Status Optimal, Infeasible, or
@@ -281,6 +298,7 @@ func (t *tableau) objective() float64 { return t.z }
 func (t *tableau) iterate() error {
 	inPhase2 := t.phase2
 	maxIters := 200*(t.m+t.total) + 20000
+	degen := 0
 	for it := 0; ; it++ {
 		if it > maxIters {
 			return ErrIterationLimit
@@ -300,10 +318,21 @@ func (t *tableau) iterate() error {
 			}
 			// Phase 1 is bounded below by zero; an unbounded ray here means
 			// numerical trouble.
-			return fmt.Errorf("milp: phase-1 unbounded (numerical failure)")
+			return fmt.Errorf("%w: phase-1 unbounded ratio test", ErrNumerics)
 		}
+		zBefore := t.z
 		t.pivot(leave, enter)
 		t.iters++
+		// A pivot that moves the objective by essentially nothing is
+		// degenerate; a long unbroken run of them (outlasting Bland's rule)
+		// means the arithmetic is cycling, not converging.
+		if math.Abs(t.z-zBefore) <= eps*(1+math.Abs(zBefore)) {
+			if degen++; degen > degenStreakLimit {
+				return ErrDegenerate
+			}
+		} else {
+			degen = 0
+		}
 	}
 }
 

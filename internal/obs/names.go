@@ -15,8 +15,14 @@ const (
 	MTabuSteps       = "hilp_sched_tabu_steps_total"
 	MSGSSchedules    = "hilp_sched_sgs_schedules_total"
 	MSolves          = "hilp_sched_solves_total"
+	MSolvePanics     = "hilp_sched_solve_panics_total"
 	MLowerBoundSteps = "hilp_sched_lower_bound_steps"
 	MMakespanSteps   = "hilp_sched_makespan_steps"
+
+	// Fault-tolerance chain (internal/core fallback + internal/faults).
+	MSolveRetries   = "hilp_core_solve_retries_total"
+	MSolveFallbacks = "hilp_core_solve_fallbacks_total"
+	MSolveDegraded  = "hilp_core_solve_degraded_total"
 
 	// Adaptive-resolution loop (internal/core).
 	MEvaluations  = "hilp_core_evaluations_total"
@@ -27,6 +33,7 @@ const (
 	// Design-space sweeps (internal/dse).
 	MSweepPoints       = "hilp_dse_points_total"
 	MSweepPointsFailed = "hilp_dse_points_failed_total"
+	MSweepPanics       = "hilp_dse_point_panics_total"
 	MSweepPointSec     = "hilp_dse_point_seconds"
 
 	// Solve service (internal/server).
@@ -36,6 +43,8 @@ const (
 	MServeCacheHits   = "hilp_serve_cache_hits_total"
 	MServeCacheMisses = "hilp_serve_cache_misses_total"
 	MServeDeadlines   = "hilp_serve_deadline_exceeded_total"
+	MServePanics      = "hilp_serve_panics_total"
+	MServeRetries     = "hilp_serve_job_retries_total"
 	MServeRequestSec  = "hilp_serve_request_seconds"
 	MServeInFlight    = "hilp_serve_in_flight"
 	MServeJobsActive  = "hilp_serve_jobs_active"

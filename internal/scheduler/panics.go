@@ -1,0 +1,31 @@
+package scheduler
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a solver panic converted into an error at a recover boundary
+// (scheduler.Solve, dse sweep workers, hilp.Solve, the hilp-serve pool). It
+// captures the panic value and the goroutine stack at recovery so the failure
+// is diagnosable after the sweep or request has moved on. The core fallback
+// chain treats it as transient: the solve is retried and, failing that,
+// degraded to the heuristic scheduler.
+type PanicError struct {
+	// Site names the recover boundary that caught the panic.
+	Site string
+	// Value is the original panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// NewPanicError captures the current stack around a recovered panic value.
+// Call it from inside the deferred recover handler.
+func NewPanicError(site string, value any) *PanicError {
+	return &PanicError{Site: site, Value: value, Stack: debug.Stack()}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: recovered panic: %v", e.Site, e.Value)
+}

@@ -1,0 +1,50 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hilp/internal/faults"
+)
+
+func TestNewPanicError(t *testing.T) {
+	pe := NewPanicError("unit.test", "boom")
+	if !strings.Contains(pe.Error(), "unit.test") || !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("message %q lacks site or value", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+}
+
+// A panic injected inside Solve must come back as a *PanicError, never escape
+// to the caller's goroutine.
+func TestSolveRecoversInjectedPanic(t *testing.T) {
+	p := &Problem{
+		Tasks:        []Task{{Name: "only", Options: []Option{{Cluster: 0, Duration: 5}}}},
+		NumClusters:  1,
+		ClusterGroup: []int{0},
+		Horizon:      10,
+	}
+	in := faults.New(faults.Config{Seed: 1, Rate: 1,
+		Kinds: []faults.Kind{faults.KindPanic}, Sites: []string{faults.SiteSolve}})
+	ctx := faults.NewContext(context.Background(), in)
+	_, err := Solve(ctx, p, Config{Seed: 1})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic has no stack")
+	}
+	// Without injection the same problem solves cleanly.
+	res, err := Solve(context.Background(), p, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Schedule.Validate(p); verr != nil {
+		t.Fatal(verr)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"hilp/internal/faults"
 	"hilp/internal/obs"
 )
 
@@ -69,6 +70,14 @@ type Result struct {
 	// best incumbent and certificate found before the cut), but later stages
 	// that could have tightened them were skipped.
 	Cancelled bool
+	// Degraded is true when the primary solver failed (panic, numerics, or an
+	// injected fault) and the result came from the fallback chain's heuristic
+	// scheduler: the schedule is feasible and the bound valid, but the gap is
+	// typically looser than a healthy solve would certify.
+	Degraded bool
+	// FallbackReason classifies why the solve degraded ("panic", "numerics",
+	// "injected-fault", "invalid-result", ...); empty unless Degraded.
+	FallbackReason string
 }
 
 // Gap returns the relative optimality gap (UB - LB) / UB. A value of 0 means
@@ -94,10 +103,29 @@ var ErrInfeasible = errors.New("scheduler: no feasible schedule exists")
 // a valid (if loose) lower-bound certificate and Result.Cancelled set, never
 // an error. Every stage — the improver, destructive lower bounding, and the
 // exact finish — checks ctx at a fine grain, so the return is prompt.
-func Solve(ctx context.Context, p *Problem, cfg Config) (Result, error) {
+//
+// Solve is a panic-isolation boundary: a panic anywhere in the search is
+// recovered into a *PanicError (stack attached) instead of unwinding into the
+// caller, so one poisoned instance cannot kill a sweep worker or a service
+// goroutine. It is also a fault-injection site (faults.SiteSolve) when the
+// context carries an injector.
+func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) {
 	cfg = cfg.withDefaults()
+	defer func() {
+		if r := recover(); r != nil {
+			pe := NewPanicError("scheduler.Solve", r)
+			cfg.Obs.Counter(obs.MSolvePanics).Inc()
+			cfg.Obs.Logf(1, "solve: %v\n%s", pe, pe.Stack)
+			res, err = Result{}, pe
+		}
+	}()
 	if err := p.Validate(); err != nil {
 		return Result{}, err
+	}
+	fp := faults.FromContext(ctx)
+	fp.PanicNow(faults.SiteSolve)
+	if ferr := fp.InjectErr(ctx, faults.SiteSolve); ferr != nil {
+		return Result{}, ferr
 	}
 	if len(p.Tasks) == 0 {
 		return Result{Schedule: Schedule{Start: []int{}, Option: []int{}}, Method: "trivial", Proven: true}, nil

@@ -7,6 +7,13 @@
 // deadlines. Because the whole solve stack has anytime semantics, a request
 // hitting its deadline still returns 200 with the best incumbent found and
 // result.cancelled set — never a wasted solve.
+//
+// Robustness contract: every error response is a structured
+// wire.ErrorResponse with a machine-readable Code; invalid models come back
+// as 422 with field-addressed diagnostics, oversized bodies as 413, unknown
+// JSON fields as 400, and a panic anywhere in a handler or job as a 500 (or a
+// "failed" job) — never a crashed process. Sweep jobs retry transient
+// failures with exponential backoff before giving up.
 package server
 
 import (
@@ -16,6 +23,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"runtime"
@@ -25,7 +33,10 @@ import (
 	"time"
 
 	"hilp"
+	"hilp/internal/core"
+	"hilp/internal/faults"
 	"hilp/internal/obs"
+	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
 	"hilp/internal/soc"
 	"hilp/internal/wire"
@@ -49,6 +60,19 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxJobs bounds retained async jobs; 0 selects 64.
 	MaxJobs int
+	// MaxBodyBytes bounds request bodies, rejected with 413 beyond it;
+	// 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// JobRetries bounds retry attempts after a transient sweep-job failure
+	// (injected fault, recovered panic); 0 selects 2, negative disables
+	// retries.
+	JobRetries int
+	// RetryBaseDelay is the first retry's backoff, doubling per attempt with
+	// deterministic jitter; 0 selects 50 ms.
+	RetryBaseDelay time.Duration
+	// Faults optionally injects faults into request and job handling for
+	// chaos testing; nil (the default) disables injection entirely.
+	Faults *faults.Injector
 	// Obs receives request metrics and solver telemetry. nil creates a
 	// metrics-only context so /metrics always works.
 	Obs *obs.Context
@@ -73,6 +97,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 64
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	switch {
+	case c.JobRetries == 0:
+		c.JobRetries = 2
+	case c.JobRetries < 0:
+		c.JobRetries = 0
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -88,6 +124,10 @@ type Server struct {
 	tokens  chan struct{}
 	waiting atomic.Int64
 
+	// reqSeq and jobSeq key fault injection per request and per job.
+	reqSeq atomic.Uint64
+	jobSeq atomic.Uint64
+
 	baseCtx context.Context // parent of all job contexts; Shutdown cancels it
 	stop    context.CancelFunc
 	jobWG   sync.WaitGroup
@@ -102,7 +142,9 @@ type job struct {
 	total   int
 	done    atomic.Int64
 	mu      sync.Mutex
-	status  string // "running", "done", "cancelled"
+	status  string // "running", "done", "cancelled", "failed"
+	retries int
+	errMsg  string
 	result  *wire.SweepResponse
 	created time.Time
 }
@@ -125,9 +167,9 @@ func New(cfg Config) *Server {
 		stop:    stop,
 		jobs:    map[string]*job{},
 	}
-	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/evaluate", s.recoverHandler(s.handleEvaluate))
+	s.mux.HandleFunc("POST /v1/sweep", s.recoverHandler(s.handleSweep))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.recoverHandler(s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -201,30 +243,87 @@ func parseBaseline(name string) (hilp.Baseline, error) {
 	return 0, fmt.Errorf("unknown baseline %q (want hilp, gables, or multiamdahl)", name)
 }
 
-// maxBodyBytes bounds request bodies; custom models are at most a few MB.
-const maxBodyBytes = 8 << 20
+// apiError pairs an error with its HTTP status and machine-readable code
+// (see wire.ErrorResponse.Code for the vocabulary).
+type apiError struct {
+	status int
+	code   string
+	err    error
+}
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+// solveErr classifies an error from the model-building or solve path. Invalid
+// models are the client's fault (422), recovered panics are ours (500).
+func solveErr(err error) *apiError {
+	var pe *scheduler.PanicError
+	switch {
+	case errors.Is(err, core.ErrBadModel):
+		return &apiError{http.StatusUnprocessableEntity, "bad_model", err}
+	case errors.Is(err, scheduler.ErrInfeasible):
+		return &apiError{http.StatusUnprocessableEntity, "infeasible", err}
+	case errors.As(err, &pe):
+		return &apiError{http.StatusInternalServerError, "internal_panic", err}
+	default:
+		// Everything else on this path is a model the solver could not
+		// represent (e.g. a task that does not fit the horizon).
+		return &apiError{http.StatusUnprocessableEntity, "bad_model", err}
+	}
+}
+
+// decodeBody parses a JSON request under the configured size limit, rejecting
+// unknown fields so schema typos fail loudly instead of being ignored.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiError {
 	defer io.Copy(io.Discard, r.Body)
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &apiError{http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return &apiError{http.StatusBadRequest, "malformed_json", fmt.Errorf("decoding request: %w", err)}
 	}
 	return nil
 }
 
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
 	s.obs.Counter(obs.MServeErrors).Inc()
+	resp := wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error(), Code: code}
+	var ve *core.ValidationError
+	if errors.As(err, &ve) {
+		resp.Fields = ve.Fields
+	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	body, _ := wire.Marshal(wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error()})
+	w.WriteHeader(status)
+	body, _ := wire.Marshal(resp)
 	w.Write(body)
+}
+
+func (s *Server) writeAPIError(w http.ResponseWriter, e *apiError) {
+	s.writeError(w, e.status, e.code, e.err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	w.Write(body)
+}
+
+// recoverHandler converts a panic escaping a handler into a structured 500
+// response, so one poisoned request never kills the process. /healthz stays
+// un-wrapped and trivially healthy.
+func (s *Server) recoverHandler(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				pe := scheduler.NewPanicError("server:"+r.URL.Path, rec)
+				s.obs.Counter(obs.MServePanics).Inc()
+				s.obs.Logf(0, "panic serving %s: %v\n%s", r.URL.Path, rec, pe.Stack)
+				s.writeError(w, http.StatusInternalServerError, "internal_panic", pe)
+			}
+		}()
+		h(w, r)
+	}
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -236,12 +335,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.obs.Histogram(obs.MServeRequestSec).Observe(time.Since(start).Seconds()) }()
 
 	var req wire.EvaluateRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeAPIError(w, apiErr)
 		return
 	}
 	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, "version", err)
 		return
 	}
 
@@ -249,7 +348,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// and key order don't fragment it.
 	canonical, err := json.Marshal(req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	key := cacheKey(canonical)
@@ -264,9 +363,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if err := s.acquire(r.Context()); err != nil {
 		if errors.Is(err, errBusy) {
 			s.obs.Counter(obs.MServeRejected).Inc()
-			s.writeError(w, http.StatusTooManyRequests, err)
+			s.writeError(w, http.StatusTooManyRequests, "busy", err)
 		} else {
-			s.writeError(w, http.StatusServiceUnavailable, err)
+			s.writeError(w, http.StatusServiceUnavailable, "busy", err)
 		}
 		return
 	}
@@ -274,16 +373,17 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeout(req.TimeoutSec))
 	defer cancel()
+	ctx = faults.WithKey(faults.NewContext(ctx, s.cfg.Faults), s.reqSeq.Add(1))
 
 	var result wire.Result
-	var code int
+	var apiErr *apiError
 	if req.Model != nil {
-		result, code, err = s.evaluateModel(ctx, &req)
+		result, apiErr = s.evaluateModel(ctx, &req)
 	} else {
-		result, code, err = s.evaluateTemplate(ctx, &req)
+		result, apiErr = s.evaluateTemplate(ctx, &req)
 	}
-	if err != nil {
-		s.writeError(w, code, err)
+	if apiErr != nil {
+		s.writeAPIError(w, apiErr)
 		return
 	}
 	if result.Cancelled {
@@ -292,13 +392,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	body, err := wire.Marshal(wire.EvaluateResponse{SchemaVersion: wire.SchemaVersion, Result: result})
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, "", err)
 		return
 	}
 	// Cancelled results are the best incumbent under *this* request's
-	// deadline, not the converged answer — never serve them to later
-	// callers.
-	if !result.Cancelled {
+	// deadline, and degraded ones are fallback answers to a transient
+	// failure — never serve either to later callers.
+	if !result.Cancelled && !result.Degraded {
 		s.cache.put(key, body)
 	}
 	w.Header().Set("X-HILP-Cache", "miss")
@@ -306,9 +406,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 }
 
 // evaluateTemplate solves a (workload, SoC) pair from the paper's template.
-func (s *Server) evaluateTemplate(ctx context.Context, req *wire.EvaluateRequest) (wire.Result, int, error) {
+func (s *Server) evaluateTemplate(ctx context.Context, req *wire.EvaluateRequest) (wire.Result, *apiError) {
 	if req.SoC == nil {
-		return wire.Result{}, http.StatusBadRequest, errors.New("request lacks both soc and model")
+		return wire.Result{}, &apiError{http.StatusBadRequest, "bad_request",
+			errors.New("request lacks both soc and model")}
 	}
 	var ww wire.Workload
 	if req.Workload != nil {
@@ -316,11 +417,11 @@ func (s *Server) evaluateTemplate(ctx context.Context, req *wire.EvaluateRequest
 	}
 	w, err := ww.ToWorkload()
 	if err != nil {
-		return wire.Result{}, http.StatusBadRequest, err
+		return wire.Result{}, solveErr(err)
 	}
 	baseline, err := parseBaseline(req.Baseline)
 	if err != nil {
-		return wire.Result{}, http.StatusBadRequest, err
+		return wire.Result{}, &apiError{http.StatusBadRequest, "bad_request", err}
 	}
 	spec := req.SoC.ToSpec()
 	opts := []hilp.Option{hilp.WithBaseline(baseline), hilp.WithObs(s.obs)}
@@ -332,15 +433,17 @@ func (s *Server) evaluateTemplate(ctx context.Context, req *wire.EvaluateRequest
 	}
 	res, err := hilp.Solve(ctx, w, spec, opts...)
 	if err != nil {
-		return wire.Result{}, http.StatusUnprocessableEntity, err
+		return wire.Result{}, solveErr(err)
 	}
 	out := wire.FromResult(res)
 	out.SpecLabel = spec.Normalize().Label()
-	return out, http.StatusOK, nil
+	return out, nil
 }
 
-// evaluateModel solves a custom model (§VII).
-func (s *Server) evaluateModel(ctx context.Context, req *wire.EvaluateRequest) (wire.Result, int, error) {
+// evaluateModel solves a custom model (§VII) through the fault-tolerant
+// solve chain, so a transient solver failure degrades to the heuristic
+// fallback instead of failing the request.
+func (s *Server) evaluateModel(ctx context.Context, req *wire.EvaluateRequest) (wire.Result, *apiError) {
 	step := req.StepSec
 	if step == 0 {
 		step = 1
@@ -351,40 +454,42 @@ func (s *Server) evaluateModel(ctx context.Context, req *wire.EvaluateRequest) (
 	}
 	inst, err := req.Model.Build(step, horizon)
 	if err != nil {
-		return wire.Result{}, http.StatusBadRequest, err
+		return wire.Result{}, solveErr(err)
 	}
 	cfg := scheduler.Config{Seed: 1}
 	if req.Solver != nil {
 		cfg = req.Solver.ToConfig()
 	}
 	cfg.Obs = s.obs
-	res, err := scheduler.Solve(ctx, inst.Problem, cfg)
+	res, err := core.SolveProblem(ctx, inst.Problem, cfg)
 	if err != nil {
-		return wire.Result{}, http.StatusUnprocessableEntity, err
+		return wire.Result{}, solveErr(err)
 	}
 	makespanSec := float64(res.Schedule.Makespan) * step
 	return wire.Result{
-		SchemaVersion: wire.SchemaVersion,
-		StepSec:       step,
-		MakespanSec:   makespanSec,
-		Speedup:       wire.ModelSpeedup(*req.Model, makespanSec),
-		WLP:           res.Schedule.WLP(inst.Problem),
-		Gap:           res.Gap(),
-		Proven:        res.Proven,
-		Method:        res.Method,
-		Cancelled:     res.Cancelled,
-	}, http.StatusOK, nil
+		SchemaVersion:  wire.SchemaVersion,
+		StepSec:        step,
+		MakespanSec:    makespanSec,
+		Speedup:        wire.ModelSpeedup(*req.Model, makespanSec),
+		WLP:            res.Schedule.WLP(inst.Problem),
+		Gap:            res.Gap(),
+		Proven:         res.Proven,
+		Method:         res.Method,
+		Cancelled:      res.Cancelled,
+		Degraded:       res.Degraded,
+		FallbackReason: res.FallbackReason,
+	}, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.obs.Counter(obs.MServeRequests).Inc()
 	var req wire.SweepRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		s.writeAPIError(w, apiErr)
 		return
 	}
 	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, "version", err)
 		return
 	}
 	var ww wire.Workload
@@ -393,12 +498,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	workload, err := ww.ToWorkload()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeAPIError(w, solveErr(err))
 		return
 	}
 	baseline, err := parseBaseline(req.Baseline)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	specs := make([]soc.Spec, 0, len(req.Specs))
@@ -416,7 +521,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	j, err := s.newJob(len(specs))
 	if err != nil {
 		s.obs.Counter(obs.MServeRejected).Inc()
-		s.writeError(w, http.StatusTooManyRequests, err)
+		s.writeError(w, http.StatusTooManyRequests, "busy", err)
 		return
 	}
 	opts := []hilp.Option{
@@ -435,20 +540,85 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	s.jobWG.Add(1)
 	s.obs.Gauge(obs.MServeJobsActive).Add(1)
-	go func() {
-		defer s.jobWG.Done()
-		defer s.obs.Gauge(obs.MServeJobsActive).Add(-1)
-		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-		defer cancel()
-		points := hilp.Sweep(ctx, workload, specs, opts...)
-		j.finish(points, ctx.Err() != nil)
-		if ctx.Err() != nil {
-			s.obs.Counter(obs.MServeDeadlines).Inc()
-		}
-	}()
+	go s.runJob(j, workload, specs, opts, timeout)
 
 	body, _ := wire.Marshal(j.snapshot())
 	writeJSON(w, http.StatusAccepted, body)
+}
+
+// runJob executes a sweep job with panic isolation and a bounded
+// retry/backoff loop: transient failures (injected faults, recovered panics)
+// are retried up to Config.JobRetries times before the job is marked failed.
+func (s *Server) runJob(j *job, workload rodinia.Workload, specs []soc.Spec, opts []hilp.Option, timeout time.Duration) {
+	defer s.jobWG.Done()
+	defer s.obs.Gauge(obs.MServeJobsActive).Add(-1)
+	defer func() {
+		if rec := recover(); rec != nil {
+			pe := scheduler.NewPanicError("server.job", rec)
+			s.obs.Counter(obs.MServePanics).Inc()
+			s.obs.Logf(0, "job %s: %v\n%s", j.id, pe, pe.Stack)
+			j.fail(pe)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	ctx = faults.WithKey(faults.NewContext(ctx, s.cfg.Faults), s.jobSeq.Add(1))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := s.sweepOnce(ctx, j, workload, specs, opts)
+		if err == nil {
+			return
+		}
+		lastErr = err
+		if ctx.Err() != nil || attempt >= s.cfg.JobRetries || !core.Transient(err) {
+			break
+		}
+		j.retried()
+		s.obs.Counter(obs.MServeRetries).Inc()
+		s.obs.Logf(1, "job %s: attempt %d failed (%v), retrying", j.id, attempt+1, err)
+		sleepBackoff(ctx, s.cfg.RetryBaseDelay, attempt, j.id)
+	}
+	s.obs.Logf(0, "job %s failed: %v", j.id, lastErr)
+	j.fail(lastErr)
+}
+
+// sweepOnce runs one sweep attempt. Panics — including injected ones —
+// convert to errors so runJob's retry loop can classify them.
+func (s *Server) sweepOnce(ctx context.Context, j *job, workload rodinia.Workload, specs []soc.Spec, opts []hilp.Option) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.obs.Counter(obs.MServePanics).Inc()
+			err = scheduler.NewPanicError("server.sweep", rec)
+		}
+	}()
+	fp := faults.FromContext(ctx)
+	fp.PanicNow(faults.SiteServe)
+	if ferr := fp.InjectErr(ctx, faults.SiteServe); ferr != nil {
+		return ferr
+	}
+	points := hilp.Sweep(ctx, workload, specs, opts...)
+	j.finish(points, ctx.Err() != nil)
+	if ctx.Err() != nil {
+		s.obs.Counter(obs.MServeDeadlines).Inc()
+	}
+	return nil
+}
+
+// sleepBackoff waits base << attempt plus deterministic jitter derived from
+// the job id, or until ctx is done. Deterministic jitter keeps chaos tests
+// replayable while still de-synchronizing real concurrent retries.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, id string) {
+	d := base << uint(attempt)
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	h.Write([]byte{byte(attempt)})
+	jitter := time.Duration(h.Sum64() % uint64(d/2+1))
+	t := time.NewTimer(d + jitter)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -457,12 +627,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	s.jobMu.Unlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		s.writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	body, err := wire.Marshal(j.snapshot())
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, "", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -517,15 +687,17 @@ func (j *job) finish(points []hilp.Point, cancelled bool) {
 	resp := &wire.SweepResponse{SchemaVersion: wire.SchemaVersion}
 	for _, p := range points {
 		wp := wire.Point{
-			Spec:        wire.FromSpec(p.Spec),
-			Label:       p.Label,
-			AreaMM2:     p.AreaMM2,
-			Speedup:     p.Speedup,
-			WLP:         p.WLP,
-			Gap:         p.Gap,
-			MakespanSec: p.MakespanSec,
-			Mix:         p.Mix.String(),
-			Cancelled:   p.Cancelled,
+			Spec:           wire.FromSpec(p.Spec),
+			Label:          p.Label,
+			AreaMM2:        p.AreaMM2,
+			Speedup:        p.Speedup,
+			WLP:            p.WLP,
+			Gap:            p.Gap,
+			MakespanSec:    p.MakespanSec,
+			Mix:            p.Mix.String(),
+			Cancelled:      p.Cancelled,
+			Degraded:       p.Degraded,
+			FallbackReason: p.FallbackReason,
 		}
 		if p.Err != nil {
 			wp.Error = p.Err.Error()
@@ -550,6 +722,24 @@ func (j *job) finish(points []hilp.Point, cancelled bool) {
 	}
 }
 
+// retried counts one job-level retry.
+func (j *job) retried() {
+	j.mu.Lock()
+	j.retries++
+	j.mu.Unlock()
+}
+
+// fail marks the job failed unless an attempt already finished it.
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != "running" {
+		return
+	}
+	j.status = "failed"
+	j.errMsg = err.Error()
+}
+
 // snapshot renders the job's current wire state.
 func (j *job) snapshot() wire.Job {
 	j.mu.Lock()
@@ -561,6 +751,8 @@ func (j *job) snapshot() wire.Job {
 		Done:          int(j.done.Load()),
 		Total:         j.total,
 		URL:           "/v1/jobs/" + j.id,
+		Retries:       j.retries,
+		Error:         j.errMsg,
 		Result:        j.result,
 	}
 }

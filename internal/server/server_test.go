@@ -187,21 +187,33 @@ func TestEvaluateDeadlineReturnsIncumbent(t *testing.T) {
 
 func TestEvaluateBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	cases := map[string]string{
-		"malformed":      `{"workload": nope}`,
-		"missing soc":    `{"workload":{"name":"default"}}`,
-		"bad baseline":   `{"soc":{"cpuCores":1},"baseline":"astrology"}`,
-		"bad workload":   `{"workload":{"name":"galaxy"},"soc":{"cpuCores":1}}`,
-		"future version": fmt.Sprintf(`{"schemaVersion":%d,"soc":{"cpuCores":1}}`, wire.SchemaVersion+1),
+	cases := map[string]struct {
+		body   string
+		status int
+		code   string
+	}{
+		"malformed":     {`{"workload": nope}`, http.StatusBadRequest, "malformed_json"},
+		"unknown field": {`{"soc":{"cpuCores":1},"warpDrive":9}`, http.StatusBadRequest, "malformed_json"},
+		"missing soc":   {`{"workload":{"name":"default"}}`, http.StatusBadRequest, "bad_request"},
+		"bad baseline":  {`{"soc":{"cpuCores":1},"baseline":"astrology"}`, http.StatusBadRequest, "bad_request"},
+		// Unknown workloads and benchmarks are model-validation failures: 422
+		// with a field-addressed diagnostic, not a bare 400.
+		"bad workload": {`{"workload":{"name":"galaxy"},"soc":{"cpuCores":1}}`,
+			http.StatusUnprocessableEntity, "bad_model"},
+		"future version": {fmt.Sprintf(`{"schemaVersion":%d,"soc":{"cpuCores":1}}`, wire.SchemaVersion+1),
+			http.StatusBadRequest, "version"},
 	}
-	for name, body := range cases {
-		resp, out := post(t, ts.URL+"/v1/evaluate", []byte(body))
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, out)
+	for name, tc := range cases {
+		resp, out := post(t, ts.URL+"/v1/evaluate", []byte(tc.body))
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d (%s), want %d", name, resp.StatusCode, out, tc.status)
 		}
 		var e wire.ErrorResponse
 		if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error body %s", name, out)
+		}
+		if e.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", name, e.Code, tc.code)
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestErrorResponseRoundTrip(t *testing.T) {
+	in := ErrorResponse{
+		SchemaVersion: SchemaVersion,
+		Error:         "model validation failed",
+		Code:          "bad_model",
+		Fields: []FieldError{
+			{Path: "tasks[0].options[0].sec", Code: "negative", Msg: "is negative"},
+			{Path: "clusters[1].name", Code: "duplicate", Msg: "duplicates clusters[0]"},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"code":"bad_model"`, `"fields":`, `"path":"tasks[0].options[0].sec"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("encoded error lacks %s: %s", key, data)
+		}
+	}
+	var out ErrorResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != in.Code || len(out.Fields) != 2 || out.Fields[0].Path != in.Fields[0].Path {
+		t.Errorf("round trip %+v", out)
+	}
+}
+
+func TestDegradedFieldsRoundTrip(t *testing.T) {
+	r := Result{Degraded: true, FallbackReason: "numerics", Speedup: 2}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"degraded":true`) ||
+		!strings.Contains(string(data), `"fallbackReason":"numerics"`) {
+		t.Errorf("result encoding lacks degradation fields: %s", data)
+	}
+	// omitempty: clean results carry neither key.
+	clean, err := json.Marshal(Result{Speedup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(clean), "degraded") || strings.Contains(string(clean), "fallbackReason") {
+		t.Errorf("clean result leaks degradation fields: %s", clean)
+	}
+
+	p := Point{Degraded: true, FallbackReason: "panic", Error: "boom"}
+	data, err = json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Point
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Degraded || back.FallbackReason != "panic" || back.Error != "boom" {
+		t.Errorf("point round trip %+v", back)
+	}
+}

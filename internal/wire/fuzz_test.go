@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeModel asserts the model decoder's hardening contract: arbitrary
+// bytes must produce either a usable model or a structured error — never a
+// panic, and never a model that later blows up the instance builder.
+func FuzzDecodeModel(f *testing.F) {
+	f.Add([]byte(`{"Name":"m","Clusters":[{"Name":"cpu"}],` +
+		`"Tasks":[{"Name":"a","Options":[{"Cluster":"cpu","Sec":2}]}]}`))
+	f.Add([]byte(`{"Name":"m","Clusters":[{"Name":"c"}],"Tasks":[` +
+		`{"Name":"a","Deps":[{"Task":"b"}],"Options":[{"Cluster":"c","Sec":1}]},` +
+		`{"Name":"b","Deps":[{"Task":"a"}],"Options":[{"Cluster":"c","Sec":1}]}]}`))
+	f.Add([]byte(`{"Tasks":[{"Options":[{"Sec":-1}]}]}`))
+	f.Add([]byte(`{"Clusters":[{"Name":"x"},{"Name":"x"}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(data)
+		if err != nil {
+			return
+		}
+		// A model that decoded cleanly must also build cleanly: DecodeModel
+		// already ran the validation build, so a failure here is a divergence
+		// between validation and construction.
+		if _, err := m.Build(1, 1000); err != nil {
+			t.Fatalf("DecodeModel accepted a model Build rejects: %v\ninput: %s", err, data)
+		}
+	})
+}
+
+// FuzzDecodeEvaluateRequest pushes arbitrary bytes through the full request
+// schema; decoding must never panic.
+func FuzzDecodeEvaluateRequest(f *testing.F) {
+	f.Add([]byte(`{"workload":{"name":"default"},"soc":{"cpuCores":2}}`))
+	f.Add([]byte(`{"model":{"Name":"m"},"stepSec":1e308,"horizon":-5}`))
+	f.Add([]byte(`[[[[`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req EvaluateRequest
+		_ = json.Unmarshal(data, &req)
+	})
+}

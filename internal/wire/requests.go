@@ -1,6 +1,9 @@
 package wire
 
-import "hilp/internal/soc"
+import (
+	"hilp/internal/core"
+	"hilp/internal/soc"
+)
 
 // EvaluateRequest is the body of POST /v1/evaluate. Exactly one of the two
 // input modes applies: template mode (Workload + SoC, like the paper's
@@ -92,19 +95,37 @@ type SweepResponse struct {
 type Job struct {
 	SchemaVersion int    `json:"schemaVersion"`
 	ID            string `json:"id"`
-	// Status is "running", "done", or "cancelled".
+	// Status is "running", "done", "cancelled", or "failed".
 	Status string `json:"status"`
 	// Done and Total count completed and requested points.
 	Done  int `json:"done"`
 	Total int `json:"total"`
 	// URL polls the job.
 	URL string `json:"url"`
-	// Result is set once Status is terminal.
+	// Retries counts job-level retry attempts after transient failures.
+	Retries int `json:"retries,omitempty"`
+	// Error is set when Status is "failed": the job-level failure after the
+	// retry budget was exhausted.
+	Error string `json:"error,omitempty"`
+	// Result is set once Status is terminal (for "failed" jobs it may carry
+	// the partial points of the last attempt, or be absent).
 	Result *SweepResponse `json:"result,omitempty"`
 }
 
+// FieldError addresses one invalid request field by JSON-style path with a
+// stable machine-readable code (see internal/core validation).
+type FieldError = core.FieldError
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
-	SchemaVersion int    `json:"schemaVersion"`
-	Error         string `json:"error"`
+	SchemaVersion int `json:"schemaVersion"`
+	// Error is the human-readable failure summary.
+	Error string `json:"error"`
+	// Code classifies the failure for programmatic handling: "bad_model"
+	// (422, with Fields), "infeasible" (422), "malformed_json" (400),
+	// "bad_request" (400), "version" (400), "too_large" (413), "busy" (429),
+	// "internal_panic" (500), "not_found" (404).
+	Code string `json:"code,omitempty"`
+	// Fields lists the individual invalid fields when Code is "bad_model".
+	Fields []FieldError `json:"fields,omitempty"`
 }

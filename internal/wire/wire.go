@@ -60,7 +60,8 @@ func (w Workload) ToWorkload() (rodinia.Workload, error) {
 		case "optimized":
 			return rodinia.OptimizedWorkload(), nil
 		default:
-			return rodinia.Workload{}, fmt.Errorf("wire: unknown built-in workload %q (want rodinia, default, or optimized)", w.Name)
+			return rodinia.Workload{}, core.BadField("workload.name", core.CodeUnknown,
+				"unknown built-in workload %q (want rodinia, default, or optimized)", w.Name)
 		}
 	}
 	byAbbrev := map[string]rodinia.Benchmark{}
@@ -74,14 +75,18 @@ func (w Workload) ToWorkload() (rodinia.Workload, error) {
 	for i, a := range w.Apps {
 		b, ok := byAbbrev[strings.ToUpper(a.Bench)]
 		if !ok {
-			return rodinia.Workload{}, fmt.Errorf("wire: app %d: unknown benchmark %q", i, a.Bench)
+			return rodinia.Workload{}, core.BadField(
+				fmt.Sprintf("workload.apps[%d].bench", i), core.CodeUnknown,
+				"unknown benchmark %q", a.Bench)
 		}
 		div := a.SetupTeardownDiv
 		if div == 0 {
 			div = 1
 		}
-		if div < 0 {
-			return rodinia.Workload{}, fmt.Errorf("wire: app %d: negative setupTeardownDiv %g", i, div)
+		if math.IsNaN(div) || math.IsInf(div, 0) || div < 0 {
+			return rodinia.Workload{}, core.BadField(
+				fmt.Sprintf("workload.apps[%d].setupTeardownDiv", i), core.CodeRange,
+				"setupTeardownDiv %g, want finite > 0", div)
 		}
 		out.Apps = append(out.Apps, rodinia.Application{Bench: b, SetupTeardownDiv: div})
 	}
@@ -247,19 +252,25 @@ type Result struct {
 	// cancellation: the metrics describe the best incumbent, and Gap is the
 	// (valid, possibly loose) certificate at that point.
 	Cancelled bool `json:"cancelled,omitempty"`
+	// Degraded is true when the primary solver failed and the result came
+	// from the heuristic fallback chain; FallbackReason classifies why.
+	Degraded       bool   `json:"degraded,omitempty"`
+	FallbackReason string `json:"fallbackReason,omitempty"`
 }
 
 // FromResult converts an internal evaluation to the wire form.
 func FromResult(r *core.Result) Result {
 	out := Result{
-		SchemaVersion: SchemaVersion,
-		StepSec:       r.StepSec,
-		MakespanSec:   r.MakespanSec,
-		Speedup:       r.Speedup,
-		WLP:           r.WLP,
-		Gap:           r.Gap,
-		Refinements:   r.Refinements,
-		Cancelled:     r.Cancelled,
+		SchemaVersion:  SchemaVersion,
+		StepSec:        r.StepSec,
+		MakespanSec:    r.MakespanSec,
+		Speedup:        r.Speedup,
+		WLP:            r.WLP,
+		Gap:            r.Gap,
+		Refinements:    r.Refinements,
+		Cancelled:      r.Cancelled,
+		Degraded:       r.Degraded,
+		FallbackReason: r.FallbackReason,
 	}
 	out.Proven = r.Sched.Proven
 	out.Method = r.Sched.Method
@@ -277,7 +288,11 @@ type Point struct {
 	MakespanSec float64 `json:"makespanSec"`
 	Mix         string  `json:"mix"`
 	Cancelled   bool    `json:"cancelled,omitempty"`
-	Error       string  `json:"error,omitempty"`
+	// Degraded marks a point whose solve fell back to the heuristic
+	// scheduler; FallbackReason classifies why.
+	Degraded       bool   `json:"degraded,omitempty"`
+	FallbackReason string `json:"fallbackReason,omitempty"`
+	Error          string `json:"error,omitempty"`
 }
 
 // Marshal renders any wire value as indented JSON with a trailing newline.

@@ -105,7 +105,17 @@ func WithProgress(fn func(SweepProgress)) Option {
 // schedule with a valid (if loose) optimality-gap certificate — with
 // Result.Cancelled set, rather than an error. Errors are reserved for
 // invalid inputs and infeasible instances.
-func Solve(ctx context.Context, w Workload, spec SoC, opts ...Option) (*Result, error) {
+//
+// Solve is a panic-isolation boundary: a panic escaping the evaluation stack
+// (outside the solver's own recover) is converted into a *PanicError with the
+// stack attached, so callers like hilp-serve and batch drivers never crash on
+// one poisoned input.
+func Solve(ctx context.Context, w Workload, spec SoC, opts ...Option) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, scheduler.NewPanicError("hilp.Solve", r)
+		}
+	}()
 	o := buildOptions(opts)
 	switch o.baseline {
 	case BaselineGables:
