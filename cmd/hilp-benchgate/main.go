@@ -1,0 +1,81 @@
+// Command hilp-benchgate enforces the observability layer's disabled-overhead
+// contract in CI. It parses `go test -bench` output (possibly with -count
+// repeats), keeps the minimum ns/op per benchmark (the least-noisy summary of
+// a repeated run), computes the disabled-instrumentation overhead
+//
+//	(BenchmarkEvaluateObsDisabled - BenchmarkEvaluateBaseline) / BenchmarkEvaluateBaseline
+//
+// and exits non-zero when it exceeds the contract plus a noise allowance.
+// It also writes a BENCH_obs.json-style artifact so every CI run leaves a
+// machine-readable record next to the checked-in baseline.
+//
+//	go test -run - -bench 'BenchmarkEvaluate|BenchmarkObs' -benchmem -count 3 . | \
+//	  hilp-benchgate -out artifacts/BENCH_obs.ci.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hilp/internal/benchgate"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "bench output file (empty = stdin)")
+		out         = flag.String("out", "", "artifact path for the parsed results (empty = no artifact)")
+		baseline    = flag.String("baseline", "BenchmarkEvaluateBaseline", "uninstrumented reference benchmark")
+		disabled    = flag.String("disabled", "BenchmarkEvaluateObsDisabled", "disabled-instrumentation benchmark")
+		contractPct = flag.Float64("contract-pct", 2.0, "disabled-overhead contract in percent")
+		noisePct    = flag.Float64("noise-pct", 6.0, "measurement-noise allowance in percent added to the contract")
+	)
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	results, err := benchgate.Parse(r)
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	report, err := benchgate.Check(results, benchgate.Config{
+		Baseline:    *baseline,
+		Disabled:    *disabled,
+		ContractPct: *contractPct,
+		NoisePct:    *noisePct,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *out != "" {
+		blob, err := report.MarshalArtifact()
+		if err != nil {
+			fatal("artifact: %v", err)
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal("artifact: %v", err)
+		}
+	}
+
+	fmt.Printf("hilp-benchgate: disabled overhead %+.2f%% (contract %.1f%% + noise %.1f%%)\n",
+		report.OverheadPct, *contractPct, *noisePct)
+	if !report.Pass {
+		fatal("disabled-path overhead %+.2f%% exceeds the %.1f%% contract (+%.1f%% noise allowance)",
+			report.OverheadPct, *contractPct, *noisePct)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hilp-benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -187,6 +187,11 @@ func liveProgress(w *os.File) func(dse.Progress) {
 		if p.HasBest {
 			best = fmt.Sprintf("best %.1fx @ %.1f mm^2 gap %.1f%% (%s)",
 				p.Best.Speedup, p.Best.AreaMM2, 100*p.Best.Gap, p.Best.Label)
+			// The per-point correlation ID ties the best point to its log
+			// lines and latency exemplar.
+			if p.Best.RequestID != "" {
+				best += " req " + p.Best.RequestID
+			}
 		}
 		fmt.Fprintf(w, "\rhilp-dse: %d/%d (%d%%)  %s  eta %s   ",
 			p.Done, p.Total, 100*p.Done/p.Total, best, p.ETA.Round(time.Second))

@@ -23,9 +23,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +36,24 @@ import (
 	"hilp/internal/obs"
 	"hilp/internal/server"
 )
+
+// parseBuckets parses a comma-separated ascending list of bucket bounds in
+// seconds, e.g. "0.01,0.05,0.25,1,5".
+func parseBuckets(spec string) ([]float64, error) {
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bucket %q: %v", p, err)
+		}
+		if n := len(out); n > 0 && v <= out[n-1] {
+			return nil, fmt.Errorf("buckets must ascend: %g after %g", v, out[n-1])
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -48,6 +69,10 @@ func main() {
 		jobRetries     = flag.Int("job-retries", 0, "retries for transiently failing sweep jobs (0 = 2, negative disables)")
 		faultSpec      = flag.String("faults", "", "chaos-test fault injection spec, e.g. seed=1,rate=0.1,kinds=panic+timeout,sites=solve (empty disables)")
 		verbose        = flag.Bool("v", false, "log requests and solver progress to stderr")
+		logFormat      = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logRing        = flag.Int("log-ring", 512, "recent structured-log records retained for GET /debug/logs")
+		bucketSpec     = flag.String("latency-buckets", "", "request latency histogram buckets, comma-separated seconds ascending (empty = defaults)")
 	)
 	flag.Parse()
 
@@ -61,7 +86,26 @@ func main() {
 		log.Printf("hilp-serve: CHAOS MODE: injecting faults (%s)", *faultSpec)
 	}
 
-	octx := &obs.Context{Metrics: obs.NewRegistry()}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("hilp-serve: -log-level: %v", err)
+	}
+	var buckets []float64
+	if *bucketSpec != "" {
+		buckets, err = parseBuckets(*bucketSpec)
+		if err != nil {
+			log.Fatalf("hilp-serve: -latency-buckets: %v", err)
+		}
+	}
+
+	// The structured logger fans every record into stderr and the bounded ring
+	// behind GET /debug/logs. The ring captures all levels regardless of
+	// -log-level, so debug context for a failed request is still retrievable.
+	logBuf := obs.NewLogBuffer(*logRing)
+	stderrHandler := obs.NewHandler(os.Stderr, *logFormat, level)
+	logger := obs.NewLoggerHandler(obs.StampRequestID(obs.Fanout(stderrHandler, logBuf)), slog.LevelDebug)
+
+	octx := &obs.Context{Metrics: obs.NewRegistry(), Logger: logger}
 	if *verbose {
 		octx.Verbosity = 1
 		octx.LogWriter = os.Stderr
@@ -77,6 +121,8 @@ func main() {
 		JobRetries:     *jobRetries,
 		Faults:         injector,
 		Obs:            octx,
+		LatencyBuckets: buckets,
+		LogBuffer:      logBuf,
 	})
 
 	httpSrv := &http.Server{

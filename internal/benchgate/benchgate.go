@@ -1,0 +1,138 @@
+// Package benchgate parses `go test -bench` output and checks the
+// observability layer's disabled-overhead contract against it. It backs the
+// hilp-benchgate CI gate.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's summary over a (possibly repeated) run: the
+// minimum observed ns/op — the least-noisy point estimate of a repeated
+// benchmark — with memory stats from the same (minimum-time) line.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Runs counts how many lines contributed (the -count repeat factor).
+	Runs int `json:"runs"`
+}
+
+// Parse reads `go test -bench` output and returns per-benchmark results
+// keyed by the bare benchmark name (the -8 GOMAXPROCS suffix stripped).
+// Repeated lines for the same benchmark (-count > 1) are folded by keeping
+// the minimum ns/op line. Non-benchmark lines are ignored.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid shape: name, iterations, value, "ns/op".
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := Result{Runs: 1}
+		parsed := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q in line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				parsed = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if !parsed {
+			continue
+		}
+		if prev, ok := out[name]; ok {
+			res.Runs = prev.Runs + 1
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp, res.BytesPerOp, res.AllocsPerOp = prev.NsPerOp, prev.BytesPerOp, prev.AllocsPerOp
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchgate: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Config names the two benchmarks the contract compares and its thresholds.
+type Config struct {
+	Baseline    string
+	Disabled    string
+	ContractPct float64
+	NoisePct    float64
+}
+
+// Report is the gate's verdict plus everything needed for the CI artifact.
+type Report struct {
+	Benchmarks  map[string]Result `json:"benchmarks"`
+	Baseline    string            `json:"baseline"`
+	Disabled    string            `json:"disabled"`
+	OverheadPct float64           `json:"disabled_overhead_pct"`
+	ContractPct float64           `json:"contract_pct"`
+	NoisePct    float64           `json:"noise_pct"`
+	Pass        bool              `json:"pass"`
+}
+
+// Check computes the disabled-path overhead and applies the contract.
+func Check(results map[string]Result, cfg Config) (Report, error) {
+	base, ok := results[cfg.Baseline]
+	if !ok {
+		return Report{}, fmt.Errorf("benchgate: baseline %s missing from bench output", cfg.Baseline)
+	}
+	dis, ok := results[cfg.Disabled]
+	if !ok {
+		return Report{}, fmt.Errorf("benchgate: disabled benchmark %s missing from bench output", cfg.Disabled)
+	}
+	if base.NsPerOp <= 0 {
+		return Report{}, fmt.Errorf("benchgate: baseline %s has non-positive ns/op", cfg.Baseline)
+	}
+	overhead := 100 * (dis.NsPerOp - base.NsPerOp) / base.NsPerOp
+	return Report{
+		Benchmarks:  results,
+		Baseline:    cfg.Baseline,
+		Disabled:    cfg.Disabled,
+		OverheadPct: overhead,
+		ContractPct: cfg.ContractPct,
+		NoisePct:    cfg.NoisePct,
+		Pass:        overhead <= cfg.ContractPct+cfg.NoisePct,
+	}, nil
+}
+
+// MarshalArtifact renders the report as indented JSON with a trailing
+// newline, in the spirit of the checked-in BENCH_obs.json baseline.
+func (r Report) MarshalArtifact() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

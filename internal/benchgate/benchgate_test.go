@@ -1,0 +1,131 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hilp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEvaluateBaseline-8       	     142	   8026882 ns/op	 1147397 B/op	   13314 allocs/op
+BenchmarkEvaluateBaseline-8       	     150	   7902110 ns/op	 1147020 B/op	   13311 allocs/op
+BenchmarkEvaluateObsDisabled-8    	     148	   7962616 ns/op	 1147638 B/op	   13317 allocs/op
+BenchmarkEvaluateObsDisabled-8    	     145	   8100424 ns/op	 1147700 B/op	   13318 allocs/op
+BenchmarkObsNoopCalls-8           	94822732	        10.39 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hilp	12.271s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %v", len(results), results)
+	}
+	base := results["BenchmarkEvaluateBaseline"]
+	if base.NsPerOp != 7902110 {
+		t.Errorf("baseline min ns/op = %v, want 7902110 (min of repeats)", base.NsPerOp)
+	}
+	if base.Runs != 2 {
+		t.Errorf("baseline runs = %d, want 2", base.Runs)
+	}
+	if base.BytesPerOp != 1147020 {
+		t.Errorf("baseline B/op = %v, want the min-time line's 1147020", base.BytesPerOp)
+	}
+	noop := results["BenchmarkObsNoopCalls"]
+	if noop.NsPerOp != 10.39 || noop.AllocsPerOp != 0 {
+		t.Errorf("noop = %+v, want 10.39 ns/op and 0 allocs/op", noop)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok hilp 0.1s\n")); err == nil {
+		t.Fatal("want error for output with no benchmark lines")
+	}
+}
+
+func TestParseWithoutMemStats(t *testing.T) {
+	out := "BenchmarkX-4   100   123456 ns/op\n"
+	results, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["BenchmarkX"].NsPerOp; got != 123456 {
+		t.Fatalf("ns/op = %v, want 123456", got)
+	}
+}
+
+func TestCheckPassAndFail(t *testing.T) {
+	cfg := Config{
+		Baseline:    "BenchmarkEvaluateBaseline",
+		Disabled:    "BenchmarkEvaluateObsDisabled",
+		ContractPct: 2.0,
+		NoisePct:    6.0,
+	}
+	results := map[string]Result{
+		cfg.Baseline: {NsPerOp: 1000, Runs: 1},
+		cfg.Disabled: {NsPerOp: 1050, Runs: 1},
+	}
+	rep, err := Check(results, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.OverheadPct != 5.0 {
+		t.Fatalf("5%% overhead should pass under 2+6: %+v", rep)
+	}
+
+	results[cfg.Disabled] = Result{NsPerOp: 1100, Runs: 1}
+	rep, err = Check(results, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatalf("10%% overhead must fail the 2+6 gate: %+v", rep)
+	}
+
+	// A disabled path faster than baseline (negative overhead) passes.
+	results[cfg.Disabled] = Result{NsPerOp: 950, Runs: 1}
+	rep, err = Check(results, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.OverheadPct >= 0 {
+		t.Fatalf("negative overhead should pass: %+v", rep)
+	}
+}
+
+func TestCheckMissingBenchmarks(t *testing.T) {
+	cfg := Config{Baseline: "A", Disabled: "B", ContractPct: 2, NoisePct: 6}
+	if _, err := Check(map[string]Result{"A": {NsPerOp: 1}}, cfg); err == nil {
+		t.Fatal("want error when the disabled benchmark is missing")
+	}
+	if _, err := Check(map[string]Result{"B": {NsPerOp: 1}}, cfg); err == nil {
+		t.Fatal("want error when the baseline benchmark is missing")
+	}
+}
+
+func TestArtifactRoundTrips(t *testing.T) {
+	rep := Report{
+		Benchmarks:  map[string]Result{"B": {NsPerOp: 1, Runs: 1}},
+		Baseline:    "A",
+		Disabled:    "B",
+		OverheadPct: 1.5,
+		ContractPct: 2,
+		NoisePct:    6,
+		Pass:        true,
+	}
+	blob, err := rep.MarshalArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "\"disabled_overhead_pct\": 1.5") {
+		t.Fatalf("artifact missing overhead field:\n%s", blob)
+	}
+	if blob[len(blob)-1] != '\n' {
+		t.Fatal("artifact must end with a newline")
+	}
+}

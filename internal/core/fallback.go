@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 
 	"hilp/internal/faults"
@@ -121,7 +122,7 @@ func SolveProblem(ctx context.Context, p *scheduler.Problem, cfg scheduler.Confi
 	firstErr := err
 
 	octx.Counter(obs.MSolveRetries).Inc()
-	octx.Logf(1, "solve: transient failure (%v), retrying with perturbed settings", err)
+	octx.Log(ctx, slog.LevelWarn, "solve: transient failure, retrying with perturbed settings", "error", err.Error())
 	res, err = attempt(true)
 	if err == nil {
 		return res, nil
@@ -140,8 +141,9 @@ func SolveProblem(ctx context.Context, p *scheduler.Problem, cfg scheduler.Confi
 	fb.FallbackReason = reasonOf(firstErr)
 	octx.Counter(obs.MSolveFallbacks).Inc()
 	octx.Counter(obs.MSolveDegraded).Inc()
-	octx.Logf(1, "solve: degraded to heuristic fallback after %v (reason %s, makespan %d, bound %d)",
-		firstErr, fb.FallbackReason, fb.Schedule.Makespan, fb.LowerBound)
+	octx.Log(ctx, slog.LevelWarn, "solve: degraded to heuristic fallback",
+		"error", firstErr.Error(), "reason", fb.FallbackReason,
+		"makespan", fb.Schedule.Makespan, "bound", fb.LowerBound)
 	return fb, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"hilp/internal/faults"
 	"hilp/internal/obs"
@@ -115,6 +116,11 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 	octx := cfg.Obs
 	esp := octx.StartSpan("evaluate")
 	defer esp.End()
+	if esp.Active() {
+		if id := obs.RequestID(ctx); id != "" {
+			esp.ArgStr("req", id)
+		}
+	}
 	ectx := octx.WithSpan(esp)
 	octx.Counter(obs.MEvaluations).Inc()
 
@@ -175,8 +181,9 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 			Refinements: refinement,
 			Cancelled:   res.Cancelled,
 		}
-		octx.Logf(2, "evaluate: step %gs -> makespan %d steps (%.4g s), gap %.1f%%, method %s",
-			step, res.Schedule.Makespan, cur.MakespanSec, 100*cur.Gap, res.Method)
+		octx.Log(ctx, slog.LevelDebug, "evaluate: refinement solved",
+			"stepSec", step, "makespanSteps", res.Schedule.Makespan, "makespanSec", cur.MakespanSec,
+			"gap", cur.Gap, "method", res.Method, "refinement", refinement)
 		rsp.ArgInt("makespan_steps", res.Schedule.Makespan).Arg("gap", cur.Gap)
 		rsp.End()
 

@@ -6,8 +6,10 @@ package dse
 
 import (
 	"context"
+	"log/slog"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -87,7 +89,13 @@ type Point struct {
 	Degraded bool
 	// FallbackReason classifies the degradation; empty unless Degraded.
 	FallbackReason string
-	Err            error
+	// RequestID is the point's correlation ID: every log line, span, and
+	// metric exemplar the point's solve emitted carries it. Under a
+	// request-scoped sweep (hilp-serve) it extends the request's ID as
+	// "<request>/p<i>"; standalone observed sweeps generate fresh IDs; fully
+	// disabled sweeps leave it empty.
+	RequestID string
+	Err       error
 }
 
 // Evaluator scores one SoC configuration. The context bounds the
@@ -144,7 +152,12 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 	octx := opts.Obs
 	sp := octx.StartSpan("sweep").ArgInt("points", len(specs)).ArgInt("workers", workers)
 	defer sp.End()
-	octx.Logf(1, "sweep: %d points across %d workers", len(specs), workers)
+	if sp.Active() {
+		if id := obs.RequestID(ctx); id != "" {
+			sp.ArgStr("req", id)
+		}
+	}
+	octx.Log(ctx, slog.LevelInfo, "sweep: starting", "points", len(specs), "workers", workers)
 
 	pointCtr := octx.Counter(obs.MSweepPoints)
 	failCtr := octx.Counter(obs.MSweepPointsFailed)
@@ -159,22 +172,41 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 		best       Point
 		hasBest    bool
 	)
+	// Per-point correlation IDs: under a request-scoped context each point
+	// extends the request's ID, so a slow or degraded sweep point in
+	// /debug/requests traces back to its logs and spans; a standalone
+	// observed sweep (hilp-dse -v, -faults) generates fresh IDs so chaos
+	// runs are cross-referenceable too. Fully disabled sweeps skip the ID
+	// machinery entirely to preserve the no-overhead contract.
+	parentID := obs.RequestID(ctx)
+	pointID := func(i int) string {
+		if parentID != "" {
+			return parentID + "/p" + strconv.Itoa(i)
+		}
+		if octx.Enabled() {
+			return obs.NewRequestID()
+		}
+		return ""
+	}
 	// evalOne isolates one evaluation: a panicking evaluator poisons only its
 	// own point (Err set to a *scheduler.PanicError with the stack attached),
 	// never the worker goroutine, so a sweep finishes with N-1 good points.
 	// Each point is keyed into the fault injector (if any) by its index, so
 	// chaos tests can account for exactly which points were hit.
-	evalOne := func(i int) (p Point) {
+	evalOne := func(i int, pid string) (p Point) {
+		pctx := faults.WithKey(ctx, uint64(i))
+		pctx = obs.WithRequestID(pctx, pid)
 		defer func() {
 			if r := recover(); r != nil {
 				pe := scheduler.NewPanicError("dse.Sweep", r)
 				octx.Counter(obs.MSweepPanics).Inc()
-				octx.Logf(1, "sweep: point %d (%s) panicked: %v\n%s", i, specs[i].Label(), r, pe.Stack)
+				octx.Log(pctx, slog.LevelError, "sweep: point panicked",
+					"point", i, "spec", specs[i].Label(), "error", pe.Error(), "stack", string(pe.Stack))
 				p = newPoint(specs[i])
 				p.Err = pe
 			}
 		}()
-		return eval(faults.WithKey(ctx, uint64(i)), specs[i])
+		return eval(pctx, specs[i])
 	}
 	points := make([]Point, len(specs))
 	var wg sync.WaitGroup
@@ -188,7 +220,9 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 				if timed {
 					t0 = time.Now()
 				}
-				p := evalOne(i)
+				pid := pointID(i)
+				p := evalOne(i, pid)
+				p.RequestID = pid
 				points[i] = p
 				pointCtr.Inc()
 				if p.Err != nil {
@@ -197,7 +231,7 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 				if !timed {
 					continue
 				}
-				latency.Observe(time.Since(t0).Seconds())
+				latency.ObserveEx(time.Since(t0).Seconds(), pid)
 				if opts.OnProgress == nil {
 					continue
 				}

@@ -3,6 +3,7 @@ package obs
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -11,10 +12,12 @@ import (
 
 // CLI bundles the observability flags shared by the hilp binaries:
 //
-//	-trace file     write a Chrome trace-event JSON file (chrome://tracing)
-//	-metrics file   write a metrics dump (.prom/.txt → Prometheus text, else JSON)
-//	-v              verbose progress logging to stderr
-//	-pprof addr     serve net/http/pprof on addr (e.g. localhost:6060)
+//	-trace file        write a Chrome trace-event JSON file (chrome://tracing)
+//	-metrics file      write a metrics dump (.prom/.txt → Prometheus text, else JSON)
+//	-v                 verbose progress logging to stderr
+//	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
+//	-log-format fmt    structured logging to stderr: text or json
+//	-log-level level   minimum structured-log level: debug, info, warn, error
 //
 // Usage: Register the flags, flag.Parse, then Context() to get the (possibly
 // nil) *Context to thread into solver configs, and defer Close() to flush
@@ -24,6 +27,8 @@ type CLI struct {
 	MetricsPath string
 	PprofAddr   string
 	Verbose     bool
+	LogFormat   string
+	LogLevel    string
 
 	ctx *Context
 }
@@ -37,6 +42,8 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a metrics dump (.prom/.txt: Prometheus text, otherwise JSON)")
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&c.Verbose, "v", false, "verbose progress logging to stderr")
+	fs.StringVar(&c.LogFormat, "log-format", "", "structured logging to stderr: text or json (empty disables unless -v)")
+	fs.StringVar(&c.LogLevel, "log-level", "info", "minimum structured-log level: debug, info, warn, or error")
 }
 
 // Context builds the observability context selected by the flags and starts
@@ -54,7 +61,7 @@ func (c *CLI) Context() *Context {
 			}
 		}()
 	}
-	if c.TracePath == "" && c.MetricsPath == "" && !c.Verbose {
+	if c.TracePath == "" && c.MetricsPath == "" && !c.Verbose && c.LogFormat == "" {
 		return nil
 	}
 	ctx := &Context{}
@@ -68,6 +75,21 @@ func (c *CLI) Context() *Context {
 		ctx.Verbosity = 1
 		ctx.LogWriter = os.Stderr
 	}
+	if c.LogFormat != "" {
+		level, err := ParseLogLevel(c.LogLevel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v; using info\n", err)
+		}
+		// -v without an explicit level lowers the floor to debug, matching
+		// the legacy verbose behavior.
+		if c.Verbose && c.LogLevel == "info" {
+			level = slog.LevelDebug
+		}
+		ctx.Logger = NewLogger(os.Stderr, c.LogFormat, level)
+	}
+	// -v alone keeps the legacy plain-text writer: structured call sites
+	// degrade to "msg key=value" lines through Context.Log's fallback, so
+	// verbose output and its level gating stay backward-compatible.
 	c.ctx = ctx
 	return ctx
 }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// LogEntry is one captured structured-log record in JSON-friendly form for
+// the /debug/logs surface.
+type LogEntry struct {
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	// Req is the request's correlation ID, when the record was emitted under
+	// a request-scoped context.
+	Req string `json:"req,omitempty"`
+	// Attrs flattens the record's remaining attributes (dotted keys for
+	// groups), values rendered as strings.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// LogBuffer is a bounded in-memory ring of recent structured log records.
+// It implements slog.Handler, so it is attached by fanning it out with the
+// writer handler (see Fanout); the newest records overwrite the oldest once
+// the ring is full. Safe for concurrent use.
+type LogBuffer struct {
+	mu    sync.Mutex
+	ring  []LogEntry
+	next  int
+	total uint64
+
+	// bound attributes / group prefix accumulated via WithAttrs/WithGroup.
+	bound  []slog.Attr
+	prefix string
+}
+
+// NewLogBuffer returns a ring keeping the last capacity records
+// (capacity < 1 selects 256).
+func NewLogBuffer(capacity int) *LogBuffer {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &LogBuffer{ring: make([]LogEntry, 0, capacity)}
+}
+
+// Enabled implements slog.Handler: the buffer captures every level and
+// leaves filtering to the writer handler it is fanned out with.
+func (b *LogBuffer) Enabled(context.Context, slog.Level) bool { return b != nil }
+
+// Handle implements slog.Handler by appending the record to the ring.
+func (b *LogBuffer) Handle(ctx context.Context, r slog.Record) error {
+	if b == nil {
+		return nil
+	}
+	e := LogEntry{Time: r.Time, Level: r.Level.String(), Msg: r.Message, Req: RequestID(ctx)}
+	add := func(prefix string, a slog.Attr) {
+		key := prefix + a.Key
+		if key == "req" && e.Req == "" {
+			e.Req = a.Value.String()
+			return
+		}
+		if e.Attrs == nil {
+			e.Attrs = make(map[string]string)
+		}
+		e.Attrs[key] = a.Value.String()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, a := range b.bound {
+		add(b.prefix, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		if a.Value.Kind() == slog.KindGroup {
+			for _, ga := range a.Value.Group() {
+				add(b.prefix+a.Key+".", ga)
+			}
+			return true
+		}
+		add(b.prefix, a)
+		return true
+	})
+	b.total++
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.next] = e
+		b.next = (b.next + 1) % cap(b.ring)
+	}
+	return nil
+}
+
+// WithAttrs implements slog.Handler. The returned handler shares the ring.
+func (b *LogBuffer) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if b == nil || len(attrs) == 0 {
+		return b
+	}
+	return &boundBuffer{buf: b, bound: attrs}
+}
+
+// WithGroup implements slog.Handler. The returned handler shares the ring.
+func (b *LogBuffer) WithGroup(name string) slog.Handler {
+	if b == nil || name == "" {
+		return b
+	}
+	return &boundBuffer{buf: b, prefix: name + "."}
+}
+
+// boundBuffer carries WithAttrs/WithGroup state without forking the ring.
+type boundBuffer struct {
+	buf    *LogBuffer
+	bound  []slog.Attr
+	prefix string
+}
+
+func (d *boundBuffer) Enabled(ctx context.Context, l slog.Level) bool {
+	return d.buf.Enabled(ctx, l)
+}
+
+func (d *boundBuffer) Handle(ctx context.Context, r slog.Record) error {
+	// Fold bound attrs into the record so the shared ring's Handle sees them.
+	rr := r.Clone()
+	for _, a := range d.bound {
+		a.Key = d.prefix + a.Key
+		rr.AddAttrs(a)
+	}
+	return d.buf.Handle(ctx, rr)
+}
+
+func (d *boundBuffer) WithAttrs(attrs []slog.Attr) slog.Handler {
+	all := append(append([]slog.Attr(nil), d.bound...), attrs...)
+	return &boundBuffer{buf: d.buf, bound: all, prefix: d.prefix}
+}
+
+func (d *boundBuffer) WithGroup(name string) slog.Handler {
+	return &boundBuffer{buf: d.buf, bound: d.bound, prefix: d.prefix + name + "."}
+}
+
+// Entries returns the buffered records, oldest first.
+func (b *LogBuffer) Entries() []LogEntry {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]LogEntry, 0, len(b.ring))
+	if len(b.ring) < cap(b.ring) {
+		out = append(out, b.ring...)
+		return out
+	}
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// Total reports how many records were ever captured (including those the
+// ring has since overwritten).
+func (b *LogBuffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

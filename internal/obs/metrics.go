@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -80,6 +81,15 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1
 	sumB   atomic.Uint64  // float64 bits of the running sum
 	count  atomic.Int64
+	ex     atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recent observation to the correlation ID of the request
+// that produced it, so a latency bucket can be traced back to a concrete
+// request in /debug/requests.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Req   string  `json:"req"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -108,6 +118,27 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveEx records one value and, when req is non-empty, stores it as the
+// histogram's latest exemplar.
+func (h *Histogram) ObserveEx(v float64, req string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if req != "" {
+		h.ex.Store(&Exemplar{Value: v, Req: req})
+	}
+}
+
+// LastExemplar returns the most recent exemplar, or nil when none was
+// recorded (or h is nil).
+func (h *Histogram) LastExemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.ex.Load()
+}
+
 // Count returns the number of observations (0 for nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -131,6 +162,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	infos      map[string]map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -139,7 +171,23 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		infos:      map[string]map[string]string{},
 	}
+}
+
+// Info records a labeled constant-1 gauge (e.g. hilp_build_info with the
+// binary's version and commit). Calling it again replaces the label set.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.infos[name] = cp
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -222,6 +270,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(r.infos) {
+		labels := r.infos[name]
+		parts := make([]string, 0, len(labels))
+		for _, k := range sortedKeys(labels) {
+			parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n", name, name, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
 	for _, name := range sortedKeys(r.histograms) {
 		h := r.histograms[name]
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
@@ -249,13 +307,16 @@ type jsonHistogram struct {
 	Counts  []int64   `json:"counts"` // per-bucket (not cumulative); last is +Inf
 	Sum     float64   `json:"sum"`
 	Count   int64     `json:"count"`
+	// Exemplar is the latest request-correlated observation, when one exists.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // jsonDump is the JSON shape of a registry.
 type jsonDump struct {
-	Counters   map[string]int64         `json:"counters"`
-	Gauges     map[string]float64       `json:"gauges"`
-	Histograms map[string]jsonHistogram `json:"histograms"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]jsonHistogram     `json:"histograms"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
 }
 
 // WriteJSON dumps every metric as one JSON object (keys sorted by the
@@ -278,15 +339,26 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	for name, h := range r.histograms {
 		jh := jsonHistogram{
-			Buckets: append([]float64(nil), h.bounds...),
-			Counts:  make([]int64, len(h.counts)),
-			Sum:     h.Sum(),
-			Count:   h.Count(),
+			Buckets:  append([]float64(nil), h.bounds...),
+			Counts:   make([]int64, len(h.counts)),
+			Sum:      h.Sum(),
+			Count:    h.Count(),
+			Exemplar: h.LastExemplar(),
 		}
 		for i := range h.counts {
 			jh.Counts[i] = h.counts[i].Load()
 		}
 		d.Histograms[name] = jh
+	}
+	if len(r.infos) > 0 {
+		d.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			cp := make(map[string]string, len(labels))
+			for k, v := range labels {
+				cp[k] = v
+			}
+			d.Infos[name] = cp
+		}
 	}
 	r.mu.Unlock()
 	enc := json.NewEncoder(w)
@@ -318,6 +390,12 @@ func ReadJSON(rd io.Reader) (*Registry, error) {
 		}
 		h.count.Store(jh.Count)
 		h.sumB.Store(math.Float64bits(jh.Sum))
+		if jh.Exemplar != nil {
+			h.ex.Store(jh.Exemplar)
+		}
+	}
+	for name, labels := range d.Infos {
+		r.Info(name, labels)
 	}
 	return r, nil
 }

@@ -36,6 +36,17 @@ const (
 	MSweepPanics       = "hilp_dse_point_panics_total"
 	MSweepPointSec     = "hilp_dse_point_seconds"
 
+	// Go runtime telemetry (refreshed per /metrics scrape, see CaptureRuntime).
+	MGoGoroutines     = "go_goroutines"
+	MGoHeapAllocBytes = "go_heap_alloc_bytes"
+	MGoHeapSysBytes   = "go_heap_sys_bytes"
+	MGoGCPauseSec     = "go_gc_pause_seconds_total"
+	MGoGCCycles       = "go_gc_cycles_total"
+	MGoNextGCBytes    = "go_next_gc_bytes"
+
+	// Build identity (labeled info gauge, see SetBuildInfo).
+	MBuildInfo = "hilp_build_info"
+
 	// Solve service (internal/server).
 	MServeRequests    = "hilp_serve_requests_total"
 	MServeErrors      = "hilp_serve_errors_total"
@@ -48,4 +59,10 @@ const (
 	MServeRequestSec  = "hilp_serve_request_seconds"
 	MServeInFlight    = "hilp_serve_in_flight"
 	MServeJobsActive  = "hilp_serve_jobs_active"
+
+	// Worker-pool and cache depth (refreshed per /metrics scrape).
+	MServePoolBusy      = "hilp_serve_pool_busy"
+	MServeQueueWaiting  = "hilp_serve_queue_waiting"
+	MServeCacheEntries  = "hilp_serve_cache_entries"
+	MServeCacheHitRatio = "hilp_serve_cache_hit_ratio"
 )

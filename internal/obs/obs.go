@@ -24,8 +24,10 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 )
 
@@ -44,6 +46,9 @@ type Context struct {
 	Verbosity int
 	// LogWriter receives verbose log lines; nil disables logging.
 	LogWriter io.Writer
+	// Logger receives structured log records (see Log); nil disables them.
+	// Records are stamped with the context.Context's correlation ID.
+	Logger *Logger
 
 	// cur is the parent span for StartSpan, set by WithSpan.
 	cur Span
@@ -55,7 +60,7 @@ var logMu sync.Mutex
 
 // Enabled reports whether any sink is attached.
 func (c *Context) Enabled() bool {
-	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil || c.Recorder != nil)
+	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil || c.Recorder != nil || c.Logger != nil)
 }
 
 // Recording reports whether a flight recorder is attached.
@@ -135,4 +140,59 @@ func (c *Context) Logf(level int, format string, args ...any) {
 	defer logMu.Unlock()
 	fmt.Fprintf(c.LogWriter, format, args...)
 	io.WriteString(c.LogWriter, "\n")
+}
+
+// verbosityFor maps a structured level onto the legacy Logf verbosity scale
+// (warn/error always show, info needs -v, debug needs -vv).
+func verbosityFor(level slog.Level) int {
+	switch {
+	case level >= slog.LevelWarn:
+		return 0
+	case level >= slog.LevelInfo:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// LogEnabled reports whether a structured record at level would be emitted,
+// so call sites can skip building expensive attributes.
+func (c *Context) LogEnabled(level slog.Level) bool {
+	if c == nil {
+		return false
+	}
+	if c.Logger.Enabled(level) {
+		return true
+	}
+	return c.LogWriter != nil && verbosityFor(level) <= c.Verbosity
+}
+
+// Log emits one structured log record with alternating key/value args (slog
+// conventions), stamped with ctx's correlation ID. When no structured Logger
+// is attached it degrades to the legacy verbose writer as a "msg key=value"
+// line, so -v output keeps working at converted call sites. Disabled
+// contexts return immediately.
+func (c *Context) Log(ctx context.Context, level slog.Level, msg string, args ...any) {
+	if c == nil || (c.Logger == nil && c.LogWriter == nil) {
+		return
+	}
+	if c.Logger != nil {
+		c.Logger.Log(ctx, level, msg, args...)
+		return
+	}
+	v := verbosityFor(level)
+	if v > c.Verbosity {
+		return
+	}
+	line := msg
+	if id := RequestID(ctx); id != "" {
+		line += " req=" + id
+	}
+	for i := 0; i+1 < len(args); i += 2 {
+		line += fmt.Sprintf(" %v=%v", args[i], args[i+1])
+	}
+	if len(args)%2 == 1 {
+		line += fmt.Sprintf(" %v", args[len(args)-1])
+	}
+	c.Logf(v, "%s", line)
 }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// CaptureRuntime snapshots Go runtime telemetry into the registry's gauges:
+// goroutine count, heap usage, and GC pause totals. hilp-serve calls it on
+// every /metrics scrape so the exported values are fresh; a nil registry is
+// a no-op.
+func CaptureRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge(MGoGoroutines).Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(MGoHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(MGoHeapSysBytes).Set(float64(ms.HeapSys))
+	r.Gauge(MGoGCPauseSec).Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge(MGoGCCycles).Set(float64(ms.NumGC))
+	r.Gauge(MGoNextGCBytes).Set(float64(ms.NextGC))
+}
+
+// SetBuildInfo records the binary's build identity as the labeled gauge
+// hilp_build_info{goVersion=...,version=...,revision=...} 1, read from the
+// embedded module build info (runtime/debug.ReadBuildInfo). Fields that the
+// build did not stamp (e.g. VCS revision outside a git checkout) are
+// reported as "unknown" so the metric's label set stays stable.
+func SetBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	labels := map[string]string{
+		"goVersion": runtime.Version(),
+		"version":   "unknown",
+		"revision":  "unknown",
+		"modified":  "unknown",
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			labels["version"] = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				labels["revision"] = s.Value
+			case "vcs.modified":
+				labels["modified"] = s.Value
+			}
+		}
+	}
+	r.Info(MBuildInfo, labels)
+}

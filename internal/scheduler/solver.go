@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"hilp/internal/faults"
 	"hilp/internal/obs"
@@ -115,7 +116,7 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 		if r := recover(); r != nil {
 			pe := NewPanicError("scheduler.Solve", r)
 			cfg.Obs.Counter(obs.MSolvePanics).Inc()
-			cfg.Obs.Logf(1, "solve: %v\n%s", pe, pe.Stack)
+			cfg.Obs.Log(ctx, slog.LevelError, "solve: panic recovered", "error", pe.Error(), "stack", string(pe.Stack))
 			res, err = Result{}, pe
 		}
 	}()

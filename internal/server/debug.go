@@ -1,0 +1,135 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"hilp/internal/obs"
+	"hilp/internal/wire"
+)
+
+// RequestSummary is one entry of the /debug/requests ring: enough to tie a
+// slow, degraded, or failed solve back to its correlation ID, and from there
+// to its log lines (/debug/logs), spans, and metric exemplars.
+type RequestSummary struct {
+	ID          string    `json:"id"`
+	Path        string    `json:"path"`
+	Start       time.Time `json:"start"`
+	DurationSec float64   `json:"durationSec"`
+	// Status is the HTTP status written for the request.
+	Status int `json:"status"`
+	// Solver names the method that produced the final schedule ("milp",
+	// "anneal", "heuristic-fallback", ...); empty for non-solve requests.
+	Solver string `json:"solver,omitempty"`
+	// Gap is the certified optimality gap of the returned result (0 means
+	// proven optimal; only meaningful when Solver is set).
+	Gap float64 `json:"gap"`
+	// Cancelled marks a solve cut short by its deadline (anytime result).
+	Cancelled bool `json:"cancelled,omitempty"`
+	// Degraded + FallbackReason mark a solve served by the fallback chain.
+	Degraded       bool   `json:"degraded,omitempty"`
+	FallbackReason string `json:"fallbackReason,omitempty"`
+	// Cache is "hit" or "miss" for cacheable requests.
+	Cache string `json:"cache,omitempty"`
+	// Error carries the error string of a non-2xx response.
+	Error string `json:"error,omitempty"`
+	// JobID links an async sweep request to its job handle.
+	JobID string `json:"jobId,omitempty"`
+}
+
+// requestLog is a bounded ring of recent request summaries.
+type requestLog struct {
+	mu    sync.Mutex
+	ring  []RequestSummary
+	next  int
+	total uint64
+}
+
+func newRequestLog(capacity int) *requestLog {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &requestLog{ring: make([]RequestSummary, 0, capacity)}
+}
+
+func (l *requestLog) add(s RequestSummary) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, s)
+		return
+	}
+	l.ring[l.next] = s
+	l.next = (l.next + 1) % cap(l.ring)
+}
+
+// snapshot returns the retained summaries, newest first.
+func (l *requestLog) snapshot() ([]RequestSummary, uint64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RequestSummary, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		out = append(out, l.ring...)
+	} else {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	}
+	// Reverse: the ring is oldest-first, the debug surface wants newest-first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, l.total
+}
+
+// debugRequestsResponse is the body of GET /debug/requests.
+type debugRequestsResponse struct {
+	SchemaVersion int `json:"schemaVersion"`
+	// Total counts every summarized request, including ones the ring has
+	// since evicted.
+	Total uint64 `json:"total"`
+	// Requests lists the retained summaries, newest first.
+	Requests []RequestSummary `json:"requests"`
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	reqs, total := s.reqLog.snapshot()
+	if reqs == nil {
+		reqs = []RequestSummary{}
+	}
+	body, err := wire.Marshal(debugRequestsResponse{SchemaVersion: wire.SchemaVersion, Total: total, Requests: reqs})
+	if err != nil {
+		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// debugLogsResponse is the body of GET /debug/logs.
+type debugLogsResponse struct {
+	SchemaVersion int `json:"schemaVersion"`
+	// Total counts every captured record, including overwritten ones.
+	Total uint64 `json:"total"`
+	// Entries lists the retained records, oldest first.
+	Entries []obs.LogEntry `json:"entries"`
+}
+
+func (s *Server) handleDebugLogs(w http.ResponseWriter, r *http.Request) {
+	entries := s.cfg.LogBuffer.Entries()
+	if entries == nil {
+		entries = []obs.LogEntry{}
+	}
+	body, err := wire.Marshal(debugLogsResponse{SchemaVersion: wire.SchemaVersion, Total: s.cfg.LogBuffer.Total(), Entries: entries})
+	if err != nil {
+		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

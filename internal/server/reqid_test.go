@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hilp/internal/obs"
+	"hilp/internal/wire"
+)
+
+// postWithHeader posts body and returns the response plus its bytes, with an
+// optional X-Request-ID header attached.
+func postWithHeader(t *testing.T, url, reqID string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestRequestIDEchoedAndGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// An incoming X-Request-ID is honored and echoed back.
+	resp, body := postWithHeader(t, ts.URL+"/v1/evaluate", "client-chosen-id", fastBody(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "client-chosen-id" {
+		t.Errorf("X-Request-ID = %q, want the client's client-chosen-id", got)
+	}
+
+	// Without the header the server generates IDs, distinct per request.
+	resp1, _ := postWithHeader(t, ts.URL+"/v1/evaluate", "", fastBody(t))
+	resp2, _ := postWithHeader(t, ts.URL+"/v1/evaluate", "", fastBody(t))
+	id1 := resp1.Header.Get("X-Request-ID")
+	id2 := resp2.Header.Get("X-Request-ID")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("generated IDs missing: %q, %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Errorf("two requests share the generated ID %q", id1)
+	}
+
+	// Oversized client IDs are replaced, not reflected.
+	huge := strings.Repeat("x", 200)
+	resp3, _ := postWithHeader(t, ts.URL+"/v1/evaluate", huge, fastBody(t))
+	if got := resp3.Header.Get("X-Request-ID"); got == huge || got == "" {
+		t.Errorf("oversized client ID handling: got %q", got)
+	}
+}
+
+func TestSweepJobCarriesRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := wire.SweepRequest{
+		Workload: &wire.Workload{Apps: []wire.App{{Bench: "LUD"}, {Bench: "HS"}}},
+		Specs: []wire.SoC{
+			{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		},
+		Profile: &wire.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 0, MaxRefinements: 0},
+		Solver:  &wire.SolverConfig{Seed: 1, Effort: 0.2},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postWithHeader(t, ts.URL+"/v1/sweep", "sweep-req-7", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var j wire.Job
+	if err := json.Unmarshal(out, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.RequestID != "sweep-req-7" {
+		t.Errorf("accepted job requestId = %q, want sweep-req-7", j.RequestID)
+	}
+
+	// The job status keeps the correlation ID for its whole lifetime, and the
+	// finished points derive theirs from it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, out = postGet(t, ts.URL+j.URL)
+		if err := json.Unmarshal(out, &j); err != nil {
+			t.Fatalf("poll: %v: %s", err, out)
+		}
+		if j.RequestID != "sweep-req-7" {
+			t.Fatalf("polled job requestId = %q, want sweep-req-7", j.RequestID)
+		}
+		if j.Status != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still running after 30s: %s", out)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if j.Status != "done" {
+		t.Fatalf("job status %q: %s", j.Status, out)
+	}
+	if j.Result == nil || len(j.Result.Points) != 1 {
+		t.Fatalf("job result: %s", out)
+	}
+	if got := j.Result.Points[0].RequestID; !strings.HasPrefix(got, "sweep-req-7/p") {
+		t.Errorf("point requestId = %q, want sweep-req-7/p*", got)
+	}
+}
+
+// postGet is a GET with the post helper's response shape.
+func postGet(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestDebugRequestsAndLogs(t *testing.T) {
+	logBuf := obs.NewLogBuffer(128)
+	logger := obs.NewLoggerHandler(obs.StampRequestID(logBuf), slog.LevelDebug)
+	octx := &obs.Context{Metrics: obs.NewRegistry(), Logger: logger}
+	_, ts := newTestServer(t, Config{Obs: octx, LogBuffer: logBuf})
+
+	resp, body := postWithHeader(t, ts.URL+"/v1/evaluate", "debug-probe", fastBody(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.EvaluateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// /debug/requests lists the request, with its duration, solver, and gap.
+	resp, body = postGet(t, ts.URL+"/debug/requests")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/requests: status %d: %s", resp.StatusCode, body)
+	}
+	var dr debugRequestsResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	var found *RequestSummary
+	for i := range dr.Requests {
+		if dr.Requests[i].ID == "debug-probe" {
+			found = &dr.Requests[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("debug-probe missing from /debug/requests: %s", body)
+	}
+	if found.Status != http.StatusOK || found.DurationSec <= 0 {
+		t.Errorf("summary status/duration = %d/%g, want 200/>0", found.Status, found.DurationSec)
+	}
+	if found.Solver == "" {
+		t.Error("summary lacks the solver method")
+	}
+	if found.Gap != out.Result.Gap {
+		t.Errorf("summary gap %g, want the response's %g", found.Gap, out.Result.Gap)
+	}
+	if found.Cache != "miss" {
+		t.Errorf("summary cache %q, want miss", found.Cache)
+	}
+
+	// /debug/logs serves the captured structured records; the solve's lines
+	// carry the correlation ID.
+	resp, body = postGet(t, ts.URL+"/debug/logs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/logs: status %d: %s", resp.StatusCode, body)
+	}
+	var dl debugLogsResponse
+	if err := json.Unmarshal(body, &dl); err != nil {
+		t.Fatal(err)
+	}
+	if len(dl.Entries) == 0 {
+		t.Fatal("no log entries captured")
+	}
+	stamped := false
+	for _, e := range dl.Entries {
+		if e.Req == "debug-probe" {
+			stamped = true
+			break
+		}
+	}
+	if !stamped {
+		t.Errorf("no /debug/logs entry stamped with debug-probe: %s", body)
+	}
+}
+
+func TestMetricsRuntimeAndBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postGet(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		obs.MGoGoroutines,
+		obs.MGoHeapAllocBytes,
+		obs.MGoGCPauseSec,
+		obs.MBuildInfo,
+		obs.MServePoolBusy,
+		obs.MServeCacheEntries,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %s:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `goVersion="`) {
+		t.Errorf("build info gauge lacks goVersion label:\n%s", text)
+	}
+}

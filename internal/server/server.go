@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -76,6 +77,14 @@ type Config struct {
 	// Obs receives request metrics and solver telemetry. nil creates a
 	// metrics-only context so /metrics always works.
 	Obs *obs.Context
+	// LatencyBuckets overrides the request/point latency histogram buckets
+	// (seconds, ascending); empty selects obs.DefBuckets.
+	LatencyBuckets []float64
+	// RecentRequests sizes the /debug/requests ring; 0 selects 256.
+	RecentRequests int
+	// LogBuffer, when non-nil, backs GET /debug/logs with the recent
+	// structured-log ring (fan the same buffer into Obs.Logger's handler).
+	LogBuffer *obs.LogBuffer
 }
 
 func (c Config) withDefaults() Config {
@@ -109,16 +118,20 @@ func (c Config) withDefaults() Config {
 	if c.RetryBaseDelay == 0 {
 		c.RetryBaseDelay = 50 * time.Millisecond
 	}
+	if c.RecentRequests == 0 {
+		c.RecentRequests = 256
+	}
 	return c
 }
 
 // Server is the solve service. Create with New, mount Handler on an
 // http.Server, and call Shutdown to drain.
 type Server struct {
-	cfg   Config
-	obs   *obs.Context
-	mux   *http.ServeMux
-	cache *cache
+	cfg    Config
+	obs    *obs.Context
+	mux    *http.ServeMux
+	cache  *cache
+	reqLog *requestLog
 
 	// tokens is the worker pool: holding a token admits one solve.
 	tokens  chan struct{}
@@ -139,6 +152,7 @@ type Server struct {
 
 type job struct {
 	id      string
+	reqID   string // correlation ID of the request that started the job
 	total   int
 	done    atomic.Int64
 	mu      sync.Mutex
@@ -162,17 +176,72 @@ func New(cfg Config) *Server {
 		obs:     octx,
 		mux:     http.NewServeMux(),
 		cache:   newCache(cfg.CacheEntries),
+		reqLog:  newRequestLog(cfg.RecentRequests),
 		tokens:  make(chan struct{}, cfg.Workers),
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    map[string]*job{},
 	}
-	s.mux.HandleFunc("POST /v1/evaluate", s.recoverHandler(s.handleEvaluate))
-	s.mux.HandleFunc("POST /v1/sweep", s.recoverHandler(s.handleSweep))
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.recoverHandler(s.handleJob))
+	// Latency histograms are created here so configured buckets win the
+	// first-use race against the solver layers' default buckets.
+	octx.Histogram(obs.MServeRequestSec, cfg.LatencyBuckets...)
+	octx.Histogram(obs.MSweepPointSec, cfg.LatencyBuckets...)
+	obs.SetBuildInfo(octx.Metrics)
+	s.mux.HandleFunc("POST /v1/evaluate", s.instrument(s.recoverHandler(s.handleEvaluate)))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument(s.recoverHandler(s.handleSweep)))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.recoverHandler(s.handleJob)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/logs", s.handleDebugLogs)
 	return s
+}
+
+// summaryKey carries the request's mutable summary through the handler
+// chain, so solve handlers can enrich what the middleware records.
+type summaryKey struct{}
+
+func summaryFrom(ctx context.Context) *RequestSummary {
+	s, _ := ctx.Value(summaryKey{}).(*RequestSummary)
+	return s
+}
+
+// statusWriter captures the response status for the request summary.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the request-scoped diagnostics middleware: it assigns the
+// correlation ID (honoring an incoming X-Request-ID, generating one
+// otherwise), echoes it in the response header, threads it through the
+// context so every log line, span, and metric exemplar downstream is
+// stamped with it, and records a summary in the /debug/requests ring.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 128 {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		sum := &RequestSummary{ID: id, Path: r.URL.Path, Start: time.Now()}
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = context.WithValue(ctx, summaryKey{}, sum)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.obs.Log(ctx, slog.LevelDebug, "request: accepted", "method", r.Method, "path", r.URL.Path)
+		h(sw, r.WithContext(ctx))
+		sum.DurationSec = time.Since(sum.Start).Seconds()
+		sum.Status = sw.status
+		s.reqLog.add(*sum)
+		s.obs.Log(ctx, slog.LevelInfo, "request: served",
+			"method", r.Method, "path", r.URL.Path, "status", sum.Status,
+			"durationSec", sum.DurationSec, "solver", sum.Solver, "cache", sum.Cache)
+	}
 }
 
 // Handler returns the HTTP handler to mount.
@@ -286,8 +355,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *apiE
 	return nil
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+func (s *Server) writeError(ctx context.Context, w http.ResponseWriter, status int, code string, err error) {
 	s.obs.Counter(obs.MServeErrors).Inc()
+	if sum := summaryFrom(ctx); sum != nil {
+		sum.Error = err.Error()
+	}
+	s.obs.Log(ctx, slog.LevelWarn, "request: error response", "status", status, "code", code, "error", err.Error())
 	resp := wire.ErrorResponse{SchemaVersion: wire.SchemaVersion, Error: err.Error(), Code: code}
 	var ve *core.ValidationError
 	if errors.As(err, &ve) {
@@ -299,8 +372,8 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code string, err 
 	w.Write(body)
 }
 
-func (s *Server) writeAPIError(w http.ResponseWriter, e *apiError) {
-	s.writeError(w, e.status, e.code, e.err)
+func (s *Server) writeAPIError(ctx context.Context, w http.ResponseWriter, e *apiError) {
+	s.writeError(ctx, w, e.status, e.code, e.err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, body []byte) {
@@ -318,8 +391,9 @@ func (s *Server) recoverHandler(h http.HandlerFunc) http.HandlerFunc {
 			if rec := recover(); rec != nil {
 				pe := scheduler.NewPanicError("server:"+r.URL.Path, rec)
 				s.obs.Counter(obs.MServePanics).Inc()
-				s.obs.Logf(0, "panic serving %s: %v\n%s", r.URL.Path, rec, pe.Stack)
-				s.writeError(w, http.StatusInternalServerError, "internal_panic", pe)
+				s.obs.Log(r.Context(), slog.LevelError, "request: panic recovered",
+					"path", r.URL.Path, "error", pe.Error(), "stack", string(pe.Stack))
+				s.writeError(r.Context(), w, http.StatusInternalServerError, "internal_panic", pe)
 			}
 		}()
 		h(w, r)
@@ -332,15 +406,19 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	inFlight.Add(1)
 	defer inFlight.Add(-1)
 	start := time.Now()
-	defer func() { s.obs.Histogram(obs.MServeRequestSec).Observe(time.Since(start).Seconds()) }()
+	defer func() {
+		// The exemplar ties this observation back to the correlation ID, so a
+		// slow bucket can be traced to a concrete request in /debug/requests.
+		s.obs.Histogram(obs.MServeRequestSec).ObserveEx(time.Since(start).Seconds(), obs.RequestID(r.Context()))
+	}()
 
 	var req wire.EvaluateRequest
 	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
-		s.writeAPIError(w, apiErr)
+		s.writeAPIError(r.Context(), w, apiErr)
 		return
 	}
 	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
-		s.writeError(w, http.StatusBadRequest, "version", err)
+		s.writeError(r.Context(), w, http.StatusBadRequest, "version", err)
 		return
 	}
 
@@ -348,24 +426,31 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// and key order don't fragment it.
 	canonical, err := json.Marshal(req)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(r.Context(), w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	key := cacheKey(canonical)
+	sum := summaryFrom(r.Context())
 	if body, ok := s.cache.get(key); ok {
 		s.obs.Counter(obs.MServeCacheHits).Inc()
+		if sum != nil {
+			sum.Cache = "hit"
+		}
 		w.Header().Set("X-HILP-Cache", "hit")
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
 	s.obs.Counter(obs.MServeCacheMisses).Inc()
+	if sum != nil {
+		sum.Cache = "miss"
+	}
 
 	if err := s.acquire(r.Context()); err != nil {
 		if errors.Is(err, errBusy) {
 			s.obs.Counter(obs.MServeRejected).Inc()
-			s.writeError(w, http.StatusTooManyRequests, "busy", err)
+			s.writeError(r.Context(), w, http.StatusTooManyRequests, "busy", err)
 		} else {
-			s.writeError(w, http.StatusServiceUnavailable, "busy", err)
+			s.writeError(r.Context(), w, http.StatusServiceUnavailable, "busy", err)
 		}
 		return
 	}
@@ -383,16 +468,23 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		result, apiErr = s.evaluateTemplate(ctx, &req)
 	}
 	if apiErr != nil {
-		s.writeAPIError(w, apiErr)
+		s.writeAPIError(r.Context(), w, apiErr)
 		return
 	}
 	if result.Cancelled {
 		s.obs.Counter(obs.MServeDeadlines).Inc()
 	}
+	if sum != nil {
+		sum.Solver = result.Method
+		sum.Gap = result.Gap
+		sum.Cancelled = result.Cancelled
+		sum.Degraded = result.Degraded
+		sum.FallbackReason = result.FallbackReason
+	}
 
 	body, err := wire.Marshal(wire.EvaluateResponse{SchemaVersion: wire.SchemaVersion, Result: result})
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "", err)
+		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
 		return
 	}
 	// Cancelled results are the best incumbent under *this* request's
@@ -485,11 +577,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.obs.Counter(obs.MServeRequests).Inc()
 	var req wire.SweepRequest
 	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
-		s.writeAPIError(w, apiErr)
+		s.writeAPIError(r.Context(), w, apiErr)
 		return
 	}
 	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
-		s.writeError(w, http.StatusBadRequest, "version", err)
+		s.writeError(r.Context(), w, http.StatusBadRequest, "version", err)
 		return
 	}
 	var ww wire.Workload
@@ -498,12 +590,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	workload, err := ww.ToWorkload()
 	if err != nil {
-		s.writeAPIError(w, solveErr(err))
+		s.writeAPIError(r.Context(), w, solveErr(err))
 		return
 	}
 	baseline, err := parseBaseline(req.Baseline)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", err)
+		s.writeError(r.Context(), w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	specs := make([]soc.Spec, 0, len(req.Specs))
@@ -521,8 +613,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	j, err := s.newJob(len(specs))
 	if err != nil {
 		s.obs.Counter(obs.MServeRejected).Inc()
-		s.writeError(w, http.StatusTooManyRequests, "busy", err)
+		s.writeError(r.Context(), w, http.StatusTooManyRequests, "busy", err)
 		return
+	}
+	// The job inherits the starting request's correlation ID: every per-point
+	// log line and exemplar of the async sweep traces back to this request.
+	j.reqID = obs.RequestID(r.Context())
+	if sum := summaryFrom(r.Context()); sum != nil {
+		sum.JobID = j.id
 	}
 	opts := []hilp.Option{
 		hilp.WithBaseline(baseline),
@@ -556,12 +654,14 @@ func (s *Server) runJob(j *job, workload rodinia.Workload, specs []soc.Spec, opt
 		if rec := recover(); rec != nil {
 			pe := scheduler.NewPanicError("server.job", rec)
 			s.obs.Counter(obs.MServePanics).Inc()
-			s.obs.Logf(0, "job %s: %v\n%s", j.id, pe, pe.Stack)
+			s.obs.Log(context.Background(), slog.LevelError, "job: panic recovered",
+				"job", j.id, "req", j.reqID, "error", pe.Error(), "stack", string(pe.Stack))
 			j.fail(pe)
 		}
 	}()
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
+	ctx = obs.WithRequestID(ctx, j.reqID)
 	ctx = faults.WithKey(faults.NewContext(ctx, s.cfg.Faults), s.jobSeq.Add(1))
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -575,10 +675,11 @@ func (s *Server) runJob(j *job, workload rodinia.Workload, specs []soc.Spec, opt
 		}
 		j.retried()
 		s.obs.Counter(obs.MServeRetries).Inc()
-		s.obs.Logf(1, "job %s: attempt %d failed (%v), retrying", j.id, attempt+1, err)
+		s.obs.Log(ctx, slog.LevelWarn, "job: attempt failed, retrying",
+			"job", j.id, "attempt", attempt+1, "error", err.Error())
 		sleepBackoff(ctx, s.cfg.RetryBaseDelay, attempt, j.id)
 	}
-	s.obs.Logf(0, "job %s failed: %v", j.id, lastErr)
+	s.obs.Log(ctx, slog.LevelError, "job: failed", "job", j.id, "error", lastErr.Error())
 	j.fail(lastErr)
 }
 
@@ -627,12 +728,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs[r.PathValue("id")]
 	s.jobMu.Unlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("unknown job %q", r.PathValue("id")))
+		s.writeError(r.Context(), w, http.StatusNotFound, "not_found", fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	body, err := wire.Marshal(j.snapshot())
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "", err)
+		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -645,6 +746,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if s.obs != nil && s.obs.Metrics != nil {
+		// Scrape-time gauges: Go runtime stats plus the pool and cache state,
+		// sampled fresh on every /metrics pull.
+		obs.CaptureRuntime(s.obs.Metrics)
+		s.obs.Gauge(obs.MServePoolBusy).Set(float64(len(s.tokens)))
+		s.obs.Gauge(obs.MServeQueueWaiting).Set(float64(s.waiting.Load()))
+		s.obs.Gauge(obs.MServeCacheEntries).Set(float64(s.cache.len()))
+		hits := s.obs.Counter(obs.MServeCacheHits).Value()
+		misses := s.obs.Counter(obs.MServeCacheMisses).Value()
+		if total := hits + misses; total > 0 {
+			s.obs.Gauge(obs.MServeCacheHitRatio).Set(float64(hits) / float64(total))
+		}
 		s.obs.Metrics.WritePrometheus(w)
 	}
 }
@@ -698,6 +810,7 @@ func (j *job) finish(points []hilp.Point, cancelled bool) {
 			Cancelled:      p.Cancelled,
 			Degraded:       p.Degraded,
 			FallbackReason: p.FallbackReason,
+			RequestID:      p.RequestID,
 		}
 		if p.Err != nil {
 			wp.Error = p.Err.Error()
@@ -753,6 +866,7 @@ func (j *job) snapshot() wire.Job {
 		URL:           "/v1/jobs/" + j.id,
 		Retries:       j.retries,
 		Error:         j.errMsg,
+		RequestID:     j.reqID,
 		Result:        j.result,
 	}
 }

@@ -107,6 +107,9 @@ type Job struct {
 	// Error is set when Status is "failed": the job-level failure after the
 	// retry budget was exhausted.
 	Error string `json:"error,omitempty"`
+	// RequestID is the correlation ID of the request that started the job;
+	// per-point IDs derive from it ("<requestId>/p<i>").
+	RequestID string `json:"requestId,omitempty"`
 	// Result is set once Status is terminal (for "failed" jobs it may carry
 	// the partial points of the last attempt, or be absent).
 	Result *SweepResponse `json:"result,omitempty"`

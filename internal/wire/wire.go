@@ -293,6 +293,9 @@ type Point struct {
 	Degraded       bool   `json:"degraded,omitempty"`
 	FallbackReason string `json:"fallbackReason,omitempty"`
 	Error          string `json:"error,omitempty"`
+	// RequestID is the point's correlation ID, linking it to its log lines
+	// and latency exemplar; empty when observability is disabled.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // Marshal renders any wire value as indented JSON with a trailing newline.

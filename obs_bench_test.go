@@ -9,6 +9,8 @@ package hilp_test
 //	go test -bench 'BenchmarkObs|BenchmarkEvaluate' -benchmem -run - .
 
 import (
+	"context"
+	"log/slog"
 	"testing"
 
 	"hilp"
@@ -52,10 +54,11 @@ func BenchmarkEvaluateObsFull(b *testing.B) {
 }
 
 // BenchmarkObsNoopCalls measures the raw per-call price of the disabled
-// path (span open/close, counter, gauge, histogram, suppressed log, and an
-// inert flight-recorder trace).
+// path (span open/close, counter, gauge, histogram, suppressed legacy and
+// structured logs, and an inert flight-recorder trace).
 func BenchmarkObsNoopCalls(b *testing.B) {
 	var octx *obs.Context
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sp := octx.StartSpan("solve")
@@ -63,6 +66,7 @@ func BenchmarkObsNoopCalls(b *testing.B) {
 		octx.Gauge(obs.MCertifiedGap).Set(0.1)
 		octx.Histogram(obs.MSweepPointSec).Observe(0.5)
 		octx.Logf(2, "suppressed")
+		octx.Log(ctx, slog.LevelDebug, "suppressed", "i", i)
 		tr := octx.Record("solve")
 		tr.Incumbent(i, 10)
 		tr.Bound(i, 8)
@@ -74,6 +78,7 @@ func BenchmarkObsNoopCalls(b *testing.B) {
 // BenchmarkObsActiveCalls is the same call sequence against live sinks.
 func BenchmarkObsActiveCalls(b *testing.B) {
 	octx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	ctx := context.Background()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// A fresh recorder per iteration keeps recorded-event memory O(1).
@@ -83,6 +88,7 @@ func BenchmarkObsActiveCalls(b *testing.B) {
 		octx.Gauge(obs.MCertifiedGap).Set(0.1)
 		octx.Histogram(obs.MSweepPointSec).Observe(0.5)
 		octx.Logf(2, "suppressed")
+		octx.Log(ctx, slog.LevelDebug, "suppressed", "i", i)
 		tr := octx.Record("solve")
 		tr.Incumbent(i, 10)
 		tr.Bound(i, 8)
