@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,11 +43,22 @@ func main() {
 		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
 		reportPath   = flag.String("report", "", "write an HTML run report (plus a .json twin): the sweep's Pareto front and a full re-evaluation of its best point")
 		faultSpec    = flag.String("faults", "", "chaos-test fault injection spec, e.g. seed=1,rate=0.1,kinds=panic+timeout,sites=solve (empty disables)")
+		follow       = flag.Bool("follow", false, "tail the live event bus to stderr: per-point completions, incumbent improvements, and solver stage transitions, one JSON line each")
 	)
 	var ocli obs.CLI
 	ocli.Register(nil)
 	flag.Parse()
 	octx := ocli.Context()
+
+	// -follow attaches the telemetry bus and tails it from a goroutine: the
+	// same event stream hilp-serve serves over SSE, printed as JSON lines.
+	var followWait func()
+	if *follow {
+		if octx == nil {
+			octx = &obs.Context{}
+		}
+		followWait = followBus(octx, os.Stderr)
+	}
 
 	w, err := workloadByName(*workloadName)
 	exitOn(err)
@@ -106,6 +118,9 @@ func main() {
 		maPoints = dse.Sweep(context.Background(), specs, *workers, dse.MAEvaluator(w))
 		gabPoints = dse.Sweep(context.Background(), specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
 	}
+	if followWait != nil {
+		followWait()
+	}
 	exitOn(ocli.Close())
 
 	if *reportPath != "" {
@@ -143,6 +158,30 @@ func main() {
 	if *withBase {
 		printPoints("MultiAmdahl", maPoints)
 		printPoints("Gables", gabPoints)
+	}
+}
+
+// followBus attaches a live-event bus to octx and tails it to w from a
+// goroutine. The returned function closes the bus, waits for the tail to
+// drain, and reports any drop-oldest losses.
+func followBus(octx *obs.Context, w *os.File) func() {
+	octx.Bus = obs.NewBus(0)
+	sub := octx.Bus.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		enc := json.NewEncoder(w)
+		for ev := range sub.C {
+			enc.Encode(ev)
+		}
+	}()
+	return func() {
+		octx.Bus.Close()
+		<-done
+		if n := sub.Dropped(); n > 0 {
+			fmt.Fprintf(w, "hilp-dse: -follow: %d events dropped (terminal slower than the sweep)\n", n)
+		}
+		sub.Unsubscribe()
 	}
 }
 

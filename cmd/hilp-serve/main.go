@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/evaluate   solve one (workload, SoC) pair or a custom model
-//	POST /v1/sweep      start an async design-space sweep, returns a job
-//	GET  /v1/jobs/{id}  poll a sweep job
-//	GET  /healthz       liveness
-//	GET  /metrics       Prometheus text metrics
+//	POST /v1/evaluate          solve one (workload, SoC) pair or a custom model
+//	POST /v1/sweep             start an async design-space sweep, returns a job
+//	GET  /v1/jobs/{id}         poll a sweep job
+//	GET  /v1/jobs/{id}/events  stream the job's live telemetry (SSE)
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text metrics
 //
 // Per-request timeouts map onto solver deadlines: a request that exceeds its
 // budget still gets the best schedule found so far, with result.cancelled
@@ -73,6 +74,8 @@ func main() {
 		logLevel       = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		logRing        = flag.Int("log-ring", 512, "recent structured-log records retained for GET /debug/logs")
 		bucketSpec     = flag.String("latency-buckets", "", "request latency histogram buckets, comma-separated seconds ascending (empty = defaults)")
+		otlpEndpoint   = flag.String("otlp-endpoint", "", "OTLP/HTTP trace endpoint receiving one span per request plus per-stage children (empty disables)")
+		eventBuffer    = flag.Int("event-buffer", 0, "per-subscriber buffer for GET /v1/jobs/{id}/events, oldest events dropped beyond it (0 = 256)")
 	)
 	flag.Parse()
 
@@ -110,6 +113,16 @@ func main() {
 		octx.Verbosity = 1
 		octx.LogWriter = os.Stderr
 	}
+	var exporter *obs.OTLPExporter
+	if *otlpEndpoint != "" {
+		exporter = obs.NewOTLPExporter(*otlpEndpoint, "hilp-serve")
+		exporter.SetCounters(
+			octx.Counter(obs.MOTLPSpansExported),
+			octx.Counter(obs.MOTLPSpansFailed),
+			octx.Counter(obs.MOTLPSpansDropped),
+		)
+		log.Printf("hilp-serve: exporting OTLP spans to %s", *otlpEndpoint)
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
@@ -123,6 +136,8 @@ func main() {
 		Obs:            octx,
 		LatencyBuckets: buckets,
 		LogBuffer:      logBuf,
+		EventBuffer:    *eventBuffer,
+		OTLP:           exporter,
 	})
 
 	httpSrv := &http.Server{
@@ -146,12 +161,21 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Drain in-flight HTTP requests first, then cancel and collect jobs.
+	// Release live SSE streams first (they would otherwise hold
+	// http.Server.Shutdown open), then drain in-flight HTTP requests, then
+	// cancel and collect jobs, then flush buffered spans.
+	srv.Drain()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "hilp-serve: http drain: %v\n", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "hilp-serve: job drain: %v\n", err)
+	}
+	if exporter != nil {
+		if err := exporter.Flush(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hilp-serve: otlp flush: %v\n", err)
+		}
+		exporter.Close()
 	}
 	log.Printf("hilp-serve: drained, bye")
 }

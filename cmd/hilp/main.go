@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -54,6 +55,14 @@ func main() {
 	ocli.Register(nil)
 	flag.Parse()
 
+	// Every run gets a correlation ID, exactly like a served request: log
+	// lines, metric exemplars, and the OTLP root span (when -otlp-endpoint is
+	// set) all carry it, so a CLI run and a server request are diagnosed the
+	// same way.
+	reqID := obs.NewRequestID()
+	ocli.RequestID = reqID
+	ctx := obs.WithRequestID(context.Background(), reqID)
+
 	octx := ocli.Context()
 	if octx != nil && ocli.Verbose {
 		// A single evaluation is cheap to narrate in full: include the
@@ -72,7 +81,7 @@ func main() {
 	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Obs: octx}
 
 	if *modelPath != "" {
-		runCustom(*modelPath, *stepSec, *horizon, cfg, *showGantt, *showTasks, *jsonOut, *reportPath, rec)
+		runCustom(ctx, *modelPath, *stepSec, *horizon, cfg, *showGantt, *showTasks, *jsonOut, *reportPath, rec)
 		exitOn(ocli.Close())
 		return
 	}
@@ -87,7 +96,7 @@ func main() {
 		PowerBudgetWatts: *powerW,
 		MemBandwidthGBs:  *bwGBs,
 	}
-	res, err := hilp.EvaluateWith(w, spec, hilp.DSEProfile, cfg)
+	res, err := hilp.Solve(ctx, w, spec, hilp.WithProfile(hilp.DSEProfile), hilp.WithSolver(cfg))
 	exitOn(err)
 	exitOn(ocli.Close())
 
@@ -143,12 +152,12 @@ func main() {
 	}
 }
 
-func runCustom(path string, stepSec float64, horizon int, cfg hilp.SolverConfig, gantt, tasks, jsonOut bool, reportPath string, rec *obs.Recorder) {
+func runCustom(ctx context.Context, path string, stepSec float64, horizon int, cfg hilp.SolverConfig, gantt, tasks, jsonOut bool, reportPath string, rec *obs.Recorder) {
 	data, err := os.ReadFile(path)
 	exitOn(err)
 	m, err := wire.DecodeModel(data)
 	exitOn(err)
-	inst, res, err := hilp.SolveModel(m, stepSec, horizon, cfg)
+	inst, res, err := hilp.SolveModelContext(ctx, m, stepSec, horizon, cfg)
 	exitOn(err)
 
 	if reportPath != "" {

@@ -121,6 +121,13 @@ func SolveProblem(ctx context.Context, p *scheduler.Problem, cfg scheduler.Confi
 	}
 	firstErr := err
 
+	// Everything past the first failure is degradation work. It is attributed
+	// to the "fallback" stage of the request's StageTimer — nested inside the
+	// enclosing "solve" stage, so it explains solve time rather than adding to
+	// the request total.
+	stopFallback := obs.StageTimerFrom(ctx).Start(obs.StageFallback)
+	defer stopFallback()
+
 	octx.Counter(obs.MSolveRetries).Inc()
 	octx.Log(ctx, slog.LevelWarn, "solve: transient failure, retrying with perturbed settings", "error", err.Error())
 	res, err = attempt(true)

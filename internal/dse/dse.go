@@ -158,12 +158,15 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 		}
 	}
 	octx.Log(ctx, slog.LevelInfo, "sweep: starting", "points", len(specs), "workers", workers)
+	octx.Publish(obs.BusEvent{Kind: "sweep", Name: "start", Req: obs.RequestID(ctx), Total: len(specs)})
 
 	pointCtr := octx.Counter(obs.MSweepPoints)
 	failCtr := octx.Counter(obs.MSweepPointsFailed)
 	latency := octx.Histogram(obs.MSweepPointSec)
-	// Per-point timing is only needed when a sink will see it.
-	timed := opts.OnProgress != nil || (octx != nil && octx.Metrics != nil)
+	// Per-point timing is only needed when a sink will see it. A bus counts
+	// even without current subscribers: SSE clients attach mid-sweep.
+	hasBus := octx != nil && octx.Bus != nil
+	timed := opts.OnProgress != nil || (octx != nil && octx.Metrics != nil) || hasBus
 
 	start := time.Now()
 	var (
@@ -231,27 +234,48 @@ func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Ev
 				if !timed {
 					continue
 				}
-				latency.ObserveEx(time.Since(t0).Seconds(), pid)
-				if opts.OnProgress == nil {
+				durSec := time.Since(t0).Seconds()
+				latency.ObserveEx(durSec, pid)
+				if opts.OnProgress == nil && !hasBus {
 					continue
 				}
 				progressMu.Lock()
 				done++
-				if p.Err == nil && (!hasBest || p.Speedup > best.Speedup) {
+				improved := p.Err == nil && (!hasBest || p.Speedup > best.Speedup)
+				if improved {
 					best = p
 					hasBest = true
 				}
-				prog := Progress{
-					Done:    done,
-					Total:   len(specs),
-					Best:    best,
-					HasBest: hasBest,
-					Elapsed: time.Since(start),
+				if hasBus {
+					status := "ok"
+					switch {
+					case p.Err != nil:
+						status = "failed"
+					case p.Cancelled:
+						status = "cancelled"
+					case p.Degraded:
+						status = "degraded"
+					}
+					octx.Publish(obs.BusEvent{Kind: "point", Name: p.Label, Req: pid, Iter: i,
+						Value: p.Speedup, Gap: p.Gap, Done: done, Total: len(specs), DurSec: durSec, Status: status})
+					if improved {
+						octx.Publish(obs.BusEvent{Kind: "incumbent", Name: best.Label, Req: pid,
+							Value: best.Speedup, Gap: best.Gap, Done: done, Total: len(specs)})
+					}
 				}
-				if done > 0 {
-					prog.ETA = prog.Elapsed / time.Duration(done) * time.Duration(len(specs)-done)
+				if opts.OnProgress != nil {
+					prog := Progress{
+						Done:    done,
+						Total:   len(specs),
+						Best:    best,
+						HasBest: hasBest,
+						Elapsed: time.Since(start),
+					}
+					if done > 0 {
+						prog.ETA = prog.Elapsed / time.Duration(done) * time.Duration(len(specs)-done)
+					}
+					opts.OnProgress(prog)
 				}
-				opts.OnProgress(prog)
 				progressMu.Unlock()
 			}
 		}()
@@ -274,6 +298,14 @@ feed:
 		p := newPoint(specs[i])
 		p.Err = ctx.Err()
 		points[i] = p
+	}
+	if hasBus {
+		status := "done"
+		if ctx.Err() != nil {
+			status = "cancelled"
+		}
+		octx.Publish(obs.BusEvent{Kind: "sweep", Name: "done", Req: parentID,
+			Done: dispatched, Total: len(specs), DurSec: time.Since(start).Seconds(), Status: status})
 	}
 	return points
 }

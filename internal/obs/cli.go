@@ -1,13 +1,16 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 )
 
 // CLI bundles the observability flags shared by the hilp binaries:
@@ -18,19 +21,30 @@ import (
 //	-pprof addr        serve net/http/pprof on addr (e.g. localhost:6060)
 //	-log-format fmt    structured logging to stderr: text or json
 //	-log-level level   minimum structured-log level: debug, info, warn, error
+//	-otlp-endpoint url POST completed spans as OTLP/HTTP JSON on exit
 //
 // Usage: Register the flags, flag.Parse, then Context() to get the (possibly
 // nil) *Context to thread into solver configs, and defer Close() to flush
-// the output files.
+// the output files and export spans.
 type CLI struct {
-	TracePath   string
-	MetricsPath string
-	PprofAddr   string
-	Verbose     bool
-	LogFormat   string
-	LogLevel    string
+	TracePath    string
+	MetricsPath  string
+	PprofAddr    string
+	Verbose      bool
+	LogFormat    string
+	LogLevel     string
+	OTLPEndpoint string
 
-	ctx *Context
+	// Service is the OTLP service.name resource attribute; defaults to the
+	// binary's base name.
+	Service string
+	// RequestID, when set by the binary, is attached to the exported root
+	// span as the hilp.request_id attribute, linking the trace to log lines
+	// and /debug surfaces.
+	RequestID string
+
+	ctx   *Context
+	epoch time.Time
 }
 
 // Register installs the flags on fs (flag.CommandLine when nil).
@@ -44,6 +58,7 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Verbose, "v", false, "verbose progress logging to stderr")
 	fs.StringVar(&c.LogFormat, "log-format", "", "structured logging to stderr: text or json (empty disables unless -v)")
 	fs.StringVar(&c.LogLevel, "log-level", "info", "minimum structured-log level: debug, info, warn, or error")
+	fs.StringVar(&c.OTLPEndpoint, "otlp-endpoint", "", "OTLP/HTTP JSON trace endpoint (e.g. http://localhost:4318/v1/traces); spans are exported on exit")
 }
 
 // Context builds the observability context selected by the flags and starts
@@ -61,12 +76,15 @@ func (c *CLI) Context() *Context {
 			}
 		}()
 	}
-	if c.TracePath == "" && c.MetricsPath == "" && !c.Verbose && c.LogFormat == "" {
+	if c.TracePath == "" && c.MetricsPath == "" && !c.Verbose && c.LogFormat == "" && c.OTLPEndpoint == "" {
 		return nil
 	}
 	ctx := &Context{}
-	if c.TracePath != "" {
+	if c.TracePath != "" || c.OTLPEndpoint != "" {
+		// OTLP export reuses the span buffer: batch binaries record the run's
+		// spans and convert the snapshot into one trace at Close.
 		ctx.Tracer = NewTracer()
+		c.epoch = time.Now()
 	}
 	if c.MetricsPath != "" {
 		ctx.Metrics = NewRegistry()
@@ -94,12 +112,18 @@ func (c *CLI) Context() *Context {
 	return ctx
 }
 
-// Close flushes the trace and metrics files. Call it once, after the work
-// being observed finishes.
+// Close flushes the trace and metrics files and exports spans to the OTLP
+// endpoint when one was given. Call it once, after the work being observed
+// finishes.
 func (c *CLI) Close() error {
 	ctx := c.ctx
 	if ctx == nil {
 		return nil
+	}
+	if c.OTLPEndpoint != "" && ctx.Tracer != nil {
+		if err := c.exportOTLP(ctx.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: otlp export: %v\n", err)
+		}
 	}
 	if c.TracePath != "" && ctx.Tracer != nil {
 		f, err := os.Create(c.TracePath)
@@ -132,4 +156,55 @@ func (c *CLI) Close() error {
 		return f.Close()
 	}
 	return nil
+}
+
+// exportOTLP converts the tracer snapshot into one OTLP trace — a synthetic
+// root span covering the whole run, with every recorded span hanging off it
+// by time containment — and POSTs it to the configured endpoint.
+func (c *CLI) exportOTLP(t *Tracer) error {
+	snap := t.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	service := c.Service
+	if service == "" {
+		service = filepath.Base(os.Args[0])
+	}
+	tc := NewTraceContext()
+	spans := SpansToOTLP(snap, tc, c.epoch)
+	// Root span: spans the earliest start to the latest end of the run.
+	var lo, hi int64
+	for i, sp := range spans {
+		if i == 0 || sp.StartUnixNano < lo {
+			lo = sp.StartUnixNano
+		}
+		if sp.EndUnixNano > hi {
+			hi = sp.EndUnixNano
+		}
+	}
+	root := OTLPSpan{
+		TraceID:       tc.TraceIDString(),
+		SpanID:        tc.SpanIDString(),
+		Name:          service,
+		StartUnixNano: lo,
+		EndUnixNano:   hi,
+	}
+	if c.RequestID != "" {
+		root.Attrs = append(root.Attrs, OTLPStr("hilp.request_id", c.RequestID))
+	}
+	exp := NewOTLPExporter(c.OTLPEndpoint, service)
+	exp.Enqueue(root)
+	exp.EnqueueAll(spans)
+	flushCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err := exp.Flush(flushCtx)
+	if cerr := exp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		if _, failed, dropped := exp.Stats(); failed > 0 || dropped > 0 {
+			err = fmt.Errorf("%d spans failed, %d dropped", failed, dropped)
+		}
+	}
+	return err
 }

@@ -65,4 +65,29 @@ const (
 	MServeQueueWaiting  = "hilp_serve_queue_waiting"
 	MServeCacheEntries  = "hilp_serve_cache_entries"
 	MServeCacheHitRatio = "hilp_serve_cache_hit_ratio"
+
+	// Live telemetry bus (obs.Bus) and SSE streaming.
+	MEventsDropped    = "hilp_events_dropped_total"
+	MServeSubscribers = "hilp_serve_event_subscribers"
+
+	// OTLP span export (obs.OTLPExporter).
+	MOTLPSpansExported = "hilp_otlp_spans_exported_total"
+	MOTLPSpansFailed   = "hilp_otlp_spans_failed_total"
+	MOTLPSpansDropped  = "hilp_otlp_spans_dropped_total"
 )
+
+// StageMetricName maps a request-stage name (see Stages) onto its latency
+// histogram, e.g. "cache-lookup" → "hilp_serve_stage_cache_lookup_seconds".
+// Dashes become underscores: Prometheus metric names cannot contain '-'.
+func StageMetricName(stage string) string {
+	out := make([]byte, 0, len(stage)+24)
+	out = append(out, "hilp_serve_stage_"...)
+	for i := 0; i < len(stage); i++ {
+		if stage[i] == '-' {
+			out = append(out, '_')
+		} else {
+			out = append(out, stage[i])
+		}
+	}
+	return string(append(out, "_seconds"...))
+}

@@ -49,6 +49,9 @@ type Context struct {
 	// Logger receives structured log records (see Log); nil disables them.
 	// Records are stamped with the context.Context's correlation ID.
 	Logger *Logger
+	// Bus fans telemetry events out to live subscribers (SSE streams,
+	// -follow terminals); nil disables publishing.
+	Bus *Bus
 
 	// cur is the parent span for StartSpan, set by WithSpan.
 	cur Span
@@ -60,19 +63,41 @@ var logMu sync.Mutex
 
 // Enabled reports whether any sink is attached.
 func (c *Context) Enabled() bool {
-	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil || c.Recorder != nil || c.Logger != nil)
+	return c != nil && (c.Tracer != nil || c.Metrics != nil || c.LogWriter != nil || c.Recorder != nil || c.Logger != nil || c.Bus != nil)
+}
+
+// Publish fans one event out to the bus subscribers. Disabled contexts (or
+// contexts without a bus) ignore it, so call sites publish unconditionally.
+func (c *Context) Publish(ev BusEvent) {
+	if c == nil || c.Bus == nil {
+		return
+	}
+	c.Bus.Publish(ev)
+}
+
+// Publishing reports whether a bus with at least one subscriber is attached,
+// so hot paths can skip building events nobody is listening to.
+func (c *Context) Publishing() bool {
+	return c != nil && c.Bus != nil && c.Bus.SubscriberCount() > 0
 }
 
 // Recording reports whether a flight recorder is attached.
 func (c *Context) Recording() bool { return c != nil && c.Recorder != nil }
 
 // Record opens a flight-recorder trace for one solver run. Disabled contexts
-// return an inert trace, so solvers record unconditionally.
+// return an inert trace, so solvers record unconditionally. When the context
+// carries a bus with live subscribers the trace also fans its events out as
+// Kind "solver" bus events.
 func (c *Context) Record(solver string) SolveTrace {
-	if c == nil || c.Recorder == nil {
+	if c == nil || (c.Recorder == nil && c.Bus == nil) {
 		return SolveTrace{}
 	}
-	return c.Recorder.Begin(solver)
+	t := c.Recorder.Begin(solver)
+	if c.Bus != nil && c.Bus.SubscriberCount() > 0 {
+		t.bus = c.Bus
+		t.solver = solver
+	}
+	return t
 }
 
 // Tracing reports whether spans are being recorded. Call sites use it to

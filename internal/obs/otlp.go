@@ -1,0 +1,477 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OTLPAttr is one span attribute: either a string or a double value.
+type OTLPAttr struct {
+	Key   string
+	Str   string
+	Num   float64
+	IsNum bool
+}
+
+// OTLPStr builds a string attribute.
+func OTLPStr(key, v string) OTLPAttr { return OTLPAttr{Key: key, Str: v} }
+
+// OTLPNum builds a numeric attribute.
+func OTLPNum(key string, v float64) OTLPAttr { return OTLPAttr{Key: key, Num: v, IsNum: true} }
+
+// OTLPSpan is one completed span ready for OTLP export: hex-encoded IDs and
+// absolute unix-nano timestamps, as the OTLP/HTTP JSON encoding requires.
+type OTLPSpan struct {
+	TraceID       string // 32 hex digits
+	SpanID        string // 16 hex digits
+	ParentSpanID  string // 16 hex digits, "" for root spans
+	Name          string
+	StartUnixNano int64
+	EndUnixNano   int64
+	Attrs         []OTLPAttr
+}
+
+// --- OTLP/HTTP JSON wire shapes (trace service ExportTraceServiceRequest) ---
+
+type otlpAnyValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+}
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpSpanJSON struct {
+	TraceID      string `json:"traceId"`
+	SpanID       string `json:"spanId"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	Name         string `json:"name"`
+	Kind         int    `json:"kind"`
+	// Proto3 JSON maps fixed64 to decimal strings.
+	StartTimeUnixNano string         `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string         `json:"endTimeUnixNano"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpanJSON `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpKeyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpExportRequest struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+func otlpAttrs(attrs []OTLPAttr) []otlpKeyValue {
+	if len(attrs) == 0 {
+		return nil
+	}
+	out := make([]otlpKeyValue, len(attrs))
+	for i, a := range attrs {
+		if a.IsNum {
+			v := a.Num
+			out[i] = otlpKeyValue{Key: a.Key, Value: otlpAnyValue{DoubleValue: &v}}
+		} else {
+			s := a.Str
+			out[i] = otlpKeyValue{Key: a.Key, Value: otlpAnyValue{StringValue: &s}}
+		}
+	}
+	return out
+}
+
+// EncodeOTLP renders a batch of spans as one OTLP/HTTP JSON export request
+// under the given service.name resource.
+func EncodeOTLP(service string, spans []OTLPSpan) ([]byte, error) {
+	var rs otlpResourceSpans
+	rs.Resource.Attributes = otlpAttrs([]OTLPAttr{OTLPStr("service.name", service)})
+	ss := otlpScopeSpans{Spans: make([]otlpSpanJSON, len(spans))}
+	ss.Scope.Name = "hilp/internal/obs"
+	for i, sp := range spans {
+		ss.Spans[i] = otlpSpanJSON{
+			TraceID:           sp.TraceID,
+			SpanID:            sp.SpanID,
+			ParentSpanID:      sp.ParentSpanID,
+			Name:              sp.Name,
+			Kind:              1, // SPAN_KIND_INTERNAL
+			StartTimeUnixNano: fmt.Sprint(sp.StartUnixNano),
+			EndTimeUnixNano:   fmt.Sprint(sp.EndUnixNano),
+			Attributes:        otlpAttrs(sp.Attrs),
+		}
+	}
+	rs.ScopeSpans = []otlpScopeSpans{ss}
+	return json.Marshal(otlpExportRequest{ResourceSpans: []otlpResourceSpans{rs}})
+}
+
+// SpansToOTLP converts a Tracer snapshot into OTLP spans of one trace.
+// Span IDs are freshly minted; parents are reconstructed per track by time
+// containment (the same nesting invariant WellNested checks), and spans with
+// no enclosing span on their track become children of tc's span — the
+// process- or request-level root. epoch is the wall-clock instant of tracer
+// time zero, mapping relative nanoseconds onto absolute unix nanos. Spans
+// still open in the snapshot are exported with zero duration.
+func SpansToOTLP(recs []SpanRecord, tc TraceContext, epoch time.Time) []OTLPSpan {
+	if len(recs) == 0 {
+		return nil
+	}
+	base := epoch.UnixNano()
+	type openSpan struct {
+		id  string
+		end int64
+	}
+	stacks := map[int64][]openSpan{}
+	out := make([]OTLPSpan, 0, len(recs))
+	for _, r := range recs {
+		dur := r.DurNs
+		if dur < 0 {
+			dur = 0
+		}
+		var sidRaw [8]byte
+		fillRandom(sidRaw[:])
+		sid := fmt.Sprintf("%x", sidRaw)
+		stack := stacks[r.TID]
+		for len(stack) > 0 && stack[len(stack)-1].end <= r.StartNs {
+			stack = stack[:len(stack)-1]
+		}
+		parent := tc.SpanIDString()
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1].id
+		}
+		stacks[r.TID] = append(stack, openSpan{id: sid, end: r.StartNs + dur})
+
+		sp := OTLPSpan{
+			TraceID:       tc.TraceIDString(),
+			SpanID:        sid,
+			ParentSpanID:  parent,
+			Name:          r.Name,
+			StartUnixNano: base + r.StartNs,
+			EndUnixNano:   base + r.StartNs + dur,
+		}
+		for k, v := range r.Args {
+			sp.Attrs = append(sp.Attrs, OTLPNum(k, v))
+		}
+		for k, v := range r.StrArgs {
+			sp.Attrs = append(sp.Attrs, OTLPStr(k, v))
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// OTLPExporter batches completed spans and POSTs them to an OTLP/HTTP JSON
+// trace endpoint (conventionally .../v1/traces) with bounded queueing,
+// retry with exponential backoff, and graceful flush on drain. Enqueue never
+// blocks: when the queue is full the span is dropped and counted. A nil
+// exporter is a valid, fully disabled exporter.
+type OTLPExporter struct {
+	endpoint string
+	service  string
+	client   *http.Client
+
+	mu     sync.RWMutex
+	closed bool
+	queue  chan OTLPSpan
+	flush  chan chan error
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	batchSize  int
+	flushEvery time.Duration
+	attempts   int
+	backoff    time.Duration
+	sleep      func(time.Duration)
+
+	exported atomic.Uint64
+	failed   atomic.Uint64
+	dropped  atomic.Uint64
+
+	cExported *Counter
+	cFailed   *Counter
+	cDropped  *Counter
+}
+
+// OTLPOption customizes an exporter.
+type OTLPOption func(*OTLPExporter)
+
+// WithOTLPClient injects the HTTP client (tests use httptest servers with
+// short timeouts).
+func WithOTLPClient(c *http.Client) OTLPOption { return func(e *OTLPExporter) { e.client = c } }
+
+// WithOTLPBatch sets the max spans per POST (default 64).
+func WithOTLPBatch(n int) OTLPOption {
+	return func(e *OTLPExporter) {
+		if n > 0 {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithOTLPFlushEvery sets the background flush interval (default 2s).
+func WithOTLPFlushEvery(d time.Duration) OTLPOption {
+	return func(e *OTLPExporter) {
+		if d > 0 {
+			e.flushEvery = d
+		}
+	}
+}
+
+// WithOTLPRetry sets the attempts per batch and the initial backoff, which
+// doubles per retry (defaults 3 and 100ms).
+func WithOTLPRetry(attempts int, backoff time.Duration) OTLPOption {
+	return func(e *OTLPExporter) {
+		if attempts > 0 {
+			e.attempts = attempts
+		}
+		if backoff > 0 {
+			e.backoff = backoff
+		}
+	}
+}
+
+// WithOTLPSleep injects the retry-backoff sleep function, for tests.
+func WithOTLPSleep(f func(time.Duration)) OTLPOption {
+	return func(e *OTLPExporter) {
+		if f != nil {
+			e.sleep = f
+		}
+	}
+}
+
+// WithOTLPQueue sets the queue capacity (default 1024).
+func WithOTLPQueue(n int) OTLPOption {
+	return func(e *OTLPExporter) {
+		if n > 0 {
+			e.queue = make(chan OTLPSpan, n)
+		}
+	}
+}
+
+// NewOTLPExporter starts an exporter POSTing to endpoint under the given
+// service.name. Close it to flush and stop the background worker.
+func NewOTLPExporter(endpoint, service string, opts ...OTLPOption) *OTLPExporter {
+	e := &OTLPExporter{
+		endpoint:   endpoint,
+		service:    service,
+		client:     &http.Client{Timeout: 10 * time.Second},
+		queue:      make(chan OTLPSpan, 1024),
+		flush:      make(chan chan error),
+		done:       make(chan struct{}),
+		batchSize:  64,
+		flushEvery: 2 * time.Second,
+		attempts:   3,
+		backoff:    100 * time.Millisecond,
+		sleep:      time.Sleep,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// SetCounters attaches the exported/failed/dropped metrics (conventionally
+// MOTLPSpansExported, MOTLPSpansFailed, MOTLPSpansDropped). Nil counters are
+// valid.
+func (e *OTLPExporter) SetCounters(exported, failed, dropped *Counter) {
+	if e == nil {
+		return
+	}
+	e.cExported = exported
+	e.cFailed = failed
+	e.cDropped = dropped
+}
+
+// Stats reports how many spans were successfully exported, failed after all
+// retries, or dropped on a full queue.
+func (e *OTLPExporter) Stats() (exported, failed, dropped uint64) {
+	if e == nil {
+		return 0, 0, 0
+	}
+	return e.exported.Load(), e.failed.Load(), e.dropped.Load()
+}
+
+// Enqueue queues one completed span for export. Never blocks: a full queue
+// (or a closed/nil exporter) drops the span and counts it.
+func (e *OTLPExporter) Enqueue(sp OTLPSpan) {
+	if e == nil {
+		return
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		e.dropped.Add(1)
+		e.cDropped.Inc()
+		return
+	}
+	select {
+	case e.queue <- sp:
+	default:
+		e.dropped.Add(1)
+		e.cDropped.Inc()
+	}
+}
+
+// EnqueueAll queues a slice of spans.
+func (e *OTLPExporter) EnqueueAll(spans []OTLPSpan) {
+	for _, sp := range spans {
+		e.Enqueue(sp)
+	}
+}
+
+// Flush synchronously drains the queue and POSTs everything buffered. It
+// returns the first export error, if any.
+func (e *OTLPExporter) Flush(ctx context.Context) error {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil
+	}
+	reply := make(chan error, 1)
+	select {
+	case e.flush <- reply:
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close flushes buffered spans and stops the worker. Idempotent.
+func (e *OTLPExporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// run is the background batching worker.
+func (e *OTLPExporter) run() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.flushEvery)
+	defer ticker.Stop()
+	var batch []OTLPSpan
+	post := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := e.export(batch)
+		batch = batch[:0]
+		return err
+	}
+	drain := func() error {
+		var first error
+		for {
+			select {
+			case sp := <-e.queue:
+				batch = append(batch, sp)
+				if len(batch) >= e.batchSize {
+					if err := post(); err != nil && first == nil {
+						first = err
+					}
+				}
+			default:
+				if err := post(); err != nil && first == nil {
+					first = err
+				}
+				return first
+			}
+		}
+	}
+	for {
+		select {
+		case sp := <-e.queue:
+			batch = append(batch, sp)
+			if len(batch) >= e.batchSize {
+				post()
+			}
+		case <-ticker.C:
+			post()
+		case reply := <-e.flush:
+			reply <- drain()
+		case <-e.done:
+			drain()
+			return
+		}
+	}
+}
+
+// export POSTs one batch with retry and exponential backoff, giving up after
+// the configured attempts.
+func (e *OTLPExporter) export(batch []OTLPSpan) error {
+	body, err := EncodeOTLP(e.service, batch)
+	if err != nil {
+		e.failed.Add(uint64(len(batch)))
+		e.cFailed.Add(int64(len(batch)))
+		return err
+	}
+	delay := e.backoff
+	var lastErr error
+	for attempt := 0; attempt < e.attempts; attempt++ {
+		if attempt > 0 {
+			e.sleep(delay)
+			delay *= 2
+		}
+		req, err := http.NewRequest(http.MethodPost, e.endpoint, bytes.NewReader(body))
+		if err != nil {
+			lastErr = err
+			break
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := e.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			e.exported.Add(uint64(len(batch)))
+			e.cExported.Add(int64(len(batch)))
+			return nil
+		}
+		lastErr = fmt.Errorf("obs: otlp endpoint %s returned %s", e.endpoint, resp.Status)
+		// 4xx (other than 429) will not succeed on retry.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			break
+		}
+	}
+	e.failed.Add(uint64(len(batch)))
+	e.cFailed.Add(int64(len(batch)))
+	return lastErr
+}

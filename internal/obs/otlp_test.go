@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeExport pulls the flat span list out of one OTLP export request body.
+func decodeExport(t *testing.T, body []byte) []otlpSpanJSON {
+	t.Helper()
+	var req otlpExportRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatalf("bad OTLP body: %v", err)
+	}
+	var spans []otlpSpanJSON
+	for _, rs := range req.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			spans = append(spans, ss.Spans...)
+		}
+	}
+	return spans
+}
+
+func TestEncodeOTLPShape(t *testing.T) {
+	tc := NewTraceContext()
+	body, err := EncodeOTLP("hilp-test", []OTLPSpan{{
+		TraceID:       tc.TraceIDString(),
+		SpanID:        tc.SpanIDString(),
+		Name:          "evaluate",
+		StartUnixNano: 1000,
+		EndUnixNano:   2000,
+		Attrs:         []OTLPAttr{OTLPStr("hilp.request_id", "req-1"), OTLPNum("points", 3)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	rs := raw["resourceSpans"].([]any)[0].(map[string]any)
+	attrs := rs["resource"].(map[string]any)["attributes"].([]any)[0].(map[string]any)
+	if attrs["key"] != "service.name" {
+		t.Errorf("resource attr key = %v", attrs["key"])
+	}
+	sp := rs["scopeSpans"].([]any)[0].(map[string]any)["spans"].([]any)[0].(map[string]any)
+	if sp["traceId"] != tc.TraceIDString() || sp["name"] != "evaluate" {
+		t.Errorf("span = %v", sp)
+	}
+	// Proto3 JSON renders fixed64 nanos as strings.
+	if sp["startTimeUnixNano"] != "1000" || sp["endTimeUnixNano"] != "2000" {
+		t.Errorf("timestamps = %v, %v", sp["startTimeUnixNano"], sp["endTimeUnixNano"])
+	}
+	spAttrs := sp["attributes"].([]any)
+	if len(spAttrs) != 2 {
+		t.Fatalf("span attrs = %v", spAttrs)
+	}
+}
+
+func TestSpansToOTLPParentReconstruction(t *testing.T) {
+	clock := int64(0)
+	tr := NewTracerWithClock(func() int64 { clock += 10; return clock })
+	root := tr.StartSpan("evaluate")
+	child := root.Child("refine-iteration")
+	grand := child.Child("solve")
+	grand.End()
+	child.End()
+	sibling := root.Child("encode")
+	sibling.End()
+	root.End()
+	other := tr.StartSpan("other-track")
+	other.End()
+
+	tc := NewTraceContext()
+	spans := SpansToOTLP(tr.Snapshot(), tc, time.Unix(0, 0))
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]OTLPSpan{}
+	for _, sp := range spans {
+		if sp.TraceID != tc.TraceIDString() {
+			t.Errorf("span %s trace id = %s", sp.Name, sp.TraceID)
+		}
+		byName[sp.Name] = sp
+	}
+	// Containment: evaluate encloses refine-iteration encloses solve;
+	// encode is evaluate's second child; the other track roots at tc.
+	if got := byName["refine-iteration"].ParentSpanID; got != byName["evaluate"].SpanID {
+		t.Errorf("refine-iteration parent = %s, want evaluate", got)
+	}
+	if got := byName["solve"].ParentSpanID; got != byName["refine-iteration"].SpanID {
+		t.Errorf("solve parent = %s, want refine-iteration", got)
+	}
+	if got := byName["encode"].ParentSpanID; got != byName["evaluate"].SpanID {
+		t.Errorf("encode parent = %s, want evaluate", got)
+	}
+	for _, name := range []string{"evaluate", "other-track"} {
+		if got := byName[name].ParentSpanID; got != tc.SpanIDString() {
+			t.Errorf("%s parent = %s, want root %s", name, got, tc.SpanIDString())
+		}
+	}
+}
+
+func TestOTLPExporterBatchesAndFlushes(t *testing.T) {
+	var mu sync.Mutex
+	var got []otlpSpanJSON
+	var posts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %s", ct)
+		}
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		got = append(got, decodeExport(t, body)...)
+		posts++
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	exp := NewOTLPExporter(ts.URL, "hilp-test", WithOTLPBatch(2), WithOTLPFlushEvery(time.Hour))
+	tc := NewTraceContext()
+	for i := 0; i < 5; i++ {
+		exp.Enqueue(OTLPSpan{TraceID: tc.TraceIDString(), SpanID: tc.SpanIDString(), Name: "s"})
+	}
+	if err := exp.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Errorf("exported %d spans, want 5", len(got))
+	}
+	if posts < 2 {
+		t.Errorf("posts = %d, want batching into >= 2", posts)
+	}
+	exported, failed, dropped := exp.Stats()
+	if exported != 5 || failed != 0 || dropped != 0 {
+		t.Errorf("stats = %d/%d/%d", exported, failed, dropped)
+	}
+}
+
+func TestOTLPExporterRetriesWithBackoff(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		fail := attempts < 3
+		mu.Unlock()
+		if fail {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	var sleptMu sync.Mutex
+	var slept []time.Duration
+	exp := NewOTLPExporter(ts.URL, "hilp-test", WithOTLPRetry(3, time.Millisecond),
+		WithOTLPSleep(func(d time.Duration) {
+			sleptMu.Lock()
+			slept = append(slept, d)
+			sleptMu.Unlock()
+		}))
+	exp.Enqueue(OTLPSpan{Name: "s"})
+	if err := exp.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush after retries: %v", err)
+	}
+	exp.Close()
+	if exported, failed, _ := exp.Stats(); exported != 1 || failed != 0 {
+		t.Errorf("stats = %d exported, %d failed", exported, failed)
+	}
+	// Exponential backoff: second retry waits twice the first.
+	sleptMu.Lock()
+	defer sleptMu.Unlock()
+	if len(slept) != 2 || slept[1] != 2*slept[0] {
+		t.Errorf("backoffs = %v", slept)
+	}
+}
+
+func TestOTLPExporterGivesUpAndCounts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	r := NewRegistry()
+	exp := NewOTLPExporter(ts.URL, "hilp-test", WithOTLPRetry(2, time.Microsecond))
+	exp.SetCounters(r.Counter(MOTLPSpansExported), r.Counter(MOTLPSpansFailed), r.Counter(MOTLPSpansDropped))
+	exp.Enqueue(OTLPSpan{Name: "s"})
+	if err := exp.Flush(context.Background()); err == nil {
+		t.Error("Flush succeeded against an always-failing endpoint")
+	}
+	exp.Close()
+	if _, failed, _ := exp.Stats(); failed != 1 {
+		t.Errorf("failed = %d, want 1", failed)
+	}
+	if got := r.Counter(MOTLPSpansFailed).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MOTLPSpansFailed, got)
+	}
+}
+
+func TestOTLPExporterDropsOnFullQueue(t *testing.T) {
+	blocked := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-blocked
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	exp := NewOTLPExporter(ts.URL, "hilp-test", WithOTLPQueue(2), WithOTLPBatch(1), WithOTLPFlushEvery(time.Hour))
+	// First span occupies the worker (blocked in POST); the queue holds two
+	// more; everything beyond that is dropped.
+	for i := 0; i < 10; i++ {
+		exp.Enqueue(OTLPSpan{Name: "s"})
+	}
+	if _, _, dropped := exp.Stats(); dropped < 7 {
+		t.Errorf("dropped = %d, want >= 7", dropped)
+	}
+	close(blocked)
+	exp.Close()
+}
+
+func TestOTLPExporterCloseFlushesAndEnqueueAfterCloseDrops(t *testing.T) {
+	var mu sync.Mutex
+	var n int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		n += len(decodeExport(t, body))
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	exp := NewOTLPExporter(ts.URL, "hilp-test", WithOTLPFlushEvery(time.Hour))
+	exp.Enqueue(OTLPSpan{Name: "a"})
+	exp.Enqueue(OTLPSpan{Name: "b"})
+	exp.Close()
+	mu.Lock()
+	got := n
+	mu.Unlock()
+	if got != 2 {
+		t.Errorf("Close flushed %d spans, want 2", got)
+	}
+	exp.Enqueue(OTLPSpan{Name: "late"})
+	if _, _, dropped := exp.Stats(); dropped != 1 {
+		t.Errorf("post-Close enqueue dropped = %d, want 1", dropped)
+	}
+	if err := exp.Flush(context.Background()); err != nil {
+		t.Errorf("Flush after Close: %v", err)
+	}
+}
+
+func TestOTLPExporterNilSafety(t *testing.T) {
+	var exp *OTLPExporter
+	exp.Enqueue(OTLPSpan{})
+	exp.EnqueueAll([]OTLPSpan{{}})
+	exp.SetCounters(nil, nil, nil)
+	if err := exp.Flush(context.Background()); err != nil {
+		t.Error(err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Error(err)
+	}
+	if a, b, c := exp.Stats(); a != 0 || b != 0 || c != 0 {
+		t.Error("nil exporter stats nonzero")
+	}
+}

@@ -115,22 +115,31 @@ func (r *Recorder) Begin(solver string) SolveTrace {
 
 // SolveTrace is a handle to one recorded solver run. The zero value is inert:
 // every method is a no-op, so disabled recording costs only a nil check.
+// When a bus is attached (Context.Record does this) every event is also
+// fanned out live as a Kind "solver" BusEvent.
 type SolveTrace struct {
 	r   *Recorder
 	idx int
+	// bus, solver, and req carry the live fan-out target and its event
+	// labels; bus is nil for traces begun directly on a Recorder.
+	bus    *Bus
+	solver string
+	req    string
 }
 
 // Active reports whether the trace records anywhere.
-func (t SolveTrace) Active() bool { return t.r != nil }
+func (t SolveTrace) Active() bool { return t.r != nil || t.bus != nil }
 
 func (t SolveTrace) event(kind EventKind, iter int, value float64) {
-	if t.r == nil {
-		return
+	if t.r != nil {
+		t.r.mu.Lock()
+		rec := &t.r.solves[t.idx]
+		rec.events = append(rec.events, Event{Kind: kind, TimeNs: t.r.now(), Iter: iter, Value: value})
+		t.r.mu.Unlock()
 	}
-	t.r.mu.Lock()
-	rec := &t.r.solves[t.idx]
-	rec.events = append(rec.events, Event{Kind: kind, TimeNs: t.r.now(), Iter: iter, Value: value})
-	t.r.mu.Unlock()
+	if t.bus != nil {
+		t.bus.Publish(BusEvent{Kind: "solver", Name: t.solver, Event: kind.String(), Req: t.req, Iter: iter, Value: value})
+	}
 }
 
 // Incumbent records a new best feasible objective at iteration iter.
@@ -147,12 +156,16 @@ func (t SolveTrace) Restart(iter, k int) { t.event(EvRestart, iter, float64(k)) 
 
 // Certify attaches the final gap certificate to the run. The last call wins.
 func (t SolveTrace) Certify(incumbent, bound float64, proven bool) {
-	if t.r == nil {
-		return
+	cert := Certificate{Incumbent: incumbent, Bound: bound, Proven: proven}
+	if t.r != nil {
+		t.r.mu.Lock()
+		c := cert
+		t.r.solves[t.idx].cert = &c
+		t.r.mu.Unlock()
 	}
-	t.r.mu.Lock()
-	t.r.solves[t.idx].cert = &Certificate{Incumbent: incumbent, Bound: bound, Proven: proven}
-	t.r.mu.Unlock()
+	if t.bus != nil {
+		t.bus.Publish(BusEvent{Kind: "solver", Name: t.solver, Event: "certificate", Req: t.req, Value: incumbent, Gap: cert.Gap()})
+	}
 }
 
 // End closes the run. Ending an already-ended run is a no-op.

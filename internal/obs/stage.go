@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Canonical request-stage names: the latency-attribution taxonomy. Every
+// serve-path request decomposes into these disjoint stages — except
+// StageFallback, which core records *inside* StageSolve when the degradation
+// ladder engages, so it overlaps solve rather than adding to the total.
+const (
+	StageValidate    = "validate"
+	StageCacheLookup = "cache-lookup"
+	StageSchedule    = "schedule" // worker-pool admission wait
+	StageSolve       = "solve"
+	StageFallback    = "fallback"
+	StageEncode      = "encode"
+)
+
+// Stages lists the canonical stage names in pipeline order, for docs and
+// stable metric pre-registration.
+var Stages = []string{StageValidate, StageCacheLookup, StageSchedule, StageSolve, StageFallback, StageEncode}
+
+// StageInterval is one timed occurrence of a stage.
+type StageInterval struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+}
+
+// StageTimer accumulates per-stage wall time for one request. It is carried
+// through the solve via context.Context (WithStageTimer / StageTimerFrom) so
+// inner layers — the fallback chain in particular — attribute their time
+// without new parameters. A nil *StageTimer is a valid disabled timer: Start
+// returns a no-op stop function, preserving the disabled-overhead contract.
+//
+// Safe for concurrent use; overlapping occurrences of the same stage
+// accumulate independently.
+type StageTimer struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	intervals []StageInterval
+}
+
+// NewStageTimer returns a timer stamping stages with the wall clock.
+func NewStageTimer() *StageTimer {
+	return &StageTimer{now: time.Now}
+}
+
+// NewStageTimerWithClock returns a timer using a caller-supplied clock, for
+// deterministic tests.
+func NewStageTimerWithClock(now func() time.Time) *StageTimer {
+	return &StageTimer{now: now}
+}
+
+// Start opens a stage occurrence and returns the function that closes it.
+// The stop function is idempotent. A nil timer returns a no-op.
+func (t *StageTimer) Start(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.mu.Lock()
+	idx := len(t.intervals)
+	t.intervals = append(t.intervals, StageInterval{Name: name, Start: t.now()})
+	t.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			t.mu.Lock()
+			t.intervals[idx].End = t.now()
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Durations sums the closed occurrences of each stage, in seconds. Open
+// occurrences are excluded (they have no end yet).
+func (t *StageTimer) Durations() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.intervals) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(t.intervals))
+	for _, iv := range t.intervals {
+		if iv.End.IsZero() {
+			continue
+		}
+		out[iv.Name] += iv.End.Sub(iv.Start).Seconds()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Intervals returns copies of the closed stage occurrences in start order,
+// for building per-stage child spans.
+func (t *StageTimer) Intervals() []StageInterval {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageInterval, 0, len(t.intervals))
+	for _, iv := range t.intervals {
+		if !iv.End.IsZero() {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// stageTimerKey keys the StageTimer in a context.Context.
+type stageTimerKey struct{}
+
+// WithStageTimer returns a context carrying t (nil t returns ctx unchanged).
+func WithStageTimer(ctx context.Context, t *StageTimer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stageTimerKey{}, t)
+}
+
+// StageTimerFrom returns the stage timer carried by ctx, or nil (a valid
+// disabled timer).
+func StageTimerFrom(ctx context.Context) *StageTimer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(stageTimerKey{}).(*StageTimer)
+	return t
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// stageClock is a deterministic clock advancing a fixed step per call.
+func stageClock(step time.Duration) func() time.Time {
+	base := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * step)
+	}
+}
+
+func TestStageTimerAccumulates(t *testing.T) {
+	st := NewStageTimerWithClock(stageClock(time.Second))
+	stop := st.Start(StageValidate) // t=1
+	stop()                          // t=2 → 1s
+	stop()                          // idempotent: no effect
+	stop2 := st.Start(StageSolve)   // t=3
+	stop2()                         // t=4 → 1s
+	stop3 := st.Start(StageSolve)   // t=5
+	stop3()                         // t=6 → accumulates to 2s
+	d := st.Durations()
+	if math.Abs(d[StageValidate]-1) > 1e-9 {
+		t.Errorf("validate = %g, want 1", d[StageValidate])
+	}
+	if math.Abs(d[StageSolve]-2) > 1e-9 {
+		t.Errorf("solve = %g, want 2", d[StageSolve])
+	}
+	ivs := st.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("Intervals len = %d, want 3", len(ivs))
+	}
+	if ivs[0].Name != StageValidate || ivs[1].Name != StageSolve {
+		t.Errorf("interval order = %v, %v", ivs[0].Name, ivs[1].Name)
+	}
+}
+
+func TestStageTimerOpenStageExcluded(t *testing.T) {
+	st := NewStageTimerWithClock(stageClock(time.Second))
+	_ = st.Start(StageEncode) // never stopped
+	if d := st.Durations(); d != nil {
+		t.Errorf("Durations with only an open stage = %v, want nil", d)
+	}
+	if ivs := st.Intervals(); len(ivs) != 0 {
+		t.Errorf("Intervals with only an open stage = %v", ivs)
+	}
+}
+
+func TestStageTimerNilSafety(t *testing.T) {
+	var st *StageTimer
+	stop := st.Start(StageSolve)
+	stop()
+	if st.Durations() != nil || st.Intervals() != nil {
+		t.Error("nil timer returned data")
+	}
+}
+
+func TestStageTimerOnContext(t *testing.T) {
+	if got := StageTimerFrom(context.Background()); got != nil {
+		t.Errorf("empty context StageTimerFrom = %v", got)
+	}
+	st := NewStageTimer()
+	ctx := WithStageTimer(context.Background(), st)
+	if got := StageTimerFrom(ctx); got != st {
+		t.Error("StageTimerFrom did not return the attached timer")
+	}
+	if ctx2 := WithStageTimer(context.Background(), nil); ctx2 != context.Background() {
+		t.Error("nil timer was stored")
+	}
+	// The carried timer works end to end through the context.
+	stop := StageTimerFrom(ctx).Start(StageFallback)
+	stop()
+	if d := st.Durations(); d[StageFallback] < 0 {
+		t.Errorf("fallback duration = %g", d[StageFallback])
+	}
+}
+
+func TestStageMetricName(t *testing.T) {
+	cases := map[string]string{
+		StageValidate:    "hilp_serve_stage_validate_seconds",
+		StageCacheLookup: "hilp_serve_stage_cache_lookup_seconds",
+		StageSolve:       "hilp_serve_stage_solve_seconds",
+	}
+	for stage, want := range cases {
+		if got := StageMetricName(stage); got != want {
+			t.Errorf("StageMetricName(%q) = %q, want %q", stage, got, want)
+		}
+	}
+}

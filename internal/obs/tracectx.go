@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is a W3C Trace Context (traceparent) span context: the trace
+// ID shared by every span of a distributed trace, the ID of the current
+// span, and the sampled flag. The zero value is invalid (no trace).
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	// Sampled mirrors the traceparent sampled flag (01).
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero, as the W3C spec requires.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceIDString returns the 32-hex-digit trace ID.
+func (tc TraceContext) TraceIDString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanIDString returns the 16-hex-digit span ID.
+func (tc TraceContext) SpanIDString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// String renders the version-00 traceparent header value.
+func (tc TraceContext) String() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceIDString() + "-" + tc.SpanIDString() + "-" + flags
+}
+
+// Child returns a copy with a freshly minted span ID: the context for a new
+// span within the same trace.
+func (tc TraceContext) Child() TraceContext {
+	out := tc
+	fillRandom(out.SpanID[:])
+	return out
+}
+
+// fillRandom fills b with random bytes, guaranteeing a non-zero result (all
+// zeros is an invalid W3C ID) even if crypto/rand fails.
+func fillRandom(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	allZero := true
+	for _, v := range b {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// Fall back to the request-ID counter so IDs stay unique in-process.
+		n := reqIDCounter.Add(1)
+		for i := 0; i < len(b) && i < 8; i++ {
+			b[len(b)-1-i] = byte(n >> (8 * i))
+		}
+		if b[len(b)-1] == 0 {
+			b[len(b)-1] = 1
+		}
+	}
+}
+
+// NewSpanID mints a random 16-hex-digit span ID, for spans built outside a
+// Tracer (e.g. the server's per-stage OTLP children).
+func NewSpanID() string {
+	var b [8]byte
+	fillRandom(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceContext mints a root trace context: fresh trace and span IDs,
+// sampled.
+func NewTraceContext() TraceContext {
+	var tc TraceContext
+	fillRandom(tc.TraceID[:])
+	fillRandom(tc.SpanID[:])
+	tc.Sampled = true
+	return tc
+}
+
+// ParseTraceparent parses a version-00 W3C traceparent header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). Unknown future versions are accepted
+// with the same layout, per the spec's forward-compatibility rule.
+func ParseTraceparent(h string) (TraceContext, error) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: want 4 dash-separated fields", h)
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) < 2 {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad field lengths", h)
+	}
+	if strings.EqualFold(parts[0], "ff") {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: version ff is forbidden", h)
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad version: %v", h, err)
+	}
+	var tc TraceContext
+	tid, err := hex.DecodeString(parts[1])
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad trace-id: %v", h, err)
+	}
+	sid, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad parent-id: %v", h, err)
+	}
+	flags, err := hex.DecodeString(parts[3][:2])
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: bad flags: %v", h, err)
+	}
+	copy(tc.TraceID[:], tid)
+	copy(tc.SpanID[:], sid)
+	tc.Sampled = flags[0]&0x01 != 0
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: traceparent %q: all-zero trace or span id", h)
+	}
+	return tc, nil
+}
+
+// traceCtxKey keys the TraceContext in a context.Context.
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc. Invalid contexts are not
+// stored.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the trace context carried by ctx; ok is false
+// when none is attached.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Valid() {
+		t.Fatal("parsed context invalid")
+	}
+	if got := tc.TraceIDString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %s", got)
+	}
+	if got := tc.SpanIDString(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %s", got)
+	}
+	if !tc.Sampled {
+		t.Error("sampled flag lost")
+	}
+	if got := tc.String(); got != h {
+		t.Errorf("String() = %s, want %s", got, h)
+	}
+}
+
+func TestParseTraceparentUnsampled(t *testing.T) {
+	tc, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Sampled {
+		t.Error("unsampled header parsed as sampled")
+	}
+	if !strings.HasSuffix(tc.String(), "-00") {
+		t.Errorf("String() = %s, want -00 suffix", tc.String())
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-zzf067aa0ba902b7-01", // non-hex span id
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",   // short trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",  // short flags
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted malformed input", h)
+		}
+	}
+}
+
+func TestNewTraceContextAndChild(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() || !tc.Sampled {
+		t.Fatalf("NewTraceContext() = %+v", tc)
+	}
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Error("child changed trace id")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Error("child kept parent span id")
+	}
+	if tc2 := NewTraceContext(); tc2.TraceID == tc.TraceID {
+		t.Error("two roots share a trace id")
+	}
+}
+
+func TestTraceContextOnContext(t *testing.T) {
+	if _, ok := TraceContextFrom(context.Background()); ok {
+		t.Error("empty context reported a trace context")
+	}
+	tc := NewTraceContext()
+	ctx := WithTraceContext(context.Background(), tc)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got != tc {
+		t.Errorf("TraceContextFrom = %+v, %v", got, ok)
+	}
+	// Invalid contexts are not stored.
+	if ctx2 := WithTraceContext(context.Background(), TraceContext{}); ctx2 != context.Background() {
+		t.Error("invalid trace context was stored")
+	}
+}

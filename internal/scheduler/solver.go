@@ -144,11 +144,26 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 	rt := octx.Record("solve")
 	defer rt.End()
 
+	// Live stage-transition events for bus subscribers (SSE streams, -follow
+	// terminals). Publishing() gates both the event build and the request-ID
+	// lookup, so solves with no live listener skip the work entirely.
+	var reqID string
+	pub := octx.Publishing()
+	if pub {
+		reqID = obs.RequestID(ctx)
+	}
+	stageEv := func(stage string, iter int, value float64) {
+		if pub {
+			octx.Publish(obs.BusEvent{Kind: "stage", Name: stage, Req: reqID, Iter: iter, Value: value})
+		}
+	}
+
 	bsp := sctx.StartSpan("bounds")
 	lb := LowerBound(p)
 	bsp.ArgInt("lower_bound", lb)
 	bsp.End()
 	rt.Bound(0, float64(lb))
+	stageEv("bounds", 0, float64(lb))
 
 	var (
 		best   Schedule
@@ -178,6 +193,7 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 		return Result{}, fmt.Errorf("%w: a task's every option exceeds a resource capacity", ErrInfeasible)
 	}
 	rt.Incumbent(1, float64(best.Makespan))
+	stageEv(method, 1, float64(best.Makespan))
 
 	// Double justification: a cheap pass that never hurts and often shaves
 	// steps off the improved schedule.
@@ -185,6 +201,7 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 		best = j
 		method += "+justify"
 		rt.Incumbent(2, float64(best.Makespan))
+		stageEv("justify", 2, float64(best.Makespan))
 	}
 
 	proven := best.Makespan == lb
@@ -206,6 +223,7 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 			lb = d
 			proven = best.Makespan == lb
 			rt.Bound(3, float64(lb))
+			stageEv("destructive-lb", 3, float64(lb))
 		}
 		dsp.ArgInt("lower_bound", lb)
 		dsp.End()
@@ -222,6 +240,7 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 				best = ex.Schedule
 				method = "exact"
 				rt.Incumbent(4, float64(best.Makespan))
+				stageEv("exact", 4, float64(best.Makespan))
 			}
 			if ex.Exhausted {
 				proven = true

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -36,6 +37,12 @@ type RequestSummary struct {
 	Error string `json:"error,omitempty"`
 	// JobID links an async sweep request to its job handle.
 	JobID string `json:"jobId,omitempty"`
+	// TraceID is the request's W3C trace ID (continued from an incoming
+	// traceparent header, or minted), linking the summary to exported spans.
+	TraceID string `json:"traceId,omitempty"`
+	// Stages attributes request latency to pipeline stages (seconds by stage
+	// name: validate, cache-lookup, schedule, solve, fallback, encode).
+	Stages map[string]float64 `json:"stages,omitempty"`
 }
 
 // requestLog is a bounded ring of recent request summaries.
@@ -99,10 +106,24 @@ type debugRequestsResponse struct {
 	Requests []RequestSummary `json:"requests"`
 }
 
+// debugLimit parses the ?n= query parameter bounding a debug dump; 0 (or an
+// unparsable value) means "everything retained".
+func debugLimit(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	reqs, total := s.reqLog.snapshot()
 	if reqs == nil {
 		reqs = []RequestSummary{}
+	}
+	// Summaries are newest-first, so ?n= keeps the n most recent.
+	if n := debugLimit(r); n > 0 && n < len(reqs) {
+		reqs = reqs[:n]
 	}
 	body, err := wire.Marshal(debugRequestsResponse{SchemaVersion: wire.SchemaVersion, Total: total, Requests: reqs})
 	if err != nil {
@@ -125,6 +146,10 @@ func (s *Server) handleDebugLogs(w http.ResponseWriter, r *http.Request) {
 	entries := s.cfg.LogBuffer.Entries()
 	if entries == nil {
 		entries = []obs.LogEntry{}
+	}
+	// Entries are oldest-first, so ?n= keeps the n most recent (the tail).
+	if n := debugLimit(r); n > 0 && n < len(entries) {
+		entries = entries[len(entries)-n:]
 	}
 	body, err := wire.Marshal(debugLogsResponse{SchemaVersion: wire.SchemaVersion, Total: s.cfg.LogBuffer.Total(), Entries: entries})
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -85,6 +86,13 @@ type Config struct {
 	// LogBuffer, when non-nil, backs GET /debug/logs with the recent
 	// structured-log ring (fan the same buffer into Obs.Logger's handler).
 	LogBuffer *obs.LogBuffer
+	// EventBuffer sizes each live-event subscription's drop-oldest buffer
+	// (GET /v1/jobs/{id}/events); 0 selects 256.
+	EventBuffer int
+	// OTLP, when non-nil, receives one span per request plus per-stage child
+	// spans, carrying the request's W3C trace ID. The caller owns the
+	// exporter's lifecycle (flush/close on drain).
+	OTLP *obs.OTLPExporter
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +153,14 @@ type Server struct {
 	stop    context.CancelFunc
 	jobWG   sync.WaitGroup
 
+	// drainCh closes when the server starts draining, releasing open SSE
+	// streams before http.Server.Shutdown waits on them.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	// ownBus marks a bus created by New (closed on Shutdown) rather than one
+	// the caller attached to Config.Obs.
+	ownBus bool
+
 	jobMu    sync.Mutex
 	jobs     map[string]*job
 	jobOrder []string
@@ -180,16 +196,30 @@ func New(cfg Config) *Server {
 		tokens:  make(chan struct{}, cfg.Workers),
 		baseCtx: ctx,
 		stop:    stop,
+		drainCh: make(chan struct{}),
 		jobs:    map[string]*job{},
 	}
+	// The live-event bus backs GET /v1/jobs/{id}/events. Publishing is a
+	// no-op until the first subscriber, so always attaching one keeps the
+	// disabled-path overhead contract intact. A bus the caller attached to
+	// Config.Obs is honored (and its lifecycle stays theirs).
+	if octx.Bus == nil {
+		octx.Bus = obs.NewBus(cfg.EventBuffer)
+		s.ownBus = true
+	}
+	octx.Bus.SetDropCounter(octx.Counter(obs.MEventsDropped))
 	// Latency histograms are created here so configured buckets win the
 	// first-use race against the solver layers' default buckets.
 	octx.Histogram(obs.MServeRequestSec, cfg.LatencyBuckets...)
 	octx.Histogram(obs.MSweepPointSec, cfg.LatencyBuckets...)
+	for _, st := range obs.Stages {
+		octx.Histogram(obs.StageMetricName(st), cfg.LatencyBuckets...)
+	}
 	obs.SetBuildInfo(octx.Metrics)
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument(s.recoverHandler(s.handleEvaluate)))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument(s.recoverHandler(s.handleSweep)))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.recoverHandler(s.handleJob)))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument(s.recoverHandler(s.handleJobEvents)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
@@ -217,11 +247,28 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE streams flush through the
+// instrumentation middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument is the request-scoped diagnostics middleware: it assigns the
 // correlation ID (honoring an incoming X-Request-ID, generating one
 // otherwise), echoes it in the response header, threads it through the
 // context so every log line, span, and metric exemplar downstream is
 // stamped with it, and records a summary in the /debug/requests ring.
+//
+// It also owns the request's distributed-trace identity (W3C Trace Context):
+// an incoming traceparent header is parsed and continued with a fresh child
+// span ID, otherwise a new trace is minted; either way the request's own
+// context is echoed back in the Traceparent response header. A StageTimer
+// rides the context so handlers attribute latency to the pipeline stages
+// (validate, cache-lookup, schedule, solve, fallback, encode); closed stages
+// feed the per-stage histograms, the request summary, and — when Config.OTLP
+// is set — child spans under the request span.
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -229,35 +276,109 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 			id = obs.NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", id)
-		sum := &RequestSummary{ID: id, Path: r.URL.Path, Start: time.Now()}
+
+		var parentSpan string
+		tc, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if err == nil {
+			parentSpan = tc.SpanIDString()
+			tc = tc.Child()
+		} else {
+			tc = obs.NewTraceContext()
+		}
+		w.Header().Set("Traceparent", tc.String())
+
+		sum := &RequestSummary{ID: id, Path: r.URL.Path, Start: time.Now(), TraceID: tc.TraceIDString()}
+		st := obs.NewStageTimer()
 		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithTraceContext(ctx, tc)
+		ctx = obs.WithStageTimer(ctx, st)
 		ctx = context.WithValue(ctx, summaryKey{}, sum)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		s.obs.Log(ctx, slog.LevelDebug, "request: accepted", "method", r.Method, "path", r.URL.Path)
 		h(sw, r.WithContext(ctx))
 		sum.DurationSec = time.Since(sum.Start).Seconds()
 		sum.Status = sw.status
+		if stages := st.Durations(); stages != nil {
+			sum.Stages = stages
+			for name, sec := range stages {
+				s.obs.Histogram(obs.StageMetricName(name)).ObserveEx(sec, id)
+			}
+		}
 		s.reqLog.add(*sum)
+		s.obs.Publish(obs.BusEvent{
+			Kind: "request", Name: r.Method + " " + r.URL.Path, Req: id,
+			DurSec: sum.DurationSec, Status: strconv.Itoa(sum.Status),
+		})
+		s.exportRequestSpan(r, sum, tc, parentSpan, st)
 		s.obs.Log(ctx, slog.LevelInfo, "request: served",
 			"method", r.Method, "path", r.URL.Path, "status", sum.Status,
 			"durationSec", sum.DurationSec, "solver", sum.Solver, "cache", sum.Cache)
 	}
 }
 
+// exportRequestSpan enqueues the request's OTLP span plus one child span per
+// closed stage interval, all under the request's trace ID. No-op without a
+// configured exporter.
+func (s *Server) exportRequestSpan(r *http.Request, sum *RequestSummary, tc obs.TraceContext, parentSpan string, st *obs.StageTimer) {
+	if s.cfg.OTLP == nil {
+		return
+	}
+	end := sum.Start.Add(time.Duration(sum.DurationSec * float64(time.Second)))
+	root := obs.OTLPSpan{
+		TraceID:       tc.TraceIDString(),
+		SpanID:        tc.SpanIDString(),
+		ParentSpanID:  parentSpan,
+		Name:          r.Method + " " + r.URL.Path,
+		StartUnixNano: sum.Start.UnixNano(),
+		EndUnixNano:   end.UnixNano(),
+		Attrs: []obs.OTLPAttr{
+			obs.OTLPStr("hilp.request_id", sum.ID),
+			obs.OTLPNum("http.response.status_code", float64(sum.Status)),
+		},
+	}
+	spans := []obs.OTLPSpan{root}
+	for _, iv := range st.Intervals() {
+		spans = append(spans, obs.OTLPSpan{
+			TraceID:       tc.TraceIDString(),
+			SpanID:        obs.NewSpanID(),
+			ParentSpanID:  tc.SpanIDString(),
+			Name:          "stage:" + iv.Name,
+			StartUnixNano: iv.Start.UnixNano(),
+			EndUnixNano:   iv.End.UnixNano(),
+			Attrs:         []obs.OTLPAttr{obs.OTLPStr("hilp.request_id", sum.ID)},
+		})
+	}
+	s.cfg.OTLP.EnqueueAll(spans)
+}
+
 // Handler returns the HTTP handler to mount.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the service: it cancels every running job (their sweeps
-// return completed points thanks to anytime semantics) and waits for job
-// goroutines until ctx expires. Callers drain in-flight HTTP requests first
-// via http.Server.Shutdown; those requests run on their own contexts and
-// finish normally.
+// Drain releases long-lived streams: every open GET /v1/jobs/{id}/events
+// subscription ends its SSE response promptly. Call it before
+// http.Server.Shutdown, which blocks until streaming responses finish.
+// Idempotent and safe from any goroutine.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Shutdown drains the service: it releases live event streams, cancels every
+// running job (their sweeps return completed points thanks to anytime
+// semantics), and waits for job goroutines until ctx expires. Callers drain
+// in-flight HTTP requests first via http.Server.Shutdown; those requests run
+// on their own contexts and finish normally.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
 	s.stop()
 	done := make(chan struct{})
 	go func() {
 		s.jobWG.Wait()
 		close(done)
+	}()
+	defer func() {
+		if s.ownBus {
+			s.obs.Bus.Close()
+		}
 	}()
 	select {
 	case <-done:
@@ -412,26 +533,39 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.obs.Histogram(obs.MServeRequestSec).ObserveEx(time.Since(start).Seconds(), obs.RequestID(r.Context()))
 	}()
 
+	// Per-stage latency attribution: each pipeline stage below is bracketed
+	// on the request's StageTimer (carried by the context), so the summary,
+	// the per-stage histograms, and OTLP child spans all explain where the
+	// wall-clock time of this request went.
+	st := obs.StageTimerFrom(r.Context())
+
+	stopValidate := st.Start(obs.StageValidate)
 	var req wire.EvaluateRequest
 	if apiErr := s.decodeBody(w, r, &req); apiErr != nil {
+		stopValidate()
 		s.writeAPIError(r.Context(), w, apiErr)
 		return
 	}
 	if err := wire.CheckVersion(req.SchemaVersion); err != nil {
+		stopValidate()
 		s.writeError(r.Context(), w, http.StatusBadRequest, "version", err)
 		return
 	}
+	stopValidate()
 
 	// The cache key is the canonical (re-marshaled) request, so formatting
 	// and key order don't fragment it.
+	stopCache := st.Start(obs.StageCacheLookup)
 	canonical, err := json.Marshal(req)
 	if err != nil {
+		stopCache()
 		s.writeError(r.Context(), w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	key := cacheKey(canonical)
 	sum := summaryFrom(r.Context())
 	if body, ok := s.cache.get(key); ok {
+		stopCache()
 		s.obs.Counter(obs.MServeCacheHits).Inc()
 		if sum != nil {
 			sum.Cache = "hit"
@@ -440,12 +574,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, body)
 		return
 	}
+	stopCache()
 	s.obs.Counter(obs.MServeCacheMisses).Inc()
 	if sum != nil {
 		sum.Cache = "miss"
 	}
 
+	stopSchedule := st.Start(obs.StageSchedule)
 	if err := s.acquire(r.Context()); err != nil {
+		stopSchedule()
 		if errors.Is(err, errBusy) {
 			s.obs.Counter(obs.MServeRejected).Inc()
 			s.writeError(r.Context(), w, http.StatusTooManyRequests, "busy", err)
@@ -454,12 +591,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	stopSchedule()
 	defer s.release()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.solveTimeout(req.TimeoutSec))
 	defer cancel()
 	ctx = faults.WithKey(faults.NewContext(ctx, s.cfg.Faults), s.reqSeq.Add(1))
 
+	stopSolve := st.Start(obs.StageSolve)
 	var result wire.Result
 	var apiErr *apiError
 	if req.Model != nil {
@@ -467,6 +606,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		result, apiErr = s.evaluateTemplate(ctx, &req)
 	}
+	stopSolve()
 	if apiErr != nil {
 		s.writeAPIError(r.Context(), w, apiErr)
 		return
@@ -482,6 +622,8 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		sum.FallbackReason = result.FallbackReason
 	}
 
+	stopEncode := st.Start(obs.StageEncode)
+	defer stopEncode()
 	body, err := wire.Marshal(wire.EvaluateResponse{SchemaVersion: wire.SchemaVersion, Result: result})
 	if err != nil {
 		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
@@ -650,6 +792,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runJob(j *job, workload rodinia.Workload, specs []soc.Spec, opts []hilp.Option, timeout time.Duration) {
 	defer s.jobWG.Done()
 	defer s.obs.Gauge(obs.MServeJobsActive).Add(-1)
+	// Registered before the recover defer so it observes the terminal status
+	// even when the job dies to a recovered panic (defers run LIFO).
+	defer func() {
+		j.mu.Lock()
+		status := j.status
+		j.mu.Unlock()
+		s.obs.Publish(obs.BusEvent{
+			Kind: "job", Name: status, Job: j.id, Req: j.reqID,
+			Done: int(j.done.Load()), Total: j.total, Status: status,
+		})
+	}()
 	defer func() {
 		if rec := recover(); rec != nil {
 			pe := scheduler.NewPanicError("server.job", rec)
@@ -663,6 +816,10 @@ func (s *Server) runJob(j *job, workload rodinia.Workload, specs []soc.Spec, opt
 	defer cancel()
 	ctx = obs.WithRequestID(ctx, j.reqID)
 	ctx = faults.WithKey(faults.NewContext(ctx, s.cfg.Faults), s.jobSeq.Add(1))
+	// Job lifecycle events bracket the sweep's own bus traffic, so an SSE
+	// subscriber sees "running" first and a terminal status last (the
+	// terminal event is published by the defer above).
+	s.obs.Publish(obs.BusEvent{Kind: "job", Name: "running", Job: j.id, Req: j.reqID, Total: j.total})
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		err := s.sweepOnce(ctx, j, workload, specs, opts)
@@ -749,6 +906,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		// Scrape-time gauges: Go runtime stats plus the pool and cache state,
 		// sampled fresh on every /metrics pull.
 		obs.CaptureRuntime(s.obs.Metrics)
+		s.obs.Gauge(obs.MServeSubscribers).Set(float64(s.obs.Bus.SubscriberCount()))
 		s.obs.Gauge(obs.MServePoolBusy).Set(float64(len(s.tokens)))
 		s.obs.Gauge(obs.MServeQueueWaiting).Set(float64(s.waiting.Load()))
 		s.obs.Gauge(obs.MServeCacheEntries).Set(float64(s.cache.len()))
@@ -864,6 +1022,7 @@ func (j *job) snapshot() wire.Job {
 		Done:          int(j.done.Load()),
 		Total:         j.total,
 		URL:           "/v1/jobs/" + j.id,
+		EventsURL:     "/v1/jobs/" + j.id + "/events",
 		Retries:       j.retries,
 		Error:         j.errMsg,
 		RequestID:     j.reqID,

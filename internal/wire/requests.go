@@ -102,6 +102,8 @@ type Job struct {
 	Total int `json:"total"`
 	// URL polls the job.
 	URL string `json:"url"`
+	// EventsURL streams the job's live telemetry as Server-Sent Events.
+	EventsURL string `json:"eventsUrl,omitempty"`
 	// Retries counts job-level retry attempts after transient failures.
 	Retries int `json:"retries,omitempty"`
 	// Error is set when Status is "failed": the job-level failure after the

@@ -75,6 +75,44 @@ func BenchmarkObsNoopCalls(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateObsBusIdle is the hilp-serve default: an event bus
+// attached to the context with no live subscriber. Publishing short-circuits
+// before stamping or fan-out, so this must track BenchmarkEvaluateObsDisabled.
+func BenchmarkEvaluateObsBusIdle(b *testing.B) {
+	benchEvaluate(b, &hilp.ObsContext{Bus: obs.NewBus(0)})
+}
+
+// BenchmarkObsBusPublishIdle is the per-publish price with zero subscribers
+// (the always-attached server bus between SSE clients).
+func BenchmarkObsBusPublishIdle(b *testing.B) {
+	bus := obs.NewBus(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(obs.BusEvent{Kind: "point", Name: "bench", Iter: i, Value: 1.5})
+	}
+}
+
+// BenchmarkObsBusPublishLive is the per-publish price with one subscriber
+// draining concurrently: stamp, fan-out, and channel send.
+func BenchmarkObsBusPublishLive(b *testing.B) {
+	bus := obs.NewBus(1024)
+	sub := bus.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C {
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(obs.BusEvent{Kind: "point", Name: "bench", Iter: i, Value: 1.5})
+	}
+	b.StopTimer()
+	bus.Close()
+	<-done
+}
+
 // BenchmarkObsActiveCalls is the same call sequence against live sinks.
 func BenchmarkObsActiveCalls(b *testing.B) {
 	octx := &obs.Context{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
