@@ -1,0 +1,68 @@
+package hilp_test
+
+// Sweep-engine throughput benchmarks: the same reduced §VI design space
+// swept cold (every point solved independently) and through the engine
+// (canonical-model cache + neighbor warm starts + certified dominance
+// pruning). cmd/hilp-benchgate -speedup gates the ratio in CI against the
+// checked-in BENCH_sweep.json baseline; both run single-worker so the
+// measurement is scheduling-noise-free and the warm-start donor choice is
+// deterministic.
+
+import (
+	"context"
+	"testing"
+
+	"hilp"
+)
+
+// sweepBenchSpace is the benchmark design space: 30 SoCs of the Default
+// workload's §VI lattice, single DVFS point to keep each solve modest.
+func sweepBenchSpace() (hilp.Workload, []hilp.SoC) {
+	w := hilp.DefaultWorkload()
+	specs := hilp.DesignSpace(w, hilp.SpaceConfig{
+		CPUCores: []int{1, 2, 4},
+		GPUSMs:   []int{0, 16},
+		MaxDSAs:  2,
+		DSAPEs:   []int{4, 16},
+		PowerW:   600,
+	})
+	for i := range specs {
+		specs[i].GPUFrequenciesMHz = []float64{765}
+	}
+	return w, specs
+}
+
+func sweepBenchOpts(engine bool) []hilp.Option {
+	return []hilp.Option{
+		hilp.WithSolver(hilp.SolverConfig{Seed: 1, Effort: 0.25, Restarts: 1}),
+		hilp.WithWorkers(1),
+		hilp.WithCache(engine),
+		hilp.WithWarmStart(engine),
+		hilp.WithPruning(engine),
+	}
+}
+
+func runSweepBench(b *testing.B, engine bool) {
+	w, specs := sweepBenchSpace()
+	opts := sweepBenchOpts(engine)
+	b.ResetTimer()
+	var solved, pruned int
+	for i := 0; i < b.N; i++ {
+		res, err := hilp.SolveBatch(context.Background(), w, specs, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			if p.Err != nil {
+				b.Fatalf("%s: %v", p.Label, p.Err)
+			}
+		}
+		solved, pruned = res.Stats.Solved, res.Stats.Pruned
+	}
+	b.ReportMetric(float64(solved), "solved")
+	b.ReportMetric(float64(pruned), "pruned")
+}
+
+func BenchmarkSweepCold(b *testing.B) { runSweepBench(b, false) }
+
+func BenchmarkSweepWarm(b *testing.B) { runSweepBench(b, true) }

@@ -11,6 +11,14 @@
 //
 //	go test -run - -bench 'BenchmarkEvaluate|BenchmarkObs' -benchmem -count 3 . | \
 //	  hilp-benchgate -out artifacts/BENCH_obs.ci.json
+//
+// With -speedup it gates a throughput win instead: the fast benchmark must
+// run at least -min-ratio times faster than the slow one. CI uses it to
+// prove the warm-start sweep engine's advantage over a cold sweep:
+//
+//	go test -run - -bench BenchmarkSweep -count 3 . | \
+//	  hilp-benchgate -speedup -fast BenchmarkSweepWarm -slow BenchmarkSweepCold \
+//	    -min-ratio 1.3 -out artifacts/BENCH_sweep.ci.json
 package main
 
 import (
@@ -30,6 +38,10 @@ func main() {
 		disabled    = flag.String("disabled", "BenchmarkEvaluateObsDisabled", "disabled-instrumentation benchmark")
 		contractPct = flag.Float64("contract-pct", 2.0, "disabled-overhead contract in percent")
 		noisePct    = flag.Float64("noise-pct", 6.0, "measurement-noise allowance in percent added to the contract")
+		speedup     = flag.Bool("speedup", false, "gate a minimum speedup ratio (-fast over -slow) instead of the overhead contract")
+		fastName    = flag.String("fast", "BenchmarkSweepWarm", "speedup mode: the benchmark that must be faster")
+		slowName    = flag.String("slow", "BenchmarkSweepCold", "speedup mode: the reference benchmark")
+		minRatio    = flag.Float64("min-ratio", 1.3, "speedup mode: minimum slow/fast ns/op ratio")
 	)
 	flag.Parse()
 
@@ -47,6 +59,33 @@ func main() {
 	if err != nil {
 		fatal("parse: %v", err)
 	}
+
+	if *speedup {
+		report, err := benchgate.CheckSpeedup(results, benchgate.SpeedupConfig{
+			Fast:     *fastName,
+			Slow:     *slowName,
+			MinRatio: *minRatio,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *out != "" {
+			blob, err := report.MarshalArtifact()
+			if err != nil {
+				fatal("artifact: %v", err)
+			}
+			if err := os.WriteFile(*out, blob, 0o644); err != nil {
+				fatal("artifact: %v", err)
+			}
+		}
+		fmt.Printf("hilp-benchgate: %s is %.2fx faster than %s (gate: >= %.2fx)\n",
+			*fastName, report.Ratio, *slowName, *minRatio)
+		if !report.Pass {
+			fatal("speedup %.2fx below the %.2fx gate", report.Ratio, *minRatio)
+		}
+		return
+	}
+
 	report, err := benchgate.Check(results, benchgate.Config{
 		Baseline:    *baseline,
 		Disabled:    *disabled,

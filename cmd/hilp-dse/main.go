@@ -3,9 +3,15 @@
 // points and their area/performance Pareto front, reproducing the paper's
 // §VI methodology from the command line.
 //
+// Sweeps run through the warm-start sweep engine: canonically identical
+// SoCs are solved once (-cache), neighboring SoCs seed each other's search
+// (-warm-start), and dominated SoCs can be skipped with a certified bound
+// (-prune).
+//
 //	hilp-dse -workload Default -power 600                # the 372-SoC space
 //	hilp-dse -cpus 1,2 -gpus 0,16 -max-dsas 2 -pareto    # a reduced space
 //	hilp-dse -csv > points.csv                           # machine-readable
+//	hilp-dse -prune -v                                   # engine stats live
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 		reportPath   = flag.String("report", "", "write an HTML run report (plus a .json twin): the sweep's Pareto front and a full re-evaluation of its best point")
 		faultSpec    = flag.String("faults", "", "chaos-test fault injection spec, e.g. seed=1,rate=0.1,kinds=panic+timeout,sites=solve (empty disables)")
 		follow       = flag.Bool("follow", false, "tail the live event bus to stderr: per-point completions, incumbent improvements, and solver stage transitions, one JSON line each")
+		useCache     = flag.Bool("cache", true, "reuse solves across canonically identical SoCs (sweep engine)")
+		warmStart    = flag.Bool("warm-start", true, "seed each point's search with its nearest solved neighbor's schedule (sweep engine)")
+		prune        = flag.Bool("prune", false, "skip dominated SoCs with a certified speedup bound instead of solving them (sweep engine)")
 	)
 	var ocli obs.CLI
 	ocli.Register(nil)
@@ -82,10 +91,6 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "hilp-dse: evaluating %d SoCs on %s\n", len(specs), w.Name)
 
-	sweepOpts := dse.SweepOptions{Workers: *workers, Obs: octx}
-	if ocli.Verbose {
-		sweepOpts.OnProgress = liveProgress(os.Stderr)
-	}
 	ctx := context.Background()
 	var injector *faults.Injector
 	if *faultSpec != "" {
@@ -97,7 +102,25 @@ func main() {
 	}
 
 	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1, Obs: octx}
-	points := dse.SweepOpts(ctx, specs, sweepOpts, dse.HILPEvaluator(w, hilp.DSEProfile, cfg))
+	solveOpts := []hilp.Option{
+		hilp.WithProfile(hilp.DSEProfile),
+		hilp.WithSolver(cfg),
+		hilp.WithWorkers(*workers),
+		hilp.WithObs(octx),
+		hilp.WithCache(*useCache),
+		hilp.WithWarmStart(*warmStart),
+		hilp.WithPruning(*prune),
+	}
+	if ocli.Verbose {
+		solveOpts = append(solveOpts, hilp.WithProgress(liveProgress(os.Stderr)))
+	}
+	batch, err := hilp.SolveBatch(ctx, w, specs, solveOpts...)
+	exitOn(err)
+	points := batch.Points
+	if st := batch.Stats; st.CacheHits+st.WarmStarted+st.Pruned > 0 {
+		fmt.Fprintf(os.Stderr, "hilp-dse: engine: %d solved, %d cache hits, %d warm-started, %d pruned\n",
+			st.Solved, st.CacheHits, st.WarmStarted, st.Pruned)
+	}
 
 	if injector != nil {
 		failed, degraded := 0, 0
@@ -141,6 +164,11 @@ func main() {
 		for _, p := range out {
 			if p.Err != nil {
 				fmt.Printf("%-18s   failed: %v\n", p.Label, p.Err)
+				continue
+			}
+			if p.Pruned {
+				fmt.Printf("%-18s %10.1f   pruned: speedup <= %.1fx (dominated by %s)\n",
+					p.Label, p.AreaMM2, p.SpeedupBound, p.PrunedBy)
 				continue
 			}
 			mark := ""
@@ -197,7 +225,7 @@ func writeSweepReport(path string, w hilp.Workload, points []hilp.Point, cfg hil
 		rec := obs.NewRecorder()
 		recCfg := cfg
 		recCfg.Obs = &obs.Context{Recorder: rec}
-		res, err := hilp.EvaluateWith(w, best.Spec, hilp.DSEProfile, recCfg)
+		res, err := hilp.Solve(context.Background(), w, best.Spec, hilp.WithProfile(hilp.DSEProfile), hilp.WithSolver(recCfg))
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -233,12 +234,12 @@ func main() {
 func writeRunReport(path string, seed int64, effort float64) error {
 	rec := obs.NewRecorder()
 	cfg := hilp.SolverConfig{Seed: seed, Effort: effort, Obs: &obs.Context{Recorder: rec}}
-	res, err := hilp.EvaluateWith(hilp.DefaultWorkload(), hilp.SoC{
+	res, err := hilp.Solve(context.Background(), hilp.DefaultWorkload(), hilp.SoC{
 		CPUCores:         4,
 		GPUSMs:           16,
 		PowerBudgetWatts: 600,
 		MemBandwidthGBs:  800,
-	}, hilp.DSEProfile, cfg)
+	}, hilp.WithProfile(hilp.DSEProfile), hilp.WithSolver(cfg))
 	if err != nil {
 		return err
 	}

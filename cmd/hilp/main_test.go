@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestCustomModelJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	inst, res, err := hilp.SolveModel(back, 1, 20, hilp.SolverConfig{Seed: 1})
+	inst, res, err := hilp.SolveModelContext(context.Background(), back, 1, 20, hilp.SolverConfig{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

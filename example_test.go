@@ -1,15 +1,16 @@
 package hilp_test
 
 import (
+	"context"
 	"fmt"
 
 	"hilp"
 )
 
-// ExampleSolveModel reproduces the paper's Figure 2 running example: two
+// ExampleSolveModelContext reproduces the paper's Figure 2 running example: two
 // applications, each with setup/compute/teardown phases, scheduled on an
 // SoC with one CPU, one GPU, and one DSA.
-func ExampleSolveModel() {
+func ExampleSolveModelContext() {
 	cpu := func(sec float64) hilp.CustomOption { return hilp.CustomOption{Cluster: "cpu0", Sec: sec} }
 	gpu := func(sec float64) hilp.CustomOption { return hilp.CustomOption{Cluster: "gpu0", Sec: sec} }
 	dsa := func(sec float64) hilp.CustomOption { return hilp.CustomOption{Cluster: "dsa0", Sec: sec} }
@@ -27,7 +28,7 @@ func ExampleSolveModel() {
 		},
 	}
 
-	inst, res, err := hilp.SolveModel(model, 1, 40, hilp.SolverConfig{Seed: 1})
+	inst, res, err := hilp.SolveModelContext(context.Background(), model, 1, 40, hilp.SolverConfig{Seed: 1})
 	if err != nil {
 		fmt.Println(err)
 		return

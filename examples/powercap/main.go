@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	cfg := hilp.SolverConfig{Seed: 1}
 
 	// Unconstrained (Figure 2): m1 goes to the DSA, n1 to the GPU.
-	inst, res, err := hilp.SolveModel(model(0), 1, 40, cfg)
+	inst, res, err := hilp.SolveModelContext(context.Background(), model(0), 1, 40, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func main() {
 	fmt.Print(inst.Gantt(res.Schedule, 60))
 
 	// 3 W power cap (Figure 3): both compute phases serialize on the DSA.
-	instC, resC, err := hilp.SolveModel(model(3), 1, 40, cfg)
+	instC, resC, err := hilp.SolveModelContext(context.Background(), model(3), 1, 40, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

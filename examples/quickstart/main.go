@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		},
 	}
 
-	res, err := hilp.Evaluate(workload, spec)
+	res, err := hilp.Solve(context.Background(), workload, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

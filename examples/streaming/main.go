@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		inst, res, err := hilp.SolveModel(m, stepSec, 400, cfg)
+		inst, res, err := hilp.SolveModelContext(context.Background(), m, stepSec, 400, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inst, res, err := hilp.SolveModel(m, stepSec, 600, cfg)
+	inst, res, err := hilp.SolveModelContext(context.Background(), m, stepSec, 600, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		res, err := hilp.SolveInstance(inst, cfg)
+		res, err := hilp.SolveInstanceContext(context.Background(), inst, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

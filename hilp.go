@@ -26,13 +26,18 @@
 //	if err != nil { ... }
 //	fmt.Printf("speedup %.1fx, WLP %.2f, gap %.1f%%\n", res.Speedup, res.WLP, 100*res.Gap)
 //
-// Solve and Sweep are the context-first entry points: cancelling the context
-// (or letting its deadline expire) stops the solve early and returns the
-// best incumbent found so far with a valid optimality-gap certificate, never
-// an error. Functional options (WithProfile, WithSolver, WithObs,
-// WithBaseline, ...) select resolution, solver effort, observability, and
-// the evaluation model. The pre-context entry points (Evaluate,
-// EvaluateWith, SweepHILP, ...) remain as thin deprecated wrappers.
+// Solve, Sweep, and SolveBatch are the context-first entry points:
+// cancelling the context (or letting its deadline expire) stops the solve
+// early and returns the best incumbent found so far with a valid
+// optimality-gap certificate, never an error. Functional options
+// (WithProfile, WithSolver, WithObs, WithBaseline, WithCache,
+// WithWarmStart, WithPruning, ...) select resolution, solver effort,
+// observability, the evaluation model, and the sweep engine's cross-point
+// reuse. SolveBatch amortizes work across a batch of design points:
+// canonical-model memoization, neighbor warm starts over the spec lattice,
+// and certified dominance pruning. The pre-context entry points (Evaluate,
+// EvaluateWith, SweepHILP, ...) remain as thin deprecated wrappers,
+// collected in legacy.go.
 package hilp
 
 import (
@@ -155,36 +160,12 @@ func OptimizedWorkload() Workload { return rodinia.OptimizedWorkload() }
 // Benchmarks returns the paper's Table II.
 func Benchmarks() []Benchmark { return rodinia.Benchmarks() }
 
-// Evaluate runs HILP on the workload and SoC with the DSE profile and
-// default solver effort.
-//
-// Deprecated: use Solve, which takes a context and functional options.
-func Evaluate(w Workload, spec SoC) (*Result, error) {
-	return Solve(context.Background(), w, spec)
-}
-
-// EvaluateWith runs HILP with explicit resolution and solver settings.
-//
-// Deprecated: use Solve with WithProfile and WithSolver.
-func EvaluateWith(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, error) {
-	return Solve(context.Background(), w, spec, WithProfile(profile), WithSolver(cfg))
-}
-
 // MultiAmdahl evaluates the workload with the MultiAmdahl baseline (fixed
 // sequential phase order, WLP = 1). Unlike Solve with
 // WithBaseline(BaselineMultiAmdahl), it returns the model's native result
 // with per-phase placement choices.
 func MultiAmdahl(w Workload, spec SoC) (MAResult, error) {
 	return baselines.MultiAmdahl(w, spec)
-}
-
-// Gables evaluates the workload with the parallel-mode Gables baseline
-// (dependencies discarded, no power constraint).
-//
-// Deprecated: use Solve with WithBaseline(BaselineGables).
-func Gables(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, error) {
-	return Solve(context.Background(), w, spec,
-		WithBaseline(BaselineGables), WithProfile(profile), WithSolver(cfg))
 }
 
 // DesignSpace enumerates the §VI SoC design space for the workload (the
@@ -215,6 +196,12 @@ type (
 	SweepOptions = dse.SweepOptions
 	// SweepProgress is one live update of a running sweep.
 	SweepProgress = dse.Progress
+	// BatchResult is the outcome of SolveBatch: points in input order plus
+	// the sweep engine's reuse statistics.
+	BatchResult = dse.BatchResult
+	// BatchStats counts what the sweep engine reused across one batch
+	// (cache hits, warm-started solves, pruned points).
+	BatchStats = dse.BatchStats
 )
 
 // NewTracer returns a wall-clock span tracer.
@@ -226,23 +213,6 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // NewRecorder returns an empty solver flight recorder; attach it via
 // ObsContext.Recorder to capture convergence events from a solve.
 func NewRecorder() *Recorder { return obs.NewRecorder() }
-
-// SweepHILP evaluates every spec with HILP across worker goroutines
-// (workers < 1 selects GOMAXPROCS).
-//
-// Deprecated: use Sweep with WithWorkers, WithProfile, and WithSolver.
-func SweepHILP(w Workload, specs []SoC, workers int, profile Profile, cfg SolverConfig) []Point {
-	return Sweep(context.Background(), w, specs,
-		WithWorkers(workers), WithProfile(profile), WithSolver(cfg))
-}
-
-// SweepHILPObserved is SweepHILP with observability: sweep metrics, spans,
-// and a live progress callback via opts.
-//
-// Deprecated: use Sweep with WithObs and WithProgress.
-func SweepHILPObserved(w Workload, specs []SoC, opts SweepOptions, profile Profile, cfg SolverConfig) []Point {
-	return dse.SweepOpts(context.Background(), specs, opts, dse.HILPEvaluator(w, profile, cfg))
-}
 
 // ParetoFront extracts the (area, speedup) Pareto-optimal points.
 func ParetoFront(points []Point) []Point { return dse.ParetoFront(points) }
@@ -284,13 +254,6 @@ func BuildInstance(w Workload, spec SoC, stepSec float64, horizon int) (*Instanc
 	return core.BuildInstance(w, spec, stepSec, horizon)
 }
 
-// SolveInstance solves a built (possibly pinned) instance.
-//
-// Deprecated: use SolveInstanceContext so the solve can be cancelled.
-func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
-	return SolveInstanceContext(context.Background(), in, cfg)
-}
-
 // SolveInstanceContext solves a built (possibly pinned) instance. Cancelling
 // ctx returns the best incumbent found so far with Result.Cancelled set. The
 // solve runs through the fault-tolerance chain: transient solver failures are
@@ -298,14 +261,6 @@ func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
 // rather than surfaced as errors.
 func SolveInstanceContext(ctx context.Context, in *Instance, cfg SolverConfig) (scheduler.Result, error) {
 	return core.SolveProblem(ctx, in.Problem, cfg)
-}
-
-// SolveModel builds and solves a custom model at the given time-step
-// resolution, returning the instance (for rendering) and the schedule result.
-//
-// Deprecated: use SolveModelContext so the solve can be cancelled.
-func SolveModel(m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (*Instance, scheduler.Result, error) {
-	return SolveModelContext(context.Background(), m, stepSec, horizon, cfg)
 }
 
 // SolveModelContext builds and solves a custom model at the given time-step

@@ -136,3 +136,60 @@ func (r Report) MarshalArtifact() ([]byte, error) {
 	}
 	return append(b, '\n'), nil
 }
+
+// SpeedupConfig names a fast/slow benchmark pair and the minimum speedup the
+// fast one must demonstrate over the slow one. It backs the sweep-engine
+// throughput gate (warm-started sweep vs cold sweep).
+type SpeedupConfig struct {
+	Fast     string
+	Slow     string
+	MinRatio float64
+}
+
+// SpeedupReport is the speedup gate's verdict plus its CI artifact fields.
+type SpeedupReport struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+	Fast       string            `json:"fast"`
+	Slow       string            `json:"slow"`
+	// Ratio is slow ns/op over fast ns/op: how many times faster the fast
+	// benchmark ran.
+	Ratio    float64 `json:"speedup_ratio"`
+	MinRatio float64 `json:"min_ratio"`
+	Pass     bool    `json:"pass"`
+}
+
+// CheckSpeedup computes the fast benchmark's speedup over the slow one and
+// applies the minimum-ratio gate.
+func CheckSpeedup(results map[string]Result, cfg SpeedupConfig) (SpeedupReport, error) {
+	fast, ok := results[cfg.Fast]
+	if !ok {
+		return SpeedupReport{}, fmt.Errorf("benchgate: fast benchmark %s missing from bench output", cfg.Fast)
+	}
+	slow, ok := results[cfg.Slow]
+	if !ok {
+		return SpeedupReport{}, fmt.Errorf("benchgate: slow benchmark %s missing from bench output", cfg.Slow)
+	}
+	if fast.NsPerOp <= 0 {
+		return SpeedupReport{}, fmt.Errorf("benchgate: fast benchmark %s has non-positive ns/op", cfg.Fast)
+	}
+	ratio := slow.NsPerOp / fast.NsPerOp
+	return SpeedupReport{
+		Benchmarks: results,
+		Fast:       cfg.Fast,
+		Slow:       cfg.Slow,
+		Ratio:      ratio,
+		MinRatio:   cfg.MinRatio,
+		Pass:       ratio >= cfg.MinRatio,
+	}, nil
+}
+
+// MarshalArtifact renders the speedup report as indented JSON with a
+// trailing newline, in the spirit of the checked-in BENCH_sweep.json
+// baseline.
+func (r SpeedupReport) MarshalArtifact() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

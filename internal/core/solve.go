@@ -112,6 +112,11 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 	// accounting and callers see every point a fault actually touched.
 	var degraded bool
 	var fallbackReason string
+	// When the caller supplied a warm-start hint, refinements self-warm: each
+	// iteration's schedule seeds the next resolution's search (task indexing
+	// and option labels are resolution-invariant), so only the first, coarsest
+	// solve pays the full search cost. Cold solves stay warm-free end to end.
+	warmEnabled := cfg.Warm != nil
 
 	octx := cfg.Obs
 	esp := octx.StartSpan("evaluate")
@@ -170,6 +175,9 @@ func SolveAdaptive(ctx context.Context, build func(stepSec float64, horizon int)
 			if fallbackReason == "" {
 				fallbackReason = res.FallbackReason
 			}
+		}
+		if warmEnabled {
+			cfg.Warm = scheduler.WarmStartOf(inst.Problem, res.Schedule)
 		}
 		cur := &Result{
 			Instance:    inst,

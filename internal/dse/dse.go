@@ -6,16 +6,11 @@ package dse
 
 import (
 	"context"
-	"log/slog"
-	"runtime"
 	"sort"
-	"strconv"
-	"sync"
 	"time"
 
 	"hilp/internal/baselines"
 	"hilp/internal/core"
-	"hilp/internal/faults"
 	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
@@ -95,7 +90,25 @@ type Point struct {
 	// "<request>/p<i>"; standalone observed sweeps generate fresh IDs; fully
 	// disabled sweeps leave it empty.
 	RequestID string
-	Err       error
+	// CacheHit marks a point whose metrics were replayed byte-identically
+	// from an earlier canonically-equivalent point of the same batch (the
+	// RequestID is the donor's, tying the hit to the logs that actually
+	// produced the numbers).
+	CacheHit bool
+	// WarmStarted marks a point whose search was seeded with a solved
+	// neighbor's repaired schedule.
+	WarmStarted bool
+	// Pruned marks a point skipped by dominance pruning: it was never
+	// solved, so Speedup/WLP/Gap/MakespanSec are zero. Instead SpeedupBound
+	// certifies the best speedup the point could possibly achieve (from a
+	// discretization-independent lower bound) and PrunedBy names the solved
+	// point whose resource vector dominates this one. ParetoFront and Best
+	// skip pruned points; the certificate guarantees they could not have
+	// entered the front.
+	Pruned       bool
+	PrunedBy     string
+	SpeedupBound float64
+	Err          error
 }
 
 // Evaluator scores one SoC configuration. The context bounds the
@@ -143,180 +156,25 @@ func Sweep(ctx context.Context, specs []soc.Spec, workers int, eval Evaluator) [
 }
 
 // SweepOpts is Sweep with observability: a sweep span, per-point latency and
-// failure metrics, and a live progress callback.
+// failure metrics, and a live progress callback. It is a thin compatibility
+// wrapper over the sweep engine (Run) with every cross-point reuse feature
+// disabled; use RunHILP for cache/warm-start/pruning sweeps.
 func SweepOpts(ctx context.Context, specs []soc.Spec, opts SweepOptions, eval Evaluator) []Point {
-	workers := opts.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	octx := opts.Obs
-	sp := octx.StartSpan("sweep").ArgInt("points", len(specs)).ArgInt("workers", workers)
-	defer sp.End()
-	if sp.Active() {
-		if id := obs.RequestID(ctx); id != "" {
-			sp.ArgStr("req", id)
-		}
-	}
-	octx.Log(ctx, slog.LevelInfo, "sweep: starting", "points", len(specs), "workers", workers)
-	octx.Publish(obs.BusEvent{Kind: "sweep", Name: "start", Req: obs.RequestID(ctx), Total: len(specs)})
-
-	pointCtr := octx.Counter(obs.MSweepPoints)
-	failCtr := octx.Counter(obs.MSweepPointsFailed)
-	latency := octx.Histogram(obs.MSweepPointSec)
-	// Per-point timing is only needed when a sink will see it. A bus counts
-	// even without current subscribers: SSE clients attach mid-sweep.
-	hasBus := octx != nil && octx.Bus != nil
-	timed := opts.OnProgress != nil || (octx != nil && octx.Metrics != nil) || hasBus
-
-	start := time.Now()
-	var (
-		progressMu sync.Mutex
-		done       int
-		best       Point
-		hasBest    bool
-	)
-	// Per-point correlation IDs: under a request-scoped context each point
-	// extends the request's ID, so a slow or degraded sweep point in
-	// /debug/requests traces back to its logs and spans; a standalone
-	// observed sweep (hilp-dse -v, -faults) generates fresh IDs so chaos
-	// runs are cross-referenceable too. Fully disabled sweeps skip the ID
-	// machinery entirely to preserve the no-overhead contract.
-	parentID := obs.RequestID(ctx)
-	pointID := func(i int) string {
-		if parentID != "" {
-			return parentID + "/p" + strconv.Itoa(i)
-		}
-		if octx.Enabled() {
-			return obs.NewRequestID()
-		}
-		return ""
-	}
-	// evalOne isolates one evaluation: a panicking evaluator poisons only its
-	// own point (Err set to a *scheduler.PanicError with the stack attached),
-	// never the worker goroutine, so a sweep finishes with N-1 good points.
-	// Each point is keyed into the fault injector (if any) by its index, so
-	// chaos tests can account for exactly which points were hit.
-	evalOne := func(i int, pid string) (p Point) {
-		pctx := faults.WithKey(ctx, uint64(i))
-		pctx = obs.WithRequestID(pctx, pid)
-		defer func() {
-			if r := recover(); r != nil {
-				pe := scheduler.NewPanicError("dse.Sweep", r)
-				octx.Counter(obs.MSweepPanics).Inc()
-				octx.Log(pctx, slog.LevelError, "sweep: point panicked",
-					"point", i, "spec", specs[i].Label(), "error", pe.Error(), "stack", string(pe.Stack))
-				p = newPoint(specs[i])
-				p.Err = pe
-			}
-		}()
-		return eval(pctx, specs[i])
-	}
-	points := make([]Point, len(specs))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				var t0 time.Time
-				if timed {
-					t0 = time.Now()
-				}
-				pid := pointID(i)
-				p := evalOne(i, pid)
-				p.RequestID = pid
-				points[i] = p
-				pointCtr.Inc()
-				if p.Err != nil {
-					failCtr.Inc()
-				}
-				if !timed {
-					continue
-				}
-				durSec := time.Since(t0).Seconds()
-				latency.ObserveEx(durSec, pid)
-				if opts.OnProgress == nil && !hasBus {
-					continue
-				}
-				progressMu.Lock()
-				done++
-				improved := p.Err == nil && (!hasBest || p.Speedup > best.Speedup)
-				if improved {
-					best = p
-					hasBest = true
-				}
-				if hasBus {
-					status := "ok"
-					switch {
-					case p.Err != nil:
-						status = "failed"
-					case p.Cancelled:
-						status = "cancelled"
-					case p.Degraded:
-						status = "degraded"
-					}
-					octx.Publish(obs.BusEvent{Kind: "point", Name: p.Label, Req: pid, Iter: i,
-						Value: p.Speedup, Gap: p.Gap, Done: done, Total: len(specs), DurSec: durSec, Status: status})
-					if improved {
-						octx.Publish(obs.BusEvent{Kind: "incumbent", Name: best.Label, Req: pid,
-							Value: best.Speedup, Gap: best.Gap, Done: done, Total: len(specs)})
-					}
-				}
-				if opts.OnProgress != nil {
-					prog := Progress{
-						Done:    done,
-						Total:   len(specs),
-						Best:    best,
-						HasBest: hasBest,
-						Elapsed: time.Since(start),
-					}
-					if done > 0 {
-						prog.ETA = prog.Elapsed / time.Duration(done) * time.Duration(len(specs)-done)
-					}
-					opts.OnProgress(prog)
-				}
-				progressMu.Unlock()
-			}
-		}()
-	}
-	dispatched := len(specs)
-feed:
-	for i := range specs {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			dispatched = i
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	// Mark never-dispatched specs so callers can tell them from evaluated
-	// points; their labels are still filled in for reporting.
-	for i := dispatched; i < len(specs); i++ {
-		p := newPoint(specs[i])
-		p.Err = ctx.Err()
-		points[i] = p
-	}
-	if hasBus {
-		status := "done"
-		if ctx.Err() != nil {
-			status = "cancelled"
-		}
-		octx.Publish(obs.BusEvent{Kind: "sweep", Name: "done", Req: parentID,
-			Done: dispatched, Total: len(specs), DurSec: time.Since(start).Seconds(), Status: status})
-	}
-	return points
+	return Run(ctx, specs, BatchOptions{
+		Workers:    opts.Workers,
+		Obs:        opts.Obs,
+		OnProgress: opts.OnProgress,
+	}, eval).Points
 }
 
 // ParetoFront returns the subset of points that are Pareto-optimal for
-// (minimize area, maximize speedup), sorted by ascending area. Errored
-// points are excluded.
+// (minimize area, maximize speedup), sorted by ascending area. Errored and
+// pruned points are excluded (a pruned point's certificate guarantees it
+// could not have entered the front).
 func ParetoFront(points []Point) []Point {
 	var ok []Point
 	for _, p := range points {
-		if p.Err == nil {
+		if p.Err == nil && !p.Pruned {
 			ok = append(ok, p)
 		}
 	}
@@ -343,7 +201,7 @@ func Best(points []Point) (Point, bool) {
 	found := false
 	var best Point
 	for _, p := range points {
-		if p.Err != nil {
+		if p.Err != nil || p.Pruned {
 			continue
 		}
 		if !found || p.Speedup > best.Speedup+1e-12 ||

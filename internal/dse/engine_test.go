@@ -1,0 +1,330 @@
+package dse
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"hilp/internal/core"
+	"hilp/internal/obs"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// dsaTargets returns the first n application abbreviations of the default
+// workload, for building DSA-bearing specs.
+func dsaTargets(w rodinia.Workload, n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = w.Apps[i].Bench.Abbrev
+	}
+	return out
+}
+
+func specWithDSAs(cores int, targets []string, pes int) soc.Spec {
+	s := soc.Spec{CPUCores: cores}
+	for _, t := range targets {
+		s.DSAs = append(s.DSAs, soc.DSA{PEs: pes, Target: t})
+	}
+	return s
+}
+
+func TestSpecDominates(t *testing.T) {
+	base := soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{420, 765}}
+	cases := []struct {
+		name string
+		a, b soc.Spec
+		want bool
+	}{
+		{"identical", base, base, true},
+		{"any dominates single core", soc.Spec{CPUCores: 4}, soc.Spec{CPUCores: 1}, true},
+		{"more cores vs multi-core", soc.Spec{CPUCores: 4}, soc.Spec{CPUCores: 2}, false},
+		{"fewer cores", soc.Spec{CPUCores: 1}, soc.Spec{CPUCores: 2}, false},
+		{"gpu vs none", base, soc.Spec{CPUCores: 2}, true},
+		{"bigger gpu does not dominate", soc.Spec{CPUCores: 2, GPUSMs: 32}, soc.Spec{CPUCores: 2, GPUSMs: 16}, false},
+		{"freq superset",
+			soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{420, 765}},
+			soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+			true},
+		{"freq missing",
+			soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{420}},
+			soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+			false},
+		{"dsa superset",
+			specWithDSAs(2, []string{"LUD", "BFS"}, 16),
+			specWithDSAs(2, []string{"LUD"}, 16),
+			true},
+		{"dsa pe mismatch",
+			specWithDSAs(2, []string{"LUD"}, 32),
+			specWithDSAs(2, []string{"LUD"}, 16),
+			false},
+		{"dsa target missing",
+			specWithDSAs(2, []string{"BFS"}, 16),
+			specWithDSAs(2, []string{"LUD"}, 16),
+			false},
+		{"lower power budget",
+			soc.Spec{CPUCores: 2, PowerBudgetWatts: 300},
+			soc.Spec{CPUCores: 2},
+			false},
+		{"lower bandwidth",
+			soc.Spec{CPUCores: 2, MemBandwidthGBs: 400},
+			soc.Spec{CPUCores: 2},
+			false},
+		{"higher budgets dominate",
+			soc.Spec{CPUCores: 2, PowerBudgetWatts: 900, MemBandwidthGBs: 1600},
+			soc.Spec{CPUCores: 2},
+			true},
+	}
+	for _, tc := range cases {
+		// The engine only ever compares normalized specs (defaults filled).
+		if got := specDominates(tc.a.Normalize(), tc.b.Normalize()); got != tc.want {
+			t.Errorf("%s: specDominates = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSpecDominatesAdvantageMismatch(t *testing.T) {
+	a := specWithDSAs(2, []string{"LUD"}, 16)
+	b := specWithDSAs(2, []string{"LUD"}, 16)
+	b.DSAAdvantage = 8
+	if specDominates(a.Normalize(), b.Normalize()) {
+		t.Error("different DSA advantage must not dominate")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	// The family-major walk: cores, then SMs, then the DSA PE class; within
+	// a PE class the fully-populated rung leads so it can donate dominance
+	// checks to its sub-rungs.
+	specs := []soc.Spec{
+		specWithDSAs(2, []string{"LUD"}, 16),        // c2 d1^16
+		{CPUCores: 1},                               // c1 bare
+		specWithDSAs(2, []string{"LUD", "BFS"}, 16), // c2 d2^16
+		{CPUCores: 2, GPUSMs: 16},                   // c2 g16
+		specWithDSAs(2, []string{"LUD", "BFS"}, 4),  // c2 d2^4
+		{CPUCores: 2},                               // c2 bare
+	}
+	vecs := make([]latticeVec, len(specs))
+	order := make([]int, len(specs))
+	for i, s := range specs {
+		vecs[i] = vecOf(s.Normalize())
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return walkLess(vecs[order[a]], vecs[order[b]]) })
+
+	want := []int{
+		1, // c1 before every c2
+		5, // c2 bare (sms 0, maxPE 0)
+		4, // c2 d2^4 (maxPE 4)
+		2, // c2 d2^16 before d1^16: same PE class, more DSAs first
+		0, // c2 d1^16
+		3, // c2 g16 last (sms 16)
+	}
+	for k := range want {
+		if order[k] != want[k] {
+			t.Fatalf("walk order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLatticeDist(t *testing.T) {
+	a := vecOf(soc.Spec{CPUCores: 2, GPUSMs: 16}.Normalize())
+	if d := latticeDist(a, a); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+	b := vecOf(soc.Spec{CPUCores: 4, GPUSMs: 16}.Normalize())
+	if latticeDist(a, b) != latticeDist(b, a) {
+		t.Error("latticeDist not symmetric")
+	}
+	// A core-count step reshapes the instance more than an SM step: the
+	// nearest warm donor for (c2,g16) should be (c2,g0), not (c4,g16).
+	sameCores := vecOf(soc.Spec{CPUCores: 2}.Normalize())
+	if latticeDist(a, sameCores) >= latticeDist(a, b) {
+		t.Errorf("dist(c2g16,c2) = %d should be < dist(c2g16,c4g16) = %d",
+			latticeDist(a, sameCores), latticeDist(a, b))
+	}
+}
+
+func TestFreqSuperset(t *testing.T) {
+	if !freqSuperset([]float64{420, 765, 1097}, []float64{765}) {
+		t.Error("superset rejected")
+	}
+	if freqSuperset([]float64{420}, []float64{765}) {
+		t.Error("disjoint accepted")
+	}
+	if !freqSuperset(nil, nil) {
+		t.Error("empty-over-empty rejected")
+	}
+}
+
+// TestRunHILPCacheDedupe: duplicate specs in one batch solve once; the
+// follower is a byte-identical copy of the owner modulo its own identity
+// (label, area, request ID slot).
+func TestRunHILPCacheDedupe(t *testing.T) {
+	w := rodinia.Workload{Name: "dedupe", Apps: rodinia.DefaultWorkload().Apps[:2]}
+	a := soc.Spec{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
+	b := soc.Spec{CPUCores: 1}
+	// The third spec equals the first after normalization (defaults filled
+	// explicitly), exercising canonical — not structural — equality.
+	aEquiv := a
+	aEquiv.PowerBudgetWatts = soc.DefaultPowerBudget
+	aEquiv.MemBandwidthGBs = soc.DefaultMemBandwidth
+	aEquiv.DSAAdvantage = soc.DefaultDSAAdvantage
+	specs := []soc.Spec{a, b, aEquiv}
+
+	reg := obs.NewRegistry()
+	octx := &obs.Context{Metrics: reg}
+	res := RunHILP(context.Background(), w, specs, core.DSEProfile,
+		scheduler.Config{Seed: 1, Effort: 0.2},
+		BatchOptions{Workers: 1, Cache: true, Obs: octx})
+
+	if len(res.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Err != nil {
+			t.Fatalf("%s: %v", p.Label, p.Err)
+		}
+	}
+	if s := res.Stats; s.Points != 3 || s.Solved != 2 || s.CacheHits != 1 || s.Pruned != 0 {
+		t.Fatalf("stats = %+v, want 3 points / 2 solved / 1 cache hit", s)
+	}
+	owner, follower := res.Points[0], res.Points[2]
+	if owner.CacheHit {
+		t.Error("owner marked as cache hit")
+	}
+	if !follower.CacheHit {
+		t.Fatal("duplicate spec not served from the canonical-model cache")
+	}
+	if follower.MakespanSec != owner.MakespanSec || follower.Speedup != owner.Speedup ||
+		follower.WLP != owner.WLP || follower.Gap != owner.Gap {
+		t.Errorf("cache hit not byte-identical: owner %+v follower %+v", owner, follower)
+	}
+	if follower.Spec.PowerBudgetWatts != aEquiv.PowerBudgetWatts || follower.Label != aEquiv.Label() {
+		t.Error("follower lost its own spec identity")
+	}
+	if got := reg.Counter(obs.MSweepCacheHits).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MSweepCacheHits, got)
+	}
+	if got := reg.Counter(obs.MSweepCacheMisses).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", obs.MSweepCacheMisses, got)
+	}
+}
+
+// TestRunHILPPruning: a dominated sub-rung of the DSA ladder is skipped with
+// a certified bound once (a) its fully-populated dominator met the gap
+// target and (b) a cheaper already-solved point beat the sub-rung's analytic
+// speedup ceiling.
+func TestRunHILPPruning(t *testing.T) {
+	w := rodinia.DefaultWorkload()
+	targets := dsaTargets(w, 2)
+	certifier := soc.Spec{CPUCores: 1, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}
+	dominator := specWithDSAs(2, targets, 16)
+	dominated := specWithDSAs(2, targets[:1], 16)
+	specs := []soc.Spec{certifier, dominator, dominated}
+
+	reg := obs.NewRegistry()
+	octx := &obs.Context{Metrics: reg}
+	res := RunHILP(context.Background(), w, specs, core.DSEProfile,
+		scheduler.Config{Seed: 1, Effort: 0.25, Restarts: 1},
+		BatchOptions{Workers: 1, WarmStart: true, Prune: true, Obs: octx})
+
+	var pruned *Point
+	for i := range res.Points {
+		if p := &res.Points[i]; p.Pruned {
+			if pruned != nil {
+				t.Fatal("more than one point pruned")
+			}
+			pruned = p
+		}
+	}
+	if pruned == nil {
+		t.Fatalf("no point pruned; stats %+v", res.Stats)
+	}
+	if pruned.Label != dominated.Label() {
+		t.Errorf("pruned %s, want %s", pruned.Label, dominated.Label())
+	}
+	if pruned.PrunedBy != dominator.Label() {
+		t.Errorf("PrunedBy = %q, want %q", pruned.PrunedBy, dominator.Label())
+	}
+	if pruned.SpeedupBound <= 1 {
+		t.Errorf("SpeedupBound = %g, want a real ceiling > 1", pruned.SpeedupBound)
+	}
+	if pruned.Err != nil || pruned.Speedup != 0 {
+		t.Errorf("pruned point carries solve results: %+v", pruned)
+	}
+	if s := res.Stats; s.Points != 3 || s.Solved != 2 || s.Pruned != 1 {
+		t.Errorf("stats = %+v, want 3/2/1", s)
+	}
+	if got := reg.Counter(obs.MSweepPruned).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MSweepPruned, got)
+	}
+
+	// Soundness: solving the pruned spec cold must not beat the certified
+	// bound (the bound is an analytic ceiling on any schedule of that spec).
+	cold := RunHILP(context.Background(), w, []soc.Spec{dominated}, core.DSEProfile,
+		scheduler.Config{Seed: 1, Effort: 0.25, Restarts: 1}, BatchOptions{Workers: 1})
+	cp := cold.Points[0]
+	if cp.Err != nil {
+		t.Fatal(cp.Err)
+	}
+	if cp.Speedup > pruned.SpeedupBound+1e-9 {
+		t.Errorf("cold speedup %g exceeds certified bound %g", cp.Speedup, pruned.SpeedupBound)
+	}
+}
+
+// TestRunHILPWarmStartAccounting: on a single worker every point after the
+// first in a connected family takes a donor hint, and warm-started results
+// stay certified.
+func TestRunHILPWarmStartAccounting(t *testing.T) {
+	w := rodinia.Workload{Name: "warm", Apps: rodinia.DefaultWorkload().Apps[:2]}
+	specs := []soc.Spec{
+		{CPUCores: 1},
+		{CPUCores: 1, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		{CPUCores: 2},
+		{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+	}
+	res := RunHILP(context.Background(), w, specs, core.DSEProfile,
+		scheduler.Config{Seed: 1, Effort: 0.2},
+		BatchOptions{Workers: 1, WarmStart: true})
+	if res.Stats.WarmStarted < len(specs)-1 {
+		t.Errorf("WarmStarted = %d, want >= %d", res.Stats.WarmStarted, len(specs)-1)
+	}
+	gapTarget := 0.10
+	for _, p := range res.Points {
+		if p.Err != nil {
+			t.Fatalf("%s: %v", p.Label, p.Err)
+		}
+		if !p.Degraded && p.Gap > gapTarget+1e-9 {
+			t.Errorf("%s: gap %g above target despite clean solve", p.Label, p.Gap)
+		}
+		if p.Speedup <= 0 || p.MakespanSec <= 0 {
+			t.Errorf("%s: invalid metrics %+v", p.Label, p)
+		}
+	}
+}
+
+// TestRunGenericIgnoresWarmAndPrune: without the HILP model the engine can
+// only memoize; warm-start and pruning requests are inert, not crashes.
+func TestRunGenericIgnoresWarmAndPrune(t *testing.T) {
+	specs := []soc.Spec{{CPUCores: 1}, {CPUCores: 2}, {CPUCores: 1}}
+	calls := 0
+	res := Run(context.Background(), specs,
+		BatchOptions{Workers: 1, Cache: true, WarmStart: true, Prune: true},
+		func(ctx context.Context, s soc.Spec) Point {
+			calls++
+			p := newPoint(s)
+			p.Speedup = float64(s.CPUCores)
+			return p
+		})
+	if res.Stats.Pruned != 0 || res.Stats.WarmStarted != 0 {
+		t.Errorf("generic run pruned/warm-started: %+v", res.Stats)
+	}
+	if calls != 2 || res.Stats.CacheHits != 1 {
+		t.Errorf("calls = %d, cache hits = %d; want 2 solves and 1 hit", calls, res.Stats.CacheHits)
+	}
+	if !res.Points[2].CacheHit || res.Points[2].Speedup != res.Points[0].Speedup {
+		t.Errorf("duplicate generic point not deduplicated: %+v", res.Points[2])
+	}
+}

@@ -1,0 +1,128 @@
+package dse
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"hilp/internal/core"
+	"hilp/internal/faults"
+	"hilp/internal/leakcheck"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+)
+
+// TestEngineEquivalence is the sweep engine's correctness property: a sweep
+// run with every engine feature on (canonical cache, neighbor warm starts,
+// dominance pruning) is result-equivalent to a cold sweep of the same specs.
+// Cache hits replay their donor byte-identically; warm-started points carry
+// their own gap certificates and cannot contradict the cold run's lower
+// bounds; pruned points' certified speedup ceilings hold against the cold
+// run's achieved speedups. The property must survive fault-injection chaos
+// (failed/degraded points are simply excluded pairwise) and leak no
+// goroutines.
+func TestEngineEquivalence(t *testing.T) {
+	leakcheck.VerifyNoLeaks(t) // registered first so its cleanup runs last
+
+	w := rodinia.Workload{Name: "equiv", Apps: rodinia.DefaultWorkload().Apps[:2]}
+	targets := dsaTargets(w, 2)
+	specs := []soc.Spec{
+		{CPUCores: 1},
+		{CPUCores: 1, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		{CPUCores: 2},
+		{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		specWithDSAs(2, targets, 16),
+		specWithDSAs(2, targets[:1], 16),
+		specWithDSAs(2, targets, 4),
+		{CPUCores: 4},
+		{CPUCores: 4, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		specWithDSAs(4, targets, 16),
+		specWithDSAs(4, targets[:1], 16),
+		// A canonical duplicate of spec 3: defaults filled explicitly.
+		{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765},
+			PowerBudgetWatts: soc.DefaultPowerBudget, MemBandwidthGBs: soc.DefaultMemBandwidth,
+			DSAAdvantage: soc.DefaultDSAAdvantage},
+	}
+	const dupOf, dup = 3, 11
+
+	cfg := scheduler.Config{Seed: 1, Effort: 0.2}
+	// Fault decisions are pure functions of (seed, site, key) and the key is
+	// the point index, so both runs draw the same fault pattern per point.
+	chaos := func() context.Context {
+		inj := faults.New(faults.Config{
+			Seed:  7,
+			Rate:  0.15,
+			Times: 2,
+			Delay: time.Millisecond,
+			Sites: []string{faults.SiteSolve, faults.SiteEvaluate},
+		})
+		return faults.NewContext(context.Background(), inj)
+	}
+
+	cold := RunHILP(chaos(), w, specs, core.DSEProfile, cfg, BatchOptions{Workers: 4})
+	warm := RunHILP(chaos(), w, specs, core.DSEProfile, cfg,
+		BatchOptions{Workers: 4, Cache: true, WarmStart: true, Prune: true})
+
+	if len(cold.Points) != len(specs) || len(warm.Points) != len(specs) {
+		t.Fatalf("point counts %d/%d, want %d", len(cold.Points), len(warm.Points), len(specs))
+	}
+
+	clean := func(p Point) bool { return p.Err == nil && !p.Cancelled && !p.Degraded && !p.Pruned }
+
+	for i := range specs {
+		c, e := cold.Points[i], warm.Points[i]
+		if c.Label != e.Label {
+			t.Fatalf("point %d: label %q vs %q — output order not preserved", i, c.Label, e.Label)
+		}
+		if e.Pruned {
+			// The certificate is a ceiling on ANY schedule of this spec,
+			// including whatever the cold run achieved.
+			if clean(c) && c.Speedup > e.SpeedupBound+1e-9 {
+				t.Errorf("%s: cold speedup %g beats the pruning certificate %g",
+					c.Label, c.Speedup, e.SpeedupBound)
+			}
+			continue
+		}
+		if !clean(c) || !clean(e) {
+			continue // a faulted side has no converged metrics to compare
+		}
+		// Both runs solved the same continuous model: each side's certified
+		// lower bound must not exceed the other side's achieved makespan.
+		lbC := c.MakespanSec * (1 - c.Gap)
+		lbE := e.MakespanSec * (1 - e.Gap)
+		if lbC > e.MakespanSec*(1+1e-9) {
+			t.Errorf("%s: cold lower bound %gs exceeds engine makespan %gs", c.Label, lbC, e.MakespanSec)
+		}
+		if lbE > c.MakespanSec*(1+1e-9) {
+			t.Errorf("%s: engine lower bound %gs exceeds cold makespan %gs", c.Label, lbE, c.MakespanSec)
+		}
+		for name, v := range map[string]float64{
+			"speedup": e.Speedup, "wlp": e.WLP, "gap": e.Gap, "makespan": e.MakespanSec,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: engine %s = %g", e.Label, name, v)
+			}
+		}
+	}
+
+	// The canonical duplicate must be a byte-identical replay of its owner
+	// (or of the same underlying solve, whichever index won the walk order).
+	d, o := warm.Points[dup], warm.Points[dupOf]
+	if clean(o) && !d.Pruned {
+		if !d.CacheHit {
+			t.Errorf("duplicate spec %s not served from cache", d.Label)
+		} else if d.MakespanSec != o.MakespanSec || d.Speedup != o.Speedup || d.Gap != o.Gap || d.WLP != o.WLP {
+			t.Errorf("cache hit diverges from owner: %+v vs %+v", d, o)
+		}
+	}
+
+	// Accounting: every point is exactly one of solved, cache hit, or pruned.
+	if s := warm.Stats; s.Solved+s.CacheHits+s.Pruned != s.Points {
+		t.Errorf("stats do not partition the batch: %+v", s)
+	}
+	if cold.Stats.CacheHits != 0 || cold.Stats.Pruned != 0 || cold.Stats.WarmStarted != 0 {
+		t.Errorf("cold run used engine features: %+v", cold.Stats)
+	}
+}

@@ -24,6 +24,14 @@ func WriteCSV(w io.Writer, model string, points []Point) error {
 			}
 			continue
 		}
+		if p.Pruned {
+			note := fmt.Sprintf("pruned: speedup <= %.2f (dominated by %s)", p.SpeedupBound, p.PrunedBy)
+			if err := cw.Write([]string{model, p.Label, fmt.Sprintf("%.2f", p.AreaMM2),
+				"", "", "", "", p.Mix.String(), note}); err != nil {
+				return err
+			}
+			continue
+		}
 		if err := cw.Write([]string{model, p.Label, fmt.Sprintf("%.2f", p.AreaMM2),
 			fmt.Sprintf("%.4f", p.Speedup), fmt.Sprintf("%.4f", p.WLP), fmt.Sprintf("%.4f", p.Gap),
 			fmt.Sprintf("%.4f", p.MakespanSec), p.Mix.String(), ""}); err != nil {

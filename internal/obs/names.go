@@ -36,6 +36,14 @@ const (
 	MSweepPanics       = "hilp_dse_point_panics_total"
 	MSweepPointSec     = "hilp_dse_point_seconds"
 
+	// Warm-start sweep engine (internal/dse engine + scheduler warm hints).
+	MSweepCacheHits    = "hilp_sweep_cache_hits_total"
+	MSweepCacheMisses  = "hilp_sweep_cache_misses_total"
+	MSweepWarmUsed     = "hilp_sweep_warmstart_used_total"
+	MSweepWarmShortcut = "hilp_sweep_warmstart_shortcut_total"
+	MSweepWarmImproved = "hilp_sweep_warmstart_improved_total"
+	MSweepPruned       = "hilp_sweep_points_pruned_total"
+
 	// Go runtime telemetry (refreshed per /metrics scrape, see CaptureRuntime).
 	MGoGoroutines     = "go_goroutines"
 	MGoHeapAllocBytes = "go_heap_alloc_bytes"

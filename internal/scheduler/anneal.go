@@ -22,6 +22,10 @@ type AnnealConfig struct {
 	// InitialTempFactor scales the initial temperature relative to the seed
 	// makespan. 0 selects a default of 0.2.
 	InitialTempFactor float64
+	// SeedList and SeedOpts, when both are task-count-length, inject one
+	// extra starting candidate (a warm-start hint already mapped onto this
+	// problem) considered alongside the heuristic portfolio.
+	SeedList, SeedOpts []int
 	// Obs carries optional tracing/metrics sinks; nil disables them.
 	Obs *obs.Context
 }
@@ -81,6 +85,20 @@ func Anneal(ctx context.Context, p *Problem, cfg AnnealConfig) (Schedule, bool) 
 			bestList = append([]int(nil), c.list...)
 			bestOpts = append([]int(nil), c.opts...)
 			found = true
+		}
+	}
+	// A warm-start seed competes with the portfolio; when it wins, the
+	// search starts from the donor's (repaired) schedule instead.
+	if len(cfg.SeedList) == len(p.Tasks) && len(cfg.SeedOpts) == len(p.Tasks) {
+		if s, ok := g.decode(cfg.SeedList, cfg.SeedOpts); ok {
+			sgsCtr.Inc()
+			if !found || s.Makespan < best.Makespan {
+				octx.Counter(obs.MSweepWarmImproved).Inc()
+				best = s
+				bestList = append(bestList[:0], cfg.SeedList...)
+				bestOpts = append(bestOpts[:0], cfg.SeedOpts...)
+				found = true
+			}
 		}
 	}
 	if found {

@@ -30,6 +30,14 @@ type Config struct {
 	Restarts int
 	// Improver selects the metaheuristic: "anneal" (default) or "tabu".
 	Improver string
+	// Warm optionally seeds the search with a donor schedule from a related
+	// solve (a neighboring design point, or a coarser resolution of the same
+	// one). The hint is repaired onto this instance by the serial SGS; when
+	// the repaired schedule already certifies GapTarget against the cheap
+	// lower bound, the improver and exact stages are skipped entirely
+	// (Result.Method "warmstart"). Cold solves (nil, the default) are
+	// unaffected. See WarmStart.
+	Warm *WarmStart
 	// Obs carries optional tracing/metrics sinks; nil (the default) disables
 	// instrumentation at negligible cost.
 	Obs *obs.Context
@@ -165,6 +173,45 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 	rt.Bound(0, float64(lb))
 	stageEv("bounds", 0, float64(lb))
 
+	// Warm start: repair the donor hint onto this instance. If the repaired
+	// (and justified) schedule already certifies the gap target against the
+	// cheap lower bound, the improver and exact stages are skipped — the
+	// sweep engine's main cross-point throughput lever. Otherwise the warm
+	// candidate seeds the improver alongside the heuristic portfolio.
+	var warmList, warmOpts []int
+	if cfg.Warm != nil {
+		if c, okSeed := cfg.Warm.seed(p); okSeed {
+			wsp := sctx.StartSpan("warmstart")
+			ws, okDecode := newSGS(p).decode(c.list, c.opts)
+			if okDecode {
+				octx.Counter(obs.MSweepWarmUsed).Inc()
+				if j := Justify(p, ws); j.Makespan < ws.Makespan {
+					ws = j
+				}
+				warmGap := 0.0
+				if ws.Makespan > 0 {
+					warmGap = float64(ws.Makespan-lb) / float64(ws.Makespan)
+				}
+				wsp.ArgInt("makespan", ws.Makespan).Arg("gap", warmGap)
+				if warmGap <= cfg.GapTarget && ws.Validate(p) == nil {
+					wsp.End()
+					octx.Counter(obs.MSweepWarmShortcut).Inc()
+					rt.Incumbent(1, float64(ws.Makespan))
+					stageEv("warmstart", 1, float64(ws.Makespan))
+					proven := ws.Makespan == lb
+					octx.Gauge(obs.MLowerBoundSteps).Set(float64(lb))
+					octx.Gauge(obs.MMakespanSteps).Set(float64(ws.Makespan))
+					sp.ArgInt("makespan", ws.Makespan).ArgInt("lower_bound", lb).ArgStr("method", "warmstart")
+					rt.Certify(float64(ws.Makespan), float64(lb), proven)
+					return Result{Schedule: ws, LowerBound: lb, Proven: proven, Method: "warmstart",
+						Cancelled: ctx.Err() != nil && !proven}, nil
+				}
+				warmList, warmOpts = c.list, c.opts
+			}
+			wsp.End()
+		}
+	}
+
 	var (
 		best   Schedule
 		ok     bool
@@ -175,6 +222,8 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 		best, ok = TabuSearch(ctx, p, TabuConfig{
 			Iterations: int(cfg.Effort * float64(1000+150*len(p.Tasks))),
 			Seed:       cfg.Seed,
+			SeedList:   warmList,
+			SeedOpts:   warmOpts,
 			Obs:        sctx,
 		})
 		method = "tabu"
@@ -183,6 +232,8 @@ func Solve(ctx context.Context, p *Problem, cfg Config) (res Result, err error) 
 			Iterations: int(cfg.Effort * float64(2000+400*len(p.Tasks))),
 			Restarts:   cfg.Restarts,
 			Seed:       cfg.Seed,
+			SeedList:   warmList,
+			SeedOpts:   warmOpts,
 			Obs:        sctx,
 		})
 		method = "anneal"

@@ -22,6 +22,10 @@ type TabuConfig struct {
 	Neighborhood int
 	// Seed drives candidate sampling deterministically.
 	Seed int64
+	// SeedList and SeedOpts, when both are task-count-length, inject one
+	// extra starting candidate (a warm-start hint already mapped onto this
+	// problem) considered alongside the heuristic portfolio.
+	SeedList, SeedOpts []int
 	// Obs carries optional tracing/metrics sinks; nil disables them.
 	Obs *obs.Context
 }
@@ -83,6 +87,20 @@ func TabuSearch(ctx context.Context, p *Problem, cfg TabuConfig) (Schedule, bool
 			list = append(list[:0], c.list...)
 			opts = append(opts[:0], c.opts...)
 			found = true
+		}
+	}
+	// A warm-start seed competes with the portfolio; when it wins, the
+	// search starts from the donor's (repaired) schedule instead.
+	if len(cfg.SeedList) == len(p.Tasks) && len(cfg.SeedOpts) == len(p.Tasks) {
+		if s, ok := g.decode(cfg.SeedList, cfg.SeedOpts); ok {
+			sgsCtr.Inc()
+			if !found || s.Makespan < best.Makespan {
+				octx.Counter(obs.MSweepWarmImproved).Inc()
+				best = s
+				list = append(list[:0], cfg.SeedList...)
+				opts = append(opts[:0], cfg.SeedOpts...)
+				found = true
+			}
 		}
 	}
 	hsp.End()

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"hilp/internal/wire"
+)
+
+// batchBody builds a small POST /v1/batch request: a 2-app workload over
+// explicit specs including one canonical duplicate, coarse profile so the
+// whole batch solves in milliseconds.
+func batchBody(t *testing.T, mutate func(*wire.BatchRequest)) []byte {
+	t.Helper()
+	req := wire.BatchRequest{
+		Workload: &wire.Workload{Apps: []wire.App{{Bench: "LUD"}, {Bench: "HS"}}},
+		Specs: []wire.SoC{
+			{CPUCores: 1},
+			{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+			{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}}, // duplicate
+		},
+		Profile: &wire.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 0, MaxRefinements: 0},
+		Solver:  &wire.SolverConfig{Seed: 1, Effort: 0.2},
+	}
+	if mutate != nil {
+		mutate(&req)
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestBatchHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, ts.URL+"/v1/batch", batchBody(t, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.SchemaVersion != wire.SchemaVersion {
+		t.Errorf("schemaVersion %d, want %d", out.SchemaVersion, wire.SchemaVersion)
+	}
+	if len(out.Points) != 3 {
+		t.Fatalf("%d points, want 3", len(out.Points))
+	}
+	// Cache and warm starts default to on: the duplicate spec must be a
+	// replayed hit, and the stats must partition the batch.
+	if s := out.Stats; s.Points != 3 || s.CacheHits != 1 || s.Solved != 2 {
+		t.Errorf("stats = %+v, want 3 points / 2 solved / 1 cache hit", s)
+	}
+	if !out.Points[2].CacheHit {
+		t.Error("duplicate spec not marked cacheHit")
+	}
+	if out.Points[2].Speedup != out.Points[1].Speedup {
+		t.Error("cache hit metrics differ from the owner point")
+	}
+	for _, p := range out.Points {
+		if p.Error != "" || p.Cancelled {
+			t.Errorf("%s: error=%q cancelled=%v", p.Label, p.Error, p.Cancelled)
+		}
+	}
+	if len(out.Pareto) == 0 {
+		t.Error("response lacks Pareto indices")
+	}
+}
+
+func TestBatchCacheReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := batchBody(t, nil)
+
+	resp1, out1 := post(t, ts.URL+"/v1/batch", body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first: status %d: %s", resp1.StatusCode, out1)
+	}
+	if got := resp1.Header.Get("X-HILP-Cache"); got != "miss" {
+		t.Errorf("first X-HILP-Cache = %q, want miss", got)
+	}
+	resp2, out2 := post(t, ts.URL+"/v1/batch", body)
+	if got := resp2.Header.Get("X-HILP-Cache"); got != "hit" {
+		t.Errorf("second X-HILP-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Error("replayed batch response not byte-identical")
+	}
+}
+
+func TestBatchEngineOptOut(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	off := false
+	resp, body := post(t, ts.URL+"/v1/batch", batchBody(t, func(r *wire.BatchRequest) {
+		r.Cache = &off
+		r.WarmStart = &off
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if s := out.Stats; s.CacheHits != 0 || s.WarmStarted != 0 || s.Solved != 3 {
+		t.Errorf("opted-out batch still used the engine: %+v", s)
+	}
+}
+
+func TestBatchPruningOptIn(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// The dominance ladder from the engine tests: a cheap high-speedup
+	// certifier, a fully-populated DSA rung, and its dominated sub-rung.
+	resp, body := post(t, ts.URL+"/v1/batch", batchBody(t, func(r *wire.BatchRequest) {
+		r.Workload = &wire.Workload{Name: "default"}
+		r.Specs = []wire.SoC{
+			{CPUCores: 1, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+			{CPUCores: 2, DSAs: []wire.DSA{{PEs: 16, Target: "BFS"}, {PEs: 16, Target: "HW"}}},
+			{CPUCores: 2, DSAs: []wire.DSA{{PEs: 16, Target: "BFS"}}},
+		}
+		r.Profile = nil // hilp's default DSE profile, needed for tight gaps
+		r.Solver = &wire.SolverConfig{Seed: 1, Effort: 0.25, Restarts: 1}
+		r.Pruning = true
+	}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out wire.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Pruned != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 pruned point", out.Stats)
+	}
+	var pruned *wire.Point
+	for i := range out.Points {
+		if out.Points[i].Pruned {
+			pruned = &out.Points[i]
+		}
+	}
+	if pruned == nil {
+		t.Fatal("no point marked pruned")
+	}
+	if pruned.PrunedBy == "" || pruned.SpeedupBound <= 1 {
+		t.Errorf("pruned point lacks its certificate: %+v", pruned)
+	}
+	for _, idx := range out.Pareto {
+		if out.Points[idx].Pruned {
+			t.Error("pruned point entered the Pareto front")
+		}
+	}
+}
+
+func TestBatchVersionCheck(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, ts.URL+"/v1/batch", batchBody(t, func(r *wire.BatchRequest) {
+		r.SchemaVersion = wire.SchemaVersion + 1
+	}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+func TestBatchBadBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, ts.URL+"/v1/batch", []byte(`{"workload": {"apps": [{"bench": "NOPE"}]}}`))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown bench: status %d, want 422: %s", resp.StatusCode, body)
+	}
+	resp, body = post(t, ts.URL+"/v1/batch", []byte(`not json`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400: %s", resp.StatusCode, body)
+	}
+}

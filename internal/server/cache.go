@@ -2,9 +2,9 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"sync"
+
+	"hilp/internal/wire"
 )
 
 // cache is a fixed-capacity LRU over solved responses. Values are the exact
@@ -78,8 +78,8 @@ func (c *cache) len() int {
 
 // cacheKey hashes a canonical (re-marshaled, field-order-stable) request
 // encoding, so two JSON bodies that decode to the same request share a key
-// regardless of whitespace or key order.
+// regardless of whitespace or key order. The hash itself (wire.Hash) is
+// shared with the sweep engine's canonical-model memoizer.
 func cacheKey(canonical []byte) string {
-	sum := sha256.Sum256(canonical)
-	return hex.EncodeToString(sum[:])
+	return wire.Hash(canonical)
 }

@@ -1,5 +1,6 @@
 // Package server implements hilp-serve: an HTTP JSON solve service over the
 // public hilp API. It exposes synchronous evaluation (POST /v1/evaluate),
+// synchronous batched solves through the sweep engine (POST /v1/batch),
 // asynchronous design-space sweeps behind job handles (POST /v1/sweep,
 // GET /v1/jobs/{id}), liveness and Prometheus-text metrics endpoints, a
 // bounded worker pool with admission control, an LRU cache keyed on the
@@ -218,6 +219,7 @@ func New(cfg Config) *Server {
 	obs.SetBuildInfo(octx.Metrics)
 	s.mux.HandleFunc("POST /v1/evaluate", s.instrument(s.recoverHandler(s.handleEvaluate)))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument(s.recoverHandler(s.handleSweep)))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument(s.recoverHandler(s.handleBatch)))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument(s.recoverHandler(s.handleJob)))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument(s.recoverHandler(s.handleJobEvents)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -776,6 +778,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Solver != nil {
 		opts = append(opts, hilp.WithSolver(req.Solver.ToConfig()))
 	}
+	// Sweep-engine features (schema v2) are opt-in per request and default
+	// to off, preserving v1 sweep behavior exactly.
+	if req.Cache {
+		opts = append(opts, hilp.WithCache(true))
+	}
+	if req.WarmStart {
+		opts = append(opts, hilp.WithWarmStart(true))
+	}
+	if req.Pruning {
+		opts = append(opts, hilp.WithPruning(true))
+	}
 	timeout := s.solveTimeout(req.TimeoutSec)
 
 	s.jobWG.Add(1)
@@ -952,9 +965,10 @@ func (s *Server) newJob(total int) (*job, error) {
 	return j, nil
 }
 
-// finish records the job's terminal state.
-func (j *job) finish(points []hilp.Point, cancelled bool) {
-	resp := &wire.SweepResponse{SchemaVersion: wire.SchemaVersion}
+// wirePoints converts sweep points to their wire form (including the
+// schema v2 engine fields) plus the Pareto index list.
+func wirePoints(points []hilp.Point) ([]wire.Point, []int) {
+	out := make([]wire.Point, 0, len(points))
 	for _, p := range points {
 		wp := wire.Point{
 			Spec:           wire.FromSpec(p.Spec),
@@ -969,19 +983,32 @@ func (j *job) finish(points []hilp.Point, cancelled bool) {
 			Degraded:       p.Degraded,
 			FallbackReason: p.FallbackReason,
 			RequestID:      p.RequestID,
+			CacheHit:       p.CacheHit,
+			WarmStarted:    p.WarmStarted,
+			Pruned:         p.Pruned,
+			PrunedBy:       p.PrunedBy,
+			SpeedupBound:   p.SpeedupBound,
 		}
 		if p.Err != nil {
 			wp.Error = p.Err.Error()
 		}
-		resp.Points = append(resp.Points, wp)
+		out = append(out, wp)
 	}
 	byLabel := map[string]int{}
 	for i, p := range points {
 		byLabel[p.Label] = i
 	}
+	var pareto []int
 	for _, p := range hilp.ParetoFront(points) {
-		resp.Pareto = append(resp.Pareto, byLabel[p.Label])
+		pareto = append(pareto, byLabel[p.Label])
 	}
+	return out, pareto
+}
+
+// finish records the job's terminal state.
+func (j *job) finish(points []hilp.Point, cancelled bool) {
+	resp := &wire.SweepResponse{SchemaVersion: wire.SchemaVersion}
+	resp.Points, resp.Pareto = wirePoints(points)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.done.Store(int64(len(points)))

@@ -80,12 +80,65 @@ type SweepRequest struct {
 	// TimeoutSec bounds the whole sweep; points not dispatched before expiry
 	// come back with an error string, completed ones are preserved.
 	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+	// Cache, WarmStart, and Pruning opt into the sweep engine's cross-point
+	// reuse (schema v2, HILP baseline only): canonical-model memoization,
+	// neighbor warm starts, and certified dominance pruning. All default to
+	// off for sweeps, preserving v1 behavior.
+	Cache     bool `json:"cache,omitempty"`
+	WarmStart bool `json:"warmStart,omitempty"`
+	Pruning   bool `json:"pruning,omitempty"`
 }
 
 // SweepResponse is the terminal result of a sweep job.
 type SweepResponse struct {
 	SchemaVersion int     `json:"schemaVersion"`
 	Points        []Point `json:"points"`
+	// Pareto indexes the (area, speedup) Pareto-optimal subset of Points,
+	// ascending by area.
+	Pareto []int `json:"pareto,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch (schema v2): a synchronous
+// batched solve over explicit Specs (or an enumerated Space when Specs is
+// empty) that amortizes model construction across points via the sweep
+// engine. Unlike /v1/sweep it answers in one round trip and defaults the
+// engine's cache and warm starts to on; Pruning stays opt-in because pruned
+// points come back with a certified bound instead of solved metrics.
+type BatchRequest struct {
+	SchemaVersion int           `json:"schemaVersion,omitempty"`
+	Workload      *Workload     `json:"workload,omitempty"`
+	Specs         []SoC         `json:"specs,omitempty"`
+	Space         *Space        `json:"space,omitempty"`
+	Profile       *Profile      `json:"profile,omitempty"`
+	Solver        *SolverConfig `json:"solver,omitempty"`
+	// TimeoutSec bounds the whole batch; 0 selects the server default.
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+	// Cache and WarmStart default to on; send false explicitly to disable.
+	Cache     *bool `json:"cache,omitempty"`
+	WarmStart *bool `json:"warmStart,omitempty"`
+	// Pruning defaults to off.
+	Pruning bool `json:"pruning,omitempty"`
+}
+
+// BatchStats summarizes what the sweep engine reused across a batch.
+type BatchStats struct {
+	// Points is the number of requested points; Solved is how many ran a
+	// full solve (the rest were cache hits, pruned, or never dispatched).
+	Points int `json:"points"`
+	Solved int `json:"solved"`
+	// CacheHits counts points replayed from a canonically-equivalent
+	// earlier point; WarmStarted counts solves seeded with a neighbor's
+	// schedule; Pruned counts points skipped with a certified bound.
+	CacheHits   int `json:"cacheHits,omitempty"`
+	WarmStarted int `json:"warmStarted,omitempty"`
+	Pruned      int `json:"pruned,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/batch.
+type BatchResponse struct {
+	SchemaVersion int        `json:"schemaVersion"`
+	Points        []Point    `json:"points"`
+	Stats         BatchStats `json:"stats"`
 	// Pareto indexes the (area, speedup) Pareto-optimal subset of Points,
 	// ascending by area.
 	Pareto []int `json:"pareto,omitempty"`

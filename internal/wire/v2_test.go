@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestV1SweepRequestStillDecodes pins the schema-v2 compatibility promise:
+// a v1 payload (no engine fields) decodes unchanged, with every v2 option
+// at its off/absent zero value.
+func TestV1SweepRequestStillDecodes(t *testing.T) {
+	body := `{
+		"schemaVersion": 1,
+		"workload": {"name": "default"},
+		"specs": [{"cpuCores": 2, "gpuSMs": 16}],
+		"solver": {"seed": 7},
+		"timeoutSec": 30
+	}`
+	var req SweepRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckVersion(req.SchemaVersion); err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	if req.Cache || req.WarmStart || req.Pruning {
+		t.Errorf("v1 payload enabled engine features: %+v", req)
+	}
+	if req.Workload.Name != "default" || len(req.Specs) != 1 || req.Specs[0].CPUCores != 2 {
+		t.Errorf("v1 fields lost in decode: %+v", req)
+	}
+}
+
+// TestV1PointStillDecodes: a v1 Point (no engine annotations) decodes with
+// the v2 fields zero, and a Point without engine annotations marshals to
+// JSON a v1 reader would accept (no new keys).
+func TestV1PointStillDecodes(t *testing.T) {
+	v1 := `{"spec":{"cpuCores":1},"label":"(c1,g0,d0^0)","areaMM2":17,"speedup":1,"wlp":1,"gap":0.05,"makespanSec":100,"mix":"cpu-only"}`
+	var p Point
+	if err := json.Unmarshal([]byte(v1), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheHit || p.WarmStarted || p.Pruned || p.PrunedBy != "" || p.SpeedupBound != 0 {
+		t.Errorf("v1 point decoded with v2 fields set: %+v", p)
+	}
+
+	out, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cacheHit", "warmStarted", "pruned", "prunedBy", "speedupBound"} {
+		if strings.Contains(string(out), key) {
+			t.Errorf("zero-valued v2 field %q leaked into v1-shaped output: %s", key, out)
+		}
+	}
+}
+
+func TestPointV2RoundTrip(t *testing.T) {
+	in := Point{
+		Spec:         SoC{CPUCores: 2, GPUSMs: 16},
+		Label:        "(c2,g16,d0^0)",
+		AreaMM2:      137.2,
+		CacheHit:     true,
+		WarmStarted:  true,
+		Pruned:       true,
+		PrunedBy:     "(c2,g16,d2^16)",
+		SpeedupBound: 7.086,
+	}
+	blob, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Point
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the point:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+// TestBatchRequestDefaults pins the tri-state engine options: absent means
+// "server default" (cache and warm starts on), explicit false must survive
+// decoding as a non-nil false rather than collapsing into absent.
+func TestBatchRequestDefaults(t *testing.T) {
+	var req BatchRequest
+	if err := json.Unmarshal([]byte(`{}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Cache != nil || req.WarmStart != nil || req.Pruning {
+		t.Errorf("empty batch request not all-default: %+v", req)
+	}
+
+	if err := json.Unmarshal([]byte(`{"cache": false, "warmStart": false, "pruning": true}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Cache == nil || *req.Cache || req.WarmStart == nil || *req.WarmStart {
+		t.Error("explicit false collapsed into absent")
+	}
+	if !req.Pruning {
+		t.Error("pruning opt-in lost")
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	in := BatchResponse{
+		SchemaVersion: SchemaVersion,
+		Points: []Point{
+			{Label: "a", Speedup: 2},
+			{Label: "b", CacheHit: true, Speedup: 2},
+			{Label: "c", Pruned: true, PrunedBy: "a", SpeedupBound: 3},
+		},
+		Stats:  BatchStats{Points: 3, Solved: 1, CacheHits: 1, Pruned: 1},
+		Pareto: []int{0},
+	}
+	blob, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the response:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+// TestHashStability pins the canonical-content hash the hilp-serve LRU and
+// the sweep engine's memoizer share: plain hex SHA-256 of the canonical
+// bytes, stable across processes and releases.
+func TestHashStability(t *testing.T) {
+	if got := Hash([]byte("hilp")); got != "07e8c18c70e1357783c50be6fd3473058f916dca6b1677eb3351d774922f5d78" {
+		t.Errorf("Hash changed: %s", got)
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	a1 := SoC{CPUCores: 2, GPUSMs: 16}
+	a2 := SoC{CPUCores: 2, GPUSMs: 16}
+	b := SoC{CPUCores: 4, GPUSMs: 16}
+
+	k1, err := CanonicalKey(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CanonicalKey(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := CanonicalKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("equal values produced different keys")
+	}
+	if k1 == kb {
+		t.Error("different values collided")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(k1))
+	}
+}

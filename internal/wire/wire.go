@@ -7,6 +7,8 @@
 package wire
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -20,7 +22,15 @@ import (
 
 // SchemaVersion identifies this wire format. Responses always carry it;
 // requests may omit it (0 is treated as the current version).
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial schema: evaluate/sweep requests, Result, Point, Job.
+//	2 — additive: batch requests (BatchRequest/BatchResponse/BatchStats),
+//	    sweep-engine options (cache, warmStart, pruning) on sweep and batch
+//	    requests, and cacheHit/warmStarted/pruned/prunedBy/speedupBound on
+//	    Point. Every v1 payload decodes unchanged.
+const SchemaVersion = 2
 
 // CheckVersion rejects payloads from a newer schema than this binary speaks.
 func CheckVersion(v int) error {
@@ -296,6 +306,37 @@ type Point struct {
 	// RequestID is the point's correlation ID, linking it to its log lines
 	// and latency exemplar; empty when observability is disabled.
 	RequestID string `json:"requestId,omitempty"`
+	// CacheHit marks a point whose result was replayed from an earlier
+	// canonically-equivalent point of the same batch (schema v2).
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// WarmStarted marks a point whose search was seeded with a solved
+	// neighbor's schedule (schema v2).
+	WarmStarted bool `json:"warmStarted,omitempty"`
+	// Pruned marks a point skipped by dominance pruning: it was never
+	// solved; SpeedupBound certifies the best speedup it could possibly
+	// achieve and PrunedBy names the solved dominating point (schema v2).
+	Pruned       bool    `json:"pruned,omitempty"`
+	PrunedBy     string  `json:"prunedBy,omitempty"`
+	SpeedupBound float64 `json:"speedupBound,omitempty"`
+}
+
+// Hash is the canonical-content hash shared by the hilp-serve LRU cache and
+// the sweep engine's memoizer: hex SHA-256 over a canonical (re-marshaled,
+// field-order-stable) encoding, so two JSON bodies that decode to the same
+// value share a key regardless of whitespace or key order.
+func Hash(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
+// CanonicalKey marshals v compactly (struct field order is stable in Go's
+// encoding/json) and returns its Hash.
+func CanonicalKey(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return Hash(b), nil
 }
 
 // Marshal renders any wire value as indented JSON with a trailing newline.

@@ -1,0 +1,74 @@
+package hilp
+
+// This file collects every pre-context entry point kept for source
+// compatibility. All of them are thin wrappers over the context-first API
+// (Solve, Sweep, SolveInstanceContext, SolveModelContext) with
+// context.Background(), so they cannot be cancelled, carry no deadline, and
+// see none of the functional options. Nothing inside this module calls
+// them; new code should not either. They may be removed in a future major
+// version.
+
+import (
+	"context"
+
+	"hilp/internal/dse"
+	"hilp/internal/scheduler"
+)
+
+// Evaluate runs HILP on the workload and SoC with the DSE profile and
+// default solver effort.
+//
+// Deprecated: use Solve, which takes a context and functional options.
+func Evaluate(w Workload, spec SoC) (*Result, error) {
+	return Solve(context.Background(), w, spec)
+}
+
+// EvaluateWith runs HILP with explicit resolution and solver settings.
+//
+// Deprecated: use Solve with WithProfile and WithSolver.
+func EvaluateWith(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, error) {
+	return Solve(context.Background(), w, spec, WithProfile(profile), WithSolver(cfg))
+}
+
+// Gables evaluates the workload with the parallel-mode Gables baseline
+// (dependencies discarded, no power constraint).
+//
+// Deprecated: use Solve with WithBaseline(BaselineGables).
+func Gables(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, error) {
+	return Solve(context.Background(), w, spec,
+		WithBaseline(BaselineGables), WithProfile(profile), WithSolver(cfg))
+}
+
+// SweepHILP evaluates every spec with HILP across worker goroutines
+// (workers < 1 selects GOMAXPROCS).
+//
+// Deprecated: use Sweep with WithWorkers, WithProfile, and WithSolver — or
+// SolveBatch to reuse work across the points.
+func SweepHILP(w Workload, specs []SoC, workers int, profile Profile, cfg SolverConfig) []Point {
+	return Sweep(context.Background(), w, specs,
+		WithWorkers(workers), WithProfile(profile), WithSolver(cfg))
+}
+
+// SweepHILPObserved is SweepHILP with observability: sweep metrics, spans,
+// and a live progress callback via opts.
+//
+// Deprecated: use Sweep with WithObs and WithProgress.
+func SweepHILPObserved(w Workload, specs []SoC, opts SweepOptions, profile Profile, cfg SolverConfig) []Point {
+	return dse.SweepOpts(context.Background(), specs, opts, dse.HILPEvaluator(w, profile, cfg))
+}
+
+// SolveInstance solves a built (possibly pinned) instance.
+//
+// Deprecated: use SolveInstanceContext so the solve can be cancelled.
+func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
+	return SolveInstanceContext(context.Background(), in, cfg)
+}
+
+// SolveModel builds and solves a custom model at the given time-step
+// resolution, returning the instance (for rendering) and the schedule
+// result.
+//
+// Deprecated: use SolveModelContext so the solve can be cancelled.
+func SolveModel(m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (*Instance, scheduler.Result, error) {
+	return SolveModelContext(context.Background(), m, stepSec, horizon, cfg)
+}

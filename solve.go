@@ -50,6 +50,10 @@ type solveOptions struct {
 	workers    int
 	onProgress func(SweepProgress)
 	obs        *ObsContext
+	// Sweep-engine features. Tri-state (nil = caller said nothing) because
+	// the defaults differ per entry point: SolveBatch turns cache and warm
+	// starts on, Sweep keeps everything off for exact v1 behavior.
+	cache, warm, prune *bool
 }
 
 func buildOptions(opts []Option) solveOptions {
@@ -95,6 +99,36 @@ func WithWorkers(n int) Option {
 // every completed point. Solve ignores it.
 func WithProgress(fn func(SweepProgress)) Option {
 	return func(o *solveOptions) { o.onProgress = fn }
+}
+
+// WithCache enables (or disables) canonical-model memoization across the
+// points of one Sweep or SolveBatch call: points whose canonical (workload,
+// normalized spec) model hashes equal an earlier point's are replayed
+// byte-identically instead of re-solved. Defaults to on for SolveBatch, off
+// for Sweep. Solve ignores it.
+func WithCache(on bool) Option {
+	return func(o *solveOptions) { o.cache = &on }
+}
+
+// WithWarmStart enables (or disables) neighbor warm starts: the sweep is
+// ordered as a walk over the spec lattice and each point's search is seeded
+// with the repaired incumbent schedule of its nearest already-solved
+// neighbor. Warm-started solves keep their gap certificates — the seed only
+// changes where the search starts. HILP baseline only; defaults to on for
+// SolveBatch, off for Sweep. Solve ignores it.
+func WithWarmStart(on bool) Option {
+	return func(o *solveOptions) { o.warm = &on }
+}
+
+// WithPruning enables (or disables) certified dominance pruning: points
+// whose resource vector is dominated by an already-solved point that met
+// the gap target are skipped when a discretization-independent bound proves
+// they could not enter the (area, speedup) Pareto front. Pruned points come
+// back with Point.Pruned set and a SpeedupBound certificate instead of
+// solved metrics. HILP baseline only; defaults to off everywhere. Solve
+// ignores it.
+func WithPruning(on bool) Option {
+	return func(o *solveOptions) { o.prune = &on }
 }
 
 // Solve evaluates the workload on the SoC under the selected baseline
@@ -145,20 +179,70 @@ func Solve(ctx context.Context, w Workload, spec SoC, opts ...Option) (res *Resu
 // evaluations finish with their best incumbents (Point.Cancelled set), and
 // specs never dispatched come back with Point.Err set to the context error,
 // so completed points are preserved.
+// The sweep engine's cross-point reuse (WithCache, WithWarmStart,
+// WithPruning) defaults to off here, so a plain Sweep behaves exactly like
+// earlier releases; SolveBatch is the reuse-by-default entry point.
 func Sweep(ctx context.Context, w Workload, specs []SoC, opts ...Option) []Point {
 	o := buildOptions(opts)
-	var eval dse.Evaluator
-	switch o.baseline {
-	case BaselineGables:
-		eval = dse.GablesEvaluator(w, o.profile, o.cfg)
-	case BaselineMultiAmdahl:
-		eval = dse.MAEvaluator(w)
-	default:
-		eval = dse.HILPEvaluator(w, o.profile, o.cfg)
-	}
-	return dse.SweepOpts(ctx, specs, dse.SweepOptions{
+	bo := dse.BatchOptions{
 		Workers:    o.workers,
 		Obs:        o.obs,
 		OnProgress: o.onProgress,
-	}, eval)
+		Cache:      o.cache != nil && *o.cache,
+		WarmStart:  o.warm != nil && *o.warm,
+		Prune:      o.prune != nil && *o.prune,
+	}
+	return runBatch(ctx, w, specs, o, bo).Points
+}
+
+// SolveBatch evaluates every spec like Sweep but through the full sweep
+// engine, returning the points together with the engine's reuse statistics.
+// Canonical-model memoization and neighbor warm starts default to on (turn
+// them off with WithCache(false) / WithWarmStart(false)); certified
+// dominance pruning stays opt-in via WithPruning(true) because pruned
+// points come back with a bound certificate instead of solved metrics.
+//
+// Batches are result-equivalent to a cold Sweep: cache hits are
+// byte-identical replays of their donor point, warm-started solves carry
+// their own valid gap certificates, and pruned points are certified
+// Pareto-redundant. With WithWorkers(n > 1) the warm-start donor choice
+// depends on completion order, so solved makespans may differ across runs
+// within their certificates; use WithWorkers(1) for bit-reproducible
+// batches.
+//
+// Cancellation and panic isolation follow Solve/Sweep: in-flight points
+// finish with their best incumbents, never-dispatched points carry the
+// context error, and a panic escaping the stack is returned as *PanicError.
+func SolveBatch(ctx context.Context, w Workload, specs []SoC, opts ...Option) (res *BatchResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, scheduler.NewPanicError("hilp.SolveBatch", r)
+		}
+	}()
+	o := buildOptions(opts)
+	bo := dse.BatchOptions{
+		Workers:    o.workers,
+		Obs:        o.obs,
+		OnProgress: o.onProgress,
+		Cache:      o.cache == nil || *o.cache,
+		WarmStart:  o.warm == nil || *o.warm,
+		Prune:      o.prune != nil && *o.prune,
+	}
+	br := runBatch(ctx, w, specs, o, bo)
+	return &br, nil
+}
+
+// runBatch dispatches to the sweep engine: the HILP baseline gets the
+// model-aware entry point (warm starts and pruning need the workload and
+// solver config), the analytic baselines run as generic evaluators where
+// only memoization applies.
+func runBatch(ctx context.Context, w Workload, specs []SoC, o solveOptions, bo dse.BatchOptions) dse.BatchResult {
+	switch o.baseline {
+	case BaselineGables:
+		return dse.Run(ctx, specs, bo, dse.GablesEvaluator(w, o.profile, o.cfg))
+	case BaselineMultiAmdahl:
+		return dse.Run(ctx, specs, bo, dse.MAEvaluator(w))
+	default:
+		return dse.RunHILP(ctx, w, specs, o.profile, o.cfg, bo)
+	}
 }
