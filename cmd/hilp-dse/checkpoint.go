@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hilp"
+	"hilp/internal/dse"
+	"hilp/internal/journal"
+	"hilp/internal/obs"
+	"hilp/internal/wire"
+)
+
+// checkpointJobID names the single journaled "job" a hilp-dse run records.
+// The journal format is shared with hilp-serve (which journals one job per
+// submitted sweep); a CLI checkpoint directory holds exactly one.
+const checkpointJobID = "hilp-dse"
+
+// dseModelKey is the canonical identity of what this run computes: the
+// workload, the resolved specs (after DVFS assignment), the profile, and the
+// solver configuration. It is recorded with the checkpoint's jobStart record
+// and compared on -resume, so a checkpoint taken against different flags is
+// refused instead of spliced into the wrong result set.
+func dseModelKey(w hilp.Workload, specs []hilp.SoC, cfg hilp.SolverConfig) string {
+	type canonical struct {
+		Workload wire.Workload     `json:"workload"`
+		Specs    []wire.SoC        `json:"specs"`
+		Profile  wire.Profile      `json:"profile"`
+		Solver   wire.SolverConfig `json:"solver"`
+	}
+	ws := make([]wire.SoC, len(specs))
+	for i, s := range specs {
+		ws[i] = wire.FromSpec(s)
+	}
+	key, err := wire.CanonicalKey(canonical{
+		Workload: wire.FromWorkload(w),
+		Specs:    ws,
+		Profile:  wire.FromProfile(hilp.DSEProfile),
+		Solver:   wire.FromConfig(cfg),
+	})
+	if err != nil {
+		return ""
+	}
+	return key
+}
+
+// resumeCheckpoint replays the checkpoint directory and returns the clean
+// completed points keyed by input index, ready for hilp.WithResume. A torn
+// final record (crash mid-write) is reported and its point re-solves; a
+// model-key mismatch is a hard error (see dse.CheckResumeKey).
+func resumeCheckpoint(dir, modelKey string, specs []hilp.SoC) (map[int]hilp.Point, error) {
+	jobs, stats, err := journal.ReplayJobs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if stats.Torn {
+		fmt.Fprintf(os.Stderr, "hilp-dse: checkpoint: dropped a torn final record (crash mid-write); that point re-solves\n")
+	}
+	resume := map[int]hilp.Point{}
+	for _, st := range jobs {
+		if st.JobID != checkpointJobID || st.Start == nil {
+			continue
+		}
+		if err := dse.CheckResumeKey(st.Start.ModelKey, modelKey); err != nil {
+			return nil, err
+		}
+		for idx, wp := range st.Points {
+			if idx < 0 || idx >= len(specs) || !dse.Resumable(wp) {
+				continue
+			}
+			resume[idx] = dse.FromWirePoint(wp, specs[idx])
+		}
+	}
+	return resume, nil
+}
+
+// openCheckpoint opens (or creates) the checkpoint journal and appends this
+// run's jobStart record — synced immediately, so even an instant crash leaves
+// a resumable journal. Replay keeps the first jobStart per job, so repeated
+// resumed runs appending their own are harmless.
+func openCheckpoint(dir, modelKey string, total int, octx *obs.Context) (*journal.Journal, error) {
+	jnl, err := journal.Open(dir, journal.Options{Obs: octx})
+	if err != nil {
+		return nil, err
+	}
+	err = jnl.Append(wire.JournalRecord{
+		Kind:  wire.JournalKindJobStart,
+		JobID: checkpointJobID,
+		Start: &wire.JournalJobStart{Total: total, ModelKey: modelKey},
+	})
+	if err == nil {
+		err = jnl.Sync()
+	}
+	if err != nil {
+		jnl.Close()
+		return nil, err
+	}
+	return jnl, nil
+}
+
+// checkpointHook returns the per-point callback appending one journal record
+// per completed point. Append failures are reported once but do not abort the
+// sweep — a broken checkpoint disk should not kill a long run.
+func checkpointHook(jnl *journal.Journal) func(int, hilp.Point) {
+	warned := false
+	return func(i int, p hilp.Point) {
+		err := jnl.Append(wire.JournalRecord{
+			Kind:  wire.JournalKindPoint,
+			JobID: checkpointJobID,
+			Point: &wire.JournalPoint{Index: i, Point: dse.ToWirePoint(p)},
+		})
+		if err != nil && !warned {
+			warned = true
+			fmt.Fprintf(os.Stderr, "hilp-dse: checkpoint: append failed, run continues unjournaled: %v\n", err)
+		}
+	}
+}

@@ -12,6 +12,12 @@
 //	hilp-dse -cpus 1,2 -gpus 0,16 -max-dsas 2 -pareto    # a reduced space
 //	hilp-dse -csv > points.csv                           # machine-readable
 //	hilp-dse -prune -v                                   # engine stats live
+//	hilp-dse -checkpoint ckpt/                           # journal every point
+//	hilp-dse -checkpoint ckpt/ -resume                   # continue after a crash
+//
+// SIGINT/SIGTERM drain gracefully: in-flight solves return their best
+// incumbents, the checkpoint (if any) gets a final flush, and the best
+// incumbent so far is printed with its optimality-gap certificate.
 package main
 
 import (
@@ -20,15 +26,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hilp"
 	"hilp/internal/dse"
 	"hilp/internal/faults"
+	"hilp/internal/journal"
 	"hilp/internal/obs"
 	"hilp/internal/report"
+	"hilp/internal/wire"
 )
 
 func main() {
@@ -53,6 +63,8 @@ func main() {
 		useCache     = flag.Bool("cache", true, "reuse solves across canonically identical SoCs (sweep engine)")
 		warmStart    = flag.Bool("warm-start", true, "seed each point's search with its nearest solved neighbor's schedule (sweep engine)")
 		prune        = flag.Bool("prune", false, "skip dominated SoCs with a certified speedup bound instead of solving them (sweep engine)")
+		ckptDir      = flag.String("checkpoint", "", "crash-recovery journal directory: every completed point is journaled so an interrupted sweep can continue with -resume (empty disables)")
+		doResume     = flag.Bool("resume", false, "replay the -checkpoint journal and skip its completed points (refused if the journal was recorded against different inputs)")
 	)
 	var ocli obs.CLI
 	ocli.Register(nil)
@@ -100,6 +112,11 @@ func main() {
 		ctx = faults.NewContext(ctx, injector)
 		fmt.Fprintf(os.Stderr, "hilp-dse: CHAOS MODE: injecting faults (%s)\n", *faultSpec)
 	}
+	// SIGINT/SIGTERM cancel the sweep context: in-flight solves drain with
+	// their best incumbents (anytime semantics), then the checkpoint journal
+	// gets its final flush below.
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cfg := hilp.SolverConfig{Seed: *seed, Effort: *effort, Restarts: 1, Obs: octx}
 	solveOpts := []hilp.Option{
@@ -114,12 +131,65 @@ func main() {
 	if ocli.Verbose {
 		solveOpts = append(solveOpts, hilp.WithProgress(liveProgress(os.Stderr)))
 	}
+
+	if *doResume && *ckptDir == "" {
+		exitOn(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	var jnl *journal.Journal
+	if *ckptDir != "" {
+		modelKey := dseModelKey(w, specs, cfg)
+		if *doResume {
+			resume, err := resumeCheckpoint(*ckptDir, modelKey, specs)
+			exitOn(err)
+			fmt.Fprintf(os.Stderr, "hilp-dse: resuming from %s: %d/%d points recovered, %d to solve\n",
+				*ckptDir, len(resume), len(specs), len(specs)-len(resume))
+			if len(resume) > 0 {
+				solveOpts = append(solveOpts, hilp.WithResume(resume))
+			}
+		}
+		jnl, err = openCheckpoint(*ckptDir, modelKey, len(specs), octx)
+		exitOn(err)
+		solveOpts = append(solveOpts, hilp.WithCheckpoint(checkpointHook(jnl)))
+	}
+
 	batch, err := hilp.SolveBatch(ctx, w, specs, solveOpts...)
 	exitOn(err)
 	points := batch.Points
-	if st := batch.Stats; st.CacheHits+st.WarmStarted+st.Pruned > 0 {
-		fmt.Fprintf(os.Stderr, "hilp-dse: engine: %d solved, %d cache hits, %d warm-started, %d pruned\n",
-			st.Solved, st.CacheHits, st.WarmStarted, st.Pruned)
+	if st := batch.Stats; st.CacheHits+st.WarmStarted+st.Pruned+st.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "hilp-dse: engine: %d solved, %d cache hits, %d warm-started, %d pruned, %d resumed\n",
+			st.Solved, st.CacheHits, st.WarmStarted, st.Pruned, st.Resumed)
+	}
+
+	interrupted := ctx.Err() != nil
+	if jnl != nil {
+		// A completed run closes its journal history; an interrupted one
+		// leaves the job open so -resume picks it up. Either way Close flushes
+		// every buffered point record to disk (the SIGTERM "final flush").
+		if !interrupted {
+			jnl.Append(wire.JournalRecord{
+				Kind:  wire.JournalKindJobEnd,
+				JobID: checkpointJobID,
+				End:   &wire.JournalJobEnd{Status: "done"},
+			})
+		}
+		exitOn(jnl.Close())
+	}
+	if interrupted {
+		completed := 0
+		for _, p := range points {
+			if p.Err == nil {
+				completed++
+			}
+		}
+		msg := fmt.Sprintf("hilp-dse: interrupted: %d/%d points completed", completed, len(points))
+		if best, ok := hilp.BestPoint(points); ok {
+			msg += fmt.Sprintf("; best incumbent %s: %.1fx @ %.1f mm^2 (gap certificate %.1f%%)",
+				best.Label, best.Speedup, best.AreaMM2, 100*best.Gap)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		if jnl != nil {
+			fmt.Fprintf(os.Stderr, "hilp-dse: checkpoint flushed; rerun with -checkpoint %s -resume to continue\n", *ckptDir)
+		}
 	}
 
 	if injector != nil {
@@ -137,9 +207,9 @@ func main() {
 	}
 
 	var maPoints, gabPoints []hilp.Point
-	if *withBase {
-		maPoints = dse.Sweep(context.Background(), specs, *workers, dse.MAEvaluator(w))
-		gabPoints = dse.Sweep(context.Background(), specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
+	if *withBase && !interrupted {
+		maPoints = dse.Sweep(ctx, specs, *workers, dse.MAEvaluator(w))
+		gabPoints = dse.Sweep(ctx, specs, *workers, dse.GablesEvaluator(w, hilp.DSEProfile, cfg))
 	}
 	if followWait != nil {
 		followWait()
@@ -183,7 +253,7 @@ func main() {
 	}
 
 	printPoints("HILP", points)
-	if *withBase {
+	if *withBase && !interrupted {
 		printPoints("MultiAmdahl", maPoints)
 		printPoints("Gables", gabPoints)
 	}

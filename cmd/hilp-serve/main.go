@@ -76,6 +76,7 @@ func main() {
 		bucketSpec     = flag.String("latency-buckets", "", "request latency histogram buckets, comma-separated seconds ascending (empty = defaults)")
 		otlpEndpoint   = flag.String("otlp-endpoint", "", "OTLP/HTTP trace endpoint receiving one span per request plus per-stage children (empty disables)")
 		eventBuffer    = flag.Int("event-buffer", 0, "per-subscriber buffer for GET /v1/jobs/{id}/events, oldest events dropped beyond it (0 = 256)")
+		journalDir     = flag.String("journal-dir", "", "crash-recovery journal directory: sweep jobs survive restarts and resume with completed points replayed (empty disables)")
 	)
 	flag.Parse()
 
@@ -138,7 +139,16 @@ func main() {
 		LogBuffer:      logBuf,
 		EventBuffer:    *eventBuffer,
 		OTLP:           exporter,
+		JournalDir:     *journalDir,
 	})
+	if *journalDir != "" {
+		rs, err := srv.Recover()
+		if err != nil {
+			log.Fatalf("hilp-serve: -journal-dir: %v", err)
+		}
+		log.Printf("hilp-serve: journal %s: replayed %d records (%d jobs: %d finished, %d resumed with %d points recovered, torn tail: %v)",
+			*journalDir, rs.Records, rs.Jobs, rs.Terminal, rs.Resumed, rs.ResumedPoints, rs.Torn)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -108,7 +108,12 @@ type Point struct {
 	Pruned       bool
 	PrunedBy     string
 	SpeedupBound float64
-	Err          error
+	// Resumed marks a point replayed verbatim from a crash-recovery journal
+	// (BatchOptions.Resume) instead of re-solved. Identity fields (Spec,
+	// Label, AreaMM2, Mix) are recomputed from the current spec; the metrics
+	// are the prior run's.
+	Resumed bool
+	Err     error
 }
 
 // Evaluator scores one SoC configuration. The context bounds the

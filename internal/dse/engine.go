@@ -44,6 +44,20 @@ type BatchOptions struct {
 	// OnProgress, when non-nil, is called after every completed point.
 	// Calls are serialized and Done is strictly increasing.
 	OnProgress func(Progress)
+	// OnPoint, when non-nil, is called once per completed point with its
+	// input index — the checkpoint hook the crash-recovery journal appends
+	// from. Calls are serialized (under the run's mutex) and cover solved,
+	// cached, and pruned points; points the engine never dispatched (context
+	// cancelled) and points pre-filled from Resume are not reported, so a
+	// journal wired to OnPoint records each recovered result exactly once.
+	OnPoint func(index int, p Point)
+	// Resume pre-fills completed points from a prior run, keyed by input
+	// index: they are marked Resumed, counted in Stats.Resumed, and excluded
+	// from dispatch, so a resumed batch re-solves strictly fewer points.
+	// Identity fields are recomputed from the current spec; callers are
+	// responsible for only resuming against the same model (see the journal
+	// ModelKey check in the binaries).
+	Resume map[int]Point
 
 	// hilp carries the model-aware context (workload, profile, solver
 	// config) that warm starts and pruning need; nil for generic
@@ -73,6 +87,9 @@ type BatchStats struct {
 	CacheHits   int `json:"cacheHits"`
 	WarmStarted int `json:"warmStarted"`
 	Pruned      int `json:"pruned"`
+	// Resumed counts points pre-filled from a crash-recovery journal
+	// (BatchOptions.Resume) instead of re-solved.
+	Resumed int `json:"resumed,omitempty"`
 }
 
 // BatchResult is the outcome of Run/RunHILP: points in input order plus the
@@ -160,13 +177,37 @@ func Run(ctx context.Context, specs []soc.Spec, opts BatchOptions, eval Evaluato
 		r.vecs[i] = vecOf(r.norm[i])
 	}
 
+	// Pre-fill resumed points (crash recovery): their metrics replay
+	// verbatim from the prior run, their identity fields are recomputed from
+	// the current spec, and they never reach the dispatch order. Indices
+	// ascend so resume bookkeeping is deterministic.
+	isResumed := make([]bool, len(specs))
+	for i := range specs {
+		rp, ok := opts.Resume[i]
+		if !ok {
+			continue
+		}
+		rp.Spec = specs[i]
+		rp.Label = specs[i].Label()
+		rp.AreaMM2 = specs[i].AreaMM2()
+		rp.Mix = Classify(specs[i])
+		rp.Resumed = true
+		r.points[i] = rp
+		isResumed[i] = true
+		r.stats.Resumed++
+		octx.Counter(obs.MSweepPointsResumed).Inc()
+		r.finishPoint(i, rp, 0, "resumed")
+	}
+
 	// The walk order groups the lattice family-by-family (cores, SMs, PE
 	// class) with the largest DSA ladder rung first, so each point's
 	// nearest solved neighbor is genuinely near and dominance donors are
 	// solved before the points they could prune.
-	order := make([]int, len(specs))
-	for i := range order {
-		order[i] = i
+	order := make([]int, 0, len(specs))
+	for i := range specs {
+		if !isResumed[i] {
+			order = append(order, i)
+		}
 	}
 	if opts.WarmStart || opts.Prune {
 		sort.SliceStable(order, func(a, b int) bool { return walkLess(r.vecs[order[a]], r.vecs[order[b]]) })
@@ -562,22 +603,26 @@ func (r *batchRun) pointID(i int) string {
 }
 
 // finishPoint does the shared per-point bookkeeping: counters, latency,
-// progress callback, and bus events.
+// the checkpoint hook, progress callback, and bus events.
 func (r *batchRun) finishPoint(i int, p Point, durSec float64, status string) {
 	r.octx.Counter(obs.MSweepPoints).Inc()
 	if p.Err != nil {
 		r.octx.Counter(obs.MSweepPointsFailed).Inc()
 	}
-	if !r.timed {
-		return
+	if r.timed {
+		r.octx.Histogram(obs.MSweepPointSec).ObserveEx(durSec, p.RequestID)
 	}
-	r.octx.Histogram(obs.MSweepPointSec).ObserveEx(durSec, p.RequestID)
-	if r.opts.OnProgress == nil && !r.hasBus {
+	if r.opts.OnPoint == nil && r.opts.OnProgress == nil && !r.hasBus {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.done++
+	// Resumed points are already in the journal; re-reporting them would
+	// duplicate their records on every restart.
+	if r.opts.OnPoint != nil && status != "resumed" {
+		r.opts.OnPoint(i, p)
+	}
 	improved := p.Err == nil && !p.Pruned && (!r.hasBest || p.Speedup > r.best.Speedup)
 	if improved {
 		r.best = p

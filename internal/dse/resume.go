@@ -1,0 +1,90 @@
+package dse
+
+import (
+	"errors"
+
+	"hilp/internal/core"
+	"hilp/internal/soc"
+	"hilp/internal/wire"
+)
+
+// FromWirePoint reconstructs a sweep point from its journaled wire form, for
+// BatchOptions.Resume. Identity fields (Spec, Label, AreaMM2, Mix) come from
+// the current spec s, not the record — the engine would recompute them anyway,
+// and deriving them locally keeps a replayed point byte-identical to a fresh
+// solve of the same model. A journaled error string comes back as an opaque
+// error (the original type did not survive serialization).
+func FromWirePoint(wp wire.Point, s soc.Spec) Point {
+	p := newPoint(s)
+	p.Speedup = wp.Speedup
+	p.WLP = wp.WLP
+	p.Gap = wp.Gap
+	p.MakespanSec = wp.MakespanSec
+	p.Cancelled = wp.Cancelled
+	p.Degraded = wp.Degraded
+	p.FallbackReason = wp.FallbackReason
+	p.RequestID = wp.RequestID
+	p.CacheHit = wp.CacheHit
+	p.WarmStarted = wp.WarmStarted
+	p.Pruned = wp.Pruned
+	p.PrunedBy = wp.PrunedBy
+	p.SpeedupBound = wp.SpeedupBound
+	p.Resumed = wp.Resumed
+	if wp.Error != "" {
+		p.Err = errors.New(wp.Error)
+	}
+	return p
+}
+
+// ToWirePoint is FromWirePoint's inverse: the wire encoding of a sweep point
+// (responses and journal records share it, so a journaled point replays
+// losslessly).
+func ToWirePoint(p Point) wire.Point {
+	wp := wire.Point{
+		Spec:           wire.FromSpec(p.Spec),
+		Label:          p.Label,
+		AreaMM2:        p.AreaMM2,
+		Speedup:        p.Speedup,
+		WLP:            p.WLP,
+		Gap:            p.Gap,
+		MakespanSec:    p.MakespanSec,
+		Mix:            p.Mix.String(),
+		Cancelled:      p.Cancelled,
+		Degraded:       p.Degraded,
+		FallbackReason: p.FallbackReason,
+		RequestID:      p.RequestID,
+		CacheHit:       p.CacheHit,
+		WarmStarted:    p.WarmStarted,
+		Pruned:         p.Pruned,
+		PrunedBy:       p.PrunedBy,
+		SpeedupBound:   p.SpeedupBound,
+		Resumed:        p.Resumed,
+	}
+	if p.Err != nil {
+		wp.Error = p.Err.Error()
+	}
+	return wp
+}
+
+// Resumable reports whether a journaled point is worth replaying on resume:
+// it completed without an error and was not cut short by cancellation.
+// Degraded points ARE resumable — their metrics are valid, and with the
+// deterministic fault injector a re-solve would reproduce them anyway.
+// Cancelled and errored points re-solve ("at-least-once point solve").
+func Resumable(wp wire.Point) bool {
+	return wp.Error == "" && !wp.Cancelled
+}
+
+// CheckResumeKey refuses a resume whose journal was recorded against a
+// different model: recorded is the jobStart record's ModelKey, current the
+// canonical key of the model about to run. Resuming across model changes
+// would splice one model's metrics into another's result set, so the
+// mismatch is a field-addressed validation error (HTTP 422 under
+// hilp-serve), not a silent re-solve.
+func CheckResumeKey(recorded, current string) error {
+	if recorded == "" || recorded == current {
+		return nil
+	}
+	return core.BadField("resume.modelKey", "model_changed",
+		"journal was recorded against a different model (journal key %.12s…, current %.12s…); finish or discard it, or rerun without resume", recorded, current)
+}

@@ -1,0 +1,128 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hilp/internal/core"
+	"hilp/internal/rodinia"
+	"hilp/internal/scheduler"
+	"hilp/internal/soc"
+	"hilp/internal/wire"
+)
+
+// resumeTestRun solves a small sweep deterministically (single worker, reuse
+// off) with the given extra options layered in.
+func resumeTestRun(w rodinia.Workload, specs []soc.Spec, opts BatchOptions) BatchResult {
+	opts.Workers = 1
+	return RunHILP(context.Background(), w, specs, core.Profile{InitialStepSec: 10, Horizon: 200},
+		scheduler.Config{Seed: 1, Effort: 0.2, Restarts: 1}, opts)
+}
+
+// TestRunResumePrefill: points handed in via BatchOptions.Resume are marked,
+// counted, never re-dispatched, and not re-reported through OnPoint — while
+// the remaining points solve normally and report exactly once each.
+func TestRunResumePrefill(t *testing.T) {
+	w := rodinia.Workload{Name: "resume", Apps: rodinia.DefaultWorkload().Apps[:2]}
+	specs := []soc.Spec{
+		{CPUCores: 1},
+		{CPUCores: 2},
+		{CPUCores: 4},
+		{CPUCores: 2, GPUSMs: 4},
+	}
+	cold := resumeTestRun(w, specs, BatchOptions{})
+	if cold.Stats.Resumed != 0 {
+		t.Fatalf("cold run Stats.Resumed = %d, want 0", cold.Stats.Resumed)
+	}
+
+	resume := map[int]Point{0: cold.Points[0], 2: cold.Points[2]}
+	reported := map[int]int{}
+	var lastDone int
+	res := resumeTestRun(w, specs, BatchOptions{
+		Resume:     resume,
+		OnPoint:    func(i int, p Point) { reported[i]++ },
+		OnProgress: func(p Progress) { lastDone = p.Done },
+	})
+
+	if res.Stats.Resumed != 2 || res.Stats.Solved != 2 {
+		t.Fatalf("stats = %d resumed / %d solved, want 2 / 2", res.Stats.Resumed, res.Stats.Solved)
+	}
+	if lastDone != len(specs) {
+		t.Errorf("final progress Done = %d, want %d", lastDone, len(specs))
+	}
+	if !reflect.DeepEqual(reported, map[int]int{1: 1, 3: 1}) {
+		t.Errorf("OnPoint calls = %v, want exactly once for the two solved points", reported)
+	}
+	for i, p := range res.Points {
+		_, wasResumed := resume[i]
+		if p.Resumed != wasResumed {
+			t.Errorf("point %d Resumed = %v, want %v", i, p.Resumed, wasResumed)
+		}
+		cp := cold.Points[i]
+		cp.Resumed = p.Resumed
+		if !reflect.DeepEqual(p, cp) {
+			t.Errorf("point %d differs from the cold run:\n got %+v\nwant %+v", i, p, cp)
+		}
+	}
+}
+
+// TestWirePointRoundTrip: ToWirePoint and FromWirePoint are inverses over the
+// fields a journaled point carries, including errors as opaque strings.
+func TestWirePointRoundTrip(t *testing.T) {
+	w := rodinia.Workload{Name: "resume", Apps: rodinia.DefaultWorkload().Apps[:2]}
+	res := resumeTestRun(w, []soc.Spec{{CPUCores: 2, GPUSMs: 4}}, BatchOptions{})
+	orig := res.Points[0]
+	got := FromWirePoint(ToWirePoint(orig), res.Points[0].Spec)
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip changed the point:\n got %+v\nwant %+v", got, orig)
+	}
+
+	failed := orig
+	failed.Err = errors.New("solver exploded")
+	back := FromWirePoint(ToWirePoint(failed), failed.Spec)
+	if back.Err == nil || back.Err.Error() != "solver exploded" {
+		t.Errorf("error round trip = %v, want opaque 'solver exploded'", back.Err)
+	}
+}
+
+// TestResumable: clean and degraded points resume; errored and cancelled
+// points re-solve (at-least-once point solve).
+func TestResumable(t *testing.T) {
+	cases := []struct {
+		name string
+		p    wire.Point
+		want bool
+	}{
+		{"clean", wire.Point{Speedup: 2}, true},
+		{"degraded", wire.Point{Speedup: 2, Degraded: true, FallbackReason: "panic"}, true},
+		{"errored", wire.Point{Error: "boom"}, false},
+		{"cancelled", wire.Point{Cancelled: true}, false},
+	}
+	for _, tc := range cases {
+		if got := Resumable(tc.p); got != tc.want {
+			t.Errorf("%s: Resumable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCheckResumeKey: resuming against a changed model is a field-addressed
+// validation error; a missing or matching recorded key is accepted.
+func TestCheckResumeKey(t *testing.T) {
+	if err := CheckResumeKey("", "abc"); err != nil {
+		t.Errorf("empty recorded key: %v, want nil", err)
+	}
+	if err := CheckResumeKey("abc", "abc"); err != nil {
+		t.Errorf("matching keys: %v, want nil", err)
+	}
+	err := CheckResumeKey("aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb")
+	var verr *core.ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("mismatch = %T (%v), want *core.ValidationError", err, err)
+	}
+	f := verr.Fields[0]
+	if f.Path != "resume.modelKey" || f.Code != "model_changed" {
+		t.Errorf("field = %s/%s, want resume.modelKey/model_changed", f.Path, f.Code)
+	}
+}

@@ -1,0 +1,46 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CrashPlan describes one deterministic mid-sweep process kill for the
+// kill-and-recover chaos harness (crash_test.go): the run is cut after a
+// seeded number of checkpointed points — the journal abandoned without a
+// final flush, the in-process equivalent of SIGKILL — optionally followed by
+// tearing bytes off the journal's final segment (journal.TearTail) to
+// simulate a crash mid-write. Plans are pure functions of (seed, points), so
+// every chaos run replays exactly.
+type CrashPlan struct {
+	// Seed derived the plan.
+	Seed int64
+	// AfterPoints is how many checkpointed points complete before the kill;
+	// always in [2, points-1], so a resumed run both recovers and re-solves
+	// at least one point.
+	AfterPoints int
+	// TornBytes is how many bytes to chop off the final journal segment after
+	// the kill (0 = the crash landed between record writes). Always smaller
+	// than one framed record, so at most the final point record is lost.
+	TornBytes int
+}
+
+// NewCrashPlan derives the deterministic crash plan for a seed over a sweep
+// of the given size. Panics if points < 3 — a meaningful kill-and-recover
+// needs at least one point before the crash, one lost, and one never run.
+func NewCrashPlan(seed int64, points int) CrashPlan {
+	if points < 3 {
+		panic(fmt.Sprintf("faults: NewCrashPlan needs at least 3 points, got %d", points))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := CrashPlan{Seed: seed, AfterPoints: 2 + rng.Intn(points-2)}
+	if rng.Intn(2) == 1 {
+		plan.TornBytes = 1 + rng.Intn(64)
+	}
+	return plan
+}
+
+// String renders the plan for test names and logs.
+func (p CrashPlan) String() string {
+	return fmt.Sprintf("seed=%d kill-after=%d torn=%d", p.Seed, p.AfterPoints, p.TornBytes)
+}

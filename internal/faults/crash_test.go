@@ -1,0 +1,222 @@
+// Kill-and-recover chaos harness: deterministic SIGKILL-equivalent crashes
+// injected mid-sweep (journal abandoned without its final flush, optionally
+// with the final record torn mid-write), then replay and resume, asserting
+// the resumed run converges to the exact result set of an uninterrupted run
+// while re-solving strictly fewer points. External test package: the harness
+// drives the public hilp API, which the faults package itself sits under.
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hilp"
+	"hilp/internal/dse"
+	"hilp/internal/faults"
+	"hilp/internal/journal"
+	"hilp/internal/leakcheck"
+	"hilp/internal/wire"
+)
+
+const (
+	chaosJobID    = "chaos"
+	chaosModelKey = "chaos-model-key"
+)
+
+// chaosModel is the small deterministic sweep every chaos run evaluates:
+// single worker, cross-point reuse off, no observability — the configuration
+// under which SolveBatch is bit-reproducible, so "resume converged" can be
+// asserted as byte equality.
+func chaosModel() (hilp.Workload, []hilp.SoC, []hilp.Option) {
+	w := hilp.DefaultWorkload()
+	specs := hilp.DesignSpace(w, hilp.SpaceConfig{
+		CPUCores: []int{1, 2},
+		GPUSMs:   []int{0, 4},
+		MaxDSAs:  2,
+		DSAPEs:   []int{1},
+		PowerW:   600,
+	})
+	opts := []hilp.Option{
+		hilp.WithProfile(hilp.Profile{InitialStepSec: 10, Horizon: 200}),
+		hilp.WithSolver(hilp.SolverConfig{Seed: 1, Effort: 0.2, Restarts: 1}),
+		hilp.WithWorkers(1),
+		hilp.WithCache(false),
+		hilp.WithWarmStart(false),
+		hilp.WithPruning(false),
+	}
+	return w, specs, opts
+}
+
+// canonicalPoints renders a result set for byte-identity comparison. The
+// Resumed marker is provenance, not a result, so it is cleared first.
+func canonicalPoints(t *testing.T, points []hilp.Point) []byte {
+	t.Helper()
+	out := make([]wire.Point, len(points))
+	for i, p := range points {
+		p.Resumed = false
+		out[i] = dse.ToWirePoint(p)
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		t.Fatalf("marshal points: %v", err)
+	}
+	return raw
+}
+
+// crashRun runs the sweep until plan.AfterPoints points have been
+// checkpointed, then kills it: context cancelled, journal abandoned with its
+// unsynced tail lost (the in-process SIGKILL), and plan.TornBytes chopped off
+// the final segment to simulate a record torn mid-write.
+func crashRun(t *testing.T, dir string, plan faults.CrashPlan, w hilp.Workload, specs []hilp.SoC, opts []hilp.Option) {
+	t.Helper()
+	// FsyncEvery 2 keeps the abandoned (never-synced) tail to at most one
+	// record, so together with the torn record the crash loses at most two
+	// of the plan's >= 2 checkpointed points and resume always recovers > 0.
+	jnl, err := journal.Open(dir, journal.Options{FsyncEvery: 2})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	err = jnl.Append(wire.JournalRecord{
+		Kind:  wire.JournalKindJobStart,
+		JobID: chaosJobID,
+		Start: &wire.JournalJobStart{Total: len(specs), ModelKey: chaosModelKey},
+	})
+	if err == nil {
+		err = jnl.Sync()
+	}
+	if err != nil {
+		t.Fatalf("journal jobStart: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	runOpts := append(opts[:len(opts):len(opts)], hilp.WithCheckpoint(func(i int, p hilp.Point) {
+		if err := jnl.Append(wire.JournalRecord{
+			Kind:  wire.JournalKindPoint,
+			JobID: chaosJobID,
+			Point: &wire.JournalPoint{Index: i, Point: dse.ToWirePoint(p)},
+		}); err != nil {
+			t.Errorf("journal point %d: %v", i, err)
+		}
+		if done++; done == plan.AfterPoints {
+			cancel()
+		}
+	}))
+	if _, err := hilp.SolveBatch(ctx, w, specs, runOpts...); err != nil {
+		t.Fatalf("crashed run: %v", err)
+	}
+	jnl.Abandon()
+	if err := journal.TearTail(dir, plan.TornBytes); err != nil {
+		t.Fatalf("tear tail: %v", err)
+	}
+}
+
+// recoverRun replays the journal and finishes the sweep with the recovered
+// points pre-filled, returning the final result set and the engine stats.
+func recoverRun(t *testing.T, dir string, w hilp.Workload, specs []hilp.SoC, opts []hilp.Option) (*hilp.BatchResult, int) {
+	t.Helper()
+	jobs, stats, err := journal.ReplayJobs(dir)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	var st *journal.JobState
+	for _, cand := range jobs {
+		if cand.JobID == chaosJobID {
+			st = cand
+		}
+	}
+	if st == nil || st.Start == nil {
+		t.Fatalf("replay lost the jobStart record (stats %+v)", stats)
+	}
+	if st.Terminal() {
+		t.Fatalf("crashed job replayed as terminal")
+	}
+	if err := dse.CheckResumeKey(st.Start.ModelKey, chaosModelKey); err != nil {
+		t.Fatalf("resume key: %v", err)
+	}
+	resume := map[int]hilp.Point{}
+	for idx, wp := range st.Points {
+		if idx < 0 || idx >= len(specs) || !dse.Resumable(wp) {
+			continue
+		}
+		resume[idx] = dse.FromWirePoint(wp, specs[idx])
+	}
+	runOpts := append(opts[:len(opts):len(opts)], hilp.WithResume(resume))
+	res, err := hilp.SolveBatch(context.Background(), w, specs, runOpts...)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	return res, len(resume)
+}
+
+// TestKillAndRecover is the acceptance harness: for a spread of seeded crash
+// plans — clean kills between writes and kills tearing the final record — a
+// crashed-then-resumed sweep must produce a byte-identical final result set
+// to an uninterrupted run, re-solve strictly fewer points than the sweep
+// holds, and strand no goroutines.
+func TestKillAndRecover(t *testing.T) {
+	leakcheck.VerifyNoLeaks(t)
+	w, specs, opts := chaosModel()
+	if len(specs) < 4 {
+		t.Fatalf("chaos model too small: %d specs", len(specs))
+	}
+	golden, err := hilp.SolveBatch(context.Background(), w, specs, opts...)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	want := canonicalPoints(t, golden.Points)
+
+	sawTorn, sawClean := false, false
+	for seed := int64(1); seed <= 6; seed++ {
+		plan := faults.NewCrashPlan(seed, len(specs))
+		if plan.TornBytes > 0 {
+			sawTorn = true
+		} else {
+			sawClean = true
+		}
+		t.Run(plan.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			crashRun(t, dir, plan, w, specs, opts)
+			res, recovered := recoverRun(t, dir, w, specs, opts)
+
+			if recovered == 0 {
+				t.Fatalf("crash lost every checkpointed point (plan %v)", plan)
+			}
+			if res.Stats.Resumed != recovered {
+				t.Errorf("Stats.Resumed = %d, want %d", res.Stats.Resumed, recovered)
+			}
+			if res.Stats.Solved >= len(specs) {
+				t.Errorf("resumed run re-solved %d of %d points, want strictly fewer", res.Stats.Solved, len(specs))
+			}
+			if res.Stats.Solved+res.Stats.Resumed != len(specs) {
+				t.Errorf("solved %d + resumed %d != %d points", res.Stats.Solved, res.Stats.Resumed, len(specs))
+			}
+			if got := canonicalPoints(t, res.Points); !bytes.Equal(got, want) {
+				t.Errorf("resumed result set differs from uninterrupted run:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+	if !sawTorn || !sawClean {
+		t.Fatalf("seed spread covered torn=%v clean=%v; want both", sawTorn, sawClean)
+	}
+}
+
+// TestCrashPlanDeterministic pins the plan derivation: same seed, same plan,
+// bounds respected.
+func TestCrashPlanDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a, b := faults.NewCrashPlan(seed, 12), faults.NewCrashPlan(seed, 12)
+		if a != b {
+			t.Fatalf("seed %d: plans differ: %v vs %v", seed, a, b)
+		}
+		if a.AfterPoints < 2 || a.AfterPoints > 11 {
+			t.Errorf("seed %d: AfterPoints %d out of [2, 11]", seed, a.AfterPoints)
+		}
+		if a.TornBytes < 0 || a.TornBytes > 64 {
+			t.Errorf("seed %d: TornBytes %d out of [0, 64]", seed, a.TornBytes)
+		}
+	}
+}

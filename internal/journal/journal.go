@@ -1,0 +1,456 @@
+// Package journal is the crash-safe persistence layer behind resumable
+// design-space sweeps: an append-only, fsync-batched, CRC-framed write-ahead
+// journal. Sweep and batch jobs append lifecycle records (wire.JournalRecord:
+// jobStart, per-point results, jobEnd); after a crash, Replay reconstructs
+// every job's progress and the sweep engine resumes with the completed points
+// pre-filled, so a restart re-solves strictly fewer points than it recovers.
+//
+// On-disk layout (one directory per journal):
+//
+//	MANIFEST.json     {"version": 1, "segments": ["seg-00000001.wal", ...]}
+//	seg-00000001.wal  segment header + CRC-framed records
+//	seg-00000002.wal  ...
+//
+// Each segment starts with an 8-byte header (magic "HJRN" + uint32 LE format
+// version) followed by frames of [length uint32 LE][crc32c uint32 LE][payload]
+// where the payload is one compact-JSON wire.JournalRecord. The manifest is
+// rewritten atomically (temp file + rename) on every rotation.
+//
+// Durability contract: appends are batched — the journal fsyncs after
+// Options.FsyncEvery records or Options.FsyncInterval, whichever comes first,
+// and always on Sync, rotation, and Close. A crash therefore loses at most
+// the last unsynced batch; replay tolerates a torn final record (a frame cut
+// mid-write by the crash) by truncating it, and Open resumes appending after
+// the last valid frame. Records are never rewritten: a record that survives
+// replay is final ("exactly-once result record"), while the solve behind it
+// may have run more than once ("at-least-once point solve").
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hilp/internal/obs"
+	"hilp/internal/wire"
+)
+
+// FormatVersion is the segment/manifest framing version. Independent from
+// wire.JournalVersion (the record payload schema).
+const FormatVersion = 1
+
+const (
+	manifestName = "MANIFEST.json"
+	segPrefix    = "seg-"
+	segSuffix    = ".wal"
+	// segHeaderLen is magic (4) + format version (uint32 LE).
+	segHeaderLen = 8
+	// frameHeaderLen is length (uint32 LE) + crc32c (uint32 LE).
+	frameHeaderLen = 8
+	// maxRecordBytes bounds one record's payload; longer frames are treated
+	// as corruption (a torn length field can otherwise demand gigabytes).
+	maxRecordBytes = 16 << 20
+)
+
+var segMagic = [4]byte{'H', 'J', 'R', 'N'}
+
+// castagnoli is the CRC-32C table shared by writer and replayer.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by Append/Sync after Close or Abandon.
+var ErrClosed = errors.New("journal: closed")
+
+// Options tunes a journal opened for appending. The zero value selects
+// production-safe defaults.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment once the current one exceeds
+	// it; 0 selects 4 MiB.
+	SegmentBytes int64
+	// FsyncEvery batches fsyncs: the journal fsyncs once this many records
+	// have been appended since the last sync. 0 selects 16; 1 syncs every
+	// append (slow, maximally durable).
+	FsyncEvery int
+	// FsyncInterval bounds how long an appended record may sit unsynced
+	// before the background flusher syncs it; 0 selects 50 ms.
+	FsyncInterval time.Duration
+	// Obs receives append/fsync/byte counters and append-latency stage
+	// metrics; nil disables them (the usual nil-safe obs contract).
+	Obs *obs.Context
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 16
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
+	}
+	return o
+}
+
+// manifest is the journal's segment index, stored as MANIFEST.json.
+type manifest struct {
+	Version  int      `json:"version"`
+	Segments []string `json:"segments"`
+}
+
+// Journal is a write-ahead journal opened for appending. Safe for concurrent
+// use; records from concurrent jobs interleave but each append is atomic
+// within the frame format.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	size     int64
+	seq      uint64 // next sequence number to assign
+	segIndex int    // numeric index of the open segment
+	man      manifest
+	pending  int  // appends since the last fsync
+	dirty    bool // buffered or written bytes not yet fsynced
+	closed   bool
+	err      error // sticky write error; appends fail fast after it
+
+	flusherDone chan struct{}
+	flusherStop chan struct{}
+}
+
+// Open opens (creating if needed) the journal in dir for appending. Existing
+// segments are scanned: the next sequence number continues after the highest
+// replayed one and a torn final frame — a record cut mid-write by a crash —
+// is truncated so appending resumes at the last valid frame boundary. Replay
+// the history first (Replay) if you need the records; Open does not return
+// them.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		dir:         dir,
+		opts:        opts,
+		man:         man,
+		seq:         1,
+		flusherDone: make(chan struct{}),
+		flusherStop: make(chan struct{}),
+	}
+	// Scan the existing history for the highest sequence number and the last
+	// segment's valid length (everything past it is a torn tail to drop).
+	var lastValid int64 = segHeaderLen
+	for i, name := range man.Segments {
+		stats, scanErr := scanSegment(filepath.Join(dir, name), func(rec wire.JournalRecord) error {
+			if rec.Seq >= j.seq {
+				j.seq = rec.Seq + 1
+			}
+			return nil
+		})
+		if scanErr != nil && (i < len(man.Segments)-1 || errors.Is(scanErr, ErrCorrupt)) {
+			return nil, fmt.Errorf("journal: segment %s: %w", name, scanErr)
+		}
+		if i == len(man.Segments)-1 {
+			lastValid = stats.validBytes
+		}
+	}
+	if n := len(man.Segments); n > 0 {
+		last := man.Segments[n-1]
+		j.segIndex = segIndexOf(last)
+		f, err := os.OpenFile(filepath.Join(dir, last), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		// Drop the torn tail, if any, and position at the frame boundary.
+		if err := f.Truncate(lastValid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if _, err := f.Seek(lastValid, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		j.f = f
+		j.size = lastValid
+		j.w = bufio.NewWriter(f)
+	} else if err := j.rotateLocked(); err != nil {
+		return nil, err
+	}
+	go j.flusher()
+	return j, nil
+}
+
+// readManifest loads and validates the manifest, tolerating a missing file
+// (empty journal) and duplicated segment entries, and refusing a version this
+// binary does not speak.
+func readManifest(dir string) (manifest, error) {
+	var man manifest
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		man.Version = FormatVersion
+		return man, nil
+	}
+	if err != nil {
+		return man, fmt.Errorf("journal: %w", err)
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return man, fmt.Errorf("journal: manifest: %w", err)
+	}
+	if man.Version != FormatVersion {
+		return man, fmt.Errorf("journal: manifest version %d, this binary speaks %d", man.Version, FormatVersion)
+	}
+	// A crash between manifest writes can leave a segment listed twice;
+	// dedupe preserves order (the replay-level Seq filter catches the rest).
+	seen := map[string]bool{}
+	deduped := man.Segments[:0]
+	for _, s := range man.Segments {
+		if !seen[s] {
+			seen[s] = true
+			deduped = append(deduped, s)
+		}
+	}
+	man.Segments = deduped
+	return man, nil
+}
+
+func segName(index int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, index, segSuffix)
+}
+
+func segIndexOf(name string) int {
+	var idx int
+	fmt.Sscanf(name, segPrefix+"%d", &idx)
+	return idx
+}
+
+// Append appends one record, assigning its sequence number and timestamp,
+// and schedules an fsync per the batching policy. The record is durable only
+// after the next sync (batch boundary, Sync, rotation, or Close).
+func (j *Journal) Append(rec wire.JournalRecord) error {
+	start := time.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	rec.Version = wire.JournalVersion
+	rec.Seq = j.seq
+	rec.UnixNano = time.Now().UnixNano()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := j.w.Write(hdr[:]); err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+		return j.err
+	}
+	if _, err := j.w.Write(payload); err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+		return j.err
+	}
+	j.seq++
+	j.size += int64(frameHeaderLen + len(payload))
+	j.pending++
+	j.dirty = true
+	octx := j.opts.Obs
+	octx.Counter(obs.MJournalAppends).Inc()
+	octx.Counter(obs.MJournalBytes).Add(int64(frameHeaderLen + len(payload)))
+	if j.pending >= j.opts.FsyncEvery {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if j.size >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	octx.Histogram(obs.StageMetricName(obs.StageJournalAppend)).Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// Sync flushes buffered frames and fsyncs the open segment.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if !j.dirty {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("journal: fsync: %w", err)
+		return j.err
+	}
+	j.pending = 0
+	j.dirty = false
+	j.opts.Obs.Counter(obs.MJournalFsyncs).Inc()
+	return nil
+}
+
+// rotateLocked syncs and closes the open segment (if any), creates the next
+// one, and rewrites the manifest atomically.
+func (j *Journal) rotateLocked() error {
+	if j.f != nil {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+		if err := j.f.Close(); err != nil {
+			j.err = fmt.Errorf("journal: %w", err)
+			return j.err
+		}
+	}
+	j.segIndex++
+	name := segName(j.segIndex)
+	f, err := os.OpenFile(filepath.Join(j.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+		return j.err
+	}
+	var hdr [segHeaderLen]byte
+	copy(hdr[:4], segMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], FormatVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		j.err = fmt.Errorf("journal: %w", err)
+		return j.err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		j.err = fmt.Errorf("journal: fsync: %w", err)
+		return j.err
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.size = segHeaderLen
+	j.dirty = false
+	j.pending = 0
+	j.man.Segments = append(j.man.Segments, name)
+	if err := j.writeManifestLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeManifestLocked rewrites MANIFEST.json atomically: temp file, fsync,
+// rename, so a crash never leaves a half-written manifest.
+func (j *Journal) writeManifestLocked() error {
+	raw, err := json.MarshalIndent(j.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("journal: manifest: %w", err)
+	}
+	tmp := filepath.Join(j.dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.err = fmt.Errorf("journal: manifest: %w", err)
+		return j.err
+	}
+	if _, err := f.Write(append(raw, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(j.dir, manifestName))
+	}
+	if err != nil {
+		j.err = fmt.Errorf("journal: manifest: %w", err)
+		return j.err
+	}
+	return nil
+}
+
+// flusher is the background fsync batcher: it bounds how long an appended
+// record can sit unsynced when the FsyncEvery threshold is not reached.
+func (j *Journal) flusher() {
+	defer close(j.flusherDone)
+	t := time.NewTicker(j.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			j.mu.Lock()
+			if !j.closed && j.dirty {
+				j.syncLocked() // sticky error surfaces on the next Append
+			}
+			j.mu.Unlock()
+		case <-j.flusherStop:
+			return
+		}
+	}
+}
+
+// Close syncs outstanding records and closes the journal. Further appends
+// return ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	err := j.syncLocked()
+	j.closed = true
+	if j.f != nil {
+		if cerr := j.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("journal: %w", cerr)
+		}
+	}
+	j.mu.Unlock()
+	close(j.flusherStop)
+	<-j.flusherDone
+	return err
+}
+
+// Abandon closes the journal WITHOUT flushing or syncing, discarding any
+// buffered unsynced records — the in-process equivalent of SIGKILL. The
+// kill-and-recover chaos harness uses it to model a crash that loses the
+// last unsynced batch; production code should always Close.
+func (j *Journal) Abandon() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	if j.f != nil {
+		j.f.Close() // buffered writer intentionally not flushed
+	}
+	j.mu.Unlock()
+	close(j.flusherStop)
+	<-j.flusherDone
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }

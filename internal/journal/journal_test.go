@@ -1,0 +1,502 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hilp/internal/wire"
+)
+
+// testOpts keeps unit tests deterministic: every append syncs, so nothing
+// rides on the background flusher's timing.
+func testOpts() Options {
+	return Options{FsyncEvery: 1, FsyncInterval: time.Hour}
+}
+
+func pointRec(job string, idx int, speedup float64) wire.JournalRecord {
+	return wire.JournalRecord{
+		Kind:  wire.JournalKindPoint,
+		JobID: job,
+		Point: &wire.JournalPoint{Index: idx, Point: wire.Point{Label: "p", Speedup: speedup}},
+	}
+}
+
+func appendN(t *testing.T, j *Journal, job string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := j.Append(pointRec(job, i, float64(i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]wire.JournalRecord, ReplayStats) {
+	t.Helper()
+	var recs []wire.JournalRecord
+	stats, err := Replay(dir, func(r wire.JournalRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, stats
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats := replayAll(t, dir)
+	if len(recs) != 5 || stats.Records != 5 || stats.Torn {
+		t.Fatalf("replayed %d records, stats %+v", len(recs), stats)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("record %d seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Version != wire.JournalVersion {
+			t.Errorf("record %d version %d, want %d", i, r.Version, wire.JournalVersion)
+		}
+		if r.Point == nil || r.Point.Index != i || r.Point.Point.Speedup != float64(i) {
+			t.Errorf("record %d payload %+v", i, r.Point)
+		}
+	}
+}
+
+func TestEmptyJournal(t *testing.T) {
+	// A directory that does not exist is an empty journal, not an error.
+	recs, stats := replayAll(t, filepath.Join(t.TempDir(), "never-created"))
+	if len(recs) != 0 || stats.Records != 0 || stats.Segments != 0 {
+		t.Fatalf("nonexistent dir: %d records, stats %+v", len(recs), stats)
+	}
+	// So is an existing but empty directory.
+	recs, stats = replayAll(t, t.TempDir())
+	if len(recs) != 0 || stats.Records != 0 {
+		t.Fatalf("empty dir: %d records, stats %+v", len(recs), stats)
+	}
+	// And a freshly opened-and-closed journal (manifest + one empty segment).
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats = replayAll(t, dir)
+	if len(recs) != 0 || stats.Segments != 1 || stats.Torn {
+		t.Fatalf("fresh journal: %d records, stats %+v", len(recs), stats)
+	}
+}
+
+// lastSegment returns the path of the journal's final segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	return filepath.Join(dir, man.Segments[len(man.Segments)-1])
+}
+
+func TestTruncatedFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 4)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-write: chop 3 bytes off the last segment.
+	seg := lastSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, stats := replayAll(t, dir)
+	if !stats.Torn {
+		t.Error("torn tail not reported")
+	}
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(recs))
+	}
+
+	// Open truncates the torn frame and appending continues after it with
+	// the sequence numbering intact.
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(pointRec("job1", 9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats = replayAll(t, dir)
+	if stats.Torn {
+		t.Error("tail still torn after reopen")
+	}
+	if len(recs) != 4 {
+		t.Fatalf("replayed %d records after repair, want 4", len(recs))
+	}
+	if last := recs[len(recs)-1]; last.Seq != 4 || last.Point.Index != 9 {
+		t.Errorf("repaired tail record %+v, want seq 4 index 9", last)
+	}
+}
+
+func TestTornHeaderOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append 4 garbage bytes: a frame header cut mid-write.
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3, 4})
+	f.Close()
+	recs, stats := replayAll(t, dir)
+	if !stats.Torn || len(recs) != 2 {
+		t.Fatalf("%d records, stats %+v; want 2 records, torn", len(recs), stats)
+	}
+}
+
+func TestCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation so the corruption lands mid-journal.
+	opts := testOpts()
+	opts.SegmentBytes = 256
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 10)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(man.Segments))
+	}
+	// Flip one payload byte in the first segment: CRC must catch it and
+	// replay must refuse (not silently truncate history).
+	first := filepath.Join(dir, man.Segments[0])
+	raw, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[segHeaderLen+frameHeaderLen+2] ^= 0xFF
+	if err := os.WriteFile(first, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(wire.JournalRecord) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of corrupt middle segment: %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("Open accepted a corrupt middle segment")
+	}
+}
+
+func TestDuplicatedSegmentReplaysOnce(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 3)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash between manifest rewrites can list a segment twice; the
+	// manifest reader dedupes entries, so replay delivers records once.
+	dup := man
+	dup.Segments = append(append([]string{}, man.Segments...), man.Segments[0])
+	writeManifest(t, dir, dup)
+	recs, stats := replayAll(t, dir)
+	if len(recs) != 3 || stats.Duplicates != 0 || stats.Segments != 1 {
+		t.Fatalf("duplicated manifest entry: %d records, stats %+v", len(recs), stats)
+	}
+
+	// A physically copied segment (same records under a new name) gets past
+	// the manifest dedupe; the monotonic-sequence filter drops its records.
+	src := filepath.Join(dir, man.Segments[0])
+	copyName := segName(2)
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, copyName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dup = man
+	dup.Segments = append(append([]string{}, man.Segments...), copyName)
+	writeManifest(t, dir, dup)
+	recs, stats = replayAll(t, dir)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records from copied segment, want 3", len(recs))
+	}
+	if stats.Duplicates != 3 {
+		t.Errorf("stats.Duplicates = %d, want 3", stats.Duplicates)
+	}
+	// Open must also survive it: the next sequence number continues past the
+	// highest replayed one.
+	j2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.seq != 4 {
+		t.Errorf("next seq %d, want 4", j2.seq)
+	}
+	j2.Close()
+}
+
+func writeManifest(t *testing.T, dir string, man manifest) {
+	t.Helper()
+	j := &Journal{dir: dir, man: man}
+	if err := j.writeManifestLocked(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Version = FormatVersion + 1
+	writeManifest(t, dir, man)
+	if _, err := Replay(dir, func(wire.JournalRecord) error { return nil }); err == nil {
+		t.Fatal("replay accepted a newer manifest version")
+	}
+	if _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("Open accepted a newer manifest version")
+	}
+}
+
+func TestSegmentVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Manifest says v1 but the segment header claims a future format: skew,
+	// refused even though it is the final segment (not torn-tail-excusable).
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[4:8], FormatVersion+1)
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, func(wire.JournalRecord) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of version-skewed segment: %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("Open accepted a version-skewed segment")
+	}
+}
+
+func TestRotationAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.SegmentBytes = 256
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 20)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) < 3 {
+		t.Fatalf("expected >= 3 segments at 256B each, got %d", len(man.Segments))
+	}
+	recs, stats := replayAll(t, dir)
+	if len(recs) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(recs))
+	}
+	if stats.Segments != len(man.Segments) {
+		t.Errorf("stats.Segments %d, manifest has %d", stats.Segments, len(man.Segments))
+	}
+	// Reopen appends into the last segment without disturbing history.
+	j2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j2, "job2", 5)
+	j2.Close()
+	recs, _ = replayAll(t, dir)
+	if len(recs) != 25 {
+		t.Fatalf("replayed %d records after reopen, want 25", len(recs))
+	}
+}
+
+func TestAbandonLosesOnlyUnsyncedBatch(t *testing.T) {
+	dir := t.TempDir()
+	// Batch fsyncs manually: nothing syncs until Sync is called.
+	opts := Options{FsyncEvery: 1 << 30, FsyncInterval: time.Hour}
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 3)
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// These three die with the process.
+	for i := 3; i < 6; i++ {
+		if err := j.Append(pointRec("job1", i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Abandon()
+	if err := j.Append(pointRec("job1", 99, 0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after abandon: %v, want ErrClosed", err)
+	}
+	recs, _ := replayAll(t, dir)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after abandon, want the 3 synced ones", len(recs))
+	}
+}
+
+func TestReplayJobs(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &wire.SweepRequest{Specs: []wire.SoC{{CPUCores: 1}, {CPUCores: 2}}}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Append(wire.JournalRecord{Kind: wire.JournalKindJobStart, JobID: "a",
+		Start: &wire.JournalJobStart{Total: 2, Request: req, ModelKey: "k", IdempotencyKey: "idem-1"}}))
+	must(j.Append(pointRec("a", 0, 1.5)))
+	// A duplicate completion of point 0 (re-solved after a lost batch in a
+	// prior incarnation): the first record must win.
+	dup := pointRec("a", 0, 2.5)
+	must(j.Append(dup))
+	must(j.Append(wire.JournalRecord{Kind: wire.JournalKindJobStart, JobID: "b",
+		Start: &wire.JournalJobStart{Total: 1}}))
+	must(j.Append(pointRec("b", 0, 3)))
+	must(j.Append(wire.JournalRecord{Kind: wire.JournalKindJobEnd, JobID: "b",
+		End: &wire.JournalJobEnd{Status: "done"}}))
+	must(j.Close())
+
+	jobs, stats, err := ReplayJobs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 6 {
+		t.Errorf("stats.Records %d, want 6", stats.Records)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	a, b := jobs[0], jobs[1]
+	if a.JobID != "a" || b.JobID != "b" {
+		t.Fatalf("job order %q, %q", a.JobID, b.JobID)
+	}
+	if a.Terminal() || !b.Terminal() {
+		t.Errorf("terminal flags: a=%v b=%v, want false/true", a.Terminal(), b.Terminal())
+	}
+	if a.Start == nil || a.Start.Total != 2 || a.Start.ModelKey != "k" || a.Start.IdempotencyKey != "idem-1" {
+		t.Errorf("job a start %+v", a.Start)
+	}
+	if len(a.Start.Request.Specs) != 2 {
+		t.Errorf("job a request specs %+v", a.Start.Request)
+	}
+	if got := a.Points[0].Speedup; got != 1.5 {
+		t.Errorf("job a point 0 speedup %g, want first-record 1.5", got)
+	}
+	if b.End.Status != "done" {
+		t.Errorf("job b end %+v", b.End)
+	}
+}
+
+// TestCRCCatchesBitFlipInTail: a bit flip inside the final segment's last
+// frame is indistinguishable from a torn write and is dropped, not served.
+func TestCRCCatchesBitFlipInTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, "job1", 2)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := lastSegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats := replayAll(t, dir)
+	if !stats.Torn || len(recs) != 1 {
+		t.Fatalf("%d records, stats %+v; want 1 record, torn", len(recs), stats)
+	}
+}

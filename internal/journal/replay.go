@@ -1,0 +1,246 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"hilp/internal/wire"
+)
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	// Segments is the number of distinct segments read; Records the number
+	// of records delivered to the callback; Bytes the valid bytes replayed.
+	Segments int
+	Records  int
+	Bytes    int64
+	// Duplicates counts records dropped by the monotonic-sequence filter
+	// (e.g. a segment listed twice in a crash-interrupted manifest).
+	Duplicates int
+	// Torn is true when the final segment ended in a torn frame — a record
+	// cut mid-write by a crash — which replay drops and Open truncates.
+	Torn bool
+}
+
+// ErrCorrupt marks corruption that torn-tail tolerance cannot excuse: a bad
+// frame in a non-final segment, a bad segment header, or version skew.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// Replay reads the journal in dir and delivers every valid record to fn in
+// append order. A missing directory or manifest is an empty journal (zero
+// stats, nil error). A torn final record is tolerated and reported in
+// Stats.Torn; any other framing damage returns an error wrapping ErrCorrupt.
+// Records whose sequence number does not advance are dropped (duplicated
+// segments replay once). fn returning an error stops the replay.
+func Replay(dir string, fn func(wire.JournalRecord) error) (ReplayStats, error) {
+	var stats ReplayStats
+	man, err := readManifest(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return stats, nil
+		}
+		return stats, err
+	}
+	var lastSeq uint64
+	for i, name := range man.Segments {
+		last := i == len(man.Segments)-1
+		seg, segErr := scanSegment(filepath.Join(dir, name), func(rec wire.JournalRecord) error {
+			if rec.Seq <= lastSeq {
+				stats.Duplicates++
+				return nil
+			}
+			lastSeq = rec.Seq
+			stats.Records++
+			return fn(rec)
+		})
+		stats.Segments++
+		stats.Bytes += seg.validBytes
+		if segErr != nil {
+			if errors.Is(segErr, errStopped) {
+				return stats, seg.fnErr
+			}
+			// Only a torn tail of the FINAL segment is excusable: header
+			// damage or version skew is corruption wherever it appears.
+			if !last || errors.Is(segErr, ErrCorrupt) {
+				return stats, fmt.Errorf("%w: segment %s: %v", ErrCorrupt, name, segErr)
+			}
+			stats.Torn = true
+		}
+	}
+	return stats, nil
+}
+
+// errStopped distinguishes "the callback said stop" from framing damage.
+var errStopped = errors.New("journal: replay stopped by callback")
+
+// TailSegment returns the path of the journal's final segment file — the one
+// a crash mid-write would tear. The kill-and-recover chaos harness truncates
+// it to simulate a torn record; Replay tolerates the damage and Open repairs
+// it. Returns os.ErrNotExist (wrapped) when the journal is empty or missing.
+func TailSegment(dir string) (string, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(man.Segments) == 0 {
+		return "", fmt.Errorf("journal %s: no segments: %w", dir, os.ErrNotExist)
+	}
+	return filepath.Join(dir, man.Segments[len(man.Segments)-1]), nil
+}
+
+// TearTail truncates n bytes from the journal's final segment, simulating a
+// record torn by a crash mid-write (the faults package's kill-and-recover
+// harness pairs it with Journal.Abandon). The segment header is never
+// damaged — torn-tail tolerance covers incomplete frames, not a destroyed
+// segment. A no-op when n <= 0.
+func TearTail(dir string, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	path, err := TailSegment(dir)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	keep := fi.Size() - int64(n)
+	if keep < segHeaderLen {
+		keep = segHeaderLen
+	}
+	return os.Truncate(path, keep)
+}
+
+// segScan is one segment's scan outcome.
+type segScan struct {
+	// validBytes is the offset just past the last frame that parsed and
+	// checksummed; Open truncates the final segment to it.
+	validBytes int64
+	// fnErr is the callback's error when the scan stopped on errStopped.
+	fnErr error
+}
+
+// scanSegment reads one segment file, delivering each valid record to fn.
+// The returned error is nil for a clean segment, errStopped when fn aborted,
+// and a descriptive framing error (torn or corrupt frame, bad header) with
+// validBytes marking the last good frame boundary otherwise.
+func scanSegment(path string, fn func(wire.JournalRecord) error) (segScan, error) {
+	scan := segScan{validBytes: segHeaderLen}
+	f, err := os.Open(path)
+	if err != nil {
+		scan.validBytes = 0
+		return scan, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	var hdr [segHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		scan.validBytes = 0
+		return scan, fmt.Errorf("%w: short segment header: %v", ErrCorrupt, err)
+	}
+	if [4]byte(hdr[:4]) != segMagic {
+		scan.validBytes = 0
+		return scan, fmt.Errorf("%w: bad segment magic %q", ErrCorrupt, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != FormatVersion {
+		scan.validBytes = 0
+		return scan, fmt.Errorf("%w: segment format version %d, this binary speaks %d", ErrCorrupt, v, FormatVersion)
+	}
+
+	var frame [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return scan, nil // clean end of segment
+			}
+			return scan, fmt.Errorf("torn frame header at offset %d: %v", scan.validBytes, err)
+		}
+		n := binary.LittleEndian.Uint32(frame[0:4])
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if n > maxRecordBytes {
+			return scan, fmt.Errorf("frame length %d exceeds %d at offset %d", n, maxRecordBytes, scan.validBytes)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return scan, fmt.Errorf("torn frame payload at offset %d: %v", scan.validBytes, err)
+		}
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return scan, fmt.Errorf("frame crc mismatch at offset %d (got %08x want %08x)", scan.validBytes, got, want)
+		}
+		var rec wire.JournalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return scan, fmt.Errorf("frame payload at offset %d: %v", scan.validBytes, err)
+		}
+		scan.validBytes += int64(frameHeaderLen) + int64(n)
+		if err := fn(rec); err != nil {
+			scan.fnErr = err
+			return scan, errStopped
+		}
+	}
+}
+
+// JobState is one job's progress reconstructed from the journal.
+type JobState struct {
+	JobID string
+	Start *wire.JournalJobStart
+	// Points maps input index to the point's effective result record. The
+	// first clean record (no error, not cancelled) wins and later duplicates
+	// are dropped ("exactly-once result record"); a clean record does replace
+	// an earlier non-clean one, so a successful re-solve after a cancelled or
+	// failed attempt — a server job retry — supersedes it.
+	Points map[int]wire.Point
+	// End is non-nil when the job reached a terminal state before the crash.
+	End *wire.JournalJobEnd
+}
+
+// Terminal reports whether the job finished before the journal stopped.
+func (s *JobState) Terminal() bool { return s.End != nil }
+
+// cleanPoint mirrors dse.Resumable without the import: the record completed
+// without an error and was not cut short by cancellation.
+func cleanPoint(p wire.Point) bool { return p.Error == "" && !p.Cancelled }
+
+// ReplayJobs replays the journal in dir and groups records by job, in
+// first-seen order. This is the recovery entry point for hilp-serve and
+// hilp-dse: jobs without an End record were interrupted and are candidates
+// for resumption.
+func ReplayJobs(dir string) ([]*JobState, ReplayStats, error) {
+	byID := map[string]*JobState{}
+	var order []*JobState
+	stats, err := Replay(dir, func(rec wire.JournalRecord) error {
+		st := byID[rec.JobID]
+		if st == nil {
+			st = &JobState{JobID: rec.JobID, Points: map[int]wire.Point{}}
+			byID[rec.JobID] = st
+			order = append(order, st)
+		}
+		switch rec.Kind {
+		case wire.JournalKindJobStart:
+			if st.Start == nil {
+				st.Start = rec.Start
+			}
+		case wire.JournalKindPoint:
+			if rec.Point != nil {
+				old, dup := st.Points[rec.Point.Index]
+				if !dup || (!cleanPoint(old) && cleanPoint(rec.Point.Point)) {
+					st.Points[rec.Point.Index] = rec.Point.Point
+				}
+			}
+		case wire.JournalKindJobEnd:
+			if st.End == nil {
+				st.End = rec.End
+			}
+		}
+		return nil
+	})
+	return order, stats, err
+}

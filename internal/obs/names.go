@@ -82,16 +82,26 @@ const (
 	MOTLPSpansExported = "hilp_otlp_spans_exported_total"
 	MOTLPSpansFailed   = "hilp_otlp_spans_failed_total"
 	MOTLPSpansDropped  = "hilp_otlp_spans_dropped_total"
+
+	// Crash-recovery journal (internal/journal) and resume paths.
+	MJournalAppends       = "hilp_journal_appends_total"
+	MJournalFsyncs        = "hilp_journal_fsyncs_total"
+	MJournalBytes         = "hilp_journal_bytes_total"
+	MJournalReplayRecords = "hilp_journal_replay_records_total"
+	MJournalTornTails     = "hilp_journal_torn_tails_total"
+	MJournalResumedJobs   = "hilp_serve_resumed_jobs_total"
+	MSweepPointsResumed   = "hilp_sweep_points_resumed_total"
 )
 
 // StageMetricName maps a request-stage name (see Stages) onto its latency
-// histogram, e.g. "cache-lookup" → "hilp_serve_stage_cache_lookup_seconds".
-// Dashes become underscores: Prometheus metric names cannot contain '-'.
+// histogram, e.g. "cache-lookup" → "hilp_serve_stage_cache_lookup_seconds"
+// and "journal:append" → "hilp_serve_stage_journal_append_seconds". Dashes
+// and colons become underscores: Prometheus metric names allow neither.
 func StageMetricName(stage string) string {
 	out := make([]byte, 0, len(stage)+24)
 	out = append(out, "hilp_serve_stage_"...)
 	for i := 0; i < len(stage); i++ {
-		if stage[i] == '-' {
+		if stage[i] == '-' || stage[i] == ':' {
 			out = append(out, '_')
 		} else {
 			out = append(out, stage[i])

@@ -17,11 +17,19 @@ const (
 	StageSolve       = "solve"
 	StageFallback    = "fallback"
 	StageEncode      = "encode"
+	// Journal stages: StageJournalAppend times one write-ahead append (frame
+	// encode + buffered write + any batched fsync it triggers) and
+	// StageJournalReplay times a full recovery replay at startup. They run
+	// outside the request pipeline, so they are observed directly into their
+	// stage histograms rather than through a request's StageTimer.
+	StageJournalAppend = "journal:append"
+	StageJournalReplay = "journal:replay"
 )
 
 // Stages lists the canonical stage names in pipeline order, for docs and
 // stable metric pre-registration.
-var Stages = []string{StageValidate, StageCacheLookup, StageSchedule, StageSolve, StageFallback, StageEncode}
+var Stages = []string{StageValidate, StageCacheLookup, StageSchedule, StageSolve, StageFallback, StageEncode,
+	StageJournalAppend, StageJournalReplay}
 
 // StageInterval is one timed occurrence of a stage.
 type StageInterval struct {

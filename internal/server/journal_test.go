@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hilp/internal/journal"
+	"hilp/internal/wire"
+)
+
+// journalSweepReq is the small sweep request the journal tests submit and
+// hand-journal: two specs, millisecond solves.
+func journalSweepReq() *wire.SweepRequest {
+	return &wire.SweepRequest{
+		Workload: &wire.Workload{Apps: []wire.App{{Bench: "LUD"}, {Bench: "HS"}}},
+		Specs: []wire.SoC{
+			{CPUCores: 1, GPUFrequenciesMHz: []float64{765}},
+			{CPUCores: 2, GPUSMs: 16, GPUFrequenciesMHz: []float64{765}},
+		},
+		Profile: &wire.Profile{InitialStepSec: 10, Horizon: 200, RefineWhileBelow: 0, MaxRefinements: 0},
+		Solver:  &wire.SolverConfig{Seed: 1, Effort: 0.2},
+	}
+}
+
+// writeInterruptedJob hand-builds the journal a crashed server would leave
+// behind: a synced jobStart, one clean point record, no jobEnd. It returns
+// the model key the records were stamped with.
+func writeInterruptedJob(t *testing.T, dir, jobID, modelKey string) {
+	t.Helper()
+	tmp := New(Config{})
+	plan, apiErr := tmp.planSweep(journalSweepReq())
+	if apiErr != nil {
+		t.Fatalf("planSweep: %v", apiErr.err)
+	}
+	if modelKey == "" {
+		modelKey = plan.modelKey
+	}
+	jnl, err := journal.Open(dir, journal.Options{FsyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []wire.JournalRecord{
+		{Kind: wire.JournalKindJobStart, JobID: jobID, Start: &wire.JournalJobStart{
+			RequestID:      "req-recover",
+			IdempotencyKey: "idem-recover",
+			Total:          len(plan.specs),
+			Request:        plan.req,
+			ModelKey:       modelKey,
+		}},
+		{Kind: wire.JournalKindPoint, JobID: jobID, Point: &wire.JournalPoint{
+			Index: 0,
+			Point: wire.Point{Label: plan.specs[0].Label(), Speedup: 1.0, WLP: 1.0},
+		}},
+	}
+	for _, rec := range records {
+		if err := jnl.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverInterruptedJobResumes: a journal holding a jobStart and one
+// clean point but no jobEnd is an interrupted job; Recover re-enters it into
+// the worker pool, replays the journaled point instead of re-solving it, and
+// the job runs to completion under its original ID and idempotency key.
+func TestRecoverInterruptedJobResumes(t *testing.T) {
+	dir := t.TempDir()
+	writeInterruptedJob(t, dir, "job-interrupted", "")
+
+	s, ts := newTestServer(t, Config{JournalDir: dir})
+	rs, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rs.Jobs != 1 || rs.Resumed != 1 || rs.Terminal != 0 || rs.ResumedPoints != 1 {
+		t.Fatalf("recovery stats %+v, want 1 job resumed with 1 point", rs)
+	}
+	waitJobTerminal(t, s, "job-interrupted")
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-interrupted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j wire.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET recovered job: status %d", resp.StatusCode)
+	}
+	if j.Status != "done" || j.Done != j.Total || j.Total != 2 {
+		t.Fatalf("job %+v, want done 2/2", j)
+	}
+	if !j.Resumed || j.ResumedPoints != 1 {
+		t.Errorf("resumed=%v resumedPoints=%d, want true/1", j.Resumed, j.ResumedPoints)
+	}
+	if j.Result == nil || len(j.Result.Points) != 2 {
+		t.Fatalf("result %+v, want 2 points", j.Result)
+	}
+	if !j.Result.Points[0].Resumed || j.Result.Points[0].Speedup != 1.0 {
+		t.Errorf("point 0 = %+v, want the journaled point replayed verbatim", j.Result.Points[0])
+	}
+	if j.Result.Points[1].Resumed || j.Result.Points[1].Speedup <= 0 {
+		t.Errorf("point 1 = %+v, want freshly solved", j.Result.Points[1])
+	}
+
+	// The restored idempotency mapping keeps deduplicating: resubmitting the
+	// original request reattaches to the recovered job.
+	body, _ := json.Marshal(journalSweepReq())
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Idempotency-Key", "idem-recover")
+	dup, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dupJob wire.Job
+	json.NewDecoder(dup.Body).Decode(&dupJob)
+	dup.Body.Close()
+	if dup.StatusCode != http.StatusOK || dupJob.ID != "job-interrupted" {
+		t.Errorf("idempotent resubmit: status %d job %q, want 200 job-interrupted", dup.StatusCode, dupJob.ID)
+	}
+}
+
+// TestRecoverRefusesChangedModel: a journal recorded against a different
+// model key must not resume — the job is re-registered as failed with the
+// field-addressed validation error.
+func TestRecoverRefusesChangedModel(t *testing.T) {
+	dir := t.TempDir()
+	writeInterruptedJob(t, dir, "job-skewed", "some-other-model-key")
+
+	s, _ := newTestServer(t, Config{JournalDir: dir})
+	rs, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rs.Jobs != 1 || rs.Resumed != 0 {
+		t.Fatalf("recovery stats %+v, want 1 job, none resumed", rs)
+	}
+	s.jobMu.Lock()
+	j := s.jobs["job-skewed"]
+	s.jobMu.Unlock()
+	if j == nil {
+		t.Fatal("skewed job not registered")
+	}
+	snap := j.snapshot()
+	if snap.Status != "failed" || !strings.Contains(snap.Error, "resume.modelKey") {
+		t.Errorf("job %+v, want failed with resume.modelKey error", snap)
+	}
+}
+
+// TestJournalTerminalJobSurvivesRestart: a job that finished before the
+// restart keeps answering GET /v1/jobs/{id} from the rebuilt journal state,
+// and its idempotency key keeps deduplicating, without re-running the sweep.
+func TestJournalTerminalJobSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body, _ := json.Marshal(journalSweepReq())
+
+	// First server: run one sweep to completion, then shut down cleanly.
+	s1 := New(Config{JournalDir: dir})
+	if _, err := s1.Recover(); err != nil {
+		t.Fatalf("first Recover: %v", err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	req, _ := http.NewRequest(http.MethodPost, ts1.URL+"/v1/sweep", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Idempotency-Key", "idem-restart")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started wire.Job
+	json.NewDecoder(resp.Body).Decode(&started)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status %d, want 202", resp.StatusCode)
+	}
+	waitJobTerminal(t, s1, started.ID)
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	// Second server over the same journal: the job is back, terminal, with
+	// its full result — and solving nothing (recovery stats say terminal).
+	s2, ts2 := newTestServer(t, Config{JournalDir: dir})
+	rs, err := s2.Recover()
+	if err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if rs.Jobs != 1 || rs.Terminal != 1 || rs.Resumed != 0 {
+		t.Fatalf("recovery stats %+v, want 1 terminal job", rs)
+	}
+	got, err := http.Get(ts2.URL + "/v1/jobs/" + started.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j wire.Job
+	json.NewDecoder(got.Body).Decode(&j)
+	got.Body.Close()
+	if got.StatusCode != http.StatusOK {
+		t.Fatalf("GET after restart: status %d", got.StatusCode)
+	}
+	if j.Status != "done" || j.Result == nil || len(j.Result.Points) != 2 {
+		t.Fatalf("restarted job %+v, want done with 2 points", j)
+	}
+
+	// Client retry of the original POST reattaches across the restart.
+	req2, _ := http.NewRequest(http.MethodPost, ts2.URL+"/v1/sweep", strings.NewReader(string(body)))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set("X-Idempotency-Key", "idem-restart")
+	dup, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dupJob wire.Job
+	json.NewDecoder(dup.Body).Decode(&dupJob)
+	dup.Body.Close()
+	if dup.StatusCode != http.StatusOK || dupJob.ID != started.ID {
+		t.Errorf("retry after restart: status %d job %q, want 200 %q", dup.StatusCode, dupJob.ID, started.ID)
+	}
+}
+
+// TestSweepIdempotencyKey: two submissions under one key run one sweep — the
+// first gets 202, the retry gets 200 with the same job; a different key gets
+// its own job.
+func TestSweepIdempotencyKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body, _ := json.Marshal(journalSweepReq())
+	submit := func(key string) (int, wire.Job) {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sweep", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("X-Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j wire.Job
+		json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		return resp.StatusCode, j
+	}
+
+	st1, j1 := submit("key-A")
+	st2, j2 := submit("key-A")
+	st3, j3 := submit("key-B")
+	if st1 != http.StatusAccepted {
+		t.Errorf("first submit status %d, want 202", st1)
+	}
+	if st2 != http.StatusOK || j2.ID != j1.ID {
+		t.Errorf("duplicate submit: status %d job %q, want 200 %q", st2, j2.ID, j1.ID)
+	}
+	if st3 != http.StatusAccepted || j3.ID == j1.ID {
+		t.Errorf("different key: status %d job %q, want a fresh 202 job", st3, j3.ID)
+	}
+}
+
+// TestJobRetention: the registry evicts the oldest terminal job (and its
+// idempotency mapping) when full, and rejects only when every retained job is
+// still running.
+func TestJobRetention(t *testing.T) {
+	s := New(Config{MaxJobs: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	j1, existing, err := s.newJob(1, "idem-1")
+	if err != nil || existing {
+		t.Fatalf("job 1: existing=%v err=%v", existing, err)
+	}
+	if _, _, err := s.newJob(1, ""); err != nil {
+		t.Fatalf("job 2: %v", err)
+	}
+	// Registry full of running jobs: the next submission is rejected.
+	if _, _, err := s.newJob(1, ""); err == nil {
+		t.Fatal("third job admitted with all slots running, want rejection")
+	}
+	// One job finishes: the next submission evicts it, along with its
+	// idempotency mapping, instead of being rejected.
+	j1.mu.Lock()
+	j1.status = "done"
+	j1.mu.Unlock()
+	j3, _, err := s.newJob(1, "")
+	if err != nil {
+		t.Fatalf("post-eviction job: %v", err)
+	}
+	s.jobMu.Lock()
+	_, oldRetained := s.jobs[j1.id]
+	_, idemRetained := s.idem["idem-1"]
+	_, newRetained := s.jobs[j3.id]
+	n := len(s.jobs)
+	s.jobMu.Unlock()
+	if oldRetained || idemRetained {
+		t.Errorf("evicted job retained: job=%v idem=%v", oldRetained, idemRetained)
+	}
+	if !newRetained || n != 2 {
+		t.Errorf("registry after eviction: new=%v len=%d, want true/2", newRetained, n)
+	}
+	// The evicted key is free again: reusing it creates a fresh job.
+	j3.mu.Lock()
+	j3.status = "done"
+	j3.mu.Unlock()
+	j4, existing, err := s.newJob(1, "idem-1")
+	if err != nil || existing || j4.id == j1.id {
+		t.Errorf("reused key: existing=%v err=%v id=%q, want a fresh job", existing, err, j4.id)
+	}
+}

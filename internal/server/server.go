@@ -37,7 +37,9 @@ import (
 
 	"hilp"
 	"hilp/internal/core"
+	"hilp/internal/dse"
 	"hilp/internal/faults"
+	"hilp/internal/journal"
 	"hilp/internal/obs"
 	"hilp/internal/rodinia"
 	"hilp/internal/scheduler"
@@ -94,6 +96,13 @@ type Config struct {
 	// spans, carrying the request's W3C trace ID. The caller owns the
 	// exporter's lifecycle (flush/close on drain).
 	OTLP *obs.OTLPExporter
+	// JournalDir, when non-empty, enables the crash-recovery journal: sweep
+	// jobs append lifecycle records (jobStart, per-point results, jobEnd) to
+	// an append-only CRC-framed journal in this directory, and Recover —
+	// which the binary MUST call before serving — replays it after a
+	// restart, re-registering terminal jobs and resuming interrupted ones
+	// with their completed points pre-filled. Empty disables journaling.
+	JournalDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -165,11 +174,22 @@ type Server struct {
 	jobMu    sync.Mutex
 	jobs     map[string]*job
 	jobOrder []string
+	// idem maps an X-Idempotency-Key to the job it created, so a client
+	// retrying POST /v1/sweep after a lost response reattaches to the
+	// original job instead of paying for a second sweep. Guarded by jobMu;
+	// entries die with their job (eviction) and survive restarts via the
+	// journal's jobStart records.
+	idem map[string]*job
+
+	// journal is the crash-recovery journal, non-nil only after Recover ran
+	// with Config.JournalDir set. Appends are goroutine-safe.
+	journal *journal.Journal
 }
 
 type job struct {
 	id      string
 	reqID   string // correlation ID of the request that started the job
+	idemKey string // X-Idempotency-Key that created the job, if any
 	total   int
 	done    atomic.Int64
 	mu      sync.Mutex
@@ -178,6 +198,10 @@ type job struct {
 	errMsg  string
 	result  *wire.SweepResponse
 	created time.Time
+	// resumed marks a job recovered from the journal after a restart;
+	// resumedPoints counts the points replayed instead of re-solved.
+	resumed       bool
+	resumedPoints int
 }
 
 // New builds a Server from cfg.
@@ -199,6 +223,7 @@ func New(cfg Config) *Server {
 		stop:    stop,
 		drainCh: make(chan struct{}),
 		jobs:    map[string]*job{},
+		idem:    map[string]*job{},
 	}
 	// The live-event bus backs GET /v1/jobs/{id}/events. Publishing is a
 	// no-op until the first subscriber, so always attaching one keeps the
@@ -380,6 +405,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	defer func() {
 		if s.ownBus {
 			s.obs.Bus.Close()
+		}
+		// The journal closes (with a final fsync) after jobs drained, so
+		// their last point and jobEnd records are durable. On a timed-out
+		// shutdown this still syncs whatever was appended.
+		if s.journal != nil {
+			s.journal.Close()
 		}
 	}()
 	select {
@@ -728,19 +759,91 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(r.Context(), w, http.StatusBadRequest, "version", err)
 		return
 	}
+	// A duplicate submission (client retry after a lost 202) reattaches to
+	// the job its idempotency key already created — no second sweep.
+	idemKey := r.Header.Get("X-Idempotency-Key")
+	if idemKey != "" {
+		s.jobMu.Lock()
+		dup := s.idem[idemKey]
+		s.jobMu.Unlock()
+		if dup != nil {
+			if sum := summaryFrom(r.Context()); sum != nil {
+				sum.JobID = dup.id
+			}
+			body, _ := wire.Marshal(dup.snapshot())
+			writeJSON(w, http.StatusOK, body)
+			return
+		}
+	}
+	plan, apiErr := s.planSweep(&req)
+	if apiErr != nil {
+		s.writeAPIError(r.Context(), w, apiErr)
+		return
+	}
+
+	j, existing, err := s.newJob(len(plan.specs), idemKey)
+	if err != nil {
+		s.obs.Counter(obs.MServeRejected).Inc()
+		s.writeError(r.Context(), w, http.StatusTooManyRequests, "busy", err)
+		return
+	}
+	if existing {
+		if sum := summaryFrom(r.Context()); sum != nil {
+			sum.JobID = j.id
+		}
+		body, _ := wire.Marshal(j.snapshot())
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	// The job inherits the starting request's correlation ID: every per-point
+	// log line and exemplar of the async sweep traces back to this request.
+	j.reqID = obs.RequestID(r.Context())
+	if sum := summaryFrom(r.Context()); sum != nil {
+		sum.JobID = j.id
+	}
+	// The jobStart record is durable before the 202 leaves: once the client
+	// has a job handle, a crash cannot forget the job existed.
+	s.journalJobStart(j, plan)
+	opts := append(plan.opts,
+		hilp.WithProgress(func(p hilp.SweepProgress) { j.done.Store(int64(p.Done)) }))
+	opts = s.withJournalCheckpoint(opts, j)
+
+	s.jobWG.Add(1)
+	s.obs.Gauge(obs.MServeJobsActive).Add(1)
+	go s.runJob(j, plan.workload, plan.specs, opts, plan.timeout)
+
+	body, _ := wire.Marshal(j.snapshot())
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+// sweepPlan is a validated, fully-resolved sweep: what handleSweep builds
+// from a request and what Recover rebuilds from a journaled one.
+type sweepPlan struct {
+	workload rodinia.Workload
+	specs    []soc.Spec
+	opts     []hilp.Option // everything but the per-job progress/checkpoint hooks
+	timeout  time.Duration
+	// req is the normalized request — explicit resolved specs, no Space —
+	// as journaled in the jobStart record, and modelKey its canonical model
+	// identity (workload, specs, baseline, profile, solver). Resuming a
+	// journaled job against a different model is refused.
+	req      *wire.SweepRequest
+	modelKey string
+}
+
+// planSweep validates a sweep request and resolves it into a runnable plan.
+func (s *Server) planSweep(req *wire.SweepRequest) (*sweepPlan, *apiError) {
 	var ww wire.Workload
 	if req.Workload != nil {
 		ww = *req.Workload
 	}
 	workload, err := ww.ToWorkload()
 	if err != nil {
-		s.writeAPIError(r.Context(), w, solveErr(err))
-		return
+		return nil, solveErr(err)
 	}
 	baseline, err := parseBaseline(req.Baseline)
 	if err != nil {
-		s.writeError(r.Context(), w, http.StatusBadRequest, "bad_request", err)
-		return
+		return nil, &apiError{http.StatusBadRequest, "bad_request", err}
 	}
 	specs := make([]soc.Spec, 0, len(req.Specs))
 	for _, sp := range req.Specs {
@@ -753,24 +856,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		specs = soc.DesignSpace(workload, space.ToSpaceConfig())
 	}
-
-	j, err := s.newJob(len(specs))
-	if err != nil {
-		s.obs.Counter(obs.MServeRejected).Inc()
-		s.writeError(r.Context(), w, http.StatusTooManyRequests, "busy", err)
-		return
-	}
-	// The job inherits the starting request's correlation ID: every per-point
-	// log line and exemplar of the async sweep traces back to this request.
-	j.reqID = obs.RequestID(r.Context())
-	if sum := summaryFrom(r.Context()); sum != nil {
-		sum.JobID = j.id
-	}
 	opts := []hilp.Option{
 		hilp.WithBaseline(baseline),
 		hilp.WithObs(s.obs),
 		hilp.WithWorkers(s.cfg.Workers),
-		hilp.WithProgress(func(p hilp.SweepProgress) { j.done.Store(int64(p.Done)) }),
 	}
 	if req.Profile != nil {
 		opts = append(opts, hilp.WithProfile(req.Profile.ToProfile()))
@@ -789,14 +878,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Pruning {
 		opts = append(opts, hilp.WithPruning(true))
 	}
-	timeout := s.solveTimeout(req.TimeoutSec)
-
-	s.jobWG.Add(1)
-	s.obs.Gauge(obs.MServeJobsActive).Add(1)
-	go s.runJob(j, workload, specs, opts, timeout)
-
-	body, _ := wire.Marshal(j.snapshot())
-	writeJSON(w, http.StatusAccepted, body)
+	// Normalize the request for the journal: explicit specs (so recovery
+	// does not depend on design-space enumeration being stable across
+	// versions) and no Space.
+	norm := *req
+	norm.Specs = make([]wire.SoC, len(specs))
+	for i, sp := range specs {
+		norm.Specs[i] = wire.FromSpec(sp)
+	}
+	norm.Space = nil
+	return &sweepPlan{
+		workload: workload,
+		specs:    specs,
+		opts:     opts,
+		timeout:  s.solveTimeout(req.TimeoutSec),
+		req:      &norm,
+		modelKey: sweepModelKey(&norm),
+	}, nil
 }
 
 // runJob executes a sweep job with panic isolation and a bounded
@@ -809,8 +907,11 @@ func (s *Server) runJob(j *job, workload rodinia.Workload, specs []soc.Spec, opt
 	// even when the job dies to a recovered panic (defers run LIFO).
 	defer func() {
 		j.mu.Lock()
-		status := j.status
+		status, errMsg := j.status, j.errMsg
 		j.mu.Unlock()
+		// The jobEnd record is synced immediately: a terminal status must
+		// never be lost to a crash, or recovery would re-run a finished job.
+		s.journalJobEnd(j, status, errMsg)
 		s.obs.Publish(obs.BusEvent{
 			Kind: "job", Name: status, Job: j.id, Req: j.reqID,
 			Done: int(j.done.Load()), Total: j.total, Status: status,
@@ -933,66 +1034,68 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // newJob registers a job, evicting the oldest finished job when the registry
-// is full.
-func (s *Server) newJob(total int) (*job, error) {
+// is full. A request is rejected (429) only when every retained job is still
+// running. The idempotency key, when non-empty, is bound to the job under the
+// same lock so a concurrent duplicate submission cannot race past it.
+func (s *Server) newJob(total int, idemKey string) (j *job, existing bool, err error) {
 	var raw [8]byte
 	if _, err := rand.Read(raw[:]); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	j := &job{id: hex.EncodeToString(raw[:]), total: total, status: "running", created: time.Now()}
+	j = &job{id: hex.EncodeToString(raw[:]), idemKey: idemKey, total: total, status: "running", created: time.Now()}
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
-	if len(s.jobs) >= s.cfg.MaxJobs {
-		evicted := false
-		for i, id := range s.jobOrder {
-			old := s.jobs[id]
-			old.mu.Lock()
-			terminal := old.status != "running"
-			old.mu.Unlock()
-			if terminal {
-				delete(s.jobs, id)
-				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
-				evicted = true
-				break
-			}
+	if idemKey != "" {
+		if dup := s.idem[idemKey]; dup != nil {
+			// A concurrent duplicate won the race: reattach to its job
+			// instead of registering (and running) a second one.
+			return dup, true, nil
 		}
-		if !evicted {
-			return nil, fmt.Errorf("job registry full (%d running jobs)", len(s.jobs))
+	}
+	if len(s.jobs) >= s.cfg.MaxJobs {
+		if !s.evictTerminalLocked() {
+			return nil, false, fmt.Errorf("job registry full (%d running jobs)", len(s.jobs))
 		}
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
-	return j, nil
+	if idemKey != "" {
+		s.idem[idemKey] = j
+	}
+	return j, false, nil
 }
 
-// wirePoints converts sweep points to their wire form (including the
-// schema v2 engine fields) plus the Pareto index list.
+// evictTerminalLocked removes the oldest terminal job (with its idempotency
+// mapping) under s.jobMu, reporting whether one was found.
+func (s *Server) evictTerminalLocked() bool {
+	for i, id := range s.jobOrder {
+		old := s.jobs[id]
+		old.mu.Lock()
+		terminal := old.status != "running"
+		old.mu.Unlock()
+		if terminal {
+			delete(s.jobs, id)
+			if old.idemKey != "" {
+				delete(s.idem, old.idemKey)
+			}
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// wirePoint converts one sweep point to its wire form (including the schema
+// v2 engine fields and the v3 resume flag). The same encoding feeds responses
+// and the crash-recovery journal, so a journaled point replays losslessly.
+func wirePoint(p hilp.Point) wire.Point { return dse.ToWirePoint(p) }
+
+// wirePoints converts sweep points to their wire form plus the Pareto index
+// list.
 func wirePoints(points []hilp.Point) ([]wire.Point, []int) {
 	out := make([]wire.Point, 0, len(points))
 	for _, p := range points {
-		wp := wire.Point{
-			Spec:           wire.FromSpec(p.Spec),
-			Label:          p.Label,
-			AreaMM2:        p.AreaMM2,
-			Speedup:        p.Speedup,
-			WLP:            p.WLP,
-			Gap:            p.Gap,
-			MakespanSec:    p.MakespanSec,
-			Mix:            p.Mix.String(),
-			Cancelled:      p.Cancelled,
-			Degraded:       p.Degraded,
-			FallbackReason: p.FallbackReason,
-			RequestID:      p.RequestID,
-			CacheHit:       p.CacheHit,
-			WarmStarted:    p.WarmStarted,
-			Pruned:         p.Pruned,
-			PrunedBy:       p.PrunedBy,
-			SpeedupBound:   p.SpeedupBound,
-		}
-		if p.Err != nil {
-			wp.Error = p.Err.Error()
-		}
-		out = append(out, wp)
+		out = append(out, wirePoint(p))
 	}
 	byLabel := map[string]int{}
 	for i, p := range points {
@@ -1053,6 +1156,8 @@ func (j *job) snapshot() wire.Job {
 		Retries:       j.retries,
 		Error:         j.errMsg,
 		RequestID:     j.reqID,
+		Resumed:       j.resumed,
+		ResumedPoints: j.resumedPoints,
 		Result:        j.result,
 	}
 }

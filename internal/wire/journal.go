@@ -1,0 +1,77 @@
+package wire
+
+// JournalVersion identifies the crash-recovery journal record format carried
+// inside internal/journal segment frames. It versions independently of
+// SchemaVersion: the journal is a private durability format, not a client
+// API, but its records reuse the wire types (SweepRequest, Point) so the
+// payloads stay readable across releases under the same compatibility rules.
+const JournalVersion = 1
+
+// Journal record kinds.
+const (
+	// JournalKindJobStart opens a job's journal history: one per submitted
+	// sweep/batch job (or one per hilp-dse checkpointed run), carrying
+	// everything needed to re-enter the job after a crash.
+	JournalKindJobStart = "jobStart"
+	// JournalKindPoint records one completed sweep point (exactly-once per
+	// (job, index) after replay dedupe; the solve itself is at-least-once).
+	JournalKindPoint = "point"
+	// JournalKindJobEnd closes a job's history with its terminal status. A
+	// job with no end record at replay time was interrupted and is resumed.
+	JournalKindJobEnd = "jobEnd"
+)
+
+// JournalRecord is one entry of the crash-recovery write-ahead journal.
+// Exactly one of Start/Point/End is set, matching Kind.
+type JournalRecord struct {
+	// Version is the journal record format (JournalVersion).
+	Version int `json:"version,omitempty"`
+	// Kind is jobStart, point, or jobEnd.
+	Kind string `json:"kind"`
+	// JobID ties the record to its job; replay groups by it.
+	JobID string `json:"jobId"`
+	// Seq is the record's monotonically increasing journal sequence number,
+	// assigned at append. Replay drops records whose Seq does not advance,
+	// which makes a segment listed twice in the manifest harmless.
+	Seq uint64 `json:"seq"`
+	// UnixNano timestamps the append (diagnostics only; replay ignores it).
+	UnixNano int64 `json:"unixNano,omitempty"`
+
+	Start *JournalJobStart `json:"start,omitempty"`
+	Point *JournalPoint    `json:"point,omitempty"`
+	End   *JournalJobEnd   `json:"end,omitempty"`
+}
+
+// JournalJobStart is the payload of a jobStart record: the full original
+// request plus the identity needed to resume it safely.
+type JournalJobStart struct {
+	// RequestID is the correlation ID of the request that started the job.
+	RequestID string `json:"requestId,omitempty"`
+	// IdempotencyKey is the client's X-Idempotency-Key, restored at recovery
+	// so retried submissions keep deduplicating across restarts.
+	IdempotencyKey string `json:"idempotencyKey,omitempty"`
+	// Total is the number of requested points.
+	Total int `json:"total"`
+	// Request is the original sweep request, replayed verbatim on resume so
+	// the recovered job re-enters with identical inputs.
+	Request *SweepRequest `json:"request,omitempty"`
+	// ModelKey is the canonical hash of the solve inputs (workload, specs,
+	// profile, solver). Resume refuses a checkpoint whose ModelKey does not
+	// match the current inputs — recorded points would be meaningless.
+	ModelKey string `json:"modelKey,omitempty"`
+}
+
+// JournalPoint is the payload of a point record: one completed point, in its
+// wire form, addressed by input index.
+type JournalPoint struct {
+	Index int   `json:"index"`
+	Point Point `json:"point"`
+}
+
+// JournalJobEnd is the payload of a jobEnd record.
+type JournalJobEnd struct {
+	// Status is the job's terminal status: done, cancelled, or failed.
+	Status string `json:"status"`
+	// Error carries the failure message when Status is failed.
+	Error string `json:"error,omitempty"`
+}

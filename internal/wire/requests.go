@@ -128,10 +128,12 @@ type BatchStats struct {
 	Solved int `json:"solved"`
 	// CacheHits counts points replayed from a canonically-equivalent
 	// earlier point; WarmStarted counts solves seeded with a neighbor's
-	// schedule; Pruned counts points skipped with a certified bound.
+	// schedule; Pruned counts points skipped with a certified bound;
+	// Resumed counts points replayed from a checkpoint journal (schema v3).
 	CacheHits   int `json:"cacheHits,omitempty"`
 	WarmStarted int `json:"warmStarted,omitempty"`
 	Pruned      int `json:"pruned,omitempty"`
+	Resumed     int `json:"resumed,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /v1/batch.
@@ -165,6 +167,11 @@ type Job struct {
 	// RequestID is the correlation ID of the request that started the job;
 	// per-point IDs derive from it ("<requestId>/p<i>").
 	RequestID string `json:"requestId,omitempty"`
+	// Resumed is true when the job was recovered from the crash-recovery
+	// journal after a restart; ResumedPoints counts the points replayed from
+	// the journal instead of re-solved (schema v3).
+	Resumed       bool `json:"resumed,omitempty"`
+	ResumedPoints int  `json:"resumedPoints,omitempty"`
 	// Result is set once Status is terminal (for "failed" jobs it may carry
 	// the partial points of the last attempt, or be absent).
 	Result *SweepResponse `json:"result,omitempty"`

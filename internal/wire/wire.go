@@ -30,7 +30,11 @@ import (
 //	    sweep-engine options (cache, warmStart, pruning) on sweep and batch
 //	    requests, and cacheHit/warmStarted/pruned/prunedBy/speedupBound on
 //	    Point. Every v1 payload decodes unchanged.
-const SchemaVersion = 2
+//	3 — additive: crash-recovery journal record types (JournalRecord and
+//	    friends, see journal.go), resume metadata (resumed on Point,
+//	    resumed/resumedPoints on Job, resumed on BatchStats). Every v1/v2
+//	    payload decodes unchanged.
+const SchemaVersion = 3
 
 // CheckVersion rejects payloads from a newer schema than this binary speaks.
 func CheckVersion(v int) error {
@@ -318,6 +322,11 @@ type Point struct {
 	Pruned       bool    `json:"pruned,omitempty"`
 	PrunedBy     string  `json:"prunedBy,omitempty"`
 	SpeedupBound float64 `json:"speedupBound,omitempty"`
+	// Resumed marks a point replayed from a crash-recovery checkpoint
+	// journal instead of re-solved: the metrics are the prior run's, verbatim
+	// (schema v3). Resume metadata, not a metric — identical inputs yield
+	// identical metrics whether or not a point was resumed.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // Hash is the canonical-content hash shared by the hilp-serve LRU cache and

@@ -49,6 +49,8 @@ type solveOptions struct {
 	baseline   Baseline
 	workers    int
 	onProgress func(SweepProgress)
+	onPoint    func(index int, p Point)
+	resume     map[int]Point
 	obs        *ObsContext
 	// Sweep-engine features. Tri-state (nil = caller said nothing) because
 	// the defaults differ per entry point: SolveBatch turns cache and warm
@@ -99,6 +101,29 @@ func WithWorkers(n int) Option {
 // every completed point. Solve ignores it.
 func WithProgress(fn func(SweepProgress)) Option {
 	return func(o *solveOptions) { o.onProgress = fn }
+}
+
+// WithCheckpoint installs a per-point checkpoint hook for Sweep and
+// SolveBatch: fn is called once for every completed point with its input
+// index, serialized, covering solved, cached, and pruned points. It is the
+// attachment point for the crash-recovery journal — hilp-dse and hilp-serve
+// append a journal record from it — but any durable sink works. Points
+// pre-filled via WithResume are not re-reported (they are already in
+// whatever store fn writes to), and points never dispatched because the
+// context was cancelled are not reported either. Solve ignores it.
+func WithCheckpoint(fn func(index int, p Point)) Option {
+	return func(o *solveOptions) { o.onPoint = fn }
+}
+
+// WithResume pre-fills completed points from a prior run, keyed by input
+// index — the other half of crash recovery. Resumed points are marked
+// Point.Resumed, counted in BatchStats.Resumed, and never dispatched, so a
+// resumed Sweep or SolveBatch re-solves strictly fewer points than it
+// recovers. The caller is responsible for resuming against the same model
+// (workload, specs, profile, solver); the binaries enforce this with a
+// canonical model key recorded in the journal. Solve ignores it.
+func WithResume(points map[int]Point) Option {
+	return func(o *solveOptions) { o.resume = points }
 }
 
 // WithCache enables (or disables) canonical-model memoization across the
@@ -188,6 +213,8 @@ func Sweep(ctx context.Context, w Workload, specs []SoC, opts ...Option) []Point
 		Workers:    o.workers,
 		Obs:        o.obs,
 		OnProgress: o.onProgress,
+		OnPoint:    o.onPoint,
+		Resume:     o.resume,
 		Cache:      o.cache != nil && *o.cache,
 		WarmStart:  o.warm != nil && *o.warm,
 		Prune:      o.prune != nil && *o.prune,
@@ -224,6 +251,8 @@ func SolveBatch(ctx context.Context, w Workload, specs []SoC, opts ...Option) (r
 		Workers:    o.workers,
 		Obs:        o.obs,
 		OnProgress: o.onProgress,
+		OnPoint:    o.onPoint,
+		Resume:     o.resume,
 		Cache:      o.cache == nil || *o.cache,
 		WarmStart:  o.warm == nil || *o.warm,
 		Prune:      o.prune != nil && *o.prune,
