@@ -1,0 +1,86 @@
+// Command hilp-lint runs the project's static-analysis suite (internal/lint)
+// and the wire-schema compatibility gate over the module.
+//
+// Usage:
+//
+//	go run ./cmd/hilp-lint ./...              # human-readable findings
+//	go run ./cmd/hilp-lint -json ./... > lint.json
+//	go run ./cmd/hilp-lint -schema-snapshot   # regenerate internal/wire/schema.snapshot.json
+//
+// Exit status: 0 when clean, 1 when there are findings, 2 when packages
+// fail to load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hilp/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as one JSON report on stdout")
+	snapshot := flag.Bool("schema-snapshot", false, "regenerate the wire schema snapshot and exit")
+	noSchema := flag.Bool("no-schema", false, "skip the wire-schema compatibility gate")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hilp-lint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n\nFlags:\n", "wireschema",
+			"internal/wire structs stay additive vs the committed snapshot")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fail(err)
+	}
+
+	if *snapshot {
+		if err := lint.WriteSchemaSnapshot(loader); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "hilp-lint: wrote %s\n", lint.SnapshotRelPath)
+		return
+	}
+
+	pkgs, err := loader.LoadModule(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	diags := lint.RunAll(pkgs)
+	if !*noSchema {
+		schemaDiags, err := lint.CheckSchemaSnapshot(loader)
+		if err != nil {
+			fail(err)
+		}
+		diags = append(diags, schemaDiags...)
+		lint.SortDiagnostics(diags)
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fail(err)
+		}
+	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
+		fail(err)
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "hilp-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "hilp-lint: %v\n", err)
+	os.Exit(2)
+}

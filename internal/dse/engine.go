@@ -374,6 +374,7 @@ func (r *batchRun) dispatch(order []int) {
 	for w := 0; w < r.workers; w++ {
 		wg.Add(1)
 		go func() {
+			defer r.octx.Guard("sweep-worker")
 			defer wg.Done()
 			for i := range jobs {
 				r.runPoint(i)

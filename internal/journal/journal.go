@@ -175,13 +175,11 @@ func Open(dir string, opts Options) (*Journal, error) {
 			return nil, fmt.Errorf("journal: %w", err)
 		}
 		// Drop the torn tail, if any, and position at the frame boundary.
-		if err := f.Truncate(lastValid); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		if terr := f.Truncate(lastValid); terr != nil {
+			return nil, errors.Join(fmt.Errorf("journal: truncating torn tail: %w", terr), f.Close())
 		}
-		if _, err := f.Seek(lastValid, 0); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("journal: %w", err)
+		if _, serr := f.Seek(lastValid, 0); serr != nil {
+			return nil, errors.Join(fmt.Errorf("journal: %w", serr), f.Close())
 		}
 		j.f = f
 		j.size = lastValid
@@ -341,14 +339,12 @@ func (j *Journal) rotateLocked() error {
 	var hdr [segHeaderLen]byte
 	copy(hdr[:4], segMagic[:])
 	binary.LittleEndian.PutUint32(hdr[4:8], FormatVersion)
-	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		j.err = fmt.Errorf("journal: %w", err)
+	if _, werr := f.Write(hdr[:]); werr != nil {
+		j.err = errors.Join(fmt.Errorf("journal: %w", werr), f.Close())
 		return j.err
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		j.err = fmt.Errorf("journal: fsync: %w", err)
+	if serr := f.Sync(); serr != nil {
+		j.err = errors.Join(fmt.Errorf("journal: fsync: %w", serr), f.Close())
 		return j.err
 	}
 	j.f = f
@@ -445,7 +441,12 @@ func (j *Journal) Abandon() {
 	}
 	j.closed = true
 	if j.f != nil {
-		j.f.Close() // buffered writer intentionally not flushed
+		// The buffered writer is intentionally not flushed; the close error
+		// is irrelevant to the simulated crash but still recorded so it is
+		// never silently dropped.
+		if cerr := j.f.Close(); cerr != nil && j.err == nil {
+			j.err = fmt.Errorf("journal: abandon: %w", cerr)
+		}
 	}
 	j.mu.Unlock()
 	close(j.flusherStop)

@@ -132,14 +132,20 @@ type segScan struct {
 // The returned error is nil for a clean segment, errStopped when fn aborted,
 // and a descriptive framing error (torn or corrupt frame, bad header) with
 // validBytes marking the last good frame boundary otherwise.
-func scanSegment(path string, fn func(wire.JournalRecord) error) (segScan, error) {
-	scan := segScan{validBytes: segHeaderLen}
+func scanSegment(path string, fn func(wire.JournalRecord) error) (scan segScan, err error) {
+	scan = segScan{validBytes: segHeaderLen}
 	f, err := os.Open(path)
 	if err != nil {
 		scan.validBytes = 0
 		return scan, err
 	}
-	defer f.Close()
+	defer func() {
+		// A close error on the read-only handle is next to impossible, but a
+		// replay that reports clean must really have read everything.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("closing segment: %w", cerr)
+		}
+	}()
 	r := bufio.NewReader(f)
 
 	var hdr [segHeaderLen]byte

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// legacyMarker is the only suppression the suite honors: a `//lint:legacy`
+// directive on a deprecated wrapper's doc comment, and only inside a file
+// named legacy.go, so the allowlist cannot leak into live code.
+const legacyMarker = "//lint:legacy"
+
+// CtxFirst enforces the context-first API contract from PR 3: every exported
+// Solve*/Sweep*/Batch* entry point must take a context.Context as its first
+// parameter so solves are cancellable with anytime semantics. Deprecated
+// pre-context wrappers are exempt only when they live in legacy.go and carry
+// the //lint:legacy directive in their doc comment.
+const ctxFirstName = "ctxfirst"
+
+var CtxFirst = &Analyzer{
+	Name: ctxFirstName,
+	Doc:  "exported Solve*/Sweep*/Batch* entry points must take context.Context first",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		isLegacyFile := filepath.Base(p.Filename(f.Pos())) == "legacy.go"
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isEntryPointName(fd.Name.Name) {
+				continue
+			}
+			if isLegacyFile && hasLegacyMarker(fd.Doc) {
+				continue
+			}
+			if firstParamIsContext(p, fd) {
+				continue
+			}
+			out = append(out, p.Diag(ctxFirstName, fd.Name.Pos(),
+				"exported entry point %s must take a context.Context as its first parameter (mark deprecated wrappers in legacy.go with %s)",
+				fd.Name.Name, legacyMarker))
+		}
+	}
+	return out
+}
+
+// isEntryPointName reports whether name is an exported solver entry point.
+func isEntryPointName(name string) bool {
+	if !ast.IsExported(name) {
+		return false
+	}
+	return strings.HasPrefix(name, "Solve") ||
+		strings.HasPrefix(name, "Sweep") ||
+		strings.HasPrefix(name, "Batch")
+}
+
+// hasLegacyMarker reports whether the doc comment carries the //lint:legacy
+// directive. Directives are excluded from CommentGroup.Text, so the raw list
+// is scanned.
+func hasLegacyMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == legacyMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsContext reports whether the declaration's first parameter is a
+// context.Context.
+func firstParamIsContext(p *Package, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	first := params.List[0]
+	t := p.Info.TypeOf(first.Type)
+	return t != nil && t.String() == "context.Context"
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errsilentScope lists the durability layers: the write-ahead journal and
+// the serving process that owns it. A dropped Sync/Close/Flush/Write error
+// there means a checkpoint believed durable may not be, so every error
+// result must be consumed — returned, joined, or logged — never discarded.
+var errsilentScope = []string{
+	"internal/journal",
+	"internal/server",
+}
+
+// errMethods are the I/O completion methods whose errors must be handled.
+var errMethods = map[string]bool{
+	"Sync":  true,
+	"Close": true,
+	"Flush": true,
+	"Write": true,
+}
+
+// ErrSilent flags discarded error results from Sync, Close, Flush, and Write
+// calls in the crash-recovery layers: bare call statements, deferred calls,
+// and error positions assigned to the blank identifier. Calls on sinks whose
+// listed methods cannot fail (hash.Hash implementations, *bytes.Buffer,
+// *strings.Builder) are exempt, as are calls with no error result at all
+// (http.Flusher.Flush).
+const errSilentName = "errsilent"
+
+var ErrSilent = &Analyzer{
+	Name: errSilentName,
+	Doc:  "journal/server code must not discard Sync/Close/Flush/Write errors",
+	Run:  runErrSilent,
+}
+
+func runErrSilent(p *Package) []Diagnostic {
+	if !pathInScope(p.Path, errsilentScope...) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					out = append(out, checkDiscardedCall(p, call, "discarded")...)
+				}
+			case *ast.DeferStmt:
+				out = append(out, checkDiscardedCall(p, n.Call, "discarded by defer")...)
+			case *ast.GoStmt:
+				out = append(out, checkDiscardedCall(p, n.Call, "discarded by go")...)
+			case *ast.AssignStmt:
+				out = append(out, checkBlankAssign(p, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDiscardedCall flags a statement-position call whose error result is
+// dropped entirely.
+func checkDiscardedCall(p *Package, call *ast.CallExpr, how string) []Diagnostic {
+	name, ok := errProneCall(p, call)
+	if !ok {
+		return nil
+	}
+	return []Diagnostic{p.Diag(errSilentName, call.Pos(),
+		"error from %s %s; the crash-recovery layer must return, join, or log it", name, how)}
+}
+
+// checkBlankAssign flags assignments whose error positions land in the blank
+// identifier, e.g. `_ = f.Close()` or `n, _ := w.Write(b)`.
+func checkBlankAssign(p *Package, as *ast.AssignStmt) []Diagnostic {
+	// Only the single-call form can discard a call's error via blanks:
+	// x, err := f() or _ = f().
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	name, ok := errProneCall(p, call)
+	if !ok {
+		return nil
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil
+	}
+	results := sig.Results()
+	if len(as.Lhs) != results.Len() {
+		return nil
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			return []Diagnostic{p.Diag(errSilentName, call.Pos(),
+				"error from %s assigned to _; the crash-recovery layer must return, join, or log it", name)}
+		}
+	}
+	return nil
+}
+
+// errProneCall reports whether call is a Sync/Close/Flush/Write selector
+// call that returns an error and is not on an infallible sink. It returns a
+// printable receiver.Method name.
+func errProneCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errMethods[sel.Sel.Name] {
+		return "", false
+	}
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	hasErr := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			hasErr = true
+		}
+	}
+	if !hasErr {
+		return "", false
+	}
+	if recv := p.Info.TypeOf(sel.X); recv != nil && infallibleSink(recv) {
+		return "", false
+	}
+	return exprString(sel.X) + "." + sel.Sel.Name, true
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+// infallibleSink reports whether t's documented contract is that the listed
+// methods never return a non-nil error: hash.Hash implementations (Write
+// "never returns an error" per the hash package docs), bytes.Buffer, and
+// strings.Builder.
+func infallibleSink(t types.Type) bool {
+	switch t.String() {
+	case "*bytes.Buffer", "bytes.Buffer", "*strings.Builder", "strings.Builder":
+		return true
+	}
+	// hash.Hash (and hash.Hash32/64) shaped: Sum plus BlockSize methods.
+	ms := types.NewMethodSet(t)
+	hasSum, hasBlockSize := false, false
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Sum":
+			hasSum = true
+		case "BlockSize":
+			hasBlockSize = true
+		}
+	}
+	return hasSum && hasBlockSize
+}
+
+// exprString renders simple receiver expressions (identifiers and dotted
+// chains) for diagnostics; anything else degrades to a placeholder.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "(expr)"
+}

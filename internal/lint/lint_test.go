@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersOnFixtures runs the full analyzer suite over each fixture
+// module under testdata/src and checks its findings against the fixtures'
+// trailing `// want "regexp"` comments: every diagnostic must be wanted on
+// its exact file and line, and every want must fire. Test files are loaded
+// (IncludeTests) so the _test.go exemption is exercised rather than skipped.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	fixtures := []string{"ctxfirst", "nodeterm", "nopanic", "nilsafeobs", "errsilent"}
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			runFixture(t, filepath.Join("testdata", "src", name))
+		})
+	}
+}
+
+// expectation is one `// want` comment: a diagnostic must match pattern at
+// file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+const wantPrefix = `// want "`
+
+func runFixture(t *testing.T, dir string) {
+	t.Helper()
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	l.IncludeTests = true
+	pkgs, err := l.LoadModule([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture module has no packages")
+	}
+	var wants []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			wants = append(wants, collectWants(t, p, f)...)
+		}
+	}
+	diags := RunAll(pkgs)
+	SortDiagnostics(diags)
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if w.matched || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if !w.pattern.MatchString(d.Message) {
+				t.Errorf("%s: diagnostic %q does not match want %q", d, d.Message, w.pattern)
+			}
+			w.matched = true
+			continue outer
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q never fired", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants extracts the `// want "re"` comments of one fixture file.
+func collectWants(t *testing.T, p *Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, wantPrefix) || !strings.HasSuffix(text, `"`) {
+				continue
+			}
+			raw := text[len(wantPrefix) : len(text)-1]
+			re, err := regexp.Compile(raw)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", p.Filename(c.Pos()), raw, err)
+			}
+			out = append(out, &expectation{
+				file:    p.Filename(c.Pos()),
+				line:    p.Fset.Position(c.Pos()).Line,
+				pattern: re,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path ("hilp/internal/milp"; fixture
+	// packages use synthetic paths like "nodeterm/internal/report").
+	Path string
+	// Files are the package's parsed files (test files included only when the
+	// loader was asked for them; analyzers additionally skip _test.go by
+	// filename so exemptions hold either way).
+	Files []*ast.File
+	// Fset maps AST positions back to file/line/column.
+	Fset *token.FileSet
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the use/selection/type resolution analyzers rely on.
+	Info *types.Info
+	// relRoot, when non-empty, is stripped from file paths in diagnostics so
+	// findings are module-relative.
+	relRoot string
+}
+
+// Filename returns the name of the file containing pos, relative to the
+// module root when known.
+func (p *Package) Filename(pos token.Pos) string {
+	name := p.Fset.Position(pos).Filename
+	if p.relRoot != "" {
+		if rel, err := filepath.Rel(p.relRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return name
+}
+
+// Diag builds a diagnostic for the named analyzer at the given position.
+func (p *Package) Diag(analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+	position := p.Fset.Position(pos)
+	return Diagnostic{
+		Analyzer: analyzer,
+		File:     p.Filename(pos),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports resolve against the module tree,
+// everything else (the standard library) through the compiler's source
+// importer. Loaded packages are memoized, so a tree-wide run type-checks each
+// package once.
+type Loader struct {
+	// ModRoot is the absolute module root (the directory holding go.mod).
+	ModRoot string
+	// ModPath is the module path from go.mod ("hilp").
+	ModPath string
+	// IncludeTests parses _test.go files of loaded packages too (fixture
+	// harness mode; external _test packages are still excluded).
+	IncludeTests bool
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir, walking
+// upward to find go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found in or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModRoot: root,
+		ModPath: modPath,
+		fset:    fset,
+		pkgs:    map[string]*Package{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// LoadModule loads every package under the module root matching the patterns.
+// The only pattern forms supported are "./..." (the whole module) and plain
+// relative directories ("internal/milp", "./cmd/hilp-lint"). Directories
+// named testdata and hidden directories are never walked.
+func (l *Loader) LoadModule(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirSet := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.ModRoot, dirSet); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.ModRoot, strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/..."))
+			if err := l.walk(base, dirSet); err != nil {
+				return nil, err
+			}
+		default:
+			dirSet[filepath.Join(l.ModRoot, strings.TrimPrefix(pat, "./"))] = true
+		}
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.Load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// walk collects every directory under base containing non-test Go files.
+func (l *Loader) walk(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+}
+
+// Load parses and type-checks the package in dir under the given import
+// path. It returns (nil, nil) for directories with no eligible Go files.
+func (l *Loader) Load(path, dir string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !l.IncludeTests {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		// External test packages (package foo_test) cannot be type-checked
+		// together with the package proper; skip them.
+		if isTest && strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		if !isTest {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	if pkgName == "" {
+		return nil, nil
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == pkgName {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := &types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Files: files, Fset: l.fset, Types: tpkg, Info: info, relRoot: l.ModRoot}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// loaderImporter resolves imports during type checking: module-internal
+// paths recurse into the loader (without test files), everything else goes
+// to the standard library's source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		sub := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		// Imported dependencies never need their test files, regardless of
+		// the loader's own mode.
+		saved := l.IncludeTests
+		l.IncludeTests = false
+		p, err := l.Load(path, sub)
+		l.IncludeTests = saved
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", sub)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// pathInScope reports whether pkgPath addresses one of the module-relative
+// package paths in rels (e.g. "internal/milp"), by exact or suffix match so
+// fixture packages with synthetic prefixes stay in scope.
+func pathInScope(pkgPath string, rels ...string) bool {
+	for _, rel := range rels {
+		if pkgPath == rel || strings.HasSuffix(pkgPath, "/"+rel) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file; every
+// analyzer exempts those.
+func (p *Package) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// obsHotTypes are the observability types threaded through solver hot paths.
+// The zero-alloc no-op contract (PR 1) promises that a nil pointer to any of
+// them is fully usable, so solver layers instrument unconditionally; an
+// exported pointer-receiver method that dereferences its receiver without a
+// leading nil guard breaks that promise with a panic on the disabled path.
+var obsHotTypes = map[string]bool{
+	"Context":    true,
+	"Tracer":     true,
+	"Registry":   true,
+	"Counter":    true,
+	"Gauge":      true,
+	"Histogram":  true,
+	"Recorder":   true,
+	"Bus":        true,
+	"StageTimer": true,
+	"Logger":     true,
+}
+
+// NilSafeObs checks that exported pointer-receiver methods on the hot-path
+// obs types guard nil receivers before any field access. Accepted guard
+// forms:
+//
+//   - a leading `if recv == nil { ... return ... }` statement (the nil check
+//     may be the first operand of an || chain);
+//   - a body that is entirely `if recv != nil { ... }` (first operand of an
+//     && chain);
+//   - a single `return recv != nil && ...` expression;
+//   - a body that never dereferences a receiver field (pure delegation to
+//     other methods, which guard themselves).
+const nilSafeObsName = "nilsafeobs"
+
+var NilSafeObs = &Analyzer{
+	Name: nilSafeObsName,
+	Doc:  "hot-path obs methods must guard nil receivers before field access",
+	Run:  runNilSafeObs,
+}
+
+func runNilSafeObs(p *Package) []Diagnostic {
+	if !pathInScope(p.Path, "internal/obs") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvObj, typeName := pointerReceiver(p, fd)
+			if recvObj == nil || !obsHotTypes[typeName] {
+				continue
+			}
+			if methodGuardsNil(p, fd, recvObj) {
+				continue
+			}
+			if pos, found := firstReceiverDeref(p, fd.Body, recvObj); found {
+				out = append(out, p.Diag(nilSafeObsName, pos,
+					"method (*%s).%s dereferences its receiver without a leading nil guard; a nil *%s must stay a valid no-op",
+					typeName, fd.Name.Name, typeName))
+			}
+		}
+	}
+	return out
+}
+
+// pointerReceiver returns the named receiver variable and its base type name
+// when the method has a pointer receiver; (nil, "") otherwise (value
+// receivers cannot be nil, unnamed receivers cannot be dereferenced).
+func pointerReceiver(p *Package, fd *ast.FuncDecl) (*types.Var, string) {
+	field := fd.Recv.List[0]
+	if len(field.Names) == 0 {
+		return nil, ""
+	}
+	obj, ok := p.Info.Defs[field.Names[0]].(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	ptr, ok := obj.Type().(*types.Pointer)
+	if !ok {
+		return nil, ""
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return obj, named.Obj().Name()
+}
+
+// methodGuardsNil recognizes the accepted leading-guard shapes.
+func methodGuardsNil(p *Package, fd *ast.FuncDecl, recv *types.Var) bool {
+	body := fd.Body.List
+	if len(body) == 0 {
+		return true
+	}
+	switch first := body[0].(type) {
+	case *ast.IfStmt:
+		// Leading `if recv == nil { ...; return }` guard; the rest of the
+		// body runs with a non-nil receiver. Or the whole body inside
+		// `if recv != nil { ... }`.
+		if nilComparisonFirst(p, first.Cond, recv, token.EQL, token.LOR) && terminates(first.Body) {
+			return true
+		}
+		if len(body) == 1 && first.Else == nil &&
+			nilComparisonFirst(p, first.Cond, recv, token.NEQ, token.LAND) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		// `return recv != nil && ...` short-circuits every deref.
+		if len(body) == 1 && len(first.Results) == 1 &&
+			nilComparisonFirst(p, first.Results[0], recv, token.NEQ, token.LAND) {
+			return true
+		}
+	}
+	return false
+}
+
+// nilComparisonFirst reports whether expr is `recv <op> nil`, or a chain of
+// the given logical operator whose leftmost operand is that comparison
+// (short-circuit evaluation makes later operands nil-safe).
+func nilComparisonFirst(p *Package, expr ast.Expr, recv *types.Var, op, chain token.Token) bool {
+	for {
+		e, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		if e.Op == chain {
+			expr = e.X // logical chains associate left; recurse into the head
+			continue
+		}
+		if e.Op != op {
+			return false
+		}
+		x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+		return (isRecvIdent(p, x, recv) && isNilIdent(p, y)) ||
+			(isNilIdent(p, x) && isRecvIdent(p, y, recv))
+	}
+}
+
+func isRecvIdent(p *Package, e ast.Expr, recv *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && p.Info.Uses[id] == recv
+}
+
+func isNilIdent(p *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// terminates reports whether the block always leaves the function (return or
+// panic as its final statement).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// firstReceiverDeref finds a receiver dereference: a field selection on the
+// receiver (method calls are fine — callees guard themselves) or an explicit
+// *recv.
+func firstReceiverDeref(p *Package, body *ast.BlockStmt, recv *types.Var) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isRecvIdent(p, ast.Unparen(n.X), recv) {
+				return true
+			}
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				pos, found = n.Pos(), true
+				return false
+			}
+		case *ast.StarExpr:
+			if isRecvIdent(p, ast.Unparen(n.X), recv) {
+				pos, found = n.Pos(), true
+				return false
+			}
+		}
+		return true
+	})
+	return pos, found
+}

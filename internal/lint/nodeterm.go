@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nodetermScope lists the packages whose outputs must be byte-deterministic:
+// run reports and gap certificates (PR 2) are diffed and golden-file tested,
+// so nothing in these packages may consult the wall clock, the global
+// math/rand source, or emit output in map-iteration order. internal/obs and
+// other wall-clock telemetry live outside this scope by design.
+var nodetermScope = []string{
+	"internal/report",
+	"internal/scheduler",
+	"internal/core",
+	"internal/milp",
+}
+
+// randConstructors are the math/rand package functions that build seeded
+// local sources; those are the deterministic way to use the package.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// outputCalls are method/function names that emit into an ordered sink; a
+// map-range loop calling one of these produces map-iteration-ordered output.
+var outputCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": false, // Sprint* build strings, order-dependent only if accumulated; handled by the append rule
+}
+
+// NoDeterm enforces the byte-determinism contract of the report/solver
+// pipeline: within the deterministic packages, no time.Now/time.Since, no
+// global math/rand functions (seeded rand.New(rand.NewSource(...)) locals
+// are fine), and no map iteration that feeds an ordered output — either
+// writing inside the loop or accumulating a slice that is never sorted.
+const noDetermName = "nodeterm"
+
+var NoDeterm = &Analyzer{
+	Name: noDetermName,
+	Doc:  "no wall clock, global math/rand, or map-ordered output in deterministic packages",
+	Run:  runNoDeterm,
+}
+
+func runNoDeterm(p *Package) []Diagnostic {
+	if !pathInScope(p.Path, nodetermScope...) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, checkDetermCall(p, n)...)
+			case *ast.BlockStmt:
+				out = append(out, checkMapRanges(p, n.List)...)
+			case *ast.CaseClause:
+				out = append(out, checkMapRanges(p, n.Body)...)
+			case *ast.CommClause:
+				out = append(out, checkMapRanges(p, n.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkDetermCall flags wall-clock reads and global math/rand calls.
+func checkDetermCall(p *Package, call *ast.CallExpr) []Diagnostic {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until" {
+			return []Diagnostic{p.Diag(noDetermName, call.Pos(),
+				"time.%s in deterministic path; inject a clock or derive deadlines from the context", fn.Name())}
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return []Diagnostic{p.Diag(noDetermName, call.Pos(),
+				"global rand.%s in deterministic path; use a seeded rand.New(rand.NewSource(seed))", fn.Name())}
+		}
+	}
+	return nil
+}
+
+// checkMapRanges scans one statement list for range-over-map loops that feed
+// ordered output: a write call inside the body, or an append to an outer
+// slice that no later statement of the same list sorts.
+func checkMapRanges(p *Package, stmts []ast.Stmt) []Diagnostic {
+	var out []Diagnostic
+	for i, st := range stmts {
+		rs, ok := st.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		if t := p.Info.TypeOf(rs.X); t == nil {
+			continue
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			continue
+		}
+		// Writes into an ordered sink inside the loop body are
+		// order-dependent no matter what happens afterwards.
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !outputCalls[sel.Sel.Name] {
+				return true
+			}
+			// Writes into hash/buffer/stream sinks are all order-dependent;
+			// only map/set insertion and commutative accumulation are safe.
+			out = append(out, p.Diag(noDetermName, call.Pos(),
+				"map iteration feeds %s; iterate sorted keys instead", sel.Sel.Name))
+			return true
+		})
+		// Appends to outer slices are fine only when a later statement in
+		// this block sorts the slice.
+		for _, obj := range mapLoopAppendTargets(p, rs) {
+			if !sortedLater(p, stmts[i+1:], obj) {
+				out = append(out, p.Diag(noDetermName, rs.Pos(),
+					"map iteration appends to %s, which is never sorted afterwards; sort it or iterate sorted keys", obj.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// mapLoopAppendTargets returns the variables declared outside the range loop
+// that its body appends to.
+func mapLoopAppendTargets(p *Package, rs *ast.RangeStmt) []*types.Var {
+	var targets []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			return true
+		}
+		argID, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[argID].(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		if v.Pos() >= rs.Pos() && v.Pos() <= rs.End() {
+			return true // declared inside the loop; dies with the iteration
+		}
+		seen[v] = true
+		targets = append(targets, v)
+		return true
+	})
+	return targets
+}
+
+// sortedLater reports whether any of the statements passes v to a sort/slices
+// ordering function.
+func sortedLater(p *Package, stmts []ast.Stmt, v *types.Var) bool {
+	for _, st := range stmts {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == v {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

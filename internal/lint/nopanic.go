@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// nopanicScope lists the packages that spawn goroutines around the solver:
+// a panic escaping one of them would take down the whole serving process,
+// bypassing the PR 4 panic-isolation ladder (scheduler.Solve, sweep workers,
+// hilp.Solve, the hilp-serve pool all convert panics to errors).
+var nopanicScope = []string{
+	"internal/server",
+	"internal/dse",
+	"internal/obs",
+}
+
+// NoPanic requires every `go func` literal in the scoped packages to begin
+// with a deferred recover helper: the leading run of defer statements must
+// include either an inline func literal that calls recover() or a call to a
+// named helper (a name containing "Recover", or the obs.Context.Guard
+// helper). `go name()` launches are not flagged — the named function is
+// expected to guard itself and is checked at its own declaration when it is
+// a literal.
+const noPanicName = "nopanic"
+
+var NoPanic = &Analyzer{
+	Name: noPanicName,
+	Doc:  "goroutine literals in server/dse/obs must begin with a deferred recover helper",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(p *Package) []Diagnostic {
+	if !pathInScope(p.Path, nopanicScope...) {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !leadingDefersRecover(p, fl) {
+				out = append(out, p.Diag(noPanicName, g.Pos(),
+					"goroutine literal must begin with a deferred recover helper (defer obs.Context.Guard or an inline recover)"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// leadingDefersRecover reports whether the literal's leading defer
+// statements include a recover helper.
+func leadingDefersRecover(p *Package, fl *ast.FuncLit) bool {
+	for _, st := range fl.Body.List {
+		ds, ok := st.(*ast.DeferStmt)
+		if !ok {
+			return false
+		}
+		if isRecoverHelper(p, ds.Call) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRecoverHelper recognizes the two accepted guard forms: an inline func
+// literal containing a direct recover() call, and a deferred call to a
+// helper whose name contains "Recover" or is Guard.
+func isRecoverHelper(p *Package, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return callsRecover(p, fun)
+	case *ast.Ident:
+		return helperName(fun.Name)
+	case *ast.SelectorExpr:
+		return helperName(fun.Sel.Name)
+	}
+	return false
+}
+
+func helperName(name string) bool {
+	return name == "Guard" || strings.Contains(name, "Recover") || strings.Contains(name, "recover")
+}
+
+// callsRecover reports whether the literal's body calls the recover builtin.
+func callsRecover(p *Package, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" && p.Info.Uses[id] != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+)
+
+// SnapshotRelPath is where the wire schema snapshot lives, relative to the
+// module root. It is committed, so any schema edit shows up in review as a
+// snapshot diff — and the gate fails when the edit is breaking.
+const SnapshotRelPath = "internal/wire/schema.snapshot.json"
+
+// wirePkgRel is the module-relative package the snapshot reflects.
+const wirePkgRel = "internal/wire"
+
+// SchemaField is one exported struct field as it appears on the wire.
+type SchemaField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// JSON is the field's full json struct tag value ("bench",
+	// "apps,omitempty"); empty when untagged (encoding/json then uses the
+	// field name).
+	JSON string `json:"json,omitempty"`
+}
+
+// SchemaType is the field list of one exported struct, in declaration order.
+type SchemaType struct {
+	Fields []SchemaField `json:"fields"`
+}
+
+// Schema is the canonical shape of the wire package's exported structs.
+type Schema struct {
+	// SchemaVersion mirrors wire.SchemaVersion at snapshot time.
+	SchemaVersion int `json:"schemaVersion"`
+	// Package is the reflected package's import path.
+	Package string `json:"package"`
+	// Types maps exported struct names to their wire shape.
+	Types map[string]SchemaType `json:"types"`
+}
+
+// ExtractSchema builds the Schema of the given loaded package from its type
+// information: every exported struct type, every exported field (unexported
+// fields never reach the wire), field types rendered relative to the
+// package.
+func ExtractSchema(p *Package) (Schema, error) {
+	s := Schema{Package: p.Path, Types: map[string]SchemaType{}}
+	scope := p.Types.Scope()
+	qual := types.RelativeTo(p.Types)
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		tn, ok := obj.(*types.TypeName)
+		if !ok || !tn.Exported() || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		var fields []SchemaField
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			tag := reflect.StructTag(st.Tag(i)).Get("json")
+			if tag == "-" {
+				continue // explicitly not on the wire
+			}
+			fields = append(fields, SchemaField{
+				Name: f.Name(),
+				Type: types.TypeString(f.Type(), qual),
+				JSON: tag,
+			})
+		}
+		s.Types[name] = SchemaType{Fields: fields}
+	}
+	if c, ok := scope.Lookup("SchemaVersion").(*types.Const); ok {
+		if v, err := fmt.Sscan(c.Val().ExactString(), &s.SchemaVersion); v != 1 || err != nil {
+			return s, fmt.Errorf("lint: parsing SchemaVersion %s: %w", c.Val().ExactString(), err)
+		}
+	}
+	return s, nil
+}
+
+// MarshalSchema renders the schema as stable, indented JSON with a trailing
+// newline (map keys sort under encoding/json, so output is byte-stable).
+func MarshalSchema(s Schema) ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// CompareSchemas lists every backward-incompatible difference going from old
+// (the committed snapshot) to new (the current tree): removed types, removed
+// or renamed fields, re-typed fields, changed JSON tags, and a schema
+// version moving backwards. Additions are compatible and produce nothing.
+func CompareSchemas(old, new Schema) []string {
+	var problems []string
+	if new.SchemaVersion < old.SchemaVersion {
+		problems = append(problems, fmt.Sprintf(
+			"SchemaVersion went backwards: snapshot %d, tree %d", old.SchemaVersion, new.SchemaVersion))
+	}
+	names := make([]string, 0, len(old.Types))
+	for name := range old.Types {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ot := old.Types[name]
+		nt, ok := new.Types[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("type %s was removed", name))
+			continue
+		}
+		byName := map[string]SchemaField{}
+		for _, f := range nt.Fields {
+			byName[f.Name] = f
+		}
+		for _, of := range ot.Fields {
+			nf, ok := byName[of.Name]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("field %s.%s was removed or renamed", name, of.Name))
+				continue
+			}
+			if nf.Type != of.Type {
+				problems = append(problems, fmt.Sprintf(
+					"field %s.%s changed type: %s -> %s", name, of.Name, of.Type, nf.Type))
+			}
+			if nf.JSON != of.JSON {
+				problems = append(problems, fmt.Sprintf(
+					"field %s.%s changed JSON tag: %q -> %q", name, of.Name, of.JSON, nf.JSON))
+			}
+		}
+	}
+	return problems
+}
+
+// WriteSchemaSnapshot regenerates the committed snapshot from the tree.
+func WriteSchemaSnapshot(l *Loader) error {
+	s, err := loadWireSchema(l)
+	if err != nil {
+		return err
+	}
+	b, err := MarshalSchema(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(l.ModRoot, filepath.FromSlash(SnapshotRelPath)), b, 0o644)
+}
+
+// CheckSchemaSnapshot runs the wire-schema compatibility gate: the current
+// tree's schema must be backward compatible with the committed snapshot, and
+// the snapshot must be regenerated when the schema grows (additive drift),
+// so the committed file always matches the tree. Findings come back as
+// diagnostics anchored on the snapshot file.
+func CheckSchemaSnapshot(l *Loader) ([]Diagnostic, error) {
+	current, err := loadWireSchema(l)
+	if err != nil {
+		return nil, err
+	}
+	snapPath := filepath.Join(l.ModRoot, filepath.FromSlash(SnapshotRelPath))
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading schema snapshot (generate with hilp-lint -schema-snapshot): %w", err)
+	}
+	var committed Schema
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", SnapshotRelPath, err)
+	}
+	diag := func(format string, args ...any) Diagnostic {
+		return Diagnostic{Analyzer: "wireschema", File: SnapshotRelPath, Line: 1, Col: 1,
+			Message: fmt.Sprintf(format, args...)}
+	}
+	var out []Diagnostic
+	for _, problem := range CompareSchemas(committed, current) {
+		out = append(out, diag("breaking wire-schema change: %s (the schema is additive-only)", problem))
+	}
+	if len(out) == 0 {
+		want, err := MarshalSchema(current)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(data)) {
+			out = append(out, diag(
+				"schema snapshot is stale (additive drift); regenerate with `go run ./cmd/hilp-lint -schema-snapshot`"))
+		}
+	}
+	return out, nil
+}
+
+// loadWireSchema loads and reflects the module's wire package.
+func loadWireSchema(l *Loader) (Schema, error) {
+	dir := filepath.Join(l.ModRoot, filepath.FromSlash(wirePkgRel))
+	p, err := l.Load(l.ModPath+"/"+wirePkgRel, dir)
+	if err != nil {
+		return Schema{}, err
+	}
+	if p == nil {
+		return Schema{}, fmt.Errorf("lint: wire package not found at %s", dir)
+	}
+	return ExtractSchema(p)
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wireBase is the fixture wire package the compatibility scenarios mutate.
+const wireBase = `package wire
+
+const SchemaVersion = 3
+
+type Point struct {
+	ID      string  ` + "`json:\"id\"`" + `
+	Score   float64 ` + "`json:\"score,omitempty\"`" + `
+	Skipped int     ` + "`json:\"-\"`" + `
+	note    string
+}
+
+type Summary struct {
+	Count int ` + "`json:\"count\"`" + `
+}
+`
+
+// writeWireModule lays out a throwaway module holding one internal/wire
+// package and returns a fresh loader rooted at it.
+func writeWireModule(t *testing.T, dir, wireSrc string) *Loader {
+	t.Helper()
+	wireDir := filepath.Join(dir, "internal", "wire")
+	if err := os.MkdirAll(wireDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module wiretest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wireDir, "wire.go"), []byte(wireSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSchemaGate snapshots a base wire package, mutates it, and checks which
+// edits the compatibility gate rejects: removals, renames, re-types, tag
+// changes, and version rollbacks fail; additions pass but flag the snapshot
+// as stale until regenerated.
+func TestSchemaGate(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(string) string
+		want string // substring of the expected diagnostic; "" expects a clean gate
+	}{
+		{name: "unchanged", edit: func(s string) string { return s }, want: ""},
+		{
+			name: "field removed",
+			edit: func(s string) string {
+				return strings.Replace(s, "\tScore   float64 `json:\"score,omitempty\"`\n", "", 1)
+			},
+			want: "field Point.Score was removed or renamed",
+		},
+		{
+			name: "field renamed",
+			edit: func(s string) string { return strings.Replace(s, "ID      string", "Ident   string", 1) },
+			want: "field Point.ID was removed or renamed",
+		},
+		{
+			name: "field re-typed",
+			edit: func(s string) string { return strings.Replace(s, "Score   float64", "Score   int", 1) },
+			want: "field Point.Score changed type: float64 -> int",
+		},
+		{
+			name: "tag changed",
+			edit: func(s string) string { return strings.Replace(s, `json:"id"`, `json:"ident"`, 1) },
+			want: `field Point.ID changed JSON tag: "id" -> "ident"`,
+		},
+		{
+			name: "type removed",
+			edit: func(s string) string {
+				i := strings.Index(s, "type Summary")
+				return s[:i]
+			},
+			want: "type Summary was removed",
+		},
+		{
+			name: "version rollback",
+			edit: func(s string) string { return strings.Replace(s, "SchemaVersion = 3", "SchemaVersion = 2", 1) },
+			want: "SchemaVersion went backwards: snapshot 3, tree 2",
+		},
+		{
+			name: "unexported field changes are invisible",
+			edit: func(s string) string { return strings.Replace(s, "note    string", "memo    string", 1) },
+			want: "",
+		},
+		{
+			name: "json:\"-\" field changes are invisible",
+			edit: func(s string) string { return strings.Replace(s, "Skipped int", "Skipped int64", 1) },
+			want: "",
+		},
+		{
+			name: "field added is additive drift",
+			edit: func(s string) string {
+				return strings.Replace(s, "Count int `json:\"count\"`",
+					"Count int `json:\"count\"`\n\tMean  float64 `json:\"mean,omitempty\"`", 1)
+			},
+			want: "schema snapshot is stale",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := writeWireModule(t, dir, wireBase)
+			if err := WriteSchemaSnapshot(l); err != nil {
+				t.Fatalf("writing snapshot: %v", err)
+			}
+			mutated := tc.edit(wireBase)
+			if mutated == wireBase && tc.name != "unchanged" {
+				t.Fatal("edit did not change the source")
+			}
+			if err := os.WriteFile(filepath.Join(dir, "internal", "wire", "wire.go"), []byte(mutated), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// A fresh loader: the first one memoized the unmutated package.
+			l2, err := NewLoader(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := CheckSchemaSnapshot(l2)
+			if err != nil {
+				t.Fatalf("running gate: %v", err)
+			}
+			if tc.want == "" {
+				if len(diags) != 0 {
+					t.Fatalf("expected clean gate, got %v", diags)
+				}
+				return
+			}
+			if len(diags) == 0 {
+				t.Fatalf("expected a diagnostic containing %q, gate was clean", tc.want)
+			}
+			found := false
+			for _, d := range diags {
+				if strings.Contains(d.Message, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no diagnostic contains %q; got %v", tc.want, diags)
+			}
+		})
+	}
+}
+
+// TestSchemaGateMissingSnapshot checks the gate refuses to run without a
+// committed snapshot rather than silently passing.
+func TestSchemaGateMissingSnapshot(t *testing.T) {
+	l := writeWireModule(t, t.TempDir(), wireBase)
+	_, err := CheckSchemaSnapshot(l)
+	if err == nil || !strings.Contains(err.Error(), "schema snapshot") {
+		t.Fatalf("expected a missing-snapshot error, got %v", err)
+	}
+}

@@ -1,0 +1,5 @@
+package a
+
+// Test files are exempt from every analyzer: this entry point would be a
+// finding in a non-test file.
+func SolveTestHelper(n int) int { return n }

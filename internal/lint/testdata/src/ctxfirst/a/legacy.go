@@ -1,0 +1,13 @@
+package a
+
+import "context"
+
+// SolveOld is a deprecated pre-context wrapper; the directive plus the
+// legacy.go filename exempt it.
+//
+//lint:legacy
+func SolveOld(n int) int { return SolveGood(context.Background(), n) }
+
+// SolveUnmarked is deprecated but carries no directive, so even legacy.go
+// does not exempt it.
+func SolveUnmarked(n int) int { return n } // want "exported entry point SolveUnmarked must take a context.Context as its first parameter"

@@ -1,0 +1,3 @@
+module ctxfirst
+
+go 1.22

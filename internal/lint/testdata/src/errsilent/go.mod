@@ -1,0 +1,3 @@
+module errsilent
+
+go 1.22

@@ -1,0 +1,61 @@
+// Package journal exercises the errsilent analyzer inside its scope: no
+// discarded Sync/Close/Flush/Write errors in the crash-recovery layers.
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+func CloseDropped(f *os.File) {
+	f.Close() // want "error from f.Close discarded"
+}
+
+func SyncDeferred(f *os.File) {
+	defer f.Sync() // want "error from f.Sync discarded by defer"
+}
+
+func CloseGo(f *os.File) {
+	go f.Close() // want "error from f.Close discarded by go"
+}
+
+func CloseBlank(f *os.File) {
+	_ = f.Close() // want "error from f.Close assigned to _"
+}
+
+func WriteBlank(f *os.File, b []byte) int {
+	n, _ := f.Write(b) // want "error from f.Write assigned to _"
+	return n
+}
+
+// CloseHandled consumes the error and is silent.
+func CloseHandled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing: %w", err)
+	}
+	return nil
+}
+
+// HashWrite hits the hash.Hash exemption: its Write never fails by contract.
+func HashWrite(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// BufferWrite hits the bytes.Buffer exemption.
+func BufferWrite(b []byte) string {
+	var buf bytes.Buffer
+	buf.Write(b)
+	return buf.String()
+}
+
+type flusher interface{ Flush() }
+
+// FlushNoError calls a Flush with no error result (the http.Flusher shape);
+// there is nothing to discard.
+func FlushNoError(f flusher) {
+	f.Flush()
+}

@@ -1,0 +1,9 @@
+// Package other sits outside the crash-recovery scope; best-effort closes
+// are tolerated here.
+package other
+
+import "os"
+
+func CloseDropped(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,3 @@
+module nilsafeobs
+
+go 1.22

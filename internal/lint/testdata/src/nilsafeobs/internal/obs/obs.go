@@ -1,0 +1,72 @@
+// Package obs exercises the nilsafeobs analyzer with local stand-ins for the
+// hot-path observability types: exported pointer-receiver methods must guard
+// nil receivers before any field access.
+package obs
+
+// Context mirrors the hot-path obs type shapes.
+type Context struct {
+	enabled bool
+	count   int64
+}
+
+// Enabled uses the single-expression guard form.
+func (c *Context) Enabled() bool { return c != nil && c.enabled }
+
+// Inc uses the leading early-return guard form.
+func (c *Context) Inc() {
+	if c == nil {
+		return
+	}
+	c.count++
+}
+
+// Set uses the whole-body guard form.
+func (c *Context) Set(v bool) {
+	if c != nil {
+		c.enabled = v
+	}
+}
+
+// Toggle delegates only to methods, which guard themselves.
+func (c *Context) Toggle() {
+	c.Set(!c.Enabled())
+}
+
+func (c *Context) Broken() int64 {
+	return c.count // want "dereferences its receiver without a leading nil guard"
+}
+
+// lower is unexported; only the exported API carries the nil-safe contract.
+func (c *Context) lower() int64 { return c.count }
+
+// Tracer checks the || and && chain-head guard forms.
+type Tracer struct {
+	spans int
+}
+
+func (t *Tracer) Empty() bool {
+	if t == nil || t.spans == 0 {
+		return true
+	}
+	return false
+}
+
+func (t *Tracer) Busy() bool {
+	return t != nil && t.spans > 0
+}
+
+func (t *Tracer) Add(n int) {
+	t.spans += n // want "dereferences its receiver without a leading nil guard"
+}
+
+// Histogram has a value receiver, which can never be nil.
+type Histogram struct{ n int }
+
+func (h Histogram) N() int { return h.n }
+
+// Config is not a hot-path type; unguarded derefs are fine.
+type Config struct {
+	Depth int
+}
+
+func (c *Config) Get() int { return c.Depth }

@@ -1,0 +1,3 @@
+module nodeterm
+
+go 1.22

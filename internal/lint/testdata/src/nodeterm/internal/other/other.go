@@ -1,0 +1,7 @@
+// Package other sits outside the deterministic scope; the wall clock is
+// allowed here.
+package other
+
+import "time"
+
+func Stamp() int64 { return time.Now().Unix() }

@@ -1,0 +1,69 @@
+// Package report exercises the nodeterm analyzer inside its scope: no wall
+// clock, no global math/rand, no map-iteration-ordered output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now in deterministic path"
+}
+
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since in deterministic path"
+}
+
+func Jitter() int {
+	return rand.Intn(10) // want "global rand.Intn in deterministic path"
+}
+
+// Seeded uses a local seeded source; constructor calls and methods on the
+// resulting *rand.Rand are the sanctioned deterministic idiom.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func Render(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration feeds Fprintf"
+	}
+}
+
+// RenderSorted extracts keys, sorts them in the same block, and only then
+// writes: the canonical deterministic shape.
+func RenderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration appends to out, which is never sorted afterwards"
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectLocal appends to a slice declared inside the loop, which dies with
+// each iteration and cannot leak iteration order.
+func CollectLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		total += len(batch)
+	}
+	return total
+}

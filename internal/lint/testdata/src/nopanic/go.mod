@@ -1,0 +1,3 @@
+module nopanic
+
+go 1.22

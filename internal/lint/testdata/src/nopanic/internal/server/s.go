@@ -1,0 +1,71 @@
+// Package server exercises the nopanic analyzer: every go func literal must
+// begin with a deferred recover helper.
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Guarded mimics the obs.Context.Guard helper shape.
+type Guarded struct{}
+
+func (g *Guarded) Guard(where string) {
+	if r := recover(); r != nil {
+		fmt.Println("recovered", where, r)
+	}
+}
+
+func SpawnInline() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Println("recovered", r)
+			}
+		}()
+		work()
+	}()
+}
+
+func SpawnHelper(g *Guarded) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer g.Guard("worker") // the guard may sit anywhere in the leading defer run
+		work()
+	}()
+	wg.Wait()
+}
+
+func SpawnBare() {
+	go func() { // want "goroutine literal must begin with a deferred recover helper"
+		work()
+	}()
+}
+
+func SpawnLate() {
+	go func() { // want "goroutine literal must begin with a deferred recover helper"
+		work()
+		defer func() { _ = recover() }()
+	}()
+}
+
+// SpawnNested checks that a guarded outer literal does not excuse the inner
+// one: each goroutine needs its own guard.
+func SpawnNested(g *Guarded) {
+	go func() {
+		defer g.Guard("outer")
+		go func() { // want "goroutine literal must begin with a deferred recover helper"
+			work()
+		}()
+	}()
+}
+
+// SpawnNamed launches a named function, which guards itself at its own
+// declaration and is not flagged at the launch site.
+func SpawnNamed() {
+	go work()
+}
+
+func work() {}

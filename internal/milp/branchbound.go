@@ -63,20 +63,19 @@ func Solve(ctx context.Context, p *Problem, opts Options) (Solution, error) {
 		return Solution{}, err
 	}
 
-	start := time.Now()
 	// The effective deadline is the earlier of the ctx deadline and
-	// start+TimeLimit; stop() is threaded through every LP solve.
-	deadline, hasDeadline := ctx.Deadline()
+	// TimeLimit from now, expressed purely through the context so this
+	// package never reads the wall clock itself; stop() is threaded through
+	// every LP solve.
 	if opts.TimeLimit > 0 {
-		if tl := start.Add(opts.TimeLimit); !hasDeadline || tl.Before(deadline) {
-			deadline = tl
-			hasDeadline = true
-		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.TimeLimit)
+		defer cancel()
 	}
 	stop := func() bool {
-		// Callers amortize this over a pivot batch, so polling ctx and the
-		// clock directly is cheap enough.
-		return ctx.Err() != nil || (hasDeadline && time.Now().After(deadline))
+		// Callers amortize this over a pivot batch, so polling ctx directly
+		// is cheap enough.
+		return ctx.Err() != nil
 	}
 
 	octx := opts.Obs

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -39,9 +40,16 @@ const degenStreakLimit = blandAfter + 10000
 
 // SolveLP solves the linear relaxation of p (integrality dropped) and returns
 // the solution. The returned Solution has Status Optimal, Infeasible, or
-// Unbounded.
-func SolveLP(p *Problem) (Solution, error) {
-	return solveLPStop(p, nil)
+// Unbounded. Cancelling ctx aborts the solve between pivot batches; the
+// interrupted solve returns Status LimitReached with the trivial bound, never
+// an error, matching Solve's anytime semantics.
+func SolveLP(ctx context.Context, p *Problem) (Solution, error) {
+	stop := func() bool { return ctx.Err() != nil }
+	sol, err := solveLPStop(p, stop)
+	if errors.Is(err, errStopped) {
+		return Solution{Status: LimitReached, Bound: math.Inf(lpBoundSign(p))}, nil
+	}
+	return sol, err
 }
 
 // solveLPStop is SolveLP with an optional stop hook, polled every

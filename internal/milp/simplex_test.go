@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -17,7 +18,7 @@ func TestSolveLPSimpleMax(t *testing.T) {
 	p.AddConstraint("c1", map[int]float64{x: 1, y: 1}, LE, 4)
 	p.AddConstraint("c2", map[int]float64{x: 1, y: 3}, LE, 6)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestSolveLPSimpleMin(t *testing.T) {
 	y := p.AddVariable("y", 0, math.Inf(1), 3)
 	p.AddConstraint("cover", map[int]float64{x: 1, y: 1}, GE, 10)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSolveLPEquality(t *testing.T) {
 	p.AddConstraint("e1", map[int]float64{x: 1, y: 2}, EQ, 8)
 	p.AddConstraint("e2", map[int]float64{x: 1, y: -1}, EQ, 2)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSolveLPInfeasible(t *testing.T) {
 	x := p.AddVariable("x", 0, 1, 1)
 	p.AddConstraint("impossible", map[int]float64{x: 1}, GE, 5)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestSolveLPUnbounded(t *testing.T) {
 	p.AddConstraint("c", map[int]float64{y: 1}, LE, 3)
 	_ = x
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestSolveLPNegativeRHS(t *testing.T) {
 	x := p.AddVariable("x", 0, math.Inf(1), 1)
 	p.AddConstraint("neg", map[int]float64{x: -1}, LE, -3)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestSolveLPShiftedLowerBounds(t *testing.T) {
 	y := p.AddVariable("y", 3, 10, 1)
 	p.AddConstraint("c", map[int]float64{x: 1, y: 1}, GE, 7)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSolveLPDegenerate(t *testing.T) {
 	p.AddConstraint("r2", map[int]float64{x1: 0.5, x2: -1.5, x3: -0.5, x4: 1}, LE, 0)
 	p.AddConstraint("r3", map[int]float64{x1: 1}, LE, 1)
 
-	sol, err := SolveLP(p)
+	sol, err := SolveLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestSolveLPFeasibilityProperty(t *testing.T) {
 		}
 		p.AddConstraint("demand", row, GE, demand)
 
-		sol, err := SolveLP(p)
+		sol, err := SolveLP(context.Background(), p)
 		if err != nil || sol.Status != Optimal {
 			return false
 		}

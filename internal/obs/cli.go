@@ -71,6 +71,11 @@ func (c *CLI) Context() *Context {
 	if c.PprofAddr != "" {
 		addr := c.PprofAddr
 		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "obs: pprof server on %s panicked (recovered): %v\n", addr, r)
+				}
+			}()
 			if err := http.ListenAndServe(addr, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "obs: pprof server on %s: %v\n", addr, err)
 			}

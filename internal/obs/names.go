@@ -19,6 +19,9 @@ const (
 	MLowerBoundSteps = "hilp_sched_lower_bound_steps"
 	MMakespanSteps   = "hilp_sched_makespan_steps"
 
+	// Background goroutines guarded by Context.Guard (any layer).
+	MGoroutinePanics = "hilp_goroutine_panics_total"
+
 	// Fault-tolerance chain (internal/core fallback + internal/faults).
 	MSolveRetries   = "hilp_core_solve_retries_total"
 	MSolveFallbacks = "hilp_core_solve_fallbacks_total"

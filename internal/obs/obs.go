@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
+	"runtime/debug"
 	"sync"
 )
 
@@ -153,6 +155,32 @@ func (c *Context) Histogram(name string, buckets ...float64) *Histogram {
 		return nil
 	}
 	return c.Metrics.Histogram(name, buckets...)
+}
+
+// Guard recovers a panic escaping the calling goroutine, counts it under
+// MGoroutinePanics, and reports the stack, extending the panic-isolation
+// ladder to background goroutines that no request path observes. Use it as
+// the goroutine's first deferred statement:
+//
+//	go func() {
+//		defer octx.Guard("sweep-worker")
+//		...
+//	}()
+//
+// A nil *Context still recovers; the report then degrades to stderr so the
+// panic is never silent.
+func (c *Context) Guard(where string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	c.Counter(MGoroutinePanics).Inc()
+	if c.LogEnabled(slog.LevelError) {
+		c.Log(context.Background(), slog.LevelError, "goroutine panic recovered",
+			"where", where, "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "hilp: panic in %s goroutine (recovered): %v\n%s", where, r, debug.Stack())
 }
 
 // Logf writes one verbose log line when level <= Verbosity and a writer is

@@ -50,8 +50,12 @@ func NewTracerWithClock(now func() int64) *Tracer {
 	return &Tracer{now: now}
 }
 
-// StartSpan opens a root span on a fresh track.
+// StartSpan opens a root span on a fresh track. On a nil tracer it returns
+// the inert zero Span.
 func (t *Tracer) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
 	t.mu.Lock()
 	t.nextTID++
 	s := t.spanLocked(name, t.nextTID)
@@ -139,8 +143,12 @@ type SpanRecord struct {
 	StrArgs map[string]string
 }
 
-// Snapshot returns copies of all recorded spans in creation order.
+// Snapshot returns copies of all recorded spans in creation order. A nil
+// tracer has recorded nothing and returns nil.
 func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]SpanRecord, len(t.events))
@@ -214,8 +222,11 @@ type chromeTrace struct {
 
 // WriteChromeTrace exports every span as a complete ("X") trace event.
 // Spans still open at export time are given their elapsed duration so the
-// file is always loadable.
+// file is always loadable. A nil tracer writes an empty but loadable trace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(chromeTrace{TraceEvents: []chromeEvent{}, DisplayUnit: "ms"})
+	}
 	t.mu.Lock()
 	now := t.now()
 	events := make([]chromeEvent, len(t.events))

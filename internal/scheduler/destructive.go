@@ -3,6 +3,7 @@ package scheduler
 import (
 	"context"
 	"math"
+	"sort"
 )
 
 // Destructive lower bounding: instead of bounding the optimum directly,
@@ -165,12 +166,7 @@ func intervalEndpoints(p *Problem, est, lst []int, T int) []int {
 	for v := range seen {
 		points = append(points, v)
 	}
-	// Insertion sort; endpoint sets are small.
-	for i := 1; i < len(points); i++ {
-		for j := i; j > 0 && points[j] < points[j-1]; j-- {
-			points[j], points[j-1] = points[j-1], points[j]
-		}
-	}
+	sort.Ints(points)
 	// Cap the quadratic interval enumeration on large instances.
 	const maxPoints = 48
 	if len(points) > maxPoints {

@@ -83,7 +83,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			sum.Cache = "hit"
 		}
 		w.Header().Set("X-HILP-Cache", "hit")
-		writeJSON(w, http.StatusOK, body)
+		s.writeJSON(r.Context(), w, http.StatusOK, body)
 		return
 	}
 	stopCache()
@@ -182,5 +182,5 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, body)
 	}
 	w.Header().Set("X-HILP-Cache", "miss")
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }

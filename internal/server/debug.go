@@ -130,7 +130,7 @@ func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }
 
 // debugLogsResponse is the body of GET /debug/logs.
@@ -156,5 +156,5 @@ func (s *Server) handleDebugLogs(w http.ResponseWriter, r *http.Request) {
 		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }

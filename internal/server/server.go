@@ -394,11 +394,12 @@ func (s *Server) Drain() {
 // semantics), and waits for job goroutines until ctx expires. Callers drain
 // in-flight HTTP requests first via http.Server.Shutdown; those requests run
 // on their own contexts and finish normally.
-func (s *Server) Shutdown(ctx context.Context) error {
+func (s *Server) Shutdown(ctx context.Context) (err error) {
 	s.Drain()
 	s.stop()
 	done := make(chan struct{})
 	go func() {
+		defer s.obs.Guard("shutdown-drain")
 		s.jobWG.Wait()
 		close(done)
 	}()
@@ -408,9 +409,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		// The journal closes (with a final fsync) after jobs drained, so
 		// their last point and jobEnd records are durable. On a timed-out
-		// shutdown this still syncs whatever was appended.
+		// shutdown this still syncs whatever was appended. A failed close
+		// means that durability promise may be broken, so it surfaces.
 		if s.journal != nil {
-			s.journal.Close()
+			if cerr := s.journal.Close(); cerr != nil {
+				err = errors.Join(err, fmt.Errorf("server: closing journal: %w", cerr))
+			}
 		}
 	}()
 	select {
@@ -523,17 +527,24 @@ func (s *Server) writeError(ctx context.Context, w http.ResponseWriter, status i
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	body, _ := wire.Marshal(resp)
-	w.Write(body)
+	if _, werr := w.Write(body); werr != nil {
+		// The status line is already out; all that is left is to note the
+		// client went away mid-response.
+		s.obs.Log(ctx, slog.LevelDebug, "request: writing error response", "error", werr.Error())
+	}
 }
 
 func (s *Server) writeAPIError(ctx context.Context, w http.ResponseWriter, e *apiError) {
 	s.writeError(ctx, w, e.status, e.code, e.err)
 }
 
-func writeJSON(w http.ResponseWriter, code int, body []byte) {
+func (s *Server) writeJSON(ctx context.Context, w http.ResponseWriter, code int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		// The response is committed; a short write means the client hung up.
+		s.obs.Log(ctx, slog.LevelDebug, "request: writing response", "error", err.Error())
+	}
 }
 
 // recoverHandler converts a panic escaping a handler into a structured 500
@@ -604,7 +615,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			sum.Cache = "hit"
 		}
 		w.Header().Set("X-HILP-Cache", "hit")
-		writeJSON(w, http.StatusOK, body)
+		s.writeJSON(r.Context(), w, http.StatusOK, body)
 		return
 	}
 	stopCache()
@@ -669,7 +680,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, body)
 	}
 	w.Header().Set("X-HILP-Cache", "miss")
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }
 
 // evaluateTemplate solves a (workload, SoC) pair from the paper's template.
@@ -771,7 +782,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				sum.JobID = dup.id
 			}
 			body, _ := wire.Marshal(dup.snapshot())
-			writeJSON(w, http.StatusOK, body)
+			s.writeJSON(r.Context(), w, http.StatusOK, body)
 			return
 		}
 	}
@@ -792,7 +803,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			sum.JobID = j.id
 		}
 		body, _ := wire.Marshal(j.snapshot())
-		writeJSON(w, http.StatusOK, body)
+		s.writeJSON(r.Context(), w, http.StatusOK, body)
 		return
 	}
 	// The job inherits the starting request's correlation ID: every per-point
@@ -813,7 +824,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	go s.runJob(j, plan.workload, plan.specs, opts, plan.timeout)
 
 	body, _ := wire.Marshal(j.snapshot())
-	writeJSON(w, http.StatusAccepted, body)
+	s.writeJSON(r.Context(), w, http.StatusAccepted, body)
 }
 
 // sweepPlan is a validated, fully-resolved sweep: what handleSweep builds
@@ -1007,11 +1018,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeError(r.Context(), w, http.StatusInternalServerError, "", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, body)
+	s.writeJSON(r.Context(), w, http.StatusOK, body)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, []byte("{\"status\":\"ok\"}\n"))
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(r.Context(), w, http.StatusOK, []byte("{\"status\":\"ok\"}\n"))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -252,13 +252,13 @@ func Solve(ctx context.Context, p *scheduler.Problem, opts milp.Options, warmSta
 
 // LPBound returns a lower bound on the optimal makespan from the LP
 // relaxation of the time-indexed encoding (rounded up: makespans are
-// integral).
-func LPBound(p *scheduler.Problem) (int, error) {
+// integral). Cancelling ctx aborts the relaxation solve.
+func LPBound(ctx context.Context, p *scheduler.Problem) (int, error) {
 	enc, err := Build(p)
 	if err != nil {
 		return 0, err
 	}
-	sol, err := milp.SolveLP(enc.Problem)
+	sol, err := milp.SolveLP(ctx, enc.Problem)
 	if err != nil {
 		return 0, err
 	}

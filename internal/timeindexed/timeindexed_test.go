@@ -80,7 +80,7 @@ func TestBuildRejectsTinyHorizon(t *testing.T) {
 
 func TestLPBoundIsValid(t *testing.T) {
 	p := twoAppExample(false, 10)
-	lb, err := LPBound(p)
+	lb, err := LPBound(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

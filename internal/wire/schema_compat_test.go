@@ -1,0 +1,29 @@
+package wire
+
+import (
+	"testing"
+
+	"hilp/internal/lint"
+)
+
+// TestWireSchemaCompat runs the wire-schema compatibility gate in-process:
+// the current package's exported structs must be backward compatible with
+// the committed schema.snapshot.json (no removed, renamed, or re-typed
+// fields, no changed JSON tags, no version rollback), and the snapshot must
+// be regenerated (`go run ./cmd/hilp-lint -schema-snapshot`) whenever the
+// schema grows. This is the same check `hilp-lint ./...` applies in CI; it
+// lives here too so a plain `go test ./internal/wire` catches a breaking
+// edit without the lint step.
+func TestWireSchemaCompat(t *testing.T) {
+	l, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	diags, err := lint.CheckSchemaSnapshot(l)
+	if err != nil {
+		t.Fatalf("running schema gate: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

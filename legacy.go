@@ -44,6 +44,8 @@ func Gables(w Workload, spec SoC, profile Profile, cfg SolverConfig) (*Result, e
 //
 // Deprecated: use Sweep with WithWorkers, WithProfile, and WithSolver — or
 // SolveBatch to reuse work across the points.
+//
+//lint:legacy
 func SweepHILP(w Workload, specs []SoC, workers int, profile Profile, cfg SolverConfig) []Point {
 	return Sweep(context.Background(), w, specs,
 		WithWorkers(workers), WithProfile(profile), WithSolver(cfg))
@@ -53,6 +55,8 @@ func SweepHILP(w Workload, specs []SoC, workers int, profile Profile, cfg Solver
 // and a live progress callback via opts.
 //
 // Deprecated: use Sweep with WithObs and WithProgress.
+//
+//lint:legacy
 func SweepHILPObserved(w Workload, specs []SoC, opts SweepOptions, profile Profile, cfg SolverConfig) []Point {
 	return dse.SweepOpts(context.Background(), specs, opts, dse.HILPEvaluator(w, profile, cfg))
 }
@@ -60,6 +64,8 @@ func SweepHILPObserved(w Workload, specs []SoC, opts SweepOptions, profile Profi
 // SolveInstance solves a built (possibly pinned) instance.
 //
 // Deprecated: use SolveInstanceContext so the solve can be cancelled.
+//
+//lint:legacy
 func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
 	return SolveInstanceContext(context.Background(), in, cfg)
 }
@@ -69,6 +75,8 @@ func SolveInstance(in *Instance, cfg SolverConfig) (scheduler.Result, error) {
 // result.
 //
 // Deprecated: use SolveModelContext so the solve can be cancelled.
+//
+//lint:legacy
 func SolveModel(m CustomModel, stepSec float64, horizon int, cfg SolverConfig) (*Instance, scheduler.Result, error) {
 	return SolveModelContext(context.Background(), m, stepSec, horizon, cfg)
 }
